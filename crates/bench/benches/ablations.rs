@@ -1,0 +1,74 @@
+//! Ablations of the engine's design choices (DESIGN.md §3.2).
+//!
+//! Two mechanisms make the snapshot engine viable; each is toggled off
+//! here to measure its contribution:
+//!
+//! * **DFS inline fast path** — extension 0 continues in place instead
+//!   of capture-then-restore. Ablated via `Dfs::without_inline()`.
+//! * **Snapshot reclamation** — a snapshot is freed when its last
+//!   pending extension is consumed. Ablated via
+//!   `EngineConfig::keep_all_snapshots` (every snapshot pinned), which
+//!   trades memory for nothing — the measured point of "rapid creation
+//!   (and destruction) of snapshot trees".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lwsnap_core::{strategy::Dfs, Engine, EngineConfig};
+use lwsnap_vm::{assemble_source, programs::nqueens_source, Interp};
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_inline_fast_path");
+    group.sample_size(10);
+    for n in [6u64, 7] {
+        let program = assemble_source(&nqueens_source(n, false, true)).expect("assembles");
+        group.bench_with_input(BenchmarkId::new("with_inline", n), &n, |b, _| {
+            b.iter(|| {
+                let mut engine = Engine::new(Dfs::new());
+                let result = engine.run(&mut Interp::new(), program.boot().expect("boots"));
+                assert!(result.stats.inline_continues > 0);
+                std::hint::black_box(result.stats);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("without_inline", n), &n, |b, _| {
+            b.iter(|| {
+                let mut engine = Engine::new(Dfs::without_inline());
+                let result = engine.run(&mut Interp::new(), program.boot().expect("boots"));
+                assert_eq!(result.stats.inline_continues, 0, "fast path ablated");
+                std::hint::black_box(result.stats);
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_snapshot_reclamation");
+    group.sample_size(10);
+    let program = assemble_source(&nqueens_source(7, false, true)).expect("assembles");
+    group.bench_function("reclaiming", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(Dfs::new());
+            let result = engine.run(&mut Interp::new(), program.boot().expect("boots"));
+            // DFS + reclamation: O(depth) snapshots alive.
+            assert!(result.stats.snapshots_peak <= 8);
+            std::hint::black_box(result.stats);
+        })
+    });
+    group.bench_function("keep_all", |b| {
+        b.iter(|| {
+            let config = EngineConfig {
+                keep_all_snapshots: true,
+                ..Default::default()
+            };
+            let mut engine = Engine::with_config(Dfs::new(), config);
+            let result = engine.run(&mut Interp::new(), program.boot().expect("boots"));
+            // Ablated: every internal node of the search tree stays live.
+            assert_eq!(
+                result.stats.snapshots_peak as u64,
+                result.stats.snapshots_created
+            );
+            std::hint::black_box(result.stats);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

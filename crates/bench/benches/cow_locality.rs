@@ -1,0 +1,88 @@
+//! E3 — CoW cost tracks pages *touched*, not address-space size (§5).
+//!
+//! Claim: "the execution granularity, complexity of hand-coded logic,
+//! and page-level memory locality will each play a role"; the enabling
+//! property is that a divergence after a snapshot costs O(pages touched).
+//!
+//! Sweeps k = pages touched per extension for fixed and growing space
+//! sizes M. Expected shape: time and bytes copied scale with k and are
+//! flat in M; the full-copy baseline scales with M.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lwsnap_mem::{AddressSpace, Prot, RegionKind, PAGE_SIZE};
+
+const BASE: u64 = 0x10_0000;
+
+fn space_with(pages: u64) -> AddressSpace {
+    let mut asp = AddressSpace::new();
+    asp.map_fixed(
+        BASE,
+        pages * PAGE_SIZE as u64,
+        Prot::RW,
+        RegionKind::Anon,
+        "ram",
+    )
+    .unwrap();
+    for p in 0..pages {
+        asp.write_u64(BASE + p * PAGE_SIZE as u64, p).unwrap();
+    }
+    asp
+}
+
+fn bench_cow_locality(c: &mut Criterion) {
+    // Part 1: fixed M = 4096 pages, sweep k.
+    let mut group = c.benchmark_group("e3_cow_touch_k_pages");
+    let parent = space_with(4096);
+    for k in [1u64, 8, 64, 512] {
+        group.throughput(Throughput::Bytes(k * PAGE_SIZE as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                // Fork a child view and dirty k pages.
+                let mut child = parent.snapshot();
+                let before = *child.stats();
+                for p in 0..k {
+                    child
+                        .write_u64(BASE + p * PAGE_SIZE as u64, 0xffff)
+                        .unwrap();
+                }
+                let delta = child.stats().delta(&before);
+                assert_eq!(delta.cow_page_copies, k, "exactly k pages copied");
+                std::hint::black_box(child);
+            })
+        });
+    }
+    group.finish();
+
+    // Part 2: fixed k = 8, sweep M — cost must stay flat.
+    let mut group = c.benchmark_group("e3_cow_flat_in_space_size");
+    for m in [64u64, 1024, 16384] {
+        let parent = space_with(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                let mut child = parent.snapshot();
+                for p in 0..8 {
+                    child
+                        .write_u64(BASE + p * PAGE_SIZE as u64, 0xffff)
+                        .unwrap();
+                }
+                std::hint::black_box(child);
+            })
+        });
+    }
+    group.finish();
+
+    // Part 3: the full-copy baseline grows with M (crossover partner).
+    let mut group = c.benchmark_group("e3_full_copy_grows_with_m");
+    group.sample_size(20);
+    for m in [64u64, 1024, 16384] {
+        let parent = space_with(m);
+        group.throughput(Throughput::Bytes(m * PAGE_SIZE as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| std::hint::black_box(parent.deep_copy()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cow_locality);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E7 — why not just fork? Per-decision cost of the naive design (§3).
+//!
+//! Claim: "the large performance overheads of this naive approach would
+//! likely dwarf any benefit in most circumstances."
+//!
+//! Explores the same complete binary decision tree three ways and
+//! reports time per tree (divide by 2^depth - 1 decisions for the
+//! per-decision figure):
+//! * real `fork()`-per-decision DFS (the naive design);
+//! * snapshot engine running the equivalent SVM-64 guest;
+//! * host-closure replay (re-execution, no snapshots at all).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lwsnap_core::{replay_dfs, strategy::Dfs, Engine, Outcome};
+use lwsnap_os::{fork_dfs, ForkOutcome};
+use lwsnap_vm::{assemble_source, programs::guess_fail_source, Interp};
+
+fn bench_fork_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_fork_baseline");
+    group.sample_size(10);
+    for depth in [4u64, 6] {
+        let leaves = 1u64 << depth;
+
+        group.bench_with_input(
+            BenchmarkId::new("fork_per_decision", depth),
+            &depth,
+            |b, &depth| {
+                b.iter(|| {
+                    let stats = fork_dfs(move |ctx| {
+                        for _ in 0..depth {
+                            ctx.guess(2);
+                        }
+                        ForkOutcome::Failed
+                    })
+                    .expect("fork tree runs");
+                    assert_eq!(stats.failures, leaves);
+                })
+            },
+        );
+
+        let program = assemble_source(&guess_fail_source(depth, 2)).expect("assembles");
+        group.bench_with_input(
+            BenchmarkId::new("snapshot_engine", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    let mut engine = Engine::new(Dfs::new());
+                    let mut interp = Interp::new();
+                    let result = engine.run(&mut interp, program.boot().expect("boots"));
+                    assert_eq!(result.stats.failures, leaves);
+                })
+            },
+        );
+
+        group.bench_with_input(BenchmarkId::new("replay", depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let result = replay_dfs(
+                    |ctx| {
+                        for _ in 0..depth {
+                            ctx.guess(2);
+                        }
+                        Outcome::Failed
+                    },
+                    None,
+                );
+                assert_eq!(result.stats.failures, leaves);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fork_baseline);
+criterion_main!(benches);

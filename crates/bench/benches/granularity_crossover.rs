@@ -1,0 +1,76 @@
+//! E3b/§5 — problem granularity: when does system-level backtracking pay?
+//!
+//! Claim: "problems with a trivial instruction count per extension step
+//! (e.g., n-queens) are best implemented by hand-coding … But our
+//! motivating examples have address spaces measured in GB [and touch]
+//! dozens or even hundreds of 4-KB pages during a single extension step."
+//!
+//! Two sweeps over the same synthetic search workload (depth-6 binary
+//! tree):
+//! * instructions per extension step (`work_iters`) — snapshot overhead
+//!   amortises as steps get fatter;
+//! * pages touched per step with CoW snapshots vs full state copies —
+//!   the copy baseline loses as state grows, which is the paper's
+//!   crossover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lwsnap_core::{strategy::Dfs, Engine};
+use lwsnap_vm::{assemble_source, programs::search_workload_source, Interp};
+
+fn bench_granularity(c: &mut Criterion) {
+    // Sweep instruction count per step (4 pages touched each step).
+    let mut group = c.benchmark_group("e3b_instructions_per_step");
+    group.sample_size(10);
+    for work in [0u64, 200, 2000, 20000] {
+        let program =
+            assemble_source(&search_workload_source(6, 2, work, 4, 64)).expect("assembles");
+        group.bench_with_input(BenchmarkId::from_parameter(work), &work, |b, _| {
+            b.iter(|| {
+                let mut engine = Engine::new(Dfs::new());
+                let mut interp = Interp::new();
+                let result = engine.run(&mut interp, program.boot().expect("boots"));
+                assert_eq!(result.stats.solutions, 64);
+            })
+        });
+    }
+    group.finish();
+
+    // Sweep pages touched per step: CoW snapshots (engine) vs an
+    // eager-copy engine that deep-copies the whole space at every guess.
+    let mut group = c.benchmark_group("e3b_pages_touched_cow_vs_copy");
+    group.sample_size(10);
+    for touch in [1u64, 16, 128] {
+        let buffer_pages = 512u64;
+        let program = assemble_source(&search_workload_source(5, 2, 0, touch, buffer_pages))
+            .expect("assembles");
+        group.bench_with_input(BenchmarkId::new("cow_snapshot", touch), &touch, |b, _| {
+            b.iter(|| {
+                let mut engine = Engine::new(Dfs::new());
+                let mut interp = Interp::new();
+                let result = engine.run(&mut interp, program.boot().expect("boots"));
+                assert_eq!(result.stats.solutions, 32);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("eager_copy", touch), &touch, |b, _| {
+            b.iter(|| {
+                // Same guest, but every resume starts from a full copy of
+                // the address space — the "fat software layers" baseline.
+                struct EagerCopy(Interp);
+                impl lwsnap_core::Guest for EagerCopy {
+                    fn resume(&mut self, st: &mut lwsnap_core::GuestState) -> lwsnap_core::Exit {
+                        st.mem = st.mem.deep_copy();
+                        self.0.resume(st)
+                    }
+                }
+                let mut engine = Engine::new(Dfs::new());
+                let mut guest = EagerCopy(Interp::new());
+                let result = engine.run(&mut guest, program.boot().expect("boots"));
+                assert_eq!(result.stats.solutions, 32);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_granularity);
+criterion_main!(benches);

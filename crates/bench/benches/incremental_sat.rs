@@ -1,0 +1,63 @@
+//! E4 — incremental SAT: `p` then `p∧q` beats solving both from scratch.
+//!
+//! Claim (paper §2): "an incremental solver given formula p immediately
+//! followed by formula p∧q can solve both in less time than solving p
+//! and then solving p∧q from scratch without leveraging the knowledge
+//! of p."
+//!
+//! Expected shape: incremental < scratch; the gap grows with the number
+//! of stacked increments (more shared inference to reuse).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lwsnap_solver::{IncrementalFamily, Solver, SolverService};
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_incremental_sat");
+    group.sample_size(10);
+    for increments in [1u64, 4, 8] {
+        let fam = IncrementalFamily::new(150, 10, 0xabcd);
+
+        group.bench_with_input(
+            BenchmarkId::new("incremental", increments),
+            &increments,
+            |b, &increments| {
+                b.iter(|| {
+                    // One solver instance; clauses accumulate, learnt
+                    // clauses and activities persist across solves.
+                    let mut solver = Solver::new();
+                    for clause in &fam.base().clauses {
+                        solver.add_clause(clause);
+                    }
+                    let mut last = solver.solve();
+                    for i in 0..increments {
+                        for clause in fam.increment(i) {
+                            solver.add_clause(&clause);
+                        }
+                        last = solver.solve();
+                    }
+                    std::hint::black_box(last);
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("scratch", increments),
+            &increments,
+            |b, &increments| {
+                b.iter(|| {
+                    // Re-solve each prefix with a fresh solver.
+                    let mut last = None;
+                    for upto in 0..=increments {
+                        let (result, _) = SolverService::solve_scratch(&fam.combined(upto).clauses);
+                        last = Some(result);
+                    }
+                    std::hint::black_box(last);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! E2 — snapshot take/restore vs the OS alternatives (paper §4).
+//!
+//! Claim (via Dune): "memory protection events and forks can be
+//! implemented … with an order of magnitude better performance than
+//! corresponding Linux abstractions."
+//!
+//! Measures, across address-space sizes (resident pages):
+//! * lightweight snapshot take + restore (software MMU, O(1));
+//! * full deep copy of the space (what naive state copying costs);
+//! * mprotect-arena snapshot + restore (userspace page-protection CoW);
+//! * real `fork()` + `_exit` + `waitpid` roundtrip (the §3 naive design).
+//!
+//! Expected shape: snapshot cost is flat in the space size; deep copy and
+//! fork grow with it; the snapshot/fork gap is orders of magnitude.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lwsnap_mem::{AddressSpace, Prot, RegionKind, PAGE_SIZE};
+use lwsnap_os::CkptArena;
+
+const BASE: u64 = 0x10_0000;
+
+fn space_with(pages: u64) -> AddressSpace {
+    let mut asp = AddressSpace::new();
+    asp.map_fixed(
+        BASE,
+        pages * PAGE_SIZE as u64,
+        Prot::RW,
+        RegionKind::Anon,
+        "ram",
+    )
+    .unwrap();
+    for p in 0..pages {
+        asp.write_u64(BASE + p * PAGE_SIZE as u64, p).unwrap();
+    }
+    asp
+}
+
+fn bench_snapshot_vs_fork(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_snapshot_vs_fork");
+    for pages in [16u64, 256, 4096] {
+        let asp = space_with(pages);
+
+        // Lightweight snapshot: take + drop (restore is the same clone).
+        group.bench_with_input(BenchmarkId::new("lw_snapshot", pages), &pages, |b, _| {
+            b.iter(|| {
+                let snap = asp.snapshot();
+                std::hint::black_box(&snap);
+            })
+        });
+
+        // Take + restore + one divergent write (the realistic cycle).
+        group.bench_with_input(
+            BenchmarkId::new("lw_snapshot_cycle", pages),
+            &pages,
+            |b, _| {
+                let mut working = asp.clone();
+                b.iter(|| {
+                    let snap = working.snapshot();
+                    working.write_u64(BASE, 0xdead).unwrap();
+                    working = snap.clone(); // restore
+                    std::hint::black_box(&working);
+                })
+            },
+        );
+
+        // Full copy baseline.
+        group.bench_with_input(BenchmarkId::new("deep_copy", pages), &pages, |b, _| {
+            b.iter(|| std::hint::black_box(asp.deep_copy()))
+        });
+
+        // mprotect arena: snapshot + dirty one page + restore.
+        group.bench_with_input(BenchmarkId::new("mprotect_arena", pages), &pages, |b, _| {
+            let mut arena = CkptArena::new(pages as usize).unwrap();
+            b.iter(|| {
+                let level = arena.snapshot().unwrap();
+                arena.as_mut_slice()[0] = 1;
+                arena.restore(level).unwrap();
+                arena.commit().unwrap();
+            })
+        });
+
+        // Real fork round-trip over this process (whose RSS includes the
+        // populated address spaces above).
+        group.bench_with_input(BenchmarkId::new("fork_roundtrip", pages), &pages, |b, _| {
+            b.iter(|| {
+                // SAFETY: immediate `_exit` in the child; parent reaps it.
+                unsafe {
+                    let pid = libc::fork();
+                    if pid == 0 {
+                        libc::_exit(0);
+                    }
+                    let mut status = 0;
+                    libc::waitpid(pid, &mut status, 0);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot_vs_fork);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E5 — the multi-path incremental solver service (paper §3.2).
+//!
+//! A binary tree of queries shares prefixes: the service forks each
+//! child from its parent's solved snapshot; the baseline re-solves each
+//! node's full clause stack from scratch.
+//!
+//! Expected shape: service ≪ scratch, and the gap grows with tree depth
+//! (deeper nodes inherit more solved state).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lwsnap_solver::{IncrementalFamily, SolveResult, SolverService};
+
+fn run_service(fam: &IncrementalFamily, depth: u64) -> u64 {
+    let mut service = SolverService::new();
+    let base = service
+        .solve(service.root(), &fam.base().clauses)
+        .expect("root");
+    let mut conflicts = base.conflicts;
+    let mut frontier = vec![(base.problem, 0u64)];
+    let mut next_inc = 0u64;
+    while let Some((parent, level)) = frontier.pop() {
+        if level == depth {
+            continue;
+        }
+        for _ in 0..2 {
+            let reply = service
+                .solve(parent, &fam.increment(next_inc))
+                .expect("parent");
+            next_inc += 1;
+            conflicts += reply.conflicts;
+            if reply.result == SolveResult::Sat {
+                frontier.push((reply.problem, level + 1));
+            }
+        }
+    }
+    conflicts
+}
+
+fn run_scratch(fam: &IncrementalFamily, depth: u64) -> u64 {
+    let mut conflicts = 0u64;
+    let mut next_inc = 0u64;
+    let mut frontier: Vec<(u64, Vec<u64>)> = vec![(0, Vec::new())];
+    while let Some((level, path)) = frontier.pop() {
+        if level == depth {
+            continue;
+        }
+        for _ in 0..2 {
+            let inc = next_inc;
+            next_inc += 1;
+            let mut clauses = fam.base().clauses;
+            for &i in &path {
+                clauses.extend(fam.increment(i));
+            }
+            clauses.extend(fam.increment(inc));
+            let (result, stats) = SolverService::solve_scratch(&clauses);
+            conflicts += stats.conflicts;
+            if result == SolveResult::Sat {
+                let mut child = path.clone();
+                child.push(inc);
+                frontier.push((level + 1, child));
+            }
+        }
+    }
+    conflicts
+}
+
+fn bench_service(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_solver_service");
+    group.sample_size(10);
+    for depth in [2u64, 4] {
+        let fam = IncrementalFamily::new(120, 8, 0x5151);
+        group.bench_with_input(BenchmarkId::new("service", depth), &depth, |b, &depth| {
+            b.iter(|| std::hint::black_box(run_service(&fam, depth)))
+        });
+        group.bench_with_input(BenchmarkId::new("scratch", depth), &depth, |b, &depth| {
+            b.iter(|| std::hint::black_box(run_scratch(&fam, depth)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! E6 — symbolic-execution state forking: snapshots vs eager copies (§2).
+//!
+//! Claim: S2E's software copy-on-write through "multiple (relatively
+//! fat) software layers" is the pain; system-level snapshots make the
+//! fork of the entire VM state cheap.
+//!
+//! Measures paths/second exploring a `2^depth`-path symbolic binary tree:
+//! * snapshot forking (CoW address space, the paper's design);
+//! * eager copy (the whole guest memory is duplicated at every resume —
+//!   what naive state duplication costs);
+//! * concrete re-execution of all generated inputs (replay baseline,
+//!   no constraint solving — the lower bound on per-path work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lwsnap_core::{strategy::Dfs, Engine, Exit, Guest, GuestState};
+use lwsnap_symex::{
+    programs::{branch_tree_source, branch_tree_with_state_source},
+    SymExec,
+};
+use lwsnap_vm::{assemble_source, Interp, Program};
+
+fn explore(program: &Program, eager_copy: bool) -> usize {
+    struct EagerCopy(SymExec);
+    impl Guest for EagerCopy {
+        fn resume(&mut self, st: &mut GuestState) -> Exit {
+            st.mem = st.mem.deep_copy();
+            self.0.resume(st)
+        }
+    }
+    let mut engine = Engine::new(Dfs::new());
+    if eager_copy {
+        let mut guest = EagerCopy(SymExec::new());
+        engine.run(&mut guest, program.boot().expect("boots"));
+        guest.0.cases.len()
+    } else {
+        let mut guest = SymExec::new();
+        engine.run(&mut guest, program.boot().expect("boots"));
+        guest.cases.len()
+    }
+}
+
+fn bench_symex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_symex_forking");
+    group.sample_size(10);
+    for depth in [3u64, 5] {
+        let program = assemble_source(&branch_tree_source(depth)).expect("assembles");
+        let paths = 1usize << depth;
+
+        group.bench_with_input(BenchmarkId::new("snapshot_fork", depth), &depth, |b, _| {
+            b.iter(|| assert_eq!(explore(&program, false), paths))
+        });
+
+        group.bench_with_input(BenchmarkId::new("eager_copy", depth), &depth, |b, _| {
+            b.iter(|| assert_eq!(explore(&program, true), paths))
+        });
+
+        // Replay baseline: concretely re-run the program once per path
+        // with the inputs symbolic execution generated (no solving).
+        let mut seed = SymExec::new();
+        Engine::new(Dfs::new()).run(&mut seed, program.boot().expect("boots"));
+        let inputs: Vec<Vec<u8>> = seed.cases.iter().map(|c| c.inputs.clone()).collect();
+        let data_base = program.symbols["buf"];
+        group.bench_with_input(
+            BenchmarkId::new("concrete_replay", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    for input in &inputs {
+                        let mut st = program.boot().expect("boots");
+                        st.mem.write_bytes(data_base, input).unwrap();
+                        let mut interp = Interp::new();
+                        loop {
+                            match interp.resume(&mut st) {
+                                Exit::Exit { .. } => break,
+                                Exit::Output { .. } => continue,
+                                other => panic!("unexpected exit {other:?}"),
+                            }
+                        }
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // The S2E regime: the VM carries fat state (the paper's "address
+    // spaces measured in GB", scaled down). CoW forking stays flat in
+    // state size; eager copying pays per fork.
+    let mut group = c.benchmark_group("e6_symex_fat_state");
+    group.sample_size(10);
+    for state_pages in [64u64, 512] {
+        let program =
+            assemble_source(&branch_tree_with_state_source(4, state_pages)).expect("assembles");
+        group.bench_with_input(
+            BenchmarkId::new("snapshot_fork", state_pages),
+            &state_pages,
+            |b, _| b.iter(|| assert_eq!(explore(&program, false), 16)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("eager_copy", state_pages),
+            &state_pages,
+            |b, _| b.iter(|| assert_eq!(explore(&program, true), 16)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_symex);
+criterion_main!(benches);

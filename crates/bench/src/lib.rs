@@ -1,0 +1,5 @@
+//! Shared helpers for the lwsnap benchmark and example harness.
+//!
+//! The real content of this crate lives in `benches/` (one Criterion
+//! harness per experiment in `EXPERIMENTS.md`) and in the workspace
+//! `examples/` directory, which this package hosts.

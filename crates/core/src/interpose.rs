@@ -1,0 +1,714 @@
+//! System-call interposition: the libOS boundary of an extension step.
+//!
+//! Every syscall issued by guest code passes through [`handle_syscall`].
+//! The handler implements the paper's containment policy (§3.1, §5): all
+//! visible side effects of a candidate extension step must stay inside the
+//! step. File mutations go to the branch's CoW [`lwsnap_fs::FsView`];
+//! address-space calls are contained by the snapshotted
+//! [`lwsnap_mem::AddressSpace`] itself; console writes are *selectively*
+//! passed through to the engine transcript (write-only, order-preserving —
+//! the channel Fig. 1 prints its answers on); everything else fails, since
+//! "making the interposition logic complete does not appear tractable" —
+//! the sound-but-incomplete stance of §5.
+//!
+//! The ABI mirrors Linux x86-64: syscall number in `%rax`, arguments in
+//! `%rdi %rsi %rdx %r10 %r8 %r9`, return value (or negative errno) in
+//! `%rax`. The paper's three new system calls occupy a private number
+//! range (≥ 1000).
+
+use lwsnap_fs::{FsError, OpenFlags};
+use lwsnap_mem::{MemError, Prot};
+
+use crate::guest::{Exit, GuessHint, GuestFault, GuestState};
+use crate::registers::Reg;
+
+/// Syscall numbers understood by the libOS.
+///
+/// Linux x86-64 numbers for the POSIX subset, a private range for the
+/// paper's backtracking calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum Sysno {
+    /// `read(fd, buf, count)`.
+    Read = 0,
+    /// `write(fd, buf, count)`.
+    Write = 1,
+    /// `open(path, flags)`.
+    Open = 2,
+    /// `close(fd)`.
+    Close = 3,
+    /// `fstat(fd, buf)` (simplified stat layout, see [`STAT_SIZE`]).
+    Fstat = 5,
+    /// `lseek(fd, offset, whence)`.
+    Lseek = 8,
+    /// `mmap(addr, len, prot, flags, fd, off)` — anonymous only.
+    Mmap = 9,
+    /// `mprotect(addr, len, prot)`.
+    Mprotect = 10,
+    /// `munmap(addr, len)`.
+    Munmap = 11,
+    /// `brk(addr)`.
+    Brk = 12,
+    /// `exit(code)`.
+    Exit = 60,
+    /// `ftruncate(fd, len)`.
+    Ftruncate = 77,
+    /// `mkdir(path, mode)`.
+    Mkdir = 83,
+    /// `unlink(path)`.
+    Unlink = 87,
+    /// `sys_guess(n)` — the paper's guessing call.
+    Guess = 1000,
+    /// `sys_guess_fail()` — backtrack; never returns.
+    GuessFail = 1001,
+    /// `sys_guess_strategy(id)` — validate/announce the search strategy.
+    GuessStrategy = 1002,
+    /// `sys_emit()` — declare the current path a solution.
+    Emit = 1003,
+    /// `sys_guess_hint(n, g, h_ptr)` — extended guess with A* distances.
+    GuessHint = 1004,
+    /// `sys_putint(v)` — write a decimal integer to stdout (guest printf
+    /// convenience).
+    Putint = 1005,
+}
+
+impl Sysno {
+    /// Decodes a syscall number.
+    pub fn from_u64(nr: u64) -> Option<Sysno> {
+        Some(match nr {
+            0 => Sysno::Read,
+            1 => Sysno::Write,
+            2 => Sysno::Open,
+            3 => Sysno::Close,
+            5 => Sysno::Fstat,
+            8 => Sysno::Lseek,
+            9 => Sysno::Mmap,
+            10 => Sysno::Mprotect,
+            11 => Sysno::Munmap,
+            12 => Sysno::Brk,
+            60 => Sysno::Exit,
+            77 => Sysno::Ftruncate,
+            83 => Sysno::Mkdir,
+            87 => Sysno::Unlink,
+            1000 => Sysno::Guess,
+            1001 => Sysno::GuessFail,
+            1002 => Sysno::GuessStrategy,
+            1003 => Sysno::Emit,
+            1004 => Sysno::GuessHint,
+            1005 => Sysno::Putint,
+            _ => return None,
+        })
+    }
+}
+
+/// Size of the simplified `fstat` buffer the libOS writes.
+///
+/// Layout: `u64 inode`, `u64 kind` (0 = file, 1 = dir), `u64 size`.
+pub const STAT_SIZE: u64 = 24;
+
+/// Strategy identifiers for `sys_guess_strategy` (Fig. 1's `DFS`).
+pub mod strategy_id {
+    /// Depth-first search.
+    pub const DFS: u64 = 0;
+    /// Breadth-first search.
+    pub const BFS: u64 = 1;
+    /// Best-first / A*.
+    pub const ASTAR: u64 = 2;
+    /// Memory-bounded A*.
+    pub const SMA_STAR: u64 = 3;
+}
+
+/// What the guest executor should do after a syscall was handled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyscallEffect {
+    /// Handled locally; `%rax` holds the result. Keep executing.
+    Continue,
+    /// The guest must trap back to the engine with this exit.
+    Trap(Exit),
+}
+
+/// The encapsulation policy (§5): which side-effect classes are supported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterposePolicy {
+    /// Allow regular-file I/O through the branch's CoW view.
+    pub allow_files: bool,
+    /// Pass console writes (fd 1/2) through to the engine transcript.
+    pub allow_console: bool,
+    /// Strict mode: an unsupported syscall is a guest fault instead of a
+    /// polite `-ENOSYS`.
+    pub strict: bool,
+}
+
+impl Default for InterposePolicy {
+    fn default() -> Self {
+        InterposePolicy {
+            allow_files: true,
+            allow_console: true,
+            strict: false,
+        }
+    }
+}
+
+const ENOSYS: i64 = 38;
+const EFAULT: i64 = 14;
+const EINVAL: i64 = 22;
+const ENOMEM: i64 = 12;
+
+fn fs_errno(e: FsError) -> i64 {
+    e.errno()
+}
+
+fn mem_errno(e: MemError) -> i64 {
+    match e {
+        MemError::BadAlign { .. } | MemError::BadRange { .. } | MemError::BadBrk { .. } => EINVAL,
+        MemError::Overlap { .. } | MemError::NoSpace { .. } => ENOMEM,
+        MemError::NotMapped { .. } => EINVAL,
+    }
+}
+
+/// Reads a NUL-terminated UTF-8 path from guest memory.
+fn read_path(state: &mut GuestState, ptr: u64) -> Result<String, i64> {
+    let bytes = state.mem.read_cstr(ptr, 4096).map_err(|_| EFAULT)?;
+    String::from_utf8(bytes).map_err(|_| EINVAL)
+}
+
+fn decode_prot(bits: u64) -> Prot {
+    let mut prot = Prot::NONE;
+    if bits & 1 != 0 {
+        prot = prot.union(Prot::R);
+    }
+    if bits & 2 != 0 {
+        prot = prot.union(Prot::W);
+    }
+    if bits & 4 != 0 {
+        prot = prot.union(Prot::X);
+    }
+    prot
+}
+
+/// Dispatches one guest syscall.
+///
+/// The executor must have advanced `rip` past the syscall instruction
+/// before calling this, so that snapshots taken at a guess resume *after*
+/// the guessing point.
+pub fn handle_syscall(state: &mut GuestState, policy: &InterposePolicy) -> SyscallEffect {
+    let nr = state.regs.get(Reg::Rax);
+    let args = state.regs.syscall_args();
+    let Some(sysno) = Sysno::from_u64(nr) else {
+        return unsupported(state, policy, nr);
+    };
+    match sysno {
+        Sysno::Read => sys_read(state, policy, args),
+        Sysno::Write => sys_write(state, policy, args),
+        Sysno::Open => sys_open(state, policy, args),
+        Sysno::Close => simple_fs(state, policy, |st| st.fs.close(args[0] as u32).map(|()| 0)),
+        Sysno::Fstat => sys_fstat(state, policy, args),
+        Sysno::Lseek => simple_fs(state, policy, |st| {
+            st.fs
+                .lseek(args[0] as u32, args[1] as i64, args[2] as u32)
+                .map(|off| off as i64)
+        }),
+        Sysno::Mmap => sys_mmap(state, args),
+        Sysno::Mprotect => sys_mem(state, |st| {
+            st.mem
+                .protect(args[0], args[1], decode_prot(args[2]))
+                .map(|()| 0)
+        }),
+        Sysno::Munmap => sys_mem(state, |st| st.mem.unmap(args[0], args[1]).map(|()| 0)),
+        Sysno::Brk => sys_brk(state, args),
+        Sysno::Exit => SyscallEffect::Trap(Exit::Exit {
+            code: args[0] as i64,
+        }),
+        Sysno::Ftruncate => simple_fs(state, policy, |st| {
+            st.fs.ftruncate(args[0] as u32, args[1]).map(|()| 0)
+        }),
+        Sysno::Mkdir => sys_path_op(state, policy, args[0], |st, path| {
+            st.fs.volume_mut().mkdir(&path).map(|_| 0)
+        }),
+        Sysno::Unlink => sys_path_op(state, policy, args[0], |st, path| {
+            st.fs.volume_mut().unlink(&path).map(|_| 0)
+        }),
+        Sysno::Guess => {
+            if args[0] == 0 {
+                return SyscallEffect::Trap(Exit::Fail);
+            }
+            SyscallEffect::Trap(Exit::Guess {
+                n: args[0],
+                hint: None,
+            })
+        }
+        Sysno::GuessFail => SyscallEffect::Trap(Exit::Fail),
+        Sysno::GuessStrategy => {
+            let known = matches!(
+                args[0],
+                strategy_id::DFS | strategy_id::BFS | strategy_id::ASTAR | strategy_id::SMA_STAR
+            );
+            state.regs.set_return(known as u64);
+            SyscallEffect::Continue
+        }
+        Sysno::Emit => SyscallEffect::Trap(Exit::Emit),
+        Sysno::GuessHint => sys_guess_hint(state, args),
+        Sysno::Putint => {
+            let text = format!("{}", args[0] as i64);
+            state.regs.set_return(0);
+            if policy.allow_console {
+                SyscallEffect::Trap(Exit::Output {
+                    fd: 1,
+                    data: text.into_bytes(),
+                })
+            } else {
+                SyscallEffect::Continue
+            }
+        }
+    }
+}
+
+fn unsupported(state: &mut GuestState, policy: &InterposePolicy, nr: u64) -> SyscallEffect {
+    if policy.strict {
+        SyscallEffect::Trap(Exit::Fault(GuestFault::DeniedSyscall { nr }))
+    } else {
+        state.regs.set_errno(ENOSYS);
+        SyscallEffect::Continue
+    }
+}
+
+fn denied(state: &mut GuestState, policy: &InterposePolicy, nr: u64) -> SyscallEffect {
+    if policy.strict {
+        SyscallEffect::Trap(Exit::Fault(GuestFault::DeniedSyscall { nr }))
+    } else {
+        state.regs.set_errno(FsError::NotSup.errno());
+        SyscallEffect::Continue
+    }
+}
+
+fn simple_fs(
+    state: &mut GuestState,
+    policy: &InterposePolicy,
+    op: impl FnOnce(&mut GuestState) -> Result<i64, FsError>,
+) -> SyscallEffect {
+    if !policy.allow_files {
+        let nr = state.regs.get(Reg::Rax);
+        return denied(state, policy, nr);
+    }
+    match op(state) {
+        Ok(v) => state.regs.set_return(v as u64),
+        Err(e) => state.regs.set_errno(fs_errno(e)),
+    }
+    SyscallEffect::Continue
+}
+
+fn sys_path_op(
+    state: &mut GuestState,
+    policy: &InterposePolicy,
+    path_ptr: u64,
+    op: impl FnOnce(&mut GuestState, String) -> Result<i64, FsError>,
+) -> SyscallEffect {
+    if !policy.allow_files {
+        let nr = state.regs.get(Reg::Rax);
+        return denied(state, policy, nr);
+    }
+    let path = match read_path(state, path_ptr) {
+        Ok(p) => p,
+        Err(errno) => {
+            state.regs.set_errno(errno);
+            return SyscallEffect::Continue;
+        }
+    };
+    match op(state, path) {
+        Ok(v) => state.regs.set_return(v as u64),
+        Err(e) => state.regs.set_errno(fs_errno(e)),
+    }
+    SyscallEffect::Continue
+}
+
+fn sys_open(state: &mut GuestState, policy: &InterposePolicy, args: [u64; 6]) -> SyscallEffect {
+    sys_path_op(state, policy, args[0], |st, path| {
+        // Sound-but-incomplete: device-like paths are refused outright.
+        if path.starts_with("/dev/") || path.starts_with("/proc/") || path.starts_with("/sys/") {
+            return Err(FsError::NotSup);
+        }
+        st.fs
+            .open(&path, OpenFlags::from_bits(args[1] as u32))
+            .map(|fd| fd as i64)
+    })
+}
+
+fn sys_read(state: &mut GuestState, policy: &InterposePolicy, args: [u64; 6]) -> SyscallEffect {
+    if !policy.allow_files {
+        return denied(state, policy, 0);
+    }
+    let (fd, buf_ptr, count) = (args[0] as u32, args[1], args[2]);
+    // Cap single transfers to keep temporary buffers bounded.
+    let count = count.min(1 << 20) as usize;
+    let mut tmp = vec![0u8; count];
+    match state.fs.read(fd, &mut tmp) {
+        Ok(n) => {
+            if state.mem.write_bytes(buf_ptr, &tmp[..n]).is_err() {
+                state.regs.set_errno(EFAULT);
+            } else {
+                state.regs.set_return(n as u64);
+            }
+        }
+        Err(e) => state.regs.set_errno(fs_errno(e)),
+    }
+    SyscallEffect::Continue
+}
+
+fn sys_write(state: &mut GuestState, policy: &InterposePolicy, args: [u64; 6]) -> SyscallEffect {
+    let (fd, buf_ptr, count) = (args[0] as u32, args[1], args[2]);
+    let count = count.min(1 << 20) as usize;
+    let mut data = vec![0u8; count];
+    if state.mem.read_bytes(buf_ptr, &mut data).is_err() {
+        state.regs.set_errno(EFAULT);
+        return SyscallEffect::Continue;
+    }
+    if fd == 1 || fd == 2 {
+        // Console write-through: the one side-effect class that escapes
+        // containment (this is how Fig. 1 prints its answers).
+        state.regs.set_return(count as u64);
+        return if policy.allow_console {
+            SyscallEffect::Trap(Exit::Output { fd, data })
+        } else {
+            SyscallEffect::Continue
+        };
+    }
+    if !policy.allow_files {
+        return denied(state, policy, 1);
+    }
+    match state.fs.write(fd, &data) {
+        Ok(n) => state.regs.set_return(n as u64),
+        Err(e) => state.regs.set_errno(fs_errno(e)),
+    }
+    SyscallEffect::Continue
+}
+
+fn sys_fstat(state: &mut GuestState, policy: &InterposePolicy, args: [u64; 6]) -> SyscallEffect {
+    if !policy.allow_files {
+        return denied(state, policy, 5);
+    }
+    match state.fs.fstat(args[0] as u32) {
+        Ok(meta) => {
+            let kind = match meta.kind {
+                lwsnap_fs::FileKind::File => 0u64,
+                lwsnap_fs::FileKind::Dir => 1u64,
+            };
+            let mut buf = [0u8; STAT_SIZE as usize];
+            buf[0..8].copy_from_slice(&(meta.inode as u64).to_le_bytes());
+            buf[8..16].copy_from_slice(&kind.to_le_bytes());
+            buf[16..24].copy_from_slice(&meta.len.to_le_bytes());
+            if state.mem.write_bytes(args[1], &buf).is_err() {
+                state.regs.set_errno(EFAULT);
+            } else {
+                state.regs.set_return(0);
+            }
+        }
+        Err(e) => state.regs.set_errno(fs_errno(e)),
+    }
+    SyscallEffect::Continue
+}
+
+fn sys_mmap(state: &mut GuestState, args: [u64; 6]) -> SyscallEffect {
+    // Anonymous private mappings only; addr hint and fd are ignored.
+    let len = lwsnap_mem::round_up_pages(args[1]);
+    if len == 0 {
+        state.regs.set_errno(EINVAL);
+        return SyscallEffect::Continue;
+    }
+    match state.mem.map_anon(len, decode_prot(args[2]), "guest-mmap") {
+        Ok(addr) => state.regs.set_return(addr),
+        Err(e) => state.regs.set_errno(mem_errno(e)),
+    }
+    SyscallEffect::Continue
+}
+
+fn sys_mem(
+    state: &mut GuestState,
+    op: impl FnOnce(&mut GuestState) -> Result<i64, MemError>,
+) -> SyscallEffect {
+    match op(state) {
+        Ok(v) => state.regs.set_return(v as u64),
+        Err(e) => state.regs.set_errno(mem_errno(e)),
+    }
+    SyscallEffect::Continue
+}
+
+fn sys_brk(state: &mut GuestState, args: [u64; 6]) -> SyscallEffect {
+    // Linux brk returns the (possibly unchanged) break.
+    let result = match state.mem.brk(args[0]) {
+        Ok(brk) => brk,
+        Err(_) => state.mem.current_brk(),
+    };
+    state.regs.set_return(result);
+    SyscallEffect::Continue
+}
+
+fn sys_guess_hint(state: &mut GuestState, args: [u64; 6]) -> SyscallEffect {
+    let (n, g, h_ptr) = (args[0], args[1], args[2]);
+    if n == 0 {
+        return SyscallEffect::Trap(Exit::Fail);
+    }
+    if n > 4096 {
+        state.regs.set_errno(EINVAL);
+        return SyscallEffect::Continue;
+    }
+    let mut h = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        match state.mem.read_u64(h_ptr + i * 8) {
+            Ok(v) => h.push(v),
+            Err(_) => {
+                state.regs.set_errno(EFAULT);
+                return SyscallEffect::Continue;
+            }
+        }
+    }
+    SyscallEffect::Trap(Exit::Guess {
+        n,
+        hint: Some(GuessHint { g, h }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwsnap_mem::{Prot as MemProt, RegionKind, PAGE_SIZE};
+
+    fn state_with_ram() -> GuestState {
+        let mut st = GuestState::new();
+        st.mem
+            .map_fixed(
+                0x1_0000,
+                16 * PAGE_SIZE as u64,
+                MemProt::RW,
+                RegionKind::Anon,
+                "ram",
+            )
+            .unwrap();
+        st
+    }
+
+    fn call(st: &mut GuestState, nr: u64, args: [u64; 6]) -> SyscallEffect {
+        st.regs.set(Reg::Rax, nr);
+        st.regs.set(Reg::Rdi, args[0]);
+        st.regs.set(Reg::Rsi, args[1]);
+        st.regs.set(Reg::Rdx, args[2]);
+        st.regs.set(Reg::R10, args[3]);
+        st.regs.set(Reg::R8, args[4]);
+        st.regs.set(Reg::R9, args[5]);
+        handle_syscall(st, &InterposePolicy::default())
+    }
+
+    fn rax(st: &GuestState) -> i64 {
+        st.regs.get(Reg::Rax) as i64
+    }
+
+    #[test]
+    fn guess_traps() {
+        let mut st = state_with_ram();
+        let eff = call(&mut st, 1000, [8, 0, 0, 0, 0, 0]);
+        assert_eq!(eff, SyscallEffect::Trap(Exit::Guess { n: 8, hint: None }));
+        // Zero-domain guess is a fail.
+        assert_eq!(call(&mut st, 1000, [0; 6]), SyscallEffect::Trap(Exit::Fail));
+        assert_eq!(call(&mut st, 1001, [0; 6]), SyscallEffect::Trap(Exit::Fail));
+    }
+
+    #[test]
+    fn guess_strategy_validates() {
+        let mut st = state_with_ram();
+        assert_eq!(
+            call(&mut st, 1002, [strategy_id::DFS, 0, 0, 0, 0, 0]),
+            SyscallEffect::Continue
+        );
+        assert_eq!(rax(&st), 1);
+        call(&mut st, 1002, [77, 0, 0, 0, 0, 0]);
+        assert_eq!(rax(&st), 0);
+    }
+
+    #[test]
+    fn guess_hint_reads_distance_vector() {
+        let mut st = state_with_ram();
+        st.mem.write_u64(0x1_0000, 5).unwrap();
+        st.mem.write_u64(0x1_0008, 9).unwrap();
+        let eff = call(&mut st, 1004, [2, 100, 0x1_0000, 0, 0, 0]);
+        assert_eq!(
+            eff,
+            SyscallEffect::Trap(Exit::Guess {
+                n: 2,
+                hint: Some(GuessHint {
+                    g: 100,
+                    h: vec![5, 9]
+                })
+            })
+        );
+        // Bad pointer → EFAULT.
+        let eff = call(&mut st, 1004, [2, 100, 0xdead_0000, 0, 0, 0]);
+        assert_eq!(eff, SyscallEffect::Continue);
+        assert_eq!(rax(&st), -EFAULT);
+    }
+
+    #[test]
+    fn console_write_passes_through() {
+        let mut st = state_with_ram();
+        st.mem.write_bytes(0x1_0000, b"hi").unwrap();
+        let eff = call(&mut st, 1, [1, 0x1_0000, 2, 0, 0, 0]);
+        assert_eq!(
+            eff,
+            SyscallEffect::Trap(Exit::Output {
+                fd: 1,
+                data: b"hi".to_vec()
+            })
+        );
+        assert_eq!(rax(&st), 2, "return value set before trapping");
+    }
+
+    #[test]
+    fn file_roundtrip_via_syscalls() {
+        let mut st = state_with_ram();
+        st.mem.write_bytes(0x1_0000, b"/out.txt\0").unwrap();
+        st.mem.write_bytes(0x1_1000, b"payload!").unwrap();
+        // open(path, O_WRONLY|O_CREAT|O_TRUNC)
+        call(&mut st, 2, [0x1_0000, 0o1101, 0, 0, 0, 0]);
+        let fd = rax(&st);
+        assert!(fd >= 3, "fd allocated: {fd}");
+        // write(fd, buf, 8)
+        call(&mut st, 1, [fd as u64, 0x1_1000, 8, 0, 0, 0]);
+        assert_eq!(rax(&st), 8);
+        // lseek(fd, 0, SEEK_SET) then read back via a fresh fd.
+        call(&mut st, 3, [fd as u64, 0, 0, 0, 0, 0]); // close
+        assert_eq!(rax(&st), 0);
+        call(&mut st, 2, [0x1_0000, 0, 0, 0, 0, 0]); // open O_RDONLY
+        let fd2 = rax(&st) as u64;
+        call(&mut st, 0, [fd2, 0x1_2000, 64, 0, 0, 0]); // read
+        assert_eq!(rax(&st), 8);
+        let mut buf = [0u8; 8];
+        st.mem.read_bytes(0x1_2000, &mut buf).unwrap();
+        assert_eq!(&buf, b"payload!");
+        // fstat reports the size.
+        call(&mut st, 5, [fd2, 0x1_3000, 0, 0, 0, 0]);
+        assert_eq!(rax(&st), 0);
+        assert_eq!(st.mem.read_u64(0x1_3000 + 16).unwrap(), 8);
+    }
+
+    #[test]
+    fn open_rejects_devices() {
+        let mut st = state_with_ram();
+        st.mem.write_bytes(0x1_0000, b"/dev/null\0").unwrap();
+        call(&mut st, 2, [0x1_0000, 0, 0, 0, 0, 0]);
+        assert_eq!(rax(&st), -(FsError::NotSup.errno()));
+    }
+
+    #[test]
+    fn bad_path_pointer_is_efault() {
+        let mut st = state_with_ram();
+        call(&mut st, 2, [0xdddd_0000, 0, 0, 0, 0, 0]);
+        assert_eq!(rax(&st), -EFAULT);
+    }
+
+    #[test]
+    fn mmap_brk_munmap() {
+        let mut st = state_with_ram();
+        call(&mut st, 9, [0, 8192, 3, 0, 0, 0]); // mmap RW
+        let addr = rax(&st) as u64;
+        assert!(addr >= 0x2000_0000_0000);
+        st.mem.write_u64(addr, 1).unwrap();
+        call(&mut st, 10, [addr, 4096, 1, 0, 0, 0]); // mprotect R
+        assert_eq!(rax(&st), 0);
+        assert!(st.mem.write_u64(addr, 2).is_err());
+        call(&mut st, 11, [addr, 8192, 0, 0, 0, 0]); // munmap
+        assert_eq!(rax(&st), 0);
+        assert!(st.mem.read_u64(addr).is_err());
+        // brk query then grow.
+        call(&mut st, 12, [0, 0, 0, 0, 0, 0]);
+        let cur = rax(&st) as u64;
+        call(&mut st, 12, [cur + 4096, 0, 0, 0, 0, 0]);
+        assert_eq!(rax(&st) as u64, cur + 4096);
+        st.mem.write_u64(cur, 3).unwrap();
+        // Failed brk returns the current break (Linux behaviour).
+        call(&mut st, 12, [1, 0, 0, 0, 0, 0]);
+        assert_eq!(rax(&st) as u64, cur + 4096);
+    }
+
+    #[test]
+    fn exit_and_emit_trap() {
+        let mut st = state_with_ram();
+        assert_eq!(
+            call(&mut st, 60, [42, 0, 0, 0, 0, 0]),
+            SyscallEffect::Trap(Exit::Exit { code: 42 })
+        );
+        assert_eq!(call(&mut st, 1003, [0; 6]), SyscallEffect::Trap(Exit::Emit));
+    }
+
+    #[test]
+    fn putint_formats() {
+        let mut st = state_with_ram();
+        let eff = call(&mut st, 1005, [(-7i64) as u64, 0, 0, 0, 0, 0]);
+        assert_eq!(
+            eff,
+            SyscallEffect::Trap(Exit::Output {
+                fd: 1,
+                data: b"-7".to_vec()
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_syscall_enosys_or_fault() {
+        let mut st = state_with_ram();
+        assert_eq!(call(&mut st, 9999, [0; 6]), SyscallEffect::Continue);
+        assert_eq!(rax(&st), -ENOSYS);
+        // Strict mode faults instead.
+        st.regs.set(Reg::Rax, 9999);
+        let eff = handle_syscall(
+            &mut st,
+            &InterposePolicy {
+                strict: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            eff,
+            SyscallEffect::Trap(Exit::Fault(GuestFault::DeniedSyscall { nr: 9999 }))
+        );
+    }
+
+    #[test]
+    fn policy_denies_files() {
+        let policy = InterposePolicy {
+            allow_files: false,
+            ..Default::default()
+        };
+        let mut st = state_with_ram();
+        st.mem.write_bytes(0x1_0000, b"/f\0").unwrap();
+        st.regs.set(Reg::Rax, 2);
+        st.regs.set(Reg::Rdi, 0x1_0000);
+        assert_eq!(handle_syscall(&mut st, &policy), SyscallEffect::Continue);
+        assert_eq!(rax(&st), -(FsError::NotSup.errno()));
+    }
+
+    #[test]
+    fn policy_mutes_console() {
+        let policy = InterposePolicy {
+            allow_console: false,
+            ..Default::default()
+        };
+        let mut st = state_with_ram();
+        st.mem.write_bytes(0x1_0000, b"x").unwrap();
+        st.regs.set(Reg::Rax, 1);
+        st.regs.set(Reg::Rdi, 1);
+        st.regs.set(Reg::Rsi, 0x1_0000);
+        st.regs.set(Reg::Rdx, 1);
+        assert_eq!(handle_syscall(&mut st, &policy), SyscallEffect::Continue);
+        assert_eq!(rax(&st), 1, "write succeeds silently");
+    }
+
+    #[test]
+    fn mkdir_unlink_via_syscalls() {
+        let mut st = state_with_ram();
+        st.mem.write_bytes(0x1_0000, b"/d\0").unwrap();
+        call(&mut st, 83, [0x1_0000, 0, 0, 0, 0, 0]);
+        assert_eq!(rax(&st), 0);
+        assert!(st.fs.volume().stat("/d").is_ok());
+        st.mem.write_bytes(0x1_0100, b"/d\0").unwrap();
+        call(&mut st, 87, [0x1_0100, 0, 0, 0, 0, 0]);
+        assert_eq!(rax(&st), -(FsError::IsDir.errno()));
+    }
+}

@@ -1,0 +1,275 @@
+//! The guest register file.
+//!
+//! A lightweight snapshot is "a copy of the register file and an immutable
+//! logical copy of the entire address space" (paper §1). The register file
+//! follows the x86-64 shape the paper assumes: 16 general-purpose registers
+//! with their conventional names, an instruction pointer, and arithmetic
+//! flags. The guess result is delivered in `%rax`, exactly as in §4 ("sets
+//! the extension number into `%rax`, and resumes execution").
+
+use core::fmt;
+
+/// General-purpose register names (x86-64 encoding order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    /// Accumulator; syscall number and return value.
+    Rax = 0,
+    /// Counter.
+    Rcx = 1,
+    /// Third syscall argument.
+    Rdx = 2,
+    /// Callee-saved base.
+    Rbx = 3,
+    /// Stack pointer.
+    Rsp = 4,
+    /// Frame pointer.
+    Rbp = 5,
+    /// Second syscall argument.
+    Rsi = 6,
+    /// First syscall argument.
+    Rdi = 7,
+    /// Fifth syscall argument.
+    R8 = 8,
+    /// Sixth syscall argument.
+    R9 = 9,
+    /// Fourth syscall argument.
+    R10 = 10,
+    /// Scratch.
+    R11 = 11,
+    /// Callee-saved.
+    R12 = 12,
+    /// Callee-saved.
+    R13 = 13,
+    /// Callee-saved.
+    R14 = 14,
+    /// Callee-saved.
+    R15 = 15,
+}
+
+impl Reg {
+    /// All registers in encoding order.
+    pub const ALL: [Reg; 16] = [
+        Reg::Rax,
+        Reg::Rcx,
+        Reg::Rdx,
+        Reg::Rbx,
+        Reg::Rsp,
+        Reg::Rbp,
+        Reg::Rsi,
+        Reg::Rdi,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// Decodes a register number (0..16).
+    pub fn from_u8(n: u8) -> Option<Reg> {
+        Reg::ALL.get(n as usize).copied()
+    }
+
+    /// Encoding number of the register.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Conventional assembly name (without `%`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Reg::Rax => "rax",
+            Reg::Rcx => "rcx",
+            Reg::Rdx => "rdx",
+            Reg::Rbx => "rbx",
+            Reg::Rsp => "rsp",
+            Reg::Rbp => "rbp",
+            Reg::Rsi => "rsi",
+            Reg::Rdi => "rdi",
+            Reg::R8 => "r8",
+            Reg::R9 => "r9",
+            Reg::R10 => "r10",
+            Reg::R11 => "r11",
+            Reg::R12 => "r12",
+            Reg::R13 => "r13",
+            Reg::R14 => "r14",
+            Reg::R15 => "r15",
+        }
+    }
+
+    /// Parses a register name (with or without a leading `%`).
+    pub fn parse(name: &str) -> Option<Reg> {
+        let name = name.strip_prefix('%').unwrap_or(name);
+        Reg::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Arithmetic condition flags.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flags {
+    /// Zero flag.
+    pub zf: bool,
+    /// Sign flag.
+    pub sf: bool,
+    /// Carry flag.
+    pub cf: bool,
+    /// Overflow flag.
+    pub of: bool,
+}
+
+impl Flags {
+    /// Packs the flags into a compact integer (for snapshot digests).
+    pub fn pack(self) -> u64 {
+        (self.zf as u64) | (self.sf as u64) << 1 | (self.cf as u64) << 2 | (self.of as u64) << 3
+    }
+
+    /// Unpacks flags produced by [`Flags::pack`].
+    pub fn unpack(bits: u64) -> Flags {
+        Flags {
+            zf: bits & 1 != 0,
+            sf: bits & 2 != 0,
+            cf: bits & 4 != 0,
+            of: bits & 8 != 0,
+        }
+    }
+}
+
+/// The complete architected register state of a single-threaded guest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegisterFile {
+    gpr: [u64; 16],
+    /// Instruction pointer.
+    pub rip: u64,
+    /// Condition flags.
+    pub flags: Flags,
+}
+
+impl RegisterFile {
+    /// Returns a zeroed register file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads a general-purpose register.
+    #[inline]
+    pub fn get(&self, reg: Reg) -> u64 {
+        self.gpr[reg.index()]
+    }
+
+    /// Writes a general-purpose register.
+    #[inline]
+    pub fn set(&mut self, reg: Reg, value: u64) {
+        self.gpr[reg.index()] = value;
+    }
+
+    /// The six syscall argument registers in ABI order
+    /// (`rdi, rsi, rdx, r10, r8, r9` — the Linux convention).
+    pub fn syscall_args(&self) -> [u64; 6] {
+        [
+            self.get(Reg::Rdi),
+            self.get(Reg::Rsi),
+            self.get(Reg::Rdx),
+            self.get(Reg::R10),
+            self.get(Reg::R8),
+            self.get(Reg::R9),
+        ]
+    }
+
+    /// Sets the syscall return value (`%rax`).
+    pub fn set_return(&mut self, value: u64) {
+        self.set(Reg::Rax, value);
+    }
+
+    /// Sets a negative-errno return value, Linux style.
+    pub fn set_errno(&mut self, errno: i64) {
+        self.set(Reg::Rax, (-errno) as u64);
+    }
+}
+
+impl fmt::Display for RegisterFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, reg) in Reg::ALL.iter().enumerate() {
+            if i % 4 == 0 && i != 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{:>4}={:016x} ", reg.name(), self.get(*reg))?;
+        }
+        write!(
+            f,
+            "\n rip={:016x} flags={:04b}",
+            self.rip,
+            self.flags.pack()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip_all() {
+        for (i, reg) in Reg::ALL.iter().enumerate() {
+            assert_eq!(reg.index(), i);
+            assert_eq!(Reg::from_u8(i as u8), Some(*reg));
+            assert_eq!(Reg::parse(reg.name()), Some(*reg));
+            assert_eq!(Reg::parse(&format!("%{}", reg.name())), Some(*reg));
+        }
+        assert_eq!(Reg::from_u8(16), None);
+        assert_eq!(Reg::parse("zzz"), None);
+    }
+
+    #[test]
+    fn get_set() {
+        let mut regs = RegisterFile::new();
+        regs.set(Reg::Rax, 42);
+        regs.set(Reg::R15, u64::MAX);
+        assert_eq!(regs.get(Reg::Rax), 42);
+        assert_eq!(regs.get(Reg::R15), u64::MAX);
+        assert_eq!(regs.get(Reg::Rbx), 0);
+    }
+
+    #[test]
+    fn syscall_abi_order() {
+        let mut regs = RegisterFile::new();
+        regs.set(Reg::Rdi, 1);
+        regs.set(Reg::Rsi, 2);
+        regs.set(Reg::Rdx, 3);
+        regs.set(Reg::R10, 4);
+        regs.set(Reg::R8, 5);
+        regs.set(Reg::R9, 6);
+        assert_eq!(regs.syscall_args(), [1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn errno_is_negative() {
+        let mut regs = RegisterFile::new();
+        regs.set_errno(2);
+        assert_eq!(regs.get(Reg::Rax) as i64, -2);
+    }
+
+    #[test]
+    fn flags_pack_roundtrip() {
+        for bits in 0..16u64 {
+            assert_eq!(Flags::unpack(bits).pack(), bits);
+        }
+    }
+
+    #[test]
+    fn display_contains_registers() {
+        let mut regs = RegisterFile::new();
+        regs.set(Reg::Rax, 0xabcd);
+        let s = regs.to_string();
+        assert!(s.contains("rax=000000000000abcd"));
+        assert!(s.contains("rip="));
+    }
+}

@@ -1,0 +1,250 @@
+//! Re-execution backtracking: the no-snapshot baseline.
+//!
+//! The paper argues snapshots beat ad-hoc alternatives. One such
+//! alternative — common in symbolic-execution engines without state
+//! forking — is *replay*: to evaluate a different extension of some
+//! earlier decision point, re-run the whole program from the start and
+//! feed it the recorded decision prefix. Cost per backtrack is
+//! O(path length) instead of O(pages touched).
+//!
+//! This module gives host closures `sys_guess`-style semantics with exactly
+//! that strategy, serving two roles:
+//!
+//! 1. the comparison baseline in experiment E6 (snapshot forking vs
+//!    re-execution);
+//! 2. a convenient host-side API for small search problems that do not
+//!    need guest isolation.
+
+/// The decision interface a replayed closure sees.
+pub struct ReplayCtx<'a> {
+    prefix: &'a [u64],
+    pos: usize,
+    trail: Vec<(u64, u64)>, // (chosen, domain size)
+    outputs: Vec<Vec<u8>>,
+}
+
+/// Outcome of one replayed execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The path reached a solution.
+    Solution,
+    /// The path hit a contradiction (`sys_guess_fail` equivalent).
+    Failed,
+}
+
+impl ReplayCtx<'_> {
+    /// The `sys_guess` equivalent: returns a value in `0..n`.
+    ///
+    /// Within the recorded prefix the stored decision is returned;
+    /// beyond it, extension 0 is chosen (depth-first order).
+    pub fn guess(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "guess domain must be non-empty");
+        let choice = if self.pos < self.prefix.len() {
+            self.prefix[self.pos]
+        } else {
+            0
+        };
+        self.pos += 1;
+        self.trail.push((choice, n));
+        choice
+    }
+
+    /// Records output for the current path (delivered only if the path
+    /// ends in [`Outcome::Solution`], mirroring contained side effects).
+    pub fn emit(&mut self, data: impl Into<Vec<u8>>) {
+        self.outputs.push(data.into());
+    }
+}
+
+/// Statistics from a replay-based search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Complete re-executions performed.
+    pub executions: u64,
+    /// Total guesses made across all executions (re-done work).
+    pub total_guesses: u64,
+    /// Solutions found.
+    pub solutions: u64,
+    /// Failed paths.
+    pub failures: u64,
+}
+
+/// Result of [`replay_dfs`].
+#[derive(Debug, Default)]
+pub struct ReplayResult {
+    /// Counters.
+    pub stats: ReplayStats,
+    /// Output of every solution path, in discovery order.
+    pub solutions: Vec<Vec<u8>>,
+}
+
+/// Depth-first search over a closure's decision space by re-execution.
+///
+/// `f` is run repeatedly; each run follows a decision prefix and extends
+/// it depth-first. `max_solutions` bounds the enumeration (`None` =
+/// exhaustive). The closure must be deterministic given its guesses.
+pub fn replay_dfs(
+    mut f: impl FnMut(&mut ReplayCtx<'_>) -> Outcome,
+    max_solutions: Option<u64>,
+) -> ReplayResult {
+    let mut result = ReplayResult::default();
+    // The current decision prefix to replay, as (choice, domain) pairs.
+    let mut prefix: Vec<(u64, u64)> = Vec::new();
+    loop {
+        let choices: Vec<u64> = prefix.iter().map(|&(c, _)| c).collect();
+        let mut ctx = ReplayCtx {
+            prefix: &choices,
+            pos: 0,
+            trail: Vec::new(),
+            outputs: Vec::new(),
+        };
+        let outcome = f(&mut ctx);
+        result.stats.executions += 1;
+        result.stats.total_guesses += ctx.trail.len() as u64;
+        match outcome {
+            Outcome::Solution => {
+                result.stats.solutions += 1;
+                result.solutions.push(ctx.outputs.concat());
+                if let Some(max) = max_solutions {
+                    if result.stats.solutions >= max {
+                        return result;
+                    }
+                }
+            }
+            Outcome::Failed => result.stats.failures += 1,
+        }
+        // Advance the trail depth-first: increment the deepest decision
+        // that still has untried extensions, dropping everything below.
+        prefix = ctx.trail;
+        loop {
+            match prefix.pop() {
+                Some((choice, domain)) if choice + 1 < domain => {
+                    prefix.push((choice + 1, domain));
+                    break;
+                }
+                Some(_) => continue,
+                None => return result,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_binary_tree() {
+        // Depth-2 binary decisions: 4 paths, all solutions.
+        let result = replay_dfs(
+            |ctx| {
+                let a = ctx.guess(2);
+                let b = ctx.guess(2);
+                ctx.emit(format!("{a}{b}"));
+                Outcome::Solution
+            },
+            None,
+        );
+        assert_eq!(result.stats.solutions, 4);
+        assert_eq!(result.stats.executions, 4);
+        let paths: Vec<String> = result
+            .solutions
+            .iter()
+            .map(|s| String::from_utf8_lossy(s).into_owned())
+            .collect();
+        assert_eq!(paths, vec!["00", "01", "10", "11"], "depth-first order");
+    }
+
+    #[test]
+    fn failed_paths_drop_output() {
+        let result = replay_dfs(
+            |ctx| {
+                let x = ctx.guess(3);
+                ctx.emit(format!("saw {x}"));
+                if x == 1 {
+                    Outcome::Solution
+                } else {
+                    Outcome::Failed
+                }
+            },
+            None,
+        );
+        assert_eq!(result.stats.solutions, 1);
+        assert_eq!(result.stats.failures, 2);
+        assert_eq!(result.solutions, vec![b"saw 1".to_vec()]);
+    }
+
+    #[test]
+    fn variable_domain_sizes() {
+        // Guess domain depends on earlier guesses.
+        let result = replay_dfs(
+            |ctx| {
+                let a = ctx.guess(2);
+                let b = ctx.guess(a + 1); // domain 1 or 2
+                ctx.emit(format!("({a},{b})"));
+                Outcome::Solution
+            },
+            None,
+        );
+        // a=0 → b in {0}; a=1 → b in {0,1}: 3 paths total.
+        assert_eq!(result.stats.solutions, 3);
+    }
+
+    #[test]
+    fn solution_limit() {
+        let result = replay_dfs(
+            |ctx| {
+                ctx.guess(2);
+                ctx.guess(2);
+                Outcome::Solution
+            },
+            Some(2),
+        );
+        assert_eq!(result.stats.solutions, 2);
+        assert_eq!(result.stats.executions, 2);
+    }
+
+    #[test]
+    fn reexecution_cost_grows_with_depth() {
+        // The defining inefficiency: total guesses ≈ paths × depth,
+        // i.e. every backtrack redoes the whole path.
+        let depth = 10u64;
+        let result = replay_dfs(
+            |ctx| {
+                for _ in 0..depth {
+                    ctx.guess(2);
+                }
+                Outcome::Failed
+            },
+            None,
+        );
+        assert_eq!(result.stats.executions, 1 << depth);
+        assert_eq!(result.stats.total_guesses, (1 << depth) * depth);
+    }
+
+    #[test]
+    fn nqueens_via_replay() {
+        // The Fig. 1 program shape, executed by replay: N=6 has 4
+        // solutions.
+        let n = 6usize;
+        let result = replay_dfs(
+            |ctx| {
+                let mut col = vec![false; n];
+                let mut diag1 = vec![false; 2 * n];
+                let mut diag2 = vec![false; 2 * n];
+                for c in 0..n {
+                    let r = ctx.guess(n as u64) as usize;
+                    if col[r] || diag1[r + c] || diag2[n + r - c] {
+                        return Outcome::Failed;
+                    }
+                    col[r] = true;
+                    diag1[r + c] = true;
+                    diag2[n + r - c] = true;
+                }
+                Outcome::Solution
+            },
+            None,
+        );
+        assert_eq!(result.stats.solutions, 4);
+    }
+}

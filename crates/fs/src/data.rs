@@ -1,0 +1,235 @@
+//! Copy-on-write file contents, chunked at page granularity.
+//!
+//! File bytes are stored in 4 KiB chunks shared by `Arc`, exactly like the
+//! memory subsystem's frames: cloning a [`FileData`] is O(chunks) pointer
+//! copies (no byte copies), and a write after a snapshot copies only the
+//! touched chunk. This gives the paper's "immutable logical copy of open
+//! disk files" the same cost model as the address space.
+
+use std::sync::Arc;
+
+/// Chunk size in bytes (matches the MMU page size).
+pub const CHUNK_SIZE: usize = 4096;
+
+type Chunk = Arc<[u8; CHUNK_SIZE]>;
+
+fn zero_chunk() -> Chunk {
+    Arc::new([0u8; CHUNK_SIZE])
+}
+
+/// CoW byte storage for one regular file.
+#[derive(Clone, Default)]
+pub struct FileData {
+    chunks: Vec<Chunk>,
+    len: u64,
+}
+
+impl FileData {
+    /// Creates an empty file.
+    pub fn new() -> Self {
+        FileData::default()
+    }
+
+    /// Creates a file holding `bytes`.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut data = FileData::new();
+        data.write_at(0, bytes);
+        data
+    }
+
+    /// Current file length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Returns `true` if the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Truncates (or, with a larger `len`, zero-extends) the file.
+    pub fn truncate(&mut self, len: u64) {
+        let need_chunks = (len as usize).div_ceil(CHUNK_SIZE);
+        if len < self.len {
+            self.chunks.truncate(need_chunks);
+            // Zero the tail of the final partial chunk so later extension
+            // reads back zeroes, like a real truncate.
+            let tail = (len as usize) % CHUNK_SIZE;
+            if tail != 0 {
+                if let Some(last) = self.chunks.last_mut() {
+                    Arc::make_mut(last)[tail..].fill(0);
+                }
+            }
+        } else {
+            self.chunks.resize_with(need_chunks, zero_chunk);
+        }
+        self.len = len;
+    }
+
+    /// Reads at most `buf.len()` bytes at `offset`; returns bytes read.
+    ///
+    /// Reads past the end of file return 0 (EOF), matching `pread(2)`.
+    pub fn read_at(&self, offset: u64, buf: &mut [u8]) -> usize {
+        if offset >= self.len {
+            return 0;
+        }
+        let n = (buf.len() as u64).min(self.len - offset) as usize;
+        let mut done = 0usize;
+        while done < n {
+            let pos = offset as usize + done;
+            let ci = pos / CHUNK_SIZE;
+            let co = pos % CHUNK_SIZE;
+            let take = (CHUNK_SIZE - co).min(n - done);
+            match self.chunks.get(ci) {
+                Some(chunk) => buf[done..done + take].copy_from_slice(&chunk[co..co + take]),
+                None => buf[done..done + take].fill(0),
+            }
+            done += take;
+        }
+        n
+    }
+
+    /// Writes `data` at `offset`, growing the file as needed.
+    ///
+    /// Holes created by writing past EOF read back as zeroes.
+    pub fn write_at(&mut self, offset: u64, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        let end = offset + data.len() as u64;
+        let need_chunks = (end as usize).div_ceil(CHUNK_SIZE);
+        if self.chunks.len() < need_chunks {
+            self.chunks.resize_with(need_chunks, zero_chunk);
+        }
+        let mut done = 0usize;
+        while done < data.len() {
+            let pos = offset as usize + done;
+            let ci = pos / CHUNK_SIZE;
+            let co = pos % CHUNK_SIZE;
+            let take = (CHUNK_SIZE - co).min(data.len() - done);
+            let chunk = Arc::make_mut(&mut self.chunks[ci]);
+            chunk[co..co + take].copy_from_slice(&data[done..done + take]);
+            done += take;
+        }
+        self.len = self.len.max(end);
+    }
+
+    /// Returns the whole file as a vector (test/diagnostic helper).
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.len as usize];
+        self.read_at(0, &mut out);
+        out
+    }
+
+    /// Number of chunks physically shared with `other` at equal indices.
+    pub fn shared_chunks_with(&self, other: &FileData) -> usize {
+        self.chunks
+            .iter()
+            .zip(other.chunks.iter())
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_file_reads_nothing() {
+        let f = FileData::new();
+        let mut buf = [0u8; 8];
+        assert_eq!(f.read_at(0, &mut buf), 0);
+        assert_eq!(f.len(), 0);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut f = FileData::new();
+        f.write_at(0, b"hello world");
+        assert_eq!(f.len(), 11);
+        assert_eq!(f.to_vec(), b"hello world");
+        let mut buf = [0u8; 5];
+        assert_eq!(f.read_at(6, &mut buf), 5);
+        assert_eq!(&buf, b"world");
+    }
+
+    #[test]
+    fn read_clamped_at_eof() {
+        let f = FileData::from_bytes(b"abc");
+        let mut buf = [0u8; 10];
+        assert_eq!(f.read_at(1, &mut buf), 2);
+        assert_eq!(&buf[..2], b"bc");
+        assert_eq!(f.read_at(3, &mut buf), 0);
+        assert_eq!(f.read_at(100, &mut buf), 0);
+    }
+
+    #[test]
+    fn sparse_write_reads_zero_holes() {
+        let mut f = FileData::new();
+        f.write_at(10_000, b"x");
+        assert_eq!(f.len(), 10_001);
+        let mut buf = [0xffu8; 4];
+        f.read_at(5000, &mut buf);
+        assert_eq!(buf, [0, 0, 0, 0]);
+        let mut b = [0u8; 1];
+        f.read_at(10_000, &mut b);
+        assert_eq!(&b, b"x");
+    }
+
+    #[test]
+    fn write_spanning_chunks() {
+        let mut f = FileData::new();
+        let data: Vec<u8> = (0..3 * CHUNK_SIZE).map(|i| (i % 251) as u8).collect();
+        f.write_at(CHUNK_SIZE as u64 - 7, &data);
+        assert_eq!(f.to_vec()[CHUNK_SIZE - 7..], data[..]);
+    }
+
+    #[test]
+    fn clone_shares_then_cow_diverges() {
+        let mut f = FileData::new();
+        f.write_at(0, &vec![1u8; 3 * CHUNK_SIZE]);
+        let snap = f.clone();
+        assert_eq!(f.shared_chunks_with(&snap), 3);
+        f.write_at(0, b"!");
+        assert_eq!(
+            f.shared_chunks_with(&snap),
+            2,
+            "only the touched chunk copied"
+        );
+        assert_eq!(snap.to_vec()[0], 1, "snapshot unchanged");
+        assert_eq!(f.to_vec()[0], b'!');
+    }
+
+    #[test]
+    fn truncate_shrink_zeroes_tail() {
+        let mut f = FileData::from_bytes(&[0xaau8; 100]);
+        f.truncate(50);
+        assert_eq!(f.len(), 50);
+        // Extending again must read zeroes past 50.
+        f.truncate(100);
+        let v = f.to_vec();
+        assert!(v[..50].iter().all(|&b| b == 0xaa));
+        assert!(v[50..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn truncate_extend_is_sparse_zero() {
+        let mut f = FileData::from_bytes(b"ab");
+        f.truncate(CHUNK_SIZE as u64 * 2);
+        assert_eq!(f.len(), CHUNK_SIZE as u64 * 2);
+        let v = f.to_vec();
+        assert_eq!(&v[..2], b"ab");
+        assert!(v[2..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn truncate_does_not_disturb_snapshot() {
+        let mut f = FileData::from_bytes(&vec![7u8; CHUNK_SIZE + 10]);
+        let snap = f.clone();
+        f.truncate(3);
+        assert_eq!(snap.len(), CHUNK_SIZE as u64 + 10);
+        assert!(snap.to_vec().iter().all(|&b| b == 7));
+    }
+}

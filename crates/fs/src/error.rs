@@ -1,0 +1,87 @@
+//! Filesystem error type with Linux-style errno mapping.
+
+use core::fmt;
+
+/// Errors returned by filesystem operations.
+///
+/// The variants mirror the errno values the syscall interposition layer
+/// reports to guests ([`FsError::errno`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsError {
+    /// Path component or file does not exist.
+    NoEnt,
+    /// The path names a directory where a file was required.
+    IsDir,
+    /// A non-final path component is not a directory.
+    NotDir,
+    /// The target already exists (`O_CREAT|O_EXCL`, `mkdir`).
+    Exists,
+    /// File descriptor is not open.
+    BadFd,
+    /// Operation not permitted by the open mode (e.g. write on `O_RDONLY`).
+    Access,
+    /// Malformed path or name (empty component, embedded NUL, ...).
+    Inval,
+    /// Directory not empty (`rmdir`).
+    NotEmpty,
+    /// Seek before the start of the file.
+    BadSeek,
+    /// The operation is refused by the encapsulation policy (paper §5:
+    /// interposition is sound-but-incomplete; unsupported classes fail).
+    NotSup,
+}
+
+impl FsError {
+    /// Linux errno value delivered to guests.
+    pub fn errno(self) -> i64 {
+        match self {
+            FsError::NoEnt => 2,     // ENOENT
+            FsError::IsDir => 21,    // EISDIR
+            FsError::NotDir => 20,   // ENOTDIR
+            FsError::Exists => 17,   // EEXIST
+            FsError::BadFd => 9,     // EBADF
+            FsError::Access => 13,   // EACCES
+            FsError::Inval => 22,    // EINVAL
+            FsError::NotEmpty => 39, // ENOTEMPTY
+            FsError::BadSeek => 29,  // ESPIPE
+            FsError::NotSup => 95,   // EOPNOTSUPP
+        }
+    }
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FsError::NoEnt => "no such file or directory",
+            FsError::IsDir => "is a directory",
+            FsError::NotDir => "not a directory",
+            FsError::Exists => "file exists",
+            FsError::BadFd => "bad file descriptor",
+            FsError::Access => "permission denied",
+            FsError::Inval => "invalid argument",
+            FsError::NotEmpty => "directory not empty",
+            FsError::BadSeek => "illegal seek",
+            FsError::NotSup => "operation not supported by encapsulation policy",
+        };
+        f.write_str(name)
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errno_values_match_linux() {
+        assert_eq!(FsError::NoEnt.errno(), 2);
+        assert_eq!(FsError::BadFd.errno(), 9);
+        assert_eq!(FsError::NotSup.errno(), 95);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(FsError::NoEnt.to_string(), "no such file or directory");
+    }
+}

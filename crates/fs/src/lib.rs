@@ -1,0 +1,45 @@
+//! # lwsnap-fs — snapshot-aware in-memory filesystem
+//!
+//! The file-side substrate for lightweight immutable execution snapshots
+//! (HotOS 2013). The paper's snapshots include "a logical copy of open disk
+//! files", and its interposition layer must contain every file side effect
+//! inside the extension step that caused it. This crate provides exactly
+//! that:
+//!
+//! * [`FileData`] — CoW file contents chunked at page granularity;
+//! * [`Volume`] — inodes, directories, path resolution (`open`/`unlink`/
+//!   `mkdir`/`readdir` family);
+//! * [`FsView`] — the per-branch view: volume + fd table + captured console
+//!   output. **Cloning an `FsView` is the file half of taking a snapshot**;
+//!   all mutation after the clone is copy-on-write.
+//!
+//! ```
+//! use lwsnap_fs::{FsView, OpenFlags};
+//!
+//! let mut view = FsView::default();
+//! view.volume_mut().write_file("/data", b"parent state").unwrap();
+//!
+//! let snapshot = view.clone();               // O(1) file-state snapshot
+//! view.volume_mut().write_file("/data", b"child scribbles").unwrap();
+//! view.write(1, b"side effect on stdout").unwrap();
+//!
+//! // Backtracking = dropping the mutated view; the snapshot is pristine.
+//! assert_eq!(snapshot.volume().read_file("/data").unwrap(), b"parent state");
+//! assert!(snapshot.stdout_bytes().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod error;
+pub mod view;
+pub mod volume;
+
+pub use data::{FileData, CHUNK_SIZE};
+pub use error::FsError;
+pub use view::{
+    FsView, OpenFlags, O_APPEND, O_CREAT, O_EXCL, O_RDONLY, O_RDWR, O_TRUNC, O_WRONLY, SEEK_CUR,
+    SEEK_END, SEEK_SET,
+};
+pub use volume::{FileKind, InodeId, Metadata, Volume, ROOT_INODE};

@@ -1,0 +1,145 @@
+//! Property tests: CoW file data against a flat `Vec<u8>` model, and
+//! snapshot isolation of whole views under random operation sequences.
+
+use lwsnap_fs::{FileData, FsView, OpenFlags, O_CREAT, O_RDWR};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum FileOp {
+    Write { at: u64, data: Vec<u8> },
+    Truncate { len: u64 },
+    Snapshot,
+    Restore,
+}
+
+fn file_op() -> impl Strategy<Value = FileOp> {
+    prop_oneof![
+        4 => (0u64..20_000, proptest::collection::vec(any::<u8>(), 1..300))
+            .prop_map(|(at, data)| FileOp::Write { at, data }),
+        2 => (0u64..25_000).prop_map(|len| FileOp::Truncate { len }),
+        1 => Just(FileOp::Snapshot),
+        1 => Just(FileOp::Restore),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// FileData behaves exactly like a growable Vec<u8> with zero fill,
+    /// including across snapshot/restore.
+    #[test]
+    fn file_data_matches_vec_model(ops in proptest::collection::vec(file_op(), 1..60)) {
+        let mut file = FileData::new();
+        let mut model: Vec<u8> = Vec::new();
+        let mut snaps: Vec<(FileData, Vec<u8>)> = Vec::new();
+        for op in ops {
+            match op {
+                FileOp::Write { at, data } => {
+                    file.write_at(at, &data);
+                    let end = at as usize + data.len();
+                    if model.len() < end {
+                        model.resize(end, 0);
+                    }
+                    model[at as usize..end].copy_from_slice(&data);
+                }
+                FileOp::Truncate { len } => {
+                    file.truncate(len);
+                    model.resize(len as usize, 0);
+                }
+                FileOp::Snapshot => snaps.push((file.clone(), model.clone())),
+                FileOp::Restore => {
+                    if let Some((f, m)) = snaps.last() {
+                        file = f.clone();
+                        model = m.clone();
+                    }
+                }
+            }
+            prop_assert_eq!(file.len(), model.len() as u64);
+        }
+        prop_assert_eq!(file.to_vec(), model);
+        // Every snapshot is still intact.
+        for (f, m) in &snaps {
+            prop_assert_eq!(f.to_vec(), m.clone());
+        }
+    }
+
+    /// Reads at arbitrary offsets agree with the model.
+    #[test]
+    fn reads_agree_with_model(
+        writes in proptest::collection::vec(
+            (0u64..5000, proptest::collection::vec(any::<u8>(), 1..100)), 1..20),
+        read_at in 0u64..6000,
+        read_len in 1usize..200,
+    ) {
+        let mut file = FileData::new();
+        let mut model: Vec<u8> = Vec::new();
+        for (at, data) in &writes {
+            file.write_at(*at, data);
+            let end = *at as usize + data.len();
+            if model.len() < end {
+                model.resize(end, 0);
+            }
+            model[*at as usize..end].copy_from_slice(data);
+        }
+        let mut buf = vec![0u8; read_len];
+        let n = file.read_at(read_at, &mut buf);
+        let expected: &[u8] = if (read_at as usize) < model.len() {
+            &model[read_at as usize..(read_at as usize + read_len).min(model.len())]
+        } else {
+            &[]
+        };
+        prop_assert_eq!(&buf[..n], expected);
+    }
+
+    /// A forked FsView's fd offsets, file contents, and new files never
+    /// leak into the snapshot it forked from.
+    #[test]
+    fn view_fork_isolation(
+        branch_writes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..50), 1..5),
+    ) {
+        let mut base = FsView::default();
+        base.volume_mut().write_file("/shared", b"original").unwrap();
+        let fd = base.open("/shared", OpenFlags::from_bits(O_RDWR)).unwrap();
+        let snap = base.clone();
+
+        // Each branch is a fresh clone of the snapshot and scribbles.
+        for (i, data) in branch_writes.iter().enumerate() {
+            let mut branch = snap.clone();
+            branch.write(fd, data).unwrap();
+            let new_path = format!("/branch_{i}");
+            branch.volume_mut().write_file(&new_path, data).unwrap();
+            branch.write(1, b"noise").unwrap();
+            // Verify the branch's own view.
+            prop_assert!(branch.volume().read_file(&new_path).is_ok());
+        }
+
+        // The snapshot never changed.
+        prop_assert_eq!(snap.volume().read_file("/shared").unwrap(), b"original");
+        prop_assert!(snap.stdout_bytes().is_empty());
+        prop_assert_eq!(snap.volume().readdir("/").unwrap().len(), 1);
+        // And its fd offset is still at 0.
+        let mut check = snap.clone();
+        let mut buf = [0u8; 8];
+        prop_assert_eq!(check.read(fd, &mut buf).unwrap(), 8);
+        prop_assert_eq!(&buf, b"original");
+    }
+
+    /// Open-create-write-read cycles round-trip arbitrary content.
+    #[test]
+    fn open_write_read_roundtrip(content in proptest::collection::vec(any::<u8>(), 0..5000)) {
+        let mut view = FsView::default();
+        let fd = view.open("/f", OpenFlags::from_bits(O_RDWR | O_CREAT)).unwrap();
+        view.write(fd, &content).unwrap();
+        view.lseek(fd, 0, lwsnap_fs::SEEK_SET).unwrap();
+        let mut back = vec![0u8; content.len() + 16];
+        let mut got = Vec::new();
+        loop {
+            let n = view.read(fd, &mut back).unwrap();
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&back[..n]);
+        }
+        prop_assert_eq!(got, content);
+    }
+}

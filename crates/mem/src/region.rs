@@ -1,0 +1,568 @@
+//! Virtual memory areas (VMAs): the region map of an address space.
+//!
+//! A [`RegionMap`] records which guest-virtual ranges are mapped, with what
+//! protection, and for what purpose. It is kept separate from the page table
+//! (the radix tree of frames) exactly as a real kernel separates `vm_area`
+//! structs from hardware page tables: protections and mapping existence are
+//! properties of ranges, while frames exist only for pages that were touched.
+//!
+//! The map is snapshotted by `Arc`-cloning; region mutation first copies the
+//! (small) map. Regions are half-open `[start, end)`, page-aligned.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Fault, MemError};
+use crate::page::{is_page_aligned, PAGE_SIZE};
+
+/// Kind of access being attempted, used in protection checks and faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Exec,
+}
+
+/// Page protection bits for a region.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Prot(u8);
+
+impl Prot {
+    /// No access allowed (guard region).
+    pub const NONE: Prot = Prot(0);
+    /// Readable.
+    pub const R: Prot = Prot(1);
+    /// Writable.
+    pub const W: Prot = Prot(2);
+    /// Executable.
+    pub const X: Prot = Prot(4);
+    /// Read + write.
+    pub const RW: Prot = Prot(1 | 2);
+    /// Read + execute.
+    pub const RX: Prot = Prot(1 | 4);
+    /// Read + write + execute.
+    pub const RWX: Prot = Prot(1 | 2 | 4);
+
+    /// Returns the union of two protection sets.
+    pub fn union(self, other: Prot) -> Prot {
+        Prot(self.0 | other.0)
+    }
+
+    /// Returns `true` if this protection permits `access`.
+    pub fn allows(self, access: Access) -> bool {
+        match access {
+            Access::Read => self.0 & 1 != 0,
+            Access::Write => self.0 & 2 != 0,
+            Access::Exec => self.0 & 4 != 0,
+        }
+    }
+
+    /// Returns `true` if the region is readable.
+    pub fn readable(self) -> bool {
+        self.allows(Access::Read)
+    }
+
+    /// Returns `true` if the region is writable.
+    pub fn writable(self) -> bool {
+        self.allows(Access::Write)
+    }
+
+    /// Returns `true` if the region is executable.
+    pub fn executable(self) -> bool {
+        self.allows(Access::Exec)
+    }
+}
+
+impl fmt::Debug for Prot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.readable() { "r" } else { "-" },
+            if self.writable() { "w" } else { "-" },
+            if self.executable() { "x" } else { "-" },
+        )
+    }
+}
+
+/// The purpose of a mapping, for diagnostics and policy decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// Program text.
+    Code,
+    /// Initialised program data.
+    Data,
+    /// The `brk`-managed heap.
+    Heap,
+    /// A thread stack.
+    Stack,
+    /// Anonymous memory from `map_anon`.
+    Anon,
+}
+
+/// One virtual memory area.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// First address of the region (page-aligned).
+    pub start: u64,
+    /// One past the last address (page-aligned).
+    pub end: u64,
+    /// Protection bits.
+    pub prot: Prot,
+    /// What this region is used for.
+    pub kind: RegionKind,
+    /// Human-readable label shown in the `maps` dump.
+    pub name: Arc<str>,
+}
+
+impl Region {
+    /// Length of the region in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Returns `true` if the region is empty (never stored).
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Returns `true` if `va` lies inside the region.
+    pub fn contains(&self, va: u64) -> bool {
+        self.start <= va && va < self.end
+    }
+}
+
+/// Validates that `[start, end)` is a page-aligned, non-empty, non-wrapping
+/// range, returning it back on success.
+fn check_range(start: u64, len: u64) -> Result<(u64, u64), MemError> {
+    if !is_page_aligned(start) {
+        return Err(MemError::BadAlign { value: start });
+    }
+    if len == 0 || !len.is_multiple_of(PAGE_SIZE as u64) {
+        return Err(MemError::BadAlign { value: len });
+    }
+    let end = start
+        .checked_add(len)
+        .ok_or(MemError::BadRange { start, end: 0 })?;
+    Ok((start, end))
+}
+
+/// An ordered map of non-overlapping regions, keyed by start address.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegionMap {
+    map: BTreeMap<u64, Region>,
+}
+
+impl RegionMap {
+    /// Creates an empty region map.
+    pub fn new() -> Self {
+        RegionMap {
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// Number of distinct regions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if no regions are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over regions in address order.
+    pub fn iter(&self) -> impl Iterator<Item = &Region> {
+        self.map.values()
+    }
+
+    /// Finds the region containing `va`, if any.
+    pub fn find(&self, va: u64) -> Option<&Region> {
+        self.map
+            .range(..=va)
+            .next_back()
+            .map(|(_, r)| r)
+            .filter(|r| r.contains(va))
+    }
+
+    /// Returns all regions overlapping `[start, end)`, in address order.
+    pub fn overlapping(&self, start: u64, end: u64) -> Vec<Region> {
+        let mut out = Vec::new();
+        // A region beginning before `start` may still overlap it.
+        if let Some(r) = self.find(start) {
+            out.push(r.clone());
+        }
+        for (_, r) in self.map.range(start..end) {
+            if out.last().map(|l: &Region| l.start) != Some(r.start) {
+                out.push(r.clone());
+            }
+        }
+        out.retain(|r| r.start < end && r.end > start);
+        out
+    }
+
+    /// Inserts a new region; fails if it overlaps an existing one.
+    pub fn insert(&mut self, region: Region) -> Result<(), MemError> {
+        let (start, end) = check_range(region.start, region.len())?;
+        if !self.overlapping(start, end).is_empty() {
+            return Err(MemError::Overlap { start, end });
+        }
+        self.map.insert(start, region);
+        Ok(())
+    }
+
+    /// Removes all mappings intersecting `[start, start+len)`, splitting
+    /// partially covered regions. Returns the removed page ranges.
+    ///
+    /// Like `munmap(2)`, unmapping a hole is not an error.
+    pub fn remove_range(&mut self, start: u64, len: u64) -> Result<Vec<(u64, u64)>, MemError> {
+        let (start, end) = check_range(start, len)?;
+        let affected = self.overlapping(start, end);
+        let mut removed = Vec::new();
+        for r in affected {
+            self.map.remove(&r.start);
+            let cut_start = r.start.max(start);
+            let cut_end = r.end.min(end);
+            removed.push((cut_start, cut_end));
+            if r.start < cut_start {
+                let mut left = r.clone();
+                left.end = cut_start;
+                self.map.insert(left.start, left);
+            }
+            if r.end > cut_end {
+                let mut right = r.clone();
+                right.start = cut_end;
+                self.map.insert(right.start, right);
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Changes the protection of `[start, start+len)`, splitting regions as
+    /// needed. The whole range must already be mapped (like `mprotect(2)`).
+    pub fn set_prot(&mut self, start: u64, len: u64, prot: Prot) -> Result<(), MemError> {
+        let (start, end) = check_range(start, len)?;
+        let affected = self.overlapping(start, end);
+        // Verify full coverage with no holes before mutating anything.
+        let mut cursor = start;
+        for r in &affected {
+            if r.start > cursor {
+                return Err(MemError::NotMapped { start, end });
+            }
+            cursor = r.end;
+        }
+        if cursor < end {
+            return Err(MemError::NotMapped { start, end });
+        }
+        for r in affected {
+            self.map.remove(&r.start);
+            let cut_start = r.start.max(start);
+            let cut_end = r.end.min(end);
+            if r.start < cut_start {
+                let mut left = r.clone();
+                left.end = cut_start;
+                self.map.insert(left.start, left);
+            }
+            if r.end > cut_end {
+                let mut right = r.clone();
+                right.start = cut_end;
+                self.map.insert(right.start, right);
+            }
+            let mut mid = r.clone();
+            mid.start = cut_start;
+            mid.end = cut_end;
+            mid.prot = prot;
+            self.map.insert(mid.start, mid);
+        }
+        Ok(())
+    }
+
+    /// Grows or shrinks the region starting at `start` to end at `new_end`.
+    ///
+    /// Used by `brk`. Growing fails if it would collide with the next
+    /// region; shrinking to emptiness removes the region.
+    pub fn resize(&mut self, start: u64, new_end: u64) -> Result<(), MemError> {
+        let region = self
+            .map
+            .get(&start)
+            .cloned()
+            .ok_or(MemError::NotMapped { start, end: start })?;
+        if new_end < start {
+            return Err(MemError::BadRange {
+                start,
+                end: new_end,
+            });
+        }
+        if new_end > region.end {
+            // Check for collision with the next region.
+            if let Some((_, next)) = self.map.range(start + 1..).next() {
+                if next.start < new_end {
+                    return Err(MemError::Overlap {
+                        start: region.end,
+                        end: new_end,
+                    });
+                }
+            }
+        }
+        if new_end == start {
+            self.map.remove(&start);
+        } else {
+            let r = self.map.get_mut(&start).expect("region present");
+            r.end = new_end;
+        }
+        Ok(())
+    }
+
+    /// Checks that the byte range `[va, va+len)` is mapped with a protection
+    /// allowing `access`. Returns the first fault encountered otherwise.
+    pub fn check(&self, va: u64, len: u64, access: Access) -> Result<(), Fault> {
+        if len == 0 {
+            return Ok(());
+        }
+        let end = match va.checked_add(len) {
+            Some(e) => e,
+            None => return Err(Fault::NonCanonical { va }),
+        };
+        let mut cursor = va;
+        while cursor < end {
+            let region = self.find(cursor).ok_or(Fault::Unmapped { va: cursor })?;
+            if !region.prot.allows(access) {
+                return Err(Fault::Protection { va: cursor, access });
+            }
+            cursor = region.end;
+        }
+        Ok(())
+    }
+
+    /// Finds the lowest free gap of at least `len` bytes at or above `hint`.
+    pub fn find_gap(&self, hint: u64, len: u64, limit: u64) -> Option<u64> {
+        let mut candidate = hint;
+        for r in self.map.values() {
+            if r.end <= candidate {
+                continue;
+            }
+            if r.start >= candidate.checked_add(len)? {
+                break;
+            }
+            candidate = r.end;
+        }
+        if candidate.checked_add(len)? <= limit {
+            Some(candidate)
+        } else {
+            None
+        }
+    }
+
+    /// Renders a `/proc/<pid>/maps`-style listing.
+    pub fn render_maps(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in self.map.values() {
+            let _ = writeln!(
+                out,
+                "{:016x}-{:016x} {:?} {:?} {}",
+                r.start, r.end, r.prot, r.kind, r.name
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(start: u64, end: u64, prot: Prot) -> Region {
+        Region {
+            start,
+            end,
+            prot,
+            kind: RegionKind::Anon,
+            name: Arc::from("test"),
+        }
+    }
+
+    #[test]
+    fn prot_bits() {
+        assert!(Prot::RW.readable() && Prot::RW.writable() && !Prot::RW.executable());
+        assert!(Prot::RX.allows(Access::Exec));
+        assert!(!Prot::NONE.allows(Access::Read));
+        assert_eq!(format!("{:?}", Prot::RX), "r-x");
+        assert_eq!(Prot::R.union(Prot::W), Prot::RW);
+    }
+
+    #[test]
+    fn insert_and_find() {
+        let mut m = RegionMap::new();
+        m.insert(region(0x1000, 0x3000, Prot::RW)).unwrap();
+        assert!(m.find(0x0fff).is_none());
+        assert_eq!(m.find(0x1000).unwrap().start, 0x1000);
+        assert_eq!(m.find(0x2fff).unwrap().start, 0x1000);
+        assert!(m.find(0x3000).is_none());
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut m = RegionMap::new();
+        m.insert(region(0x1000, 0x3000, Prot::RW)).unwrap();
+        let err = m.insert(region(0x2000, 0x4000, Prot::RW)).unwrap_err();
+        assert_eq!(
+            err,
+            MemError::Overlap {
+                start: 0x2000,
+                end: 0x4000
+            }
+        );
+        // Adjacent is fine.
+        m.insert(region(0x3000, 0x4000, Prot::R)).unwrap();
+    }
+
+    #[test]
+    fn unaligned_rejected() {
+        let mut m = RegionMap::new();
+        assert!(matches!(
+            m.insert(region(0x1001, 0x3000, Prot::RW)),
+            Err(MemError::BadAlign { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_range_splits() {
+        let mut m = RegionMap::new();
+        m.insert(region(0x1000, 0x5000, Prot::RW)).unwrap();
+        let removed = m.remove_range(0x2000, 0x1000).unwrap();
+        assert_eq!(removed, vec![(0x2000, 0x3000)]);
+        assert_eq!(m.len(), 2);
+        assert!(m.find(0x1fff).is_some());
+        assert!(m.find(0x2000).is_none());
+        assert!(m.find(0x2fff).is_none());
+        assert!(m.find(0x3000).is_some());
+        assert_eq!(m.find(0x3000).unwrap().end, 0x5000);
+    }
+
+    #[test]
+    fn remove_range_hole_is_ok() {
+        let mut m = RegionMap::new();
+        assert!(m.remove_range(0x10_0000, 0x1000).unwrap().is_empty());
+    }
+
+    #[test]
+    fn remove_spanning_multiple_regions() {
+        let mut m = RegionMap::new();
+        m.insert(region(0x1000, 0x2000, Prot::RW)).unwrap();
+        m.insert(region(0x2000, 0x3000, Prot::R)).unwrap();
+        m.insert(region(0x3000, 0x4000, Prot::RW)).unwrap();
+        let removed = m.remove_range(0x1000, 0x3000).unwrap();
+        assert_eq!(removed.len(), 3);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn set_prot_splits_three_ways() {
+        let mut m = RegionMap::new();
+        m.insert(region(0x1000, 0x5000, Prot::RW)).unwrap();
+        m.set_prot(0x2000, 0x1000, Prot::R).unwrap();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.find(0x1000).unwrap().prot, Prot::RW);
+        assert_eq!(m.find(0x2000).unwrap().prot, Prot::R);
+        assert_eq!(m.find(0x3000).unwrap().prot, Prot::RW);
+    }
+
+    #[test]
+    fn set_prot_requires_full_coverage() {
+        let mut m = RegionMap::new();
+        m.insert(region(0x1000, 0x2000, Prot::RW)).unwrap();
+        assert!(matches!(
+            m.set_prot(0x1000, 0x2000, Prot::R),
+            Err(MemError::NotMapped { .. })
+        ));
+        // And across a hole.
+        m.insert(region(0x3000, 0x4000, Prot::RW)).unwrap();
+        assert!(matches!(
+            m.set_prot(0x1000, 0x3000, Prot::R),
+            Err(MemError::NotMapped { .. })
+        ));
+    }
+
+    #[test]
+    fn check_access() {
+        let mut m = RegionMap::new();
+        m.insert(region(0x1000, 0x2000, Prot::R)).unwrap();
+        m.insert(region(0x2000, 0x3000, Prot::RW)).unwrap();
+        assert!(m.check(0x1800, 0x1000, Access::Read).is_ok());
+        assert_eq!(
+            m.check(0x1800, 0x1000, Access::Write),
+            Err(Fault::Protection {
+                va: 0x1800,
+                access: Access::Write
+            })
+        );
+        assert_eq!(
+            m.check(0x3000, 1, Access::Read),
+            Err(Fault::Unmapped { va: 0x3000 })
+        );
+        assert_eq!(
+            m.check(u64::MAX, 2, Access::Read),
+            Err(Fault::NonCanonical { va: u64::MAX })
+        );
+        assert!(
+            m.check(0x1000, 0, Access::Write).is_ok(),
+            "empty access always ok"
+        );
+    }
+
+    #[test]
+    fn resize_grow_shrink() {
+        let mut m = RegionMap::new();
+        m.insert(region(0x1000, 0x2000, Prot::RW)).unwrap();
+        m.insert(region(0x8000, 0x9000, Prot::RW)).unwrap();
+        m.resize(0x1000, 0x4000).unwrap();
+        assert_eq!(m.find(0x3fff).unwrap().end, 0x4000);
+        m.resize(0x1000, 0x2000).unwrap();
+        assert!(m.find(0x3000).is_none());
+        // Growing into the next region fails.
+        assert!(matches!(
+            m.resize(0x1000, 0x9000),
+            Err(MemError::Overlap { .. })
+        ));
+        // Shrinking to zero removes.
+        m.resize(0x1000, 0x1000).unwrap();
+        assert!(m.find(0x1000).is_none());
+    }
+
+    #[test]
+    fn find_gap() {
+        let mut m = RegionMap::new();
+        m.insert(region(0x2000, 0x4000, Prot::RW)).unwrap();
+        // Gap below the first region is usable.
+        assert_eq!(m.find_gap(0x1000, 0x1000, u64::MAX), Some(0x1000));
+        // A request too big for the low gap lands after the region.
+        assert_eq!(m.find_gap(0x1000, 0x2000, u64::MAX), Some(0x4000));
+        // Limit respected.
+        assert_eq!(m.find_gap(0x1000, 0x2000, 0x5000), None);
+    }
+
+    #[test]
+    fn overlapping_query() {
+        let mut m = RegionMap::new();
+        m.insert(region(0x1000, 0x2000, Prot::RW)).unwrap();
+        m.insert(region(0x3000, 0x5000, Prot::R)).unwrap();
+        let o = m.overlapping(0x1800, 0x3800);
+        assert_eq!(o.len(), 2);
+        let o = m.overlapping(0x2000, 0x3000);
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn render_maps_contains_regions() {
+        let mut m = RegionMap::new();
+        m.insert(region(0x1000, 0x2000, Prot::RX)).unwrap();
+        let dump = m.render_maps();
+        assert!(dump.contains("r-x"));
+        assert!(dump.contains("0000000000001000"));
+    }
+}

@@ -1,0 +1,247 @@
+//! Property-based tests: the software MMU against a flat reference model.
+//!
+//! The reference model is a `HashMap<u64, u8>` (sparse byte store) plus the
+//! set of mapped ranges. Any divergence between the model and the
+//! `AddressSpace` under a random operation sequence is a soundness bug in
+//! the page table or the region logic.
+
+use std::collections::HashMap;
+
+use lwsnap_mem::{AddressSpace, Prot, RegionKind, PAGE_SIZE};
+use proptest::prelude::*;
+
+const BASE: u64 = 0x10_0000;
+const PAGES: u64 = 64;
+
+/// Operations the fuzzer can apply.
+#[derive(Debug, Clone)]
+enum Op {
+    Write { off: u64, data: Vec<u8> },
+    Read { off: u64, len: usize },
+    Fill { off: u64, byte: u8, len: u64 },
+    Snapshot,
+    RestoreLatest,
+    Unmap { page: u64, pages: u64 },
+    Remap { page: u64, pages: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let span = PAGES * PAGE_SIZE as u64;
+    prop_oneof![
+        4 => (0..span - 64, proptest::collection::vec(any::<u8>(), 1..64))
+            .prop_map(|(off, data)| Op::Write { off, data }),
+        3 => (0..span - 64, 1..64usize).prop_map(|(off, len)| Op::Read { off, len }),
+        1 => (0..span - 9000, any::<u8>(), 1..9000u64)
+            .prop_map(|(off, byte, len)| Op::Fill { off, byte, len }),
+        1 => Just(Op::Snapshot),
+        1 => Just(Op::RestoreLatest),
+        1 => (0..PAGES, 1..4u64).prop_map(|(page, pages)| Op::Unmap { page, pages }),
+        1 => (0..PAGES, 1..4u64).prop_map(|(page, pages)| Op::Remap { page, pages }),
+    ]
+}
+
+/// Flat model of memory + mapping state.
+#[derive(Clone, Default)]
+struct Model {
+    bytes: HashMap<u64, u8>,
+    mapped: Vec<bool>,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model {
+            bytes: HashMap::new(),
+            mapped: vec![true; PAGES as usize],
+        }
+    }
+
+    fn is_mapped(&self, va: u64, len: u64) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let lo = (va - BASE) / PAGE_SIZE as u64;
+        let hi = (va + len - 1 - BASE) / PAGE_SIZE as u64;
+        (lo..=hi).all(|p| p < PAGES && self.mapped[p as usize])
+    }
+
+    fn read(&self, va: u64) -> u8 {
+        *self.bytes.get(&va).unwrap_or(&0)
+    }
+}
+
+fn apply(
+    asp: &mut AddressSpace,
+    model: &mut Model,
+    snaps: &mut Vec<(AddressSpace, Model)>,
+    op: &Op,
+) {
+    match op {
+        Op::Write { off, data } => {
+            let va = BASE + off;
+            let ok = model.is_mapped(va, data.len() as u64);
+            let res = asp.write_bytes(va, data);
+            assert_eq!(res.is_ok(), ok, "write mapped-ness mismatch at {va:#x}");
+            if ok {
+                for (i, &b) in data.iter().enumerate() {
+                    model.bytes.insert(va + i as u64, b);
+                }
+            }
+        }
+        Op::Read { off, len } => {
+            let va = BASE + off;
+            let mut buf = vec![0u8; *len];
+            let ok = model.is_mapped(va, *len as u64);
+            let res = asp.read_bytes(va, &mut buf);
+            assert_eq!(res.is_ok(), ok, "read mapped-ness mismatch at {va:#x}");
+            if ok {
+                for (i, &b) in buf.iter().enumerate() {
+                    assert_eq!(
+                        b,
+                        model.read(va + i as u64),
+                        "byte mismatch at {:#x}",
+                        va + i as u64
+                    );
+                }
+            }
+        }
+        Op::Fill { off, byte, len } => {
+            let va = BASE + off;
+            let ok = model.is_mapped(va, *len);
+            let res = asp.fill(va, *byte, *len);
+            assert_eq!(res.is_ok(), ok, "fill mapped-ness mismatch at {va:#x}");
+            if ok {
+                for i in 0..*len {
+                    model.bytes.insert(va + i, *byte);
+                }
+            }
+        }
+        Op::Snapshot => {
+            snaps.push((asp.snapshot(), model.clone()));
+        }
+        Op::RestoreLatest => {
+            if let Some((snap_asp, snap_model)) = snaps.last() {
+                *asp = snap_asp.clone();
+                *model = snap_model.clone();
+            }
+        }
+        Op::Unmap { page, pages } => {
+            let pages = (*pages).min(PAGES - page);
+            let va = BASE + page * PAGE_SIZE as u64;
+            let res = asp.unmap(va, pages * PAGE_SIZE as u64);
+            assert!(res.is_ok(), "unmap of any sub-range must succeed: {res:?}");
+            for p in *page..page + pages {
+                model.mapped[p as usize] = false;
+                let lo = BASE + p * PAGE_SIZE as u64;
+                for a in lo..lo + PAGE_SIZE as u64 {
+                    model.bytes.remove(&a);
+                }
+            }
+        }
+        Op::Remap { page, pages } => {
+            let pages = (*pages).min(PAGES - page);
+            let all_unmapped = (*page..page + pages).all(|p| !model.mapped[p as usize]);
+            let va = BASE + page * PAGE_SIZE as u64;
+            let res = asp.map_fixed(
+                va,
+                pages * PAGE_SIZE as u64,
+                Prot::RW,
+                RegionKind::Anon,
+                "re",
+            );
+            assert_eq!(
+                res.is_ok(),
+                all_unmapped,
+                "remap success mismatch at page {page}"
+            );
+            if all_unmapped {
+                for p in *page..page + pages {
+                    model.mapped[p as usize] = true;
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random op sequences keep the MMU and the flat model in agreement,
+    /// including across snapshot/restore.
+    #[test]
+    fn mmu_matches_flat_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut asp = AddressSpace::new();
+        asp.map_fixed(BASE, PAGES * PAGE_SIZE as u64, Prot::RW, RegionKind::Anon, "ram").unwrap();
+        let mut model = Model::new();
+        let mut snaps = Vec::new();
+        for op in &ops {
+            apply(&mut asp, &mut model, &mut snaps, op);
+        }
+        // Post: full sweep comparison over mapped pages.
+        for p in 0..PAGES {
+            if !model.mapped[p as usize] {
+                continue;
+            }
+            let va = BASE + p * PAGE_SIZE as u64;
+            let mut buf = vec![0u8; PAGE_SIZE];
+            asp.read_bytes(va, &mut buf).unwrap();
+            for (i, &b) in buf.iter().enumerate() {
+                prop_assert_eq!(b, model.read(va + i as u64));
+            }
+        }
+    }
+
+    /// Every snapshot taken during a random write workload still reads back
+    /// exactly the bytes it saw at capture time (immutability).
+    #[test]
+    fn snapshots_are_immutable(
+        writes in proptest::collection::vec(
+            (0u64..PAGES * PAGE_SIZE as u64 - 8, any::<u64>()), 1..200),
+        snap_every in 1usize..20,
+    ) {
+        let mut asp = AddressSpace::new();
+        asp.map_fixed(BASE, PAGES * PAGE_SIZE as u64, Prot::RW, RegionKind::Anon, "ram").unwrap();
+        let mut snaps: Vec<(AddressSpace, Vec<(u64, u64)>)> = Vec::new();
+        let mut log: Vec<(u64, u64)> = Vec::new();
+        for (i, (off, val)) in writes.iter().enumerate() {
+            asp.write_u64(BASE + off, *val).unwrap();
+            log.push((BASE + off, *val));
+            if i % snap_every == 0 {
+                snaps.push((asp.snapshot(), log.clone()));
+            }
+        }
+        for (snap, expected_log) in snaps {
+            // Replay the log into a map to get last-writer-wins expectations.
+            // Overlapping unaligned writes make per-address byte tracking
+            // necessary.
+            let mut bytes: HashMap<u64, u8> = HashMap::new();
+            for (va, val) in &expected_log {
+                for (k, b) in val.to_le_bytes().iter().enumerate() {
+                    bytes.insert(va + k as u64, *b);
+                }
+            }
+            let mut snap = snap.clone();
+            for (&a, &b) in &bytes {
+                prop_assert_eq!(snap.read_u8(a).unwrap(), b);
+            }
+        }
+    }
+
+    /// CoW accounting: after a snapshot, writing k distinct pages copies at
+    /// most k pages (and exactly k when all pages were materialised).
+    #[test]
+    fn cow_copies_bounded_by_pages_touched(k in 1u64..40) {
+        let mut asp = AddressSpace::new();
+        asp.map_fixed(BASE, PAGES * PAGE_SIZE as u64, Prot::RW, RegionKind::Anon, "ram").unwrap();
+        for p in 0..PAGES {
+            asp.write_u64(BASE + p * PAGE_SIZE as u64, p).unwrap();
+        }
+        let _snap = asp.snapshot();
+        let before = *asp.stats();
+        for p in 0..k {
+            asp.write_u64(BASE + p * PAGE_SIZE as u64, 0xffff).unwrap();
+        }
+        let d = asp.stats().delta(&before);
+        prop_assert_eq!(d.cow_page_copies, k);
+        prop_assert_eq!(d.zero_fills, 0);
+    }
+}

@@ -1,0 +1,390 @@
+//! Incremental checkpointing with `mprotect` + `SIGSEGV` (libckpt-style).
+//!
+//! This is the strongest *userspace* approximation of what the paper's
+//! Dune libOS does with nested page tables: take a snapshot by
+//! write-protecting the arena (one `mprotect`), then catch the first
+//! write to each page in a `SIGSEGV` handler, save its pre-image, and
+//! unprotect it. Restoring copies saved pre-images back. The cost model
+//! matches the paper's: snapshot is O(1) syscalls, divergence costs one
+//! fault + one 4 KiB copy per touched page.
+//!
+//! Compared to `lwsnap-mem`'s software MMU this buys hardware-speed reads
+//! and writes between faults, at the price of signal-handling latency per
+//! first touch — exactly the trade-off experiment E2 measures.
+//!
+//! # Safety model
+//!
+//! The public API is safe. Internally, the signal handler and the API
+//! methods share the arena's bookkeeping through raw pointers. Soundness
+//! rests on these invariants:
+//!
+//! * A fault on an arena page can only be raised by the thread that is
+//!   mutating the arena through `&mut self` — the handler therefore runs
+//!   *synchronously within* an API call, never concurrently with one.
+//! * The save pool's capacity is re-reserved before every snapshot so the
+//!   handler never allocates (a page can fault at most once per level).
+//! * The registry maps fault addresses to arenas lock-free; unrelated
+//!   `SIGSEGV`s are re-raised with default disposition.
+//! * `CkptArena` is `!Sync` (interior raw state) and pinned on the heap.
+
+use std::cell::UnsafeCell;
+use std::io;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Once;
+
+/// Page size used by the arena (matches the kernel's on x86-64).
+pub const PAGE_SIZE: usize = 4096;
+
+const MAX_ARENAS: usize = 64;
+
+/// One saved pre-image: which page, and its bytes at snapshot time.
+struct PageSave {
+    vpn: usize,
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+/// Counters for one arena.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CkptStats {
+    /// Write faults taken (= pages CoW-saved).
+    pub faults: u64,
+    /// Snapshots taken.
+    pub snapshots: u64,
+    /// Restores performed.
+    pub restores: u64,
+    /// Bytes copied into pre-images.
+    pub bytes_saved: u64,
+}
+
+struct ArenaInner {
+    base: *mut u8,
+    len: usize,
+    /// Pre-image pool; capacity is maintained so the handler never
+    /// reallocates (see module docs).
+    saves: Vec<PageSave>,
+    /// `levels[i]` = index into `saves` where snapshot `i` begins.
+    levels: Vec<usize>,
+    stats: CkptStats,
+}
+
+impl ArenaInner {
+    /// Handles a write fault at `addr`. Returns `true` if it was ours.
+    ///
+    /// Runs inside the SIGSEGV handler — must not allocate or lock.
+    fn handle_fault(&mut self, addr: usize) -> bool {
+        let base = self.base as usize;
+        if addr < base || addr >= base + self.len {
+            return false;
+        }
+        if self.levels.is_empty() {
+            // No active snapshot; a protection fault here is a real bug.
+            return false;
+        }
+        let vpn = (addr - base) / PAGE_SIZE;
+        let page = (base + vpn * PAGE_SIZE) as *mut u8;
+        // Save the pre-image. The Box was NOT pre-allocated; but `data`
+        // boxes are recycled via `spare` in `reserve_level`, so this push
+        // stays within capacity and the Box comes from the spare pool.
+        let data = match self.spare_pop() {
+            Some(b) => b,
+            None => return false, // capacity invariant violated: treat as foreign
+        };
+        let mut data = data;
+        // SAFETY: `page` points at a whole mapped page inside the arena.
+        unsafe {
+            std::ptr::copy_nonoverlapping(page, data.as_mut_ptr(), PAGE_SIZE);
+        }
+        self.saves.push(PageSave { vpn, data });
+        self.stats.faults += 1;
+        self.stats.bytes_saved += PAGE_SIZE as u64;
+        // SAFETY: unprotecting one mapped page; mprotect is a plain
+        // syscall (no allocation), acceptable in a synchronous handler.
+        let rc = unsafe {
+            libc::mprotect(
+                page as *mut libc::c_void,
+                PAGE_SIZE,
+                libc::PROT_READ | libc::PROT_WRITE,
+            )
+        };
+        rc == 0
+    }
+
+    fn spare_pop(&mut self) -> Option<Box<[u8; PAGE_SIZE]>> {
+        SPARE.with_inner(|spare| spare.pop())
+    }
+}
+
+/// A pool of pre-allocated page buffers shared by all arenas on this
+/// thread of control, refilled only from safe (non-handler) context.
+struct SparePool(UnsafeCell<Vec<Box<[u8; PAGE_SIZE]>>>);
+
+// SAFETY: the pool is only touched by API calls and by the synchronous
+// fault handler running *inside* those API calls on the same thread; the
+// process-global registry serialises arena registration separately.
+unsafe impl Sync for SparePool {}
+
+impl SparePool {
+    fn with_inner<R>(&self, f: impl FnOnce(&mut Vec<Box<[u8; PAGE_SIZE]>>) -> R) -> R {
+        // SAFETY: see `SparePool` — exclusive access is guaranteed by the
+        // synchronous-handler invariant.
+        f(unsafe { &mut *self.0.get() })
+    }
+}
+
+static SPARE: SparePool = SparePool(UnsafeCell::new(Vec::new()));
+
+/// Lock-free registry of live arenas for the global handler.
+static REGISTRY: [AtomicPtr<ArenaInner>; MAX_ARENAS] =
+    [const { AtomicPtr::new(std::ptr::null_mut()) }; MAX_ARENAS];
+static REGISTERED: AtomicUsize = AtomicUsize::new(0);
+static INSTALL: Once = Once::new();
+
+extern "C" fn segv_handler(sig: i32, info: *mut libc::siginfo_t, _ctx: *mut libc::c_void) {
+    // SAFETY: reading the fault address from siginfo as provided by the
+    // kernel for SIGSEGV with SA_SIGINFO.
+    let addr = unsafe { (*info).si_addr() } as usize;
+    for slot in &REGISTRY {
+        let ptr = slot.load(Ordering::Acquire);
+        if ptr.is_null() {
+            continue;
+        }
+        // SAFETY: registry entries point at live, pinned ArenaInner
+        // values; they are removed before the arena is dropped.
+        let inner = unsafe { &mut *ptr };
+        if inner.handle_fault(addr) {
+            return; // resolved: the faulting write retries
+        }
+    }
+    // Not ours: restore default disposition and re-raise so the process
+    // crashes with a normal SIGSEGV report.
+    // SAFETY: resetting a signal disposition is async-signal-safe.
+    unsafe {
+        let mut sa: libc::sigaction = std::mem::zeroed();
+        sa.sa_sigaction = libc::SIG_DFL;
+        libc::sigaction(sig, &sa, std::ptr::null_mut());
+        libc::raise(sig);
+    }
+}
+
+fn install_handler() {
+    INSTALL.call_once(|| {
+        // SAFETY: installing a process-wide SIGSEGV handler with
+        // SA_SIGINFO; the handler only touches registered arenas.
+        unsafe {
+            let mut sa: libc::sigaction = std::mem::zeroed();
+            sa.sa_sigaction = segv_handler as *const () as usize;
+            sa.sa_flags = libc::SA_SIGINFO;
+            libc::sigemptyset(&mut sa.sa_mask);
+            libc::sigaction(libc::SIGSEGV, &sa, std::ptr::null_mut());
+        }
+    });
+}
+
+/// An `mmap` arena with mprotect-based incremental checkpointing.
+pub struct CkptArena {
+    inner: Box<ArenaInner>,
+    slot: usize,
+}
+
+// SAFETY: the arena may move between threads as a whole (`&mut`-only
+// API); it is intentionally !Sync via the raw pointer field.
+unsafe impl Send for CkptArena {}
+
+impl CkptArena {
+    /// Maps a zeroed arena of `pages` pages.
+    pub fn new(pages: usize) -> io::Result<CkptArena> {
+        assert!(pages > 0, "arena must have at least one page");
+        install_handler();
+        let len = pages * PAGE_SIZE;
+        // SAFETY: anonymous private mapping of `len` bytes.
+        let base = unsafe {
+            libc::mmap(
+                std::ptr::null_mut(),
+                len,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        if base == libc::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        let mut inner = Box::new(ArenaInner {
+            base: base as *mut u8,
+            len,
+            saves: Vec::with_capacity(pages),
+            levels: Vec::new(),
+            stats: CkptStats::default(),
+        });
+        // Find a registry slot.
+        let ptr: *mut ArenaInner = &mut *inner;
+        let mut slot = usize::MAX;
+        for (i, entry) in REGISTRY.iter().enumerate() {
+            if entry
+                .compare_exchange(
+                    std::ptr::null_mut(),
+                    ptr,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                slot = i;
+                break;
+            }
+        }
+        if slot == usize::MAX {
+            // SAFETY: unmapping the region we just mapped.
+            unsafe { libc::munmap(base, len) };
+            return Err(io::Error::other("too many live arenas"));
+        }
+        REGISTERED.fetch_add(1, Ordering::Relaxed);
+        Ok(CkptArena { inner, slot })
+    }
+
+    /// Arena length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len
+    }
+
+    /// Returns `true` for a zero-length arena (never constructed).
+    pub fn is_empty(&self) -> bool {
+        self.inner.len == 0
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CkptStats {
+        self.inner.stats
+    }
+
+    /// Read access to the arena bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: base..base+len is our live mapping; reads never fault
+        // (pages stay PROT_READ even when write-protected).
+        unsafe { std::slice::from_raw_parts(self.inner.base, self.inner.len) }
+    }
+
+    /// Write access. Writes to protected pages fault once, get their
+    /// pre-image saved, and retry transparently.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        // SAFETY: exclusive access via &mut self; the fault handler only
+        // runs synchronously inside writes made through this slice.
+        unsafe { std::slice::from_raw_parts_mut(self.inner.base, self.inner.len) }
+    }
+
+    /// Takes a snapshot: one `mprotect` over the arena. Returns the
+    /// snapshot level (0-based).
+    pub fn snapshot(&mut self) -> io::Result<usize> {
+        let pages = self.inner.len / PAGE_SIZE;
+        // Refill the spare pool so the handler never allocates: one
+        // buffer per page is the worst case for the new level.
+        SPARE.with_inner(|spare| {
+            while spare.len() < pages {
+                spare.push(Box::new([0u8; PAGE_SIZE]));
+            }
+        });
+        self.inner.saves.reserve(pages);
+        // SAFETY: protecting our whole mapping read-only.
+        let rc = unsafe {
+            libc::mprotect(
+                self.inner.base as *mut libc::c_void,
+                self.inner.len,
+                libc::PROT_READ,
+            )
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        self.inner.levels.push(self.inner.saves.len());
+        self.inner.stats.snapshots += 1;
+        Ok(self.inner.levels.len() - 1)
+    }
+
+    /// Restores the arena to the state captured by snapshot `level`,
+    /// which stays active (writes keep being tracked against it).
+    pub fn restore(&mut self, level: usize) -> io::Result<()> {
+        let start = *self
+            .inner
+            .levels
+            .get(level)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no such snapshot"))?;
+        // Make everything writable for the copy-back.
+        // SAFETY: unprotecting our whole mapping.
+        let rc = unsafe {
+            libc::mprotect(
+                self.inner.base as *mut libc::c_void,
+                self.inner.len,
+                libc::PROT_READ | libc::PROT_WRITE,
+            )
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // Newest-first so the oldest pre-image of each page wins.
+        while self.inner.saves.len() > start {
+            let save = self.inner.saves.pop().expect("save entry");
+            let dst =
+                // SAFETY: vpn is within the arena by construction.
+                unsafe { self.inner.base.add(save.vpn * PAGE_SIZE) };
+            // SAFETY: copying one page into the mapping.
+            unsafe { std::ptr::copy_nonoverlapping(save.data.as_ptr(), dst, PAGE_SIZE) };
+            // Recycle the buffer for future faults.
+            SPARE.with_inner(|spare| spare.push(save.data));
+        }
+        self.inner.levels.truncate(level + 1);
+        // Re-arm protection for the (still active) snapshot.
+        // SAFETY: protecting our whole mapping read-only.
+        let rc = unsafe {
+            libc::mprotect(
+                self.inner.base as *mut libc::c_void,
+                self.inner.len,
+                libc::PROT_READ,
+            )
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        self.inner.stats.restores += 1;
+        Ok(())
+    }
+
+    /// Drops all snapshots, leaving the arena writable with its current
+    /// contents.
+    pub fn commit(&mut self) -> io::Result<()> {
+        // SAFETY: unprotecting our whole mapping.
+        let rc = unsafe {
+            libc::mprotect(
+                self.inner.base as *mut libc::c_void,
+                self.inner.len,
+                libc::PROT_READ | libc::PROT_WRITE,
+            )
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        for save in self.inner.saves.drain(..) {
+            SPARE.with_inner(|spare| spare.push(save.data));
+        }
+        self.inner.levels.clear();
+        Ok(())
+    }
+
+    /// Pages dirtied since snapshot `level` was taken.
+    pub fn dirty_pages_since(&self, level: usize) -> usize {
+        match self.inner.levels.get(level) {
+            Some(&start) => self.inner.saves.len() - start,
+            None => 0,
+        }
+    }
+}
+
+impl Drop for CkptArena {
+    fn drop(&mut self) {
+        REGISTRY[self.slot].store(std::ptr::null_mut(), Ordering::Release);
+        REGISTERED.fetch_sub(1, Ordering::Relaxed);
+        // SAFETY: unmapping our mapping; the registry entry is already
+        // cleared so the handler cannot reach it.
+        unsafe { libc::munmap(self.inner.base as *mut libc::c_void, self.inner.len) };
+    }
+}

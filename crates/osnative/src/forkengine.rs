@@ -1,0 +1,158 @@
+//! The naive `fork`-based backtracking engine the paper rejects (§3).
+//!
+//! "A naive implementation of `sys_guess` and `sys_guess_fail` would
+//! simply use the POSIX `fork`, `wait` and `exit` system calls.
+//! Sequential depth-first-search exploration … could be implemented by
+//! simply issuing a fork before exploring any extension." The paper then
+//! lists why this is inappropriate: fork creates a new thread of control,
+//! forked processes are not encapsulated, and "the large performance
+//! overheads of this naive approach would likely dwarf any benefit".
+//!
+//! This module implements it anyway — experiments E2/E7 need the real
+//! numbers. One process per extension step, DFS order, solutions and fork
+//! events reported through a pipe.
+
+use std::io::{self, Read};
+use std::os::fd::{FromRawFd, OwnedFd};
+
+/// Outcome of one exploration path (the closure's verdict).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForkOutcome {
+    /// The path reached a solution.
+    Solution,
+    /// The path hit a contradiction.
+    Failed,
+}
+
+/// The decision interface a forked closure sees.
+pub struct ForkCtx {
+    event_fd: i32,
+}
+
+/// Statistics from a fork-based search (gathered via the event pipe).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForkStats {
+    /// Solutions found.
+    pub solutions: u64,
+    /// `fork(2)` calls performed across the whole tree.
+    pub forks: u64,
+    /// Failed paths.
+    pub failures: u64,
+}
+
+impl ForkCtx {
+    /// The `sys_guess` equivalent: explores all of `0..n` by forking.
+    ///
+    /// The calling process becomes the *parent* of `n` children, each of
+    /// which returns a distinct value from this function; the parent
+    /// waits for all children and then exits (it must not continue the
+    /// search itself).
+    pub fn guess(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "guess domain must be non-empty");
+        for i in 0..n {
+            self.emit(b'F');
+            // SAFETY: plain fork; the child continues with a private copy
+            // of the address space and the inherited pipe fd. The search
+            // subtree only uses fork/wait/exit/write, all fork-safe.
+            let pid = unsafe { libc::fork() };
+            match pid {
+                0 => {
+                    return i; // child: explore extension i
+                }
+                -1 => {
+                    // Fork failure: treat the remaining extensions as
+                    // failed paths and stop expanding.
+                    self.emit(b'X');
+                    break;
+                }
+                child => {
+                    let mut status = 0i32;
+                    // SAFETY: waiting for the child we just created.
+                    unsafe { libc::waitpid(child, &mut status, 0) };
+                }
+            }
+        }
+        // Parent of all extensions: nothing left to do on this path.
+        // SAFETY: terminating the search subtree process; `_exit` skips
+        // atexit handlers, which must not run in forked children.
+        unsafe { libc::_exit(0) };
+    }
+
+    fn emit(&self, tag: u8) {
+        // SAFETY: writing one byte to the inherited pipe fd; single-byte
+        // pipe writes are atomic.
+        unsafe {
+            libc::write(self.event_fd, &tag as *const u8 as *const libc::c_void, 1);
+        }
+    }
+}
+
+/// Runs `f` under fork-based DFS backtracking, collecting statistics.
+///
+/// The entire search runs in a forked subtree, so the calling process is
+/// never replaced. `f` must be fork-safe: no threads, no held locks, no
+/// buffered I/O it expects to keep (the usual `fork` caveats — this being
+/// awkward is part of the point the paper makes).
+pub fn fork_dfs(f: impl FnOnce(&mut ForkCtx) -> ForkOutcome) -> io::Result<ForkStats> {
+    let mut fds = [0i32; 2];
+    // SAFETY: creating a pipe; fds are owned below.
+    if unsafe { libc::pipe(fds.as_mut_ptr()) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let (read_fd, write_fd) = (fds[0], fds[1]);
+
+    // SAFETY: fork the search root. The child runs the closure and
+    // everything it forks; the parent only reads the pipe.
+    let pid = unsafe { libc::fork() };
+    if pid == -1 {
+        // SAFETY: closing fds we own.
+        unsafe {
+            libc::close(read_fd);
+            libc::close(write_fd);
+        }
+        return Err(io::Error::last_os_error());
+    }
+    if pid == 0 {
+        // Search root (child).
+        // SAFETY: closing the read end we do not use.
+        unsafe { libc::close(read_fd) };
+        let mut ctx = ForkCtx { event_fd: write_fd };
+        let outcome = f(&mut ctx);
+        ctx.emit(match outcome {
+            ForkOutcome::Solution => b'S',
+            ForkOutcome::Failed => b'L',
+        });
+        // SAFETY: leaf process exits without running atexit handlers.
+        unsafe { libc::_exit(0) };
+    }
+
+    // Parent: close the write end so EOF arrives when the tree finishes.
+    // SAFETY: we own write_fd and transfer read_fd to an OwnedFd.
+    let mut reader = unsafe {
+        libc::close(write_fd);
+        std::fs::File::from(OwnedFd::from_raw_fd(read_fd))
+    };
+    let mut stats = ForkStats::default();
+    let mut buf = [0u8; 4096];
+    loop {
+        match reader.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                for &b in &buf[..n] {
+                    match b {
+                        b'S' => stats.solutions += 1,
+                        b'L' => stats.failures += 1,
+                        b'F' => stats.forks += 1,
+                        _ => {}
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let mut status = 0i32;
+    // SAFETY: reaping the search root we forked.
+    unsafe { libc::waitpid(pid, &mut status, 0) };
+    Ok(stats)
+}

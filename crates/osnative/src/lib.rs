@@ -1,0 +1,23 @@
+//! # lwsnap-os — Linux-native baselines
+//!
+//! Two comparison points the paper discusses, implemented for real:
+//!
+//! * [`forkengine`] — the "naive implementation of `sys_guess` and
+//!   `sys_guess_fail` \[that\] would simply use the POSIX `fork`, `wait`
+//!   and `exit` system calls" (§3). Experiments E2/E7 measure why the
+//!   paper rejects it.
+//! * [`ckpt`] — libckpt-style incremental checkpointing: `mprotect` the
+//!   arena, catch `SIGSEGV`, save pre-images, restore on demand. The
+//!   closest userspace analogue of the paper's hardware-paging snapshots
+//!   (and of \[14\] in its related-work section).
+//!
+//! This is the only crate in the workspace containing `unsafe` code; the
+//! public APIs are safe.
+
+#![warn(missing_docs)]
+
+pub mod ckpt;
+pub mod forkengine;
+
+pub use ckpt::{CkptArena, CkptStats, PAGE_SIZE};
+pub use forkengine::{fork_dfs, ForkCtx, ForkOutcome, ForkStats};

@@ -1,0 +1,110 @@
+//! Integration tests for the mprotect+SIGSEGV checkpoint arena.
+//!
+//! Kept in one serialised test function: the arena relies on a
+//! process-global SIGSEGV handler, and exercising it from many parallel
+//! test threads would make failures hard to attribute.
+
+use lwsnap_os::{CkptArena, PAGE_SIZE};
+
+#[test]
+fn arena_end_to_end() {
+    basic_snapshot_restore();
+    only_touched_pages_saved();
+    nested_snapshots();
+    restore_is_repeatable();
+    commit_drops_history();
+    large_arena_stress();
+}
+
+fn basic_snapshot_restore() {
+    let mut arena = CkptArena::new(4).unwrap();
+    arena.as_mut_slice()[0] = 11;
+    arena.as_mut_slice()[PAGE_SIZE] = 22;
+    let level = arena.snapshot().unwrap();
+    arena.as_mut_slice()[0] = 99;
+    arena.as_mut_slice()[PAGE_SIZE] = 88;
+    assert_eq!(arena.as_slice()[0], 99);
+    arena.restore(level).unwrap();
+    assert_eq!(arena.as_slice()[0], 11, "pre-image restored");
+    assert_eq!(arena.as_slice()[PAGE_SIZE], 22);
+}
+
+fn only_touched_pages_saved() {
+    let mut arena = CkptArena::new(64).unwrap();
+    let level = arena.snapshot().unwrap();
+    let before = arena.stats().faults;
+    // Touch exactly 3 pages.
+    for page in [5usize, 17, 40] {
+        arena.as_mut_slice()[page * PAGE_SIZE] = 1;
+    }
+    // Second writes to the same pages are free.
+    for page in [5usize, 17, 40] {
+        arena.as_mut_slice()[page * PAGE_SIZE + 8] = 2;
+    }
+    assert_eq!(
+        arena.stats().faults - before,
+        3,
+        "one fault per touched page"
+    );
+    assert_eq!(arena.dirty_pages_since(level), 3);
+    arena.restore(level).unwrap();
+    for page in [5usize, 17, 40] {
+        assert_eq!(arena.as_slice()[page * PAGE_SIZE], 0);
+    }
+}
+
+fn nested_snapshots() {
+    let mut arena = CkptArena::new(2).unwrap();
+    arena.as_mut_slice()[0] = 1;
+    let l0 = arena.snapshot().unwrap();
+    arena.as_mut_slice()[0] = 2;
+    let l1 = arena.snapshot().unwrap();
+    arena.as_mut_slice()[0] = 3;
+    arena.restore(l1).unwrap();
+    assert_eq!(arena.as_slice()[0], 2);
+    arena.restore(l0).unwrap();
+    assert_eq!(arena.as_slice()[0], 1);
+}
+
+fn restore_is_repeatable() {
+    let mut arena = CkptArena::new(2).unwrap();
+    arena.as_mut_slice()[100] = 7;
+    let level = arena.snapshot().unwrap();
+    for round in 0..5u8 {
+        arena.as_mut_slice()[100] = round + 50;
+        arena.restore(level).unwrap();
+        assert_eq!(arena.as_slice()[100], 7, "round {round}");
+    }
+    assert_eq!(arena.stats().restores, 5);
+}
+
+fn commit_drops_history() {
+    let mut arena = CkptArena::new(2).unwrap();
+    arena.snapshot().unwrap();
+    arena.as_mut_slice()[0] = 42;
+    arena.commit().unwrap();
+    // Writes after commit don't fault (no active snapshot).
+    let faults = arena.stats().faults;
+    arena.as_mut_slice()[0] = 43;
+    assert_eq!(arena.stats().faults, faults);
+    assert_eq!(arena.as_slice()[0], 43);
+}
+
+fn large_arena_stress() {
+    let pages = 256;
+    let mut arena = CkptArena::new(pages).unwrap();
+    // Fill with a pattern.
+    for p in 0..pages {
+        arena.as_mut_slice()[p * PAGE_SIZE] = (p % 251) as u8;
+    }
+    let level = arena.snapshot().unwrap();
+    // Dirty every other page.
+    for p in (0..pages).step_by(2) {
+        arena.as_mut_slice()[p * PAGE_SIZE] = 0xff;
+    }
+    assert_eq!(arena.dirty_pages_since(level), pages / 2);
+    arena.restore(level).unwrap();
+    for p in 0..pages {
+        assert_eq!(arena.as_slice()[p * PAGE_SIZE], (p % 251) as u8, "page {p}");
+    }
+}

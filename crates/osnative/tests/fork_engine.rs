@@ -1,0 +1,65 @@
+//! Integration tests for the naive fork-based backtracking engine.
+//!
+//! One test function: forking from a multi-threaded test harness is the
+//! usual fork-safety minefield, so the whole scenario set runs serially
+//! from a single thread with fork-safe closures (no allocation after the
+//! first guess).
+
+use lwsnap_os::{fork_dfs, ForkOutcome};
+
+#[test]
+fn fork_engine_end_to_end() {
+    enumerates_binary_tree();
+    nqueens_6_by_forking();
+    single_path_no_guesses();
+}
+
+fn enumerates_binary_tree() {
+    // 2^3 = 8 leaves, all solutions; 2 forks per internal node.
+    let stats = fork_dfs(|ctx| {
+        let mut _acc = 0u64;
+        for _ in 0..3 {
+            _acc = _acc << 1 | ctx.guess(2);
+        }
+        ForkOutcome::Solution
+    })
+    .unwrap();
+    assert_eq!(stats.solutions, 8);
+    assert_eq!(stats.failures, 0);
+    // 7 internal nodes x 2 forks each.
+    assert_eq!(stats.forks, 14);
+}
+
+fn nqueens_6_by_forking() {
+    // Fixed-size arrays: no allocation inside the forked tree.
+    let stats = fork_dfs(|ctx| {
+        const N: usize = 6;
+        let mut col = [false; N];
+        let mut d1 = [false; 2 * N];
+        let mut d2 = [false; 2 * N];
+        for c in 0..N {
+            let r = ctx.guess(N as u64) as usize;
+            if col[r] || d1[r + c] || d2[N + r - c] {
+                return ForkOutcome::Failed;
+            }
+            col[r] = true;
+            d1[r + c] = true;
+            d2[N + r - c] = true;
+        }
+        ForkOutcome::Solution
+    })
+    .unwrap();
+    assert_eq!(stats.solutions, 4, "6-queens has 4 solutions");
+    assert!(stats.failures > 0);
+    assert!(
+        stats.forks > 100,
+        "every decision cost a real fork: {}",
+        stats.forks
+    );
+}
+
+fn single_path_no_guesses() {
+    let stats = fork_dfs(|_| ForkOutcome::Solution).unwrap();
+    assert_eq!(stats.solutions, 1);
+    assert_eq!(stats.forks, 0);
+}

@@ -1,0 +1,31 @@
+//! # lwsnap-prolog — the language-runtime backtracking baseline
+//!
+//! The paper positions system-level backtracking against language
+//! runtimes: its prototype runs n-queens "better than a Prolog
+//! implementation running on XSB" (§5). This crate is that comparison
+//! point: a WAM-inspired Prolog interpreter with the classic machinery —
+//! structure sharing, clause renaming, a choice-point stack, and a
+//! binding **trail** that is unwound on every backtrack.
+//!
+//! The contrast matters: here, backtracking cost is *per binding undone*;
+//! with lightweight snapshots it is *per page CoW-copied*. Experiment E1
+//! measures both on the same problem.
+//!
+//! ```
+//! use lwsnap_prolog::{Machine, NQUEENS_PROGRAM};
+//!
+//! let mut m = Machine::new();            // prelude preloaded
+//! m.consult(NQUEENS_PROGRAM).unwrap();
+//! assert_eq!(m.count_solutions("queens(6, Qs)").unwrap(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod parse;
+pub mod term;
+
+pub use machine::{Machine, PlError, PlStats, QueryOutcome, NQUEENS_PROGRAM, PRELUDE};
+pub use parse::{parse_program, parse_query, PClause, PTerm, ParseError};
+pub use term::{AtomId, Atoms, Cell, Store, TermRef};

@@ -1,0 +1,754 @@
+//! The resolution engine: SLD resolution with choice points, trail-based
+//! backtracking, cut, and arithmetic builtins.
+//!
+//! This is the baseline of paper §5: "our prototype performs (as
+//! expected) substantially worse than a hand-coded implementation, but
+//! better than a Prolog implementation running on XSB". The engine here
+//! is a classic structure-sharing interpreter — choice-point stack,
+//! binding trail, clause renaming on every call — i.e. exactly the
+//! bookkeeping machinery that system-level backtracking makes
+//! unnecessary.
+
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use crate::parse::{parse_program, parse_query, PClause, PTerm, ParseError};
+use crate::term::{AtomId, Atoms, Cell, Mark, Store, TermRef};
+
+/// Engine errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlError {
+    /// Reader error.
+    Parse(ParseError),
+    /// A goal was not callable (e.g. an integer goal).
+    NotCallable {
+        /// Rendered offending term.
+        term: String,
+    },
+}
+
+impl From<ParseError> for PlError {
+    fn from(e: ParseError) -> Self {
+        PlError::Parse(e)
+    }
+}
+
+impl std::fmt::Display for PlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlError::Parse(e) => write!(f, "{e}"),
+            PlError::NotCallable { term } => write!(f, "goal not callable: {term}"),
+        }
+    }
+}
+
+impl std::error::Error for PlError {}
+
+/// A compiled clause: head/body roots inside a private cell store.
+#[derive(Debug)]
+struct Clause {
+    store: Store,
+    head: TermRef,
+    body: Vec<TermRef>,
+}
+
+/// Engine counters: the cost of trail-based backtracking, measured.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlStats {
+    /// Head unifications attempted (logical inferences).
+    pub inferences: u64,
+    /// Choice points created.
+    pub choicepoints: u64,
+    /// Backtracks (choice points resumed).
+    pub backtracks: u64,
+    /// Solutions found.
+    pub solutions: u64,
+}
+
+/// Result of a query.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// One map of variable name → rendered term per solution.
+    pub solutions: Vec<BTreeMap<String, String>>,
+    /// Engine counters for this query.
+    pub stats: PlStats,
+    /// Text produced by `write/1` and `nl/0`.
+    pub output: String,
+}
+
+type Goals = Option<Rc<GoalNode>>;
+
+struct GoalNode {
+    term: TermRef,
+    /// Choice-point stack height at clause entry; `!` truncates to here.
+    cut_barrier: usize,
+    next: Goals,
+}
+
+fn push_goal(goals: &Goals, term: TermRef, cut_barrier: usize) -> Goals {
+    Some(Rc::new(GoalNode {
+        term,
+        cut_barrier,
+        next: goals.clone(),
+    }))
+}
+
+struct ChoicePoint {
+    goal: TermRef,
+    key: (AtomId, usize),
+    next_clause: usize,
+    continuation: Goals,
+    mark: Mark,
+}
+
+/// Pre-interned builtin atoms.
+struct Builtins {
+    b_true: AtomId,
+    b_fail: AtomId,
+    b_cut: AtomId,
+    b_unify: AtomId,
+    b_nunify: AtomId,
+    b_is: AtomId,
+    b_eq: AtomId,
+    b_neq: AtomId,
+    b_lt: AtomId,
+    b_gt: AtomId,
+    b_le: AtomId,
+    b_ge: AtomId,
+    b_write: AtomId,
+    b_nl: AtomId,
+    b_plus: AtomId,
+    b_minus: AtomId,
+    b_star: AtomId,
+    b_idiv: AtomId,
+    b_mod: AtomId,
+}
+
+impl Builtins {
+    fn new(atoms: &mut Atoms) -> Self {
+        Builtins {
+            b_true: atoms.intern("true"),
+            b_fail: atoms.intern("fail"),
+            b_cut: atoms.intern("!"),
+            b_unify: atoms.intern("="),
+            b_nunify: atoms.intern("\\="),
+            b_is: atoms.intern("is"),
+            b_eq: atoms.intern("=:="),
+            b_neq: atoms.intern("=\\="),
+            b_lt: atoms.intern("<"),
+            b_gt: atoms.intern(">"),
+            b_le: atoms.intern("=<"),
+            b_ge: atoms.intern(">="),
+            b_write: atoms.intern("write"),
+            b_nl: atoms.intern("nl"),
+            b_plus: atoms.intern("+"),
+            b_minus: atoms.intern("-"),
+            b_star: atoms.intern("*"),
+            b_idiv: atoms.intern("//"),
+            b_mod: atoms.intern("mod"),
+        }
+    }
+}
+
+/// Library predicates every program can rely on.
+pub const PRELUDE: &str = r#"
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+gen(L, H, []) :- L > H.
+gen(L, H, [L|T]) :- L =< H, L1 is L + 1, gen(L1, H, T).
+length([], 0).
+length([_|T], N) :- length(T, M), N is M + 1.
+"#;
+
+/// The classic n-queens program used by the E1 ranking experiment.
+pub const NQUEENS_PROGRAM: &str = r#"
+queens(N, Qs) :- gen(1, N, Ns), place(Ns, [], Qs).
+place([], Qs, Qs).
+place(Unplaced, Safe, Qs) :-
+    select(Q, Unplaced, Rest),
+    safe(Q, 1, Safe),
+    place(Rest, [Q|Safe], Qs).
+safe(_, _, []).
+safe(Q, D, [P|Ps]) :- Q =\= P + D, Q =\= P - D, D1 is D + 1, safe(Q, D1, Ps).
+"#;
+
+/// A Prolog interpreter instance: database + runtime.
+pub struct Machine {
+    atoms: Atoms,
+    builtins: Builtins,
+    db: HashMap<(AtomId, usize), Vec<Rc<Clause>>>,
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Machine {
+    /// Creates a machine with the [`PRELUDE`] loaded.
+    pub fn new() -> Self {
+        let mut atoms = Atoms::new();
+        let builtins = Builtins::new(&mut atoms);
+        let mut m = Machine {
+            atoms,
+            builtins,
+            db: HashMap::new(),
+        };
+        m.consult(PRELUDE).expect("prelude parses");
+        m
+    }
+
+    /// Loads program text into the database.
+    pub fn consult(&mut self, source: &str) -> Result<(), PlError> {
+        for pclause in parse_program(source)? {
+            self.add_clause(&pclause)?;
+        }
+        Ok(())
+    }
+
+    fn add_clause(&mut self, pclause: &PClause) -> Result<(), PlError> {
+        let mut store = Store::new();
+        let mut vars: HashMap<String, TermRef> = HashMap::new();
+        let head = self.compile(&pclause.head, &mut store, &mut vars);
+        let body: Vec<TermRef> = pclause
+            .body
+            .iter()
+            .map(|g| self.compile(g, &mut store, &mut vars))
+            .collect();
+        let key = self
+            .functor_of(&store, head)
+            .ok_or_else(|| PlError::NotCallable {
+                term: store.render(head, &self.atoms),
+            })?;
+        let clause = Rc::new(Clause { store, head, body });
+        self.db.entry(key).or_default().push(clause);
+        Ok(())
+    }
+
+    fn compile(
+        &mut self,
+        t: &PTerm,
+        store: &mut Store,
+        vars: &mut HashMap<String, TermRef>,
+    ) -> TermRef {
+        match t {
+            PTerm::Int(v) => store.int(*v),
+            PTerm::Atom(name) => {
+                let id = self.atoms.intern(name);
+                store.atom(id)
+            }
+            PTerm::Var(name) => {
+                if name == "_" {
+                    store.new_var()
+                } else {
+                    *vars.entry(name.clone()).or_insert_with(|| store.new_var())
+                }
+            }
+            PTerm::Struct(f, args) => {
+                let id = self.atoms.intern(f);
+                let arg_refs: Vec<TermRef> =
+                    args.iter().map(|a| self.compile(a, store, vars)).collect();
+                store.structure(id, &arg_refs)
+            }
+        }
+    }
+
+    fn functor_of(&self, store: &Store, r: TermRef) -> Option<(AtomId, usize)> {
+        match store.cell(store.deref(r)) {
+            Cell::Atom(a) => Some((a, 0)),
+            Cell::Struct(f, n) => Some((f, n)),
+            _ => None,
+        }
+    }
+
+    /// Runs a query, returning up to `limit` solutions (all if `None`).
+    pub fn query(&mut self, text: &str, limit: Option<usize>) -> Result<QueryOutcome, PlError> {
+        let goals_src = parse_query(text)?;
+        let mut store = Store::new();
+        let mut vars: HashMap<String, TermRef> = HashMap::new();
+        let compiled: Vec<TermRef> = goals_src
+            .iter()
+            .map(|g| self.compile(g, &mut store, &mut vars))
+            .collect();
+        let mut goals: Goals = None;
+        for &g in compiled.iter().rev() {
+            goals = push_goal(&goals, g, 0);
+        }
+        let mut run = Run {
+            machine: self,
+            store,
+            cps: Vec::new(),
+            stats: PlStats::default(),
+            output: String::new(),
+        };
+        let solutions = run.solve(goals, &vars, limit)?;
+        let mut stats = run.stats;
+        stats.solutions = solutions.len() as u64;
+        Ok(QueryOutcome {
+            solutions,
+            stats,
+            output: run.output,
+        })
+    }
+
+    /// Convenience: count the solutions of a query.
+    pub fn count_solutions(&mut self, text: &str) -> Result<u64, PlError> {
+        Ok(self.query(text, None)?.stats.solutions)
+    }
+}
+
+/// One in-flight query execution.
+struct Run<'m> {
+    machine: &'m mut Machine,
+    store: Store,
+    cps: Vec<ChoicePoint>,
+    stats: PlStats,
+    output: String,
+}
+
+enum Dispatch {
+    /// Goal succeeded deterministically; `goals` already updated.
+    Continue(Goals),
+    /// Goal failed; backtrack.
+    Fail,
+}
+
+impl Run<'_> {
+    fn solve(
+        &mut self,
+        mut goals: Goals,
+        vars: &HashMap<String, TermRef>,
+        limit: Option<usize>,
+    ) -> Result<Vec<BTreeMap<String, String>>, PlError> {
+        let mut solutions = Vec::new();
+        loop {
+            match goals.clone() {
+                None => {
+                    // All goals solved: a solution.
+                    let mut binding = BTreeMap::new();
+                    for (name, &r) in vars {
+                        if name != "_" {
+                            binding.insert(name.clone(), self.store.render(r, &self.machine.atoms));
+                        }
+                    }
+                    solutions.push(binding);
+                    if let Some(max) = limit {
+                        if solutions.len() >= max {
+                            return Ok(solutions);
+                        }
+                    }
+                    match self.backtrack()? {
+                        Some(resumed) => goals = resumed,
+                        None => return Ok(solutions),
+                    }
+                }
+                Some(node) => {
+                    goals = match self.dispatch(node.term, node.cut_barrier, &node.next)? {
+                        Dispatch::Continue(next) => next,
+                        Dispatch::Fail => match self.backtrack()? {
+                            Some(resumed) => resumed,
+                            None => return Ok(solutions),
+                        },
+                    };
+                }
+            }
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        goal: TermRef,
+        barrier: usize,
+        continuation: &Goals,
+    ) -> Result<Dispatch, PlError> {
+        let goal = self.store.deref(goal);
+        let b = &self.machine.builtins;
+        let (f, n) = match self.store.cell(goal) {
+            Cell::Atom(a) => (a, 0),
+            Cell::Struct(f, n) => (f, n),
+            _ => {
+                return Err(PlError::NotCallable {
+                    term: self.store.render(goal, &self.machine.atoms),
+                })
+            }
+        };
+        // Builtins.
+        if n == 0 {
+            if f == b.b_true {
+                return Ok(Dispatch::Continue(continuation.clone()));
+            }
+            if f == b.b_fail {
+                return Ok(Dispatch::Fail);
+            }
+            if f == b.b_cut {
+                self.cps.truncate(barrier);
+                return Ok(Dispatch::Continue(continuation.clone()));
+            }
+            if f == b.b_nl {
+                self.output.push('\n');
+                return Ok(Dispatch::Continue(continuation.clone()));
+            }
+        }
+        if n == 1 && f == b.b_write {
+            let text = self.store.render(goal + 1, &self.machine.atoms);
+            self.output.push_str(&text);
+            return Ok(Dispatch::Continue(continuation.clone()));
+        }
+        if n == 2 {
+            if f == b.b_unify {
+                return Ok(if self.store.unify(goal + 1, goal + 2) {
+                    Dispatch::Continue(continuation.clone())
+                } else {
+                    Dispatch::Fail
+                });
+            }
+            if f == b.b_nunify {
+                let mark = self.store.mark();
+                let unifiable = self.store.unify(goal + 1, goal + 2);
+                self.store.undo_to(mark);
+                return Ok(if unifiable {
+                    Dispatch::Fail
+                } else {
+                    Dispatch::Continue(continuation.clone())
+                });
+            }
+            if f == b.b_is {
+                return Ok(match self.eval(goal + 2) {
+                    Some(v) => {
+                        let cell = self.store.int(v);
+                        if self.store.unify(goal + 1, cell) {
+                            Dispatch::Continue(continuation.clone())
+                        } else {
+                            Dispatch::Fail
+                        }
+                    }
+                    None => Dispatch::Fail,
+                });
+            }
+            if f == b.b_eq
+                || f == b.b_neq
+                || f == b.b_lt
+                || f == b.b_gt
+                || f == b.b_le
+                || f == b.b_ge
+            {
+                let (x, y) = match (self.eval(goal + 1), self.eval(goal + 2)) {
+                    (Some(x), Some(y)) => (x, y),
+                    _ => return Ok(Dispatch::Fail),
+                };
+                let holds = if f == b.b_eq {
+                    x == y
+                } else if f == b.b_neq {
+                    x != y
+                } else if f == b.b_lt {
+                    x < y
+                } else if f == b.b_gt {
+                    x > y
+                } else if f == b.b_le {
+                    x <= y
+                } else {
+                    x >= y
+                };
+                return Ok(if holds {
+                    Dispatch::Continue(continuation.clone())
+                } else {
+                    Dispatch::Fail
+                });
+            }
+        }
+        // User predicate.
+        self.try_call(goal, (f, n), 0, continuation.clone())
+    }
+
+    /// Tries clauses of `key` for `goal` starting at `from`; on success
+    /// pushes body goals and (if alternatives remain) a choice point.
+    fn try_call(
+        &mut self,
+        goal: TermRef,
+        key: (AtomId, usize),
+        from: usize,
+        continuation: Goals,
+    ) -> Result<Dispatch, PlError> {
+        let mut idx = from;
+        loop {
+            let clause = match self.machine.db.get(&key).and_then(|v| v.get(idx)) {
+                Some(c) => c.clone(),
+                None => return Ok(Dispatch::Fail),
+            };
+            let mark = self.store.mark();
+            let off = self.store.import(&clause.store);
+            self.stats.inferences += 1;
+            if self.store.unify(clause.head + off, goal) {
+                let has_more = self
+                    .machine
+                    .db
+                    .get(&key)
+                    .map(|v| v.len() > idx + 1)
+                    .unwrap_or(false);
+                let barrier = self.cps.len();
+                if has_more {
+                    self.cps.push(ChoicePoint {
+                        goal,
+                        key,
+                        next_clause: idx + 1,
+                        continuation: continuation.clone(),
+                        mark,
+                    });
+                    self.stats.choicepoints += 1;
+                }
+                let mut goals = continuation;
+                for &g in clause.body.iter().rev() {
+                    goals = push_goal(&goals, g + off, barrier);
+                }
+                return Ok(Dispatch::Continue(goals));
+            }
+            self.store.undo_to(mark);
+            idx += 1;
+        }
+    }
+
+    /// Pops choice points until one yields a new execution state.
+    fn backtrack(&mut self) -> Result<Option<Goals>, PlError> {
+        while let Some(cp) = self.cps.pop() {
+            self.stats.backtracks += 1;
+            self.store.undo_to(cp.mark);
+            match self.try_call(cp.goal, cp.key, cp.next_clause, cp.continuation)? {
+                Dispatch::Continue(goals) => return Ok(Some(goals)),
+                Dispatch::Fail => continue,
+            }
+        }
+        Ok(None)
+    }
+
+    /// Arithmetic evaluation; `None` on type errors (the goal then fails).
+    fn eval(&self, r: TermRef) -> Option<i64> {
+        let b = &self.machine.builtins;
+        let r = self.store.deref(r);
+        match self.store.cell(r) {
+            Cell::Int(v) => Some(v),
+            Cell::Struct(f, 2) => {
+                let x = self.eval(r + 1)?;
+                let y = self.eval(r + 2)?;
+                if f == b.b_plus {
+                    Some(x.wrapping_add(y))
+                } else if f == b.b_minus {
+                    Some(x.wrapping_sub(y))
+                } else if f == b.b_star {
+                    Some(x.wrapping_mul(y))
+                } else if f == b.b_idiv {
+                    (y != 0).then(|| x.wrapping_div(y))
+                } else if f == b.b_mod {
+                    (y != 0).then(|| x.rem_euclid(y))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine_with(src: &str) -> Machine {
+        let mut m = Machine::new();
+        m.consult(src).unwrap();
+        m
+    }
+
+    #[test]
+    fn facts_and_simple_query() {
+        let mut m = machine_with("parent(tom, bob). parent(bob, ann).");
+        let out = m.query("parent(tom, X)", None).unwrap();
+        assert_eq!(out.solutions.len(), 1);
+        assert_eq!(out.solutions[0]["X"], "bob");
+    }
+
+    #[test]
+    fn rules_and_joins() {
+        let mut m = machine_with(
+            "parent(tom, bob). parent(bob, ann). parent(bob, joe).
+             grand(X, Z) :- parent(X, Y), parent(Y, Z).",
+        );
+        let out = m.query("grand(tom, Z)", None).unwrap();
+        let names: Vec<&str> = out.solutions.iter().map(|s| s["Z"].as_str()).collect();
+        assert_eq!(names, vec!["ann", "joe"]);
+        assert!(
+            out.stats.backtracks > 0,
+            "enumeration requires backtracking"
+        );
+    }
+
+    #[test]
+    fn unification_and_lists() {
+        let mut m = Machine::new();
+        let out = m.query("X = [1, 2, 3]", None).unwrap();
+        assert_eq!(out.solutions[0]["X"], "[1,2,3]");
+        let out = m.query("[H|T] = [a, b, c]", None).unwrap();
+        assert_eq!(out.solutions[0]["H"], "a");
+        assert_eq!(out.solutions[0]["T"], "[b,c]");
+        let out = m.query("f(X, 2) = f(1, Y)", None).unwrap();
+        assert_eq!(out.solutions[0]["X"], "1");
+        assert_eq!(out.solutions[0]["Y"], "2");
+        assert!(m.query("a = b", None).unwrap().solutions.is_empty());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut m = Machine::new();
+        assert_eq!(
+            m.query("X is 2 + 3 * 4", None).unwrap().solutions[0]["X"],
+            "14"
+        );
+        assert_eq!(
+            m.query("X is 10 // 3", None).unwrap().solutions[0]["X"],
+            "3"
+        );
+        assert_eq!(
+            m.query("X is 10 mod 3", None).unwrap().solutions[0]["X"],
+            "1"
+        );
+        assert_eq!(
+            m.query("X is -5 + 2", None).unwrap().solutions[0]["X"],
+            "-3"
+        );
+        assert!(
+            m.query("X is 1 // 0", None).unwrap().solutions.is_empty(),
+            "div zero fails"
+        );
+        assert_eq!(
+            m.query("3 < 5, 5 >= 5, 4 =< 9, 2 =:= 2, 3 =\\= 4", None)
+                .unwrap()
+                .solutions
+                .len(),
+            1
+        );
+        assert!(m.query("5 < 3", None).unwrap().solutions.is_empty());
+    }
+
+    #[test]
+    fn prelude_predicates() {
+        let mut m = Machine::new();
+        // member enumerates.
+        let out = m.query("member(X, [a, b, c])", None).unwrap();
+        assert_eq!(out.solutions.len(), 3);
+        // append splits: 4 decompositions of a 3-list.
+        let out = m.query("append(X, Y, [1, 2, 3])", None).unwrap();
+        assert_eq!(out.solutions.len(), 4);
+        // select removes one element.
+        let out = m.query("select(X, [1, 2, 3], R)", None).unwrap();
+        assert_eq!(out.solutions.len(), 3);
+        assert_eq!(out.solutions[0]["R"], "[2,3]");
+        // gen builds ranges.
+        let out = m.query("gen(1, 4, L)", None).unwrap();
+        assert_eq!(out.solutions[0]["L"], "[1,2,3,4]");
+        // length.
+        let out = m.query("length([a, b], N)", None).unwrap();
+        assert_eq!(out.solutions[0]["N"], "2");
+    }
+
+    #[test]
+    fn cut_prunes_alternatives() {
+        let mut m = machine_with(
+            "first(X, [X|_]) :- !.
+             first(X, [_|T]) :- first(X, T).
+             max(X, Y, X) :- X >= Y, !.
+             max(_, Y, Y).",
+        );
+        let out = m.query("first(X, [1, 2, 3])", None).unwrap();
+        assert_eq!(out.solutions.len(), 1, "cut stops enumeration");
+        assert_eq!(
+            m.query("max(3, 5, M)", None).unwrap().solutions[0]["M"],
+            "5"
+        );
+        assert_eq!(m.query("max(7, 5, M)", None).unwrap().solutions.len(), 1);
+        assert_eq!(
+            m.query("max(7, 5, M)", None).unwrap().solutions[0]["M"],
+            "7"
+        );
+    }
+
+    #[test]
+    fn negation_by_nunify() {
+        let mut m = Machine::new();
+        assert_eq!(m.query("a \\= b", None).unwrap().solutions.len(), 1);
+        assert!(m.query("a \\= a", None).unwrap().solutions.is_empty());
+        // \= must not leave bindings behind.
+        let out = m.query("X = 1, f(X) \\= f(2)", None).unwrap();
+        assert_eq!(out.solutions[0]["X"], "1");
+    }
+
+    #[test]
+    fn write_output() {
+        let mut m = Machine::new();
+        let out = m
+            .query("write(hello), nl, X = [1,2], write(X)", None)
+            .unwrap();
+        assert_eq!(out.output, "hello\n[1,2]");
+    }
+
+    #[test]
+    fn solution_limit() {
+        let mut m = Machine::new();
+        let out = m.query("member(X, [1,2,3,4,5])", Some(2)).unwrap();
+        assert_eq!(out.solutions.len(), 2);
+    }
+
+    #[test]
+    fn recursion_peano_style() {
+        let mut m = machine_with(
+            "fib(0, 0). fib(1, 1).
+             fib(N, F) :- N > 1, A is N - 1, B is N - 2,
+                          fib(A, FA), fib(B, FB), F is FA + FB.",
+        );
+        let out = m.query("fib(15, F)", None).unwrap();
+        assert_eq!(out.solutions[0]["F"], "610");
+    }
+
+    #[test]
+    fn nqueens_prolog_counts() {
+        let mut m = machine_with(NQUEENS_PROGRAM);
+        assert_eq!(m.count_solutions("queens(4, Qs)").unwrap(), 2);
+        assert_eq!(m.count_solutions("queens(6, Qs)").unwrap(), 4);
+    }
+
+    #[test]
+    fn nqueens_8_matches_oeis() {
+        let mut m = machine_with(NQUEENS_PROGRAM);
+        let out = m.query("queens(8, Qs)", None).unwrap();
+        assert_eq!(out.solutions.len(), 92);
+        assert!(out.stats.backtracks > 1000, "real search happened");
+    }
+
+    #[test]
+    fn unknown_predicate_fails() {
+        let mut m = Machine::new();
+        assert!(m
+            .query("no_such_pred(1)", None)
+            .unwrap()
+            .solutions
+            .is_empty());
+    }
+
+    #[test]
+    fn not_callable_goal_errors() {
+        let mut m = Machine::new();
+        let err = m.query("X = 3, X", None).unwrap_err();
+        assert!(matches!(err, PlError::NotCallable { .. }));
+    }
+
+    #[test]
+    fn anonymous_vars_not_reported() {
+        let mut m = Machine::new();
+        let out = m.query("_ = 1, X = 2", None).unwrap();
+        assert_eq!(out.solutions[0].len(), 1);
+        assert_eq!(out.solutions[0]["X"], "2");
+    }
+}

@@ -1,0 +1,538 @@
+//! Prolog reader: tokenizer and operator-precedence parser.
+//!
+//! Supported subset (everything the baseline programs need):
+//!
+//! * facts and rules `head :- g1, g2, ... .`
+//! * atoms, integers, variables, structures, lists `[a,b|T]`
+//! * arithmetic/comparison operators with standard precedences:
+//!   `=` `\=` `is` `=:=` `=\=` `<` `>` `=<` `>=` (700, xfx),
+//!   `+` `-` (500, yfx), `*` `//` `mod` (400, yfx), unary `-`
+//! * `!` (cut), `%` line comments
+
+/// A parsed (source-level) term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PTerm {
+    /// Atom, e.g. `foo`, `[]`, `!`.
+    Atom(String),
+    /// Variable, e.g. `X`, `_Rest`, `_`.
+    Var(String),
+    /// Integer literal.
+    Int(i64),
+    /// Structure, e.g. `f(X, 1)`; operators parse to structures too.
+    Struct(String, Vec<PTerm>),
+}
+
+/// A clause: `head.` or `head :- body1, body2.`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PClause {
+    /// The head term (atom or structure).
+    pub head: PTerm,
+    /// Body goals in order (empty for facts).
+    pub body: Vec<PTerm>,
+}
+
+/// Parse error with position info.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the source.
+    pub at: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Atom(String),
+    Var(String),
+    Int(i64),
+    Punct(&'static str), // ( ) [ ] | , . :- ! and operators
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+const OPERATORS: [&str; 13] = [
+    "=:=", "=\\=", "=<", ">=", ":-", "\\=", "is", "mod", "//", "=", "<", ">", "+",
+];
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.pos < self.src.len() && self.src[self.pos] == b'%' {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn next(&mut self) -> Result<Option<(usize, Tok)>, ParseError> {
+        self.skip_ws();
+        if self.pos >= self.src.len() {
+            return Ok(None);
+        }
+        let at = self.pos;
+        let b = self.src[self.pos];
+        // Multi-char operators first (longest match).
+        for op in ["=:=", "=\\=", "=<", ">=", ":-", "\\=", "//"] {
+            if self.src[self.pos..].starts_with(op.as_bytes()) {
+                self.pos += op.len();
+                return Ok(Some((at, Tok::Punct(leak(op)))));
+            }
+        }
+        match b {
+            b'(' | b')' | b'[' | b']' | b'|' | b',' | b'!' | b'=' | b'<' | b'>' | b'+' | b'-'
+            | b'*' => {
+                self.pos += 1;
+                let s: &'static str = match b {
+                    b'(' => "(",
+                    b')' => ")",
+                    b'[' => "[",
+                    b']' => "]",
+                    b'|' => "|",
+                    b',' => ",",
+                    b'!' => "!",
+                    b'=' => "=",
+                    b'<' => "<",
+                    b'>' => ">",
+                    b'+' => "+",
+                    b'-' => "-",
+                    _ => "*",
+                };
+                Ok(Some((at, Tok::Punct(s))))
+            }
+            b'.' => {
+                // End-of-clause dot must be followed by whitespace/EOF.
+                self.pos += 1;
+                Ok(Some((at, Tok::Punct("."))))
+            }
+            b'0'..=b'9' => {
+                let start = self.pos;
+                while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+                let v = text.parse().map_err(|_| ParseError {
+                    at,
+                    msg: format!("bad integer `{text}`"),
+                })?;
+                Ok(Some((at, Tok::Int(v))))
+            }
+            b'a'..=b'z' => {
+                let start = self.pos;
+                while self.pos < self.src.len()
+                    && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("ascii")
+                    .to_owned();
+                if text == "is" || text == "mod" {
+                    return Ok(Some((at, Tok::Punct(leak(&text)))));
+                }
+                Ok(Some((at, Tok::Atom(text))))
+            }
+            b'A'..=b'Z' | b'_' => {
+                let start = self.pos;
+                while self.pos < self.src.len()
+                    && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("ascii")
+                    .to_owned();
+                Ok(Some((at, Tok::Var(text))))
+            }
+            b'\'' => {
+                // Quoted atom.
+                self.pos += 1;
+                let start = self.pos;
+                while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                if self.pos >= self.src.len() {
+                    return Err(ParseError {
+                        at,
+                        msg: "unterminated quoted atom".into(),
+                    });
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| ParseError {
+                        at,
+                        msg: "non-UTF8 atom".into(),
+                    })?
+                    .to_owned();
+                self.pos += 1;
+                Ok(Some((at, Tok::Atom(text))))
+            }
+            other => Err(ParseError {
+                at,
+                msg: format!("unexpected byte `{}`", other as char),
+            }),
+        }
+    }
+}
+
+/// Interns operator strings to 'static (bounded by the operator set).
+fn leak(s: &str) -> &'static str {
+    for op in OPERATORS {
+        if op == s {
+            return op;
+        }
+    }
+    unreachable!("unknown operator {s}")
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|(a, _)| *a)
+            .unwrap_or(usize::MAX)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(Tok::Punct(q)) if q == p => Ok(()),
+            other => Err(ParseError {
+                at: self.at(),
+                msg: format!("expected `{p}`, found {other:?}"),
+            }),
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            at: self.at(),
+            msg: msg.into(),
+        })
+    }
+
+    /// term(700): comparisons (non-associative).
+    fn term(&mut self) -> Result<PTerm, ParseError> {
+        let lhs = self.additive()?;
+        if let Some(Tok::Punct(op)) = self.peek() {
+            let op = *op;
+            if matches!(
+                op,
+                "=" | "\\=" | "is" | "=:=" | "=\\=" | "<" | ">" | "=<" | ">="
+            ) {
+                self.bump();
+                let rhs = self.additive()?;
+                return Ok(PTerm::Struct(op.to_owned(), vec![lhs, rhs]));
+            }
+        }
+        Ok(lhs)
+    }
+
+    /// term(500): + and -, left associative.
+    fn additive(&mut self) -> Result<PTerm, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        while let Some(Tok::Punct(op)) = self.peek() {
+            let op = *op;
+            if op == "+" || op == "-" {
+                self.bump();
+                let rhs = self.multiplicative()?;
+                lhs = PTerm::Struct(op.to_owned(), vec![lhs, rhs]);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    /// term(400): * // mod, left associative.
+    fn multiplicative(&mut self) -> Result<PTerm, ParseError> {
+        let mut lhs = self.primary()?;
+        while let Some(Tok::Punct(op)) = self.peek() {
+            let op = *op;
+            if op == "*" || op == "//" || op == "mod" {
+                self.bump();
+                let rhs = self.primary()?;
+                lhs = PTerm::Struct(op.to_owned(), vec![lhs, rhs]);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn primary(&mut self) -> Result<PTerm, ParseError> {
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(PTerm::Int(v)),
+            Some(Tok::Var(name)) => Ok(PTerm::Var(name)),
+            Some(Tok::Punct("-")) => {
+                // Unary minus.
+                match self.primary()? {
+                    PTerm::Int(v) => Ok(PTerm::Int(-v)),
+                    t => Ok(PTerm::Struct("-".into(), vec![PTerm::Int(0), t])),
+                }
+            }
+            Some(Tok::Punct("(")) => {
+                let t = self.term()?;
+                self.expect_punct(")")?;
+                Ok(t)
+            }
+            Some(Tok::Punct("[")) => self.list(),
+            Some(Tok::Punct("!")) => Ok(PTerm::Atom("!".into())),
+            Some(Tok::Atom(name)) => {
+                if self.peek() == Some(&Tok::Punct("(")) {
+                    self.bump();
+                    let mut args = vec![self.term()?];
+                    while self.peek() == Some(&Tok::Punct(",")) {
+                        self.bump();
+                        args.push(self.term()?);
+                    }
+                    self.expect_punct(")")?;
+                    Ok(PTerm::Struct(name, args))
+                } else {
+                    Ok(PTerm::Atom(name))
+                }
+            }
+            other => self.err(format!("unexpected token {other:?}")),
+        }
+    }
+
+    fn list(&mut self) -> Result<PTerm, ParseError> {
+        if self.peek() == Some(&Tok::Punct("]")) {
+            self.bump();
+            return Ok(PTerm::Atom("[]".into()));
+        }
+        let mut items = vec![self.term()?];
+        while self.peek() == Some(&Tok::Punct(",")) {
+            self.bump();
+            items.push(self.term()?);
+        }
+        let tail = if self.peek() == Some(&Tok::Punct("|")) {
+            self.bump();
+            self.term()?
+        } else {
+            PTerm::Atom("[]".into())
+        };
+        self.expect_punct("]")?;
+        let mut list = tail;
+        for item in items.into_iter().rev() {
+            list = PTerm::Struct(".".into(), vec![item, list]);
+        }
+        Ok(list)
+    }
+
+    /// Parses `head (:- body)? .`
+    fn clause(&mut self) -> Result<PClause, ParseError> {
+        let head = self.term()?;
+        match &head {
+            PTerm::Atom(_) | PTerm::Struct(_, _) => {}
+            other => return self.err(format!("clause head must be callable, got {other:?}")),
+        }
+        let mut body = Vec::new();
+        if self.peek() == Some(&Tok::Punct(":-")) {
+            self.bump();
+            body.push(self.term()?);
+            while self.peek() == Some(&Tok::Punct(",")) {
+                self.bump();
+                body.push(self.term()?);
+            }
+        }
+        self.expect_punct(".")?;
+        Ok(PClause { head, body })
+    }
+}
+
+fn tokenize(source: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let mut lexer = Lexer::new(source);
+    let mut toks = Vec::new();
+    while let Some(t) = lexer.next()? {
+        toks.push(t);
+    }
+    Ok(toks)
+}
+
+/// Parses a whole program (sequence of clauses).
+pub fn parse_program(source: &str) -> Result<Vec<PClause>, ParseError> {
+    let mut p = Parser {
+        toks: tokenize(source)?,
+        pos: 0,
+    };
+    let mut clauses = Vec::new();
+    while p.peek().is_some() {
+        clauses.push(p.clause()?);
+    }
+    Ok(clauses)
+}
+
+/// Parses a query: a comma-separated goal list (no trailing dot needed).
+pub fn parse_query(source: &str) -> Result<Vec<PTerm>, ParseError> {
+    let source = source.trim().trim_end_matches('.');
+    let mut p = Parser {
+        toks: tokenize(source)?,
+        pos: 0,
+    };
+    let mut goals = vec![p.term()?];
+    while p.peek() == Some(&Tok::Punct(",")) {
+        p.bump();
+        goals.push(p.term()?);
+    }
+    if p.peek().is_some() {
+        return p.err("trailing tokens after query");
+    }
+    Ok(goals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(s: &str) -> PTerm {
+        PTerm::Atom(s.into())
+    }
+
+    fn var(s: &str) -> PTerm {
+        PTerm::Var(s.into())
+    }
+
+    #[test]
+    fn facts_and_rules() {
+        let prog =
+            parse_program("parent(tom, bob).\ngrand(X,Z) :- parent(X,Y), parent(Y,Z).").unwrap();
+        assert_eq!(prog.len(), 2);
+        assert_eq!(
+            prog[0].head,
+            PTerm::Struct("parent".into(), vec![atom("tom"), atom("bob")])
+        );
+        assert!(prog[0].body.is_empty());
+        assert_eq!(prog[1].body.len(), 2);
+    }
+
+    #[test]
+    fn operators_precedence() {
+        let q = parse_query("X is 1 + 2 * 3").unwrap();
+        assert_eq!(
+            q[0],
+            PTerm::Struct(
+                "is".into(),
+                vec![
+                    var("X"),
+                    PTerm::Struct(
+                        "+".into(),
+                        vec![
+                            PTerm::Int(1),
+                            PTerm::Struct("*".into(), vec![PTerm::Int(2), PTerm::Int(3)])
+                        ]
+                    )
+                ]
+            )
+        );
+        // Left associativity: 10 - 2 - 3 = (10-2)-3.
+        let q = parse_query("X is 10 - 2 - 3").unwrap();
+        if let PTerm::Struct(_, args) = &q[0] {
+            assert_eq!(
+                args[1],
+                PTerm::Struct(
+                    "-".into(),
+                    vec![
+                        PTerm::Struct("-".into(), vec![PTerm::Int(10), PTerm::Int(2)]),
+                        PTerm::Int(3)
+                    ]
+                )
+            );
+        } else {
+            panic!("not a struct");
+        }
+    }
+
+    #[test]
+    fn comparisons() {
+        let q = parse_query("X =\\= Y + 1, X =< 4").unwrap();
+        assert_eq!(q.len(), 2);
+        assert!(matches!(&q[0], PTerm::Struct(op, _) if op == "=\\="));
+        assert!(matches!(&q[1], PTerm::Struct(op, _) if op == "=<"));
+    }
+
+    #[test]
+    fn lists() {
+        let q = parse_query("X = [1, 2 | T]").unwrap();
+        let expected = PTerm::Struct(
+            ".".into(),
+            vec![
+                PTerm::Int(1),
+                PTerm::Struct(".".into(), vec![PTerm::Int(2), var("T")]),
+            ],
+        );
+        assert_eq!(q[0], PTerm::Struct("=".into(), vec![var("X"), expected]));
+        let q = parse_query("X = []").unwrap();
+        assert_eq!(q[0], PTerm::Struct("=".into(), vec![var("X"), atom("[]")]));
+    }
+
+    #[test]
+    fn cut_and_negative_numbers() {
+        let prog = parse_program("f(X) :- X > 0, !.\n").unwrap();
+        assert_eq!(prog[0].body[1], atom("!"));
+        let q = parse_query("X is -5 + 3").unwrap();
+        assert!(matches!(&q[0], PTerm::Struct(op, _) if op == "is"));
+    }
+
+    #[test]
+    fn comments_and_quoted_atoms() {
+        let prog = parse_program("% a comment\nf('hello world'). % trailing\n").unwrap();
+        assert_eq!(
+            prog[0].head,
+            PTerm::Struct("f".into(), vec![atom("hello world")])
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_program("f(X :- g.").is_err());
+        assert!(parse_program("3 :- g.").is_err(), "integer head");
+        assert!(parse_program("f('unterminated).").is_err());
+        assert!(parse_query("f(X), ,").is_err());
+    }
+
+    #[test]
+    fn underscore_vars() {
+        let q = parse_query("f(_, _Rest)").unwrap();
+        assert_eq!(
+            q[0],
+            PTerm::Struct("f".into(), vec![var("_"), var("_Rest")])
+        );
+    }
+}

@@ -1,0 +1,400 @@
+//! Term store: WAM-style cells, bindings, trail, and unification.
+//!
+//! The interpreter's backtracking works the way the paper says hand-coded
+//! and language-runtime backtracking works — and what its snapshots
+//! replace: every variable binding is recorded on a **trail**, and
+//! backtracking *undoes* bindings one by one. Contrast with lwsnap-core,
+//! where backtracking restores an immutable snapshot and nothing is ever
+//! undone.
+
+use std::collections::HashMap;
+
+/// Interned atom identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AtomId(pub u32);
+
+/// Atom interner.
+#[derive(Debug, Default, Clone)]
+pub struct Atoms {
+    names: Vec<String>,
+    index: HashMap<String, AtomId>,
+}
+
+impl Atoms {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Atoms::default()
+    }
+
+    /// Interns `name`.
+    pub fn intern(&mut self, name: &str) -> AtomId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = AtomId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// The name of an atom.
+    pub fn name(&self, id: AtomId) -> &str {
+        &self.names[id.0 as usize]
+    }
+}
+
+/// Index of a cell in the store.
+pub type TermRef = usize;
+
+/// One heap cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cell {
+    /// An unbound variable.
+    Free,
+    /// A bound variable (points at its value).
+    Ref(TermRef),
+    /// An atom.
+    Atom(AtomId),
+    /// An integer.
+    Int(i64),
+    /// A structure header `f/arity`; the args are the following `arity`
+    /// cells (flat WAM layout).
+    Struct(AtomId, usize),
+}
+
+/// The term heap with trail-based undo.
+#[derive(Debug, Default, Clone)]
+pub struct Store {
+    cells: Vec<Cell>,
+    trail: Vec<TermRef>,
+}
+
+/// A saved store position for backtracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mark {
+    cells: usize,
+    trail: usize,
+}
+
+impl Store {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Number of live cells (diagnostics).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Reads a cell.
+    #[inline]
+    pub fn cell(&self, r: TermRef) -> Cell {
+        self.cells[r]
+    }
+
+    /// Pushes a fresh unbound variable.
+    pub fn new_var(&mut self) -> TermRef {
+        self.cells.push(Cell::Free);
+        self.cells.len() - 1
+    }
+
+    /// Pushes an atom cell.
+    pub fn atom(&mut self, id: AtomId) -> TermRef {
+        self.cells.push(Cell::Atom(id));
+        self.cells.len() - 1
+    }
+
+    /// Pushes an integer cell.
+    pub fn int(&mut self, v: i64) -> TermRef {
+        self.cells.push(Cell::Int(v));
+        self.cells.len() - 1
+    }
+
+    /// Pushes a structure: header followed by arg cells referencing
+    /// `args`. Returns the header ref.
+    pub fn structure(&mut self, f: AtomId, args: &[TermRef]) -> TermRef {
+        let header = self.cells.len();
+        self.cells.push(Cell::Struct(f, args.len()));
+        for &a in args {
+            self.cells.push(Cell::Ref(a));
+        }
+        header
+    }
+
+    /// Appends every cell of `other`, shifting internal references.
+    ///
+    /// Returns the offset to add to `other`-relative refs. This is how a
+    /// program clause (compiled into its own store) is "renamed apart"
+    /// into the runtime heap: `Free` cells become fresh variables.
+    pub fn import(&mut self, other: &Store) -> usize {
+        let off = self.cells.len();
+        self.cells
+            .extend(other.cells.iter().map(|&cell| match cell {
+                Cell::Ref(r) => Cell::Ref(r + off),
+                c => c,
+            }));
+        off
+    }
+
+    /// Follows `Ref` chains to the representative cell.
+    #[inline]
+    pub fn deref(&self, mut r: TermRef) -> TermRef {
+        loop {
+            match self.cells[r] {
+                Cell::Ref(next) => r = next,
+                _ => return r,
+            }
+        }
+    }
+
+    /// Binds the unbound variable at `v` to `t`, recording it on the
+    /// trail.
+    pub fn bind(&mut self, v: TermRef, t: TermRef) {
+        debug_assert_eq!(self.cells[v], Cell::Free, "bind target must be unbound");
+        self.cells[v] = Cell::Ref(t);
+        self.trail.push(v);
+    }
+
+    /// Captures the current store/trail position.
+    pub fn mark(&self) -> Mark {
+        Mark {
+            cells: self.cells.len(),
+            trail: self.trail.len(),
+        }
+    }
+
+    /// Undoes all bindings and allocations made since `mark`.
+    pub fn undo_to(&mut self, mark: Mark) {
+        while self.trail.len() > mark.trail {
+            let v = self.trail.pop().expect("trail entry");
+            if v < mark.cells {
+                self.cells[v] = Cell::Free;
+            }
+        }
+        self.cells.truncate(mark.cells);
+    }
+
+    /// Unifies two terms; on failure the caller must undo to a prior
+    /// mark (bindings made by the failed attempt remain trailed).
+    pub fn unify(&mut self, a: TermRef, b: TermRef) -> bool {
+        let mut stack = vec![(a, b)];
+        while let Some((x, y)) = stack.pop() {
+            let x = self.deref(x);
+            let y = self.deref(y);
+            if x == y {
+                continue;
+            }
+            match (self.cells[x], self.cells[y]) {
+                (Cell::Free, _) => self.bind(x, y),
+                (_, Cell::Free) => self.bind(y, x),
+                (Cell::Atom(p), Cell::Atom(q)) => {
+                    if p != q {
+                        return false;
+                    }
+                }
+                (Cell::Int(p), Cell::Int(q)) => {
+                    if p != q {
+                        return false;
+                    }
+                }
+                (Cell::Struct(f, n), Cell::Struct(g, m)) => {
+                    if f != g || n != m {
+                        return false;
+                    }
+                    for i in 0..n {
+                        stack.push((x + 1 + i, y + 1 + i));
+                    }
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Renders a term for output (lists in bracket syntax).
+    pub fn render(&self, r: TermRef, atoms: &Atoms) -> String {
+        let r = self.deref(r);
+        match self.cells[r] {
+            Cell::Free => format!("_G{r}"),
+            Cell::Ref(_) => unreachable!("deref'd"),
+            Cell::Atom(a) => atoms.name(a).to_owned(),
+            Cell::Int(v) => v.to_string(),
+            Cell::Struct(f, n) => {
+                // List sugar: '.'(H, T).
+                if atoms.name(f) == "." && n == 2 {
+                    return self.render_list(r, atoms);
+                }
+                let args: Vec<String> = (0..n).map(|i| self.render(r + 1 + i, atoms)).collect();
+                format!("{}({})", atoms.name(f), args.join(","))
+            }
+        }
+    }
+
+    fn render_list(&self, mut r: TermRef, atoms: &Atoms) -> String {
+        let mut parts = Vec::new();
+        loop {
+            r = self.deref(r);
+            match self.cells[r] {
+                Cell::Struct(f, 2) if atoms.name(f) == "." => {
+                    parts.push(self.render(r + 1, atoms));
+                    r += 2;
+                }
+                Cell::Atom(a) if atoms.name(a) == "[]" => {
+                    return format!("[{}]", parts.join(","));
+                }
+                _ => {
+                    return format!("[{}|{}]", parts.join(","), self.render(r, atoms));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Store, Atoms) {
+        (Store::new(), Atoms::new())
+    }
+
+    #[test]
+    fn intern_is_stable() {
+        let mut atoms = Atoms::new();
+        let a = atoms.intern("foo");
+        let b = atoms.intern("foo");
+        let c = atoms.intern("bar");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(atoms.name(a), "foo");
+    }
+
+    #[test]
+    fn unify_atoms_and_ints() {
+        let (mut s, mut atoms) = setup();
+        let foo = atoms.intern("foo");
+        let bar = atoms.intern("bar");
+        let a1 = s.atom(foo);
+        let a2 = s.atom(foo);
+        let a3 = s.atom(bar);
+        assert!(s.unify(a1, a2));
+        assert!(!s.unify(a1, a3));
+        let i1 = s.int(5);
+        let i2 = s.int(5);
+        let i3 = s.int(6);
+        assert!(s.unify(i1, i2));
+        assert!(!s.unify(i1, i3));
+    }
+
+    #[test]
+    fn unify_binds_variables() {
+        let (mut s, mut atoms) = setup();
+        let foo = atoms.intern("foo");
+        let v = s.new_var();
+        let a = s.atom(foo);
+        assert!(s.unify(v, a));
+        assert_eq!(s.deref(v), a);
+        // Unifying two free variables links them.
+        let x = s.new_var();
+        let y = s.new_var();
+        assert!(s.unify(x, y));
+        let c = s.int(9);
+        assert!(s.unify(x, c));
+        assert_eq!(s.cell(s.deref(y)), Cell::Int(9));
+    }
+
+    #[test]
+    fn unify_structs_recursively() {
+        let (mut s, mut atoms) = setup();
+        let f = atoms.intern("f");
+        let one = s.int(1);
+        let v = s.new_var();
+        let t1 = s.structure(f, &[one, v]);
+        let two = s.int(2);
+        let w = s.new_var();
+        let t2 = s.structure(f, &[w, two]);
+        assert!(s.unify(t1, t2));
+        assert_eq!(s.cell(s.deref(v)), Cell::Int(2));
+        assert_eq!(s.cell(s.deref(w)), Cell::Int(1));
+    }
+
+    #[test]
+    fn unify_arity_mismatch_fails() {
+        let (mut s, mut atoms) = setup();
+        let f = atoms.intern("f");
+        let one = s.int(1);
+        let t1 = s.structure(f, &[one]);
+        let a = s.int(1);
+        let b = s.int(2);
+        let t2 = s.structure(f, &[a, b]);
+        assert!(!s.unify(t1, t2));
+    }
+
+    #[test]
+    fn trail_undo_restores() {
+        let (mut s, mut atoms) = setup();
+        let foo = atoms.intern("foo");
+        let v = s.new_var();
+        let mark = s.mark();
+        let a = s.atom(foo);
+        assert!(s.unify(v, a));
+        assert_ne!(s.cell(s.deref(v)), Cell::Free);
+        s.undo_to(mark);
+        assert_eq!(s.cell(v), Cell::Free);
+        assert_eq!(s.len(), 1, "cells allocated after the mark are gone");
+    }
+
+    #[test]
+    fn failed_unify_then_undo_is_clean() {
+        let (mut s, mut atoms) = setup();
+        let f = atoms.intern("f");
+        // f(X, 1) vs f(2, 3): binds X:=2 then fails on 1 vs 3.
+        let x = s.new_var();
+        let one = s.int(1);
+        let t1 = s.structure(f, &[x, one]);
+        let mark = s.mark();
+        let two = s.int(2);
+        let three = s.int(3);
+        let t2 = s.structure(f, &[two, three]);
+        assert!(!s.unify(t1, t2));
+        s.undo_to(mark);
+        assert_eq!(s.cell(x), Cell::Free, "partial binding undone");
+    }
+
+    #[test]
+    fn render_terms() {
+        let (mut s, mut atoms) = setup();
+        let f = atoms.intern("point");
+        let x = s.int(3);
+        let y = s.int(4);
+        let t = s.structure(f, &[x, y]);
+        assert_eq!(s.render(t, &atoms), "point(3,4)");
+        let v = s.new_var();
+        assert!(s.render(v, &atoms).starts_with("_G"));
+    }
+
+    #[test]
+    fn render_lists() {
+        let (mut s, mut atoms) = setup();
+        let cons = atoms.intern(".");
+        let nil = atoms.intern("[]");
+        // [1,2]
+        let nil_t = s.atom(nil);
+        let two = s.int(2);
+        let l2 = s.structure(cons, &[two, nil_t]);
+        let one = s.int(1);
+        let l1 = s.structure(cons, &[one, l2]);
+        assert_eq!(s.render(l1, &atoms), "[1,2]");
+        // Improper list [1|X].
+        let v = s.new_var();
+        let one = s.int(1);
+        let improper = s.structure(cons, &[one, v]);
+        assert!(s.render(improper, &atoms).starts_with("[1|_G"));
+    }
+}

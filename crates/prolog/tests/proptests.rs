@@ -1,0 +1,106 @@
+//! Property tests: the Prolog machine against host-computed oracles.
+
+use lwsnap_prolog::Machine;
+use proptest::prelude::*;
+
+fn list_term(items: &[i64]) -> String {
+    format!(
+        "[{}]",
+        items
+            .iter()
+            .map(i64::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// append/3 concatenates exactly like the host.
+    #[test]
+    fn append_concatenates(
+        a in proptest::collection::vec(-50i64..50, 0..6),
+        b in proptest::collection::vec(-50i64..50, 0..6),
+    ) {
+        let mut m = Machine::new();
+        let q = format!("append({}, {}, X)", list_term(&a), list_term(&b));
+        let out = m.query(&q, None).unwrap();
+        prop_assert_eq!(out.solutions.len(), 1);
+        let mut joined = a.clone();
+        joined.extend(&b);
+        prop_assert_eq!(&out.solutions[0]["X"], &list_term(&joined));
+    }
+
+    /// append(X, Y, L) enumerates exactly len(L)+1 decompositions, and
+    /// each one re-concatenates to L.
+    #[test]
+    fn append_decomposes(l in proptest::collection::vec(0i64..10, 0..7)) {
+        let mut m = Machine::new();
+        let out = m.query(&format!("append(X, Y, {})", list_term(&l)), None).unwrap();
+        prop_assert_eq!(out.solutions.len(), l.len() + 1);
+        for sol in &out.solutions {
+            // X ++ Y == L rendered: strip brackets and splice.
+            let strip = |s: &str| {
+                s.trim_start_matches('[').trim_end_matches(']').to_owned()
+            };
+            let (x, y) = (strip(&sol["X"]), strip(&sol["Y"]));
+            let spliced = match (x.is_empty(), y.is_empty()) {
+                (true, _) => y.clone(),
+                (_, true) => x.clone(),
+                _ => format!("{x},{y}"),
+            };
+            prop_assert_eq!(format!("[{spliced}]"), list_term(&l));
+        }
+    }
+
+    /// member/2 finds each element; non-members fail.
+    #[test]
+    fn member_matches_contains(
+        l in proptest::collection::vec(0i64..20, 1..8),
+        probe in 0i64..20,
+    ) {
+        let mut m = Machine::new();
+        let out = m.query(&format!("member({probe}, {})", list_term(&l)), None).unwrap();
+        let expected = l.iter().filter(|&&x| x == probe).count();
+        prop_assert_eq!(out.solutions.len(), expected, "multiset semantics");
+    }
+
+    /// Arithmetic `is/2` matches host arithmetic on random expressions.
+    #[test]
+    fn is_matches_host(a in -1000i64..1000, b in -1000i64..1000, c in 1i64..50) {
+        let mut m = Machine::new();
+        let q = format!("X is ({a} + {b}) * 2 - {a} // {c} + {b} mod {c}");
+        let out = m.query(&q, None).unwrap();
+        let expected = (a + b) * 2 - a.wrapping_div(c) + a_mod(b, c);
+        prop_assert_eq!(&out.solutions[0]["X"], &expected.to_string());
+    }
+
+    /// gen/3 produces exactly the host range.
+    #[test]
+    fn gen_matches_range(lo in -20i64..20, span in 0i64..15) {
+        let hi = lo + span - 1; // may be < lo: empty range
+        let mut m = Machine::new();
+        let out = m.query(&format!("gen({lo}, {hi}, L)"), None).unwrap();
+        let expected: Vec<i64> = (lo..=hi).collect();
+        prop_assert_eq!(&out.solutions[0]["L"], &list_term(&expected));
+    }
+
+    /// Unification is symmetric: `T1 = T2` succeeds iff `T2 = T1` does.
+    #[test]
+    fn unification_symmetric(
+        a in proptest::collection::vec(0i64..5, 0..4),
+        b in proptest::collection::vec(0i64..5, 0..4),
+    ) {
+        let mut m = Machine::new();
+        let fwd = m.query(&format!("{} = {}", list_term(&a), list_term(&b)), None).unwrap();
+        let bwd = m.query(&format!("{} = {}", list_term(&b), list_term(&a)), None).unwrap();
+        prop_assert_eq!(fwd.solutions.len(), bwd.solutions.len());
+        prop_assert_eq!(fwd.solutions.len() == 1, a == b);
+    }
+}
+
+/// `mod` in the machine is `rem_euclid`.
+fn a_mod(x: i64, m: i64) -> i64 {
+    x.rem_euclid(m)
+}

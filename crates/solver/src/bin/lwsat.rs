@@ -1,0 +1,108 @@
+//! `lwsat` — a DIMACS CNF solver front-end.
+//!
+//! ```text
+//! lwsat <file.cnf>          solve; print s SAT/UNSAT + v model lines
+//! lwsat --gen-php <holes>   print the PHP(holes+1, holes) instance
+//! lwsat --gen-ksat <vars> <clauses> <seed>
+//!                           print a random 3-SAT instance
+//! ```
+//!
+//! Output follows the SAT-competition convention (`s` / `v` lines), so the
+//! solver can be scripted against standard tooling.
+
+use std::process::ExitCode;
+
+use lwsnap_solver::{
+    parse_dimacs, pigeonhole, random_ksat, write_dimacs, SolveResult, Var,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: lwsat <file.cnf>\n       lwsat --gen-php <holes>\n       \
+         lwsat --gen-ksat <vars> <clauses> <seed>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--gen-php") => {
+            let Some(holes) = args.get(1).and_then(|v| v.parse().ok()) else {
+                return usage();
+            };
+            print!("{}", write_dimacs(&pigeonhole(holes)));
+            ExitCode::SUCCESS
+        }
+        Some("--gen-ksat") => {
+            let parsed: Option<(usize, usize, u64)> = (|| {
+                Some((
+                    args.get(1)?.parse().ok()?,
+                    args.get(2)?.parse().ok()?,
+                    args.get(3)?.parse().ok()?,
+                ))
+            })();
+            let Some((vars, clauses, seed)) = parsed else {
+                return usage();
+            };
+            print!("{}", write_dimacs(&random_ksat(vars, clauses, 3, seed)));
+            ExitCode::SUCCESS
+        }
+        Some(path) if !path.starts_with('-') => solve_file(path),
+        _ => usage(),
+    }
+}
+
+fn solve_file(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("lwsat: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cnf = match parse_dimacs(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("lwsat: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut solver = cnf.to_solver();
+    let start = std::time::Instant::now();
+    let result = solver.solve();
+    let elapsed = start.elapsed();
+    let stats = solver.stats();
+    eprintln!(
+        "c {} vars, {} clauses | {} decisions, {} conflicts, {} propagations, {} restarts | {elapsed:?}",
+        cnf.num_vars,
+        cnf.clauses.len(),
+        stats.decisions,
+        stats.conflicts,
+        stats.propagations,
+        stats.restarts,
+    );
+    match result {
+        SolveResult::Unsat => {
+            println!("s UNSATISFIABLE");
+            ExitCode::from(20)
+        }
+        SolveResult::Sat => {
+            println!("s SATISFIABLE");
+            let mut line = String::from("v");
+            for i in 0..cnf.num_vars {
+                let lit = match solver.model_value(Var(i as u32)) {
+                    Some(true) | None => (i as i64) + 1,
+                    Some(false) => -((i as i64) + 1),
+                };
+                line.push_str(&format!(" {lit}"));
+                if line.len() > 72 {
+                    println!("{line}");
+                    line = String::from("v");
+                }
+            }
+            println!("{line} 0");
+            ExitCode::from(10)
+        }
+    }
+}

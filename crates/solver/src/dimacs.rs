@@ -1,0 +1,180 @@
+//! DIMACS CNF reading and writing.
+
+use crate::lit::Lit;
+
+/// A parsed CNF formula.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Declared variable count (may exceed the variables actually used).
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Creates an empty formula.
+    pub fn new(num_vars: usize) -> Cnf {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Adds a clause from DIMACS integers.
+    pub fn clause(&mut self, lits: &[i64]) -> &mut Self {
+        self.clauses
+            .push(lits.iter().map(|&v| Lit::from_dimacs(v)).collect());
+        self
+    }
+
+    /// Loads the formula into a fresh solver.
+    pub fn to_solver(&self) -> crate::solver::Solver {
+        let mut s = crate::solver::Solver::new();
+        s.ensure_vars(self.num_vars);
+        for c in &self.clauses {
+            s.add_clause(c);
+        }
+        s
+    }
+}
+
+/// DIMACS parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimacsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses DIMACS CNF text.
+pub fn parse_dimacs(text: &str) -> Result<Cnf, DimacsError> {
+    let mut cnf = Cnf::default();
+    let mut current: Vec<Lit> = Vec::new();
+    let mut seen_header = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 || parts[0] != "cnf" {
+                return Err(DimacsError {
+                    line: line_no,
+                    msg: format!("bad header `{line}`"),
+                });
+            }
+            cnf.num_vars = parts[1].parse().map_err(|_| DimacsError {
+                line: line_no,
+                msg: "bad var count".into(),
+            })?;
+            seen_header = true;
+            continue;
+        }
+        if !seen_header {
+            return Err(DimacsError {
+                line: line_no,
+                msg: "clause before header".into(),
+            });
+        }
+        for tok in line.split_whitespace() {
+            let v: i64 = tok.parse().map_err(|_| DimacsError {
+                line: line_no,
+                msg: format!("bad literal `{tok}`"),
+            })?;
+            if v == 0 {
+                cnf.clauses.push(std::mem::take(&mut current));
+            } else {
+                if v.unsigned_abs() as usize > cnf.num_vars {
+                    return Err(DimacsError {
+                        line: line_no,
+                        msg: format!("literal {v} exceeds declared {} vars", cnf.num_vars),
+                    });
+                }
+                current.push(Lit::from_dimacs(v));
+            }
+        }
+    }
+    if !current.is_empty() {
+        // Tolerate a missing final 0, as many tools emit it.
+        cnf.clauses.push(current);
+    }
+    Ok(cnf)
+}
+
+/// Renders a formula as DIMACS text.
+pub fn write_dimacs(cnf: &Cnf) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars, cnf.clauses.len());
+    for clause in &cnf.clauses {
+        for lit in clause {
+            let _ = write!(out, "{} ", lit.to_dimacs());
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    #[test]
+    fn parse_simple() {
+        let cnf = parse_dimacs("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        assert_eq!(
+            cnf.clauses[0],
+            vec![Lit::from_dimacs(1), Lit::from_dimacs(-2)]
+        );
+    }
+
+    #[test]
+    fn parse_multiline_clause_and_missing_zero() {
+        let cnf = parse_dimacs("p cnf 2 1\n1\n-2\n0\np_extra_ignored? no").unwrap_err();
+        // `p_extra_ignored? no` is a bad header line starting with p.
+        assert!(cnf.msg.contains("bad header"));
+        let cnf = parse_dimacs("p cnf 2 1\n1\n-2").unwrap();
+        assert_eq!(cnf.clauses.len(), 1);
+        assert_eq!(cnf.clauses[0].len(), 2);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_dimacs("1 2 0")
+            .unwrap_err()
+            .msg
+            .contains("before header"));
+        assert!(parse_dimacs("p cnf 1 1\n5 0")
+            .unwrap_err()
+            .msg
+            .contains("exceeds"));
+        assert!(parse_dimacs("p cnf 1 1\nxyz 0")
+            .unwrap_err()
+            .msg
+            .contains("bad literal"));
+    }
+
+    #[test]
+    fn roundtrip_and_solve() {
+        let mut cnf = Cnf::new(3);
+        cnf.clause(&[1, 2]).clause(&[-1, 3]).clause(&[-2, -3]);
+        let text = write_dimacs(&cnf);
+        let back = parse_dimacs(&text).unwrap();
+        assert_eq!(back, cnf);
+        assert_eq!(back.to_solver().solve(), SolveResult::Sat);
+    }
+}

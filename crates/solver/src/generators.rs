@@ -1,0 +1,220 @@
+//! Workload generators for the solver experiments.
+//!
+//! Each generator produces a [`Cnf`] family whose difficulty and structure
+//! are controllable, so the incremental-solving experiments can sweep
+//! "how related are `p` and `p∧q`" deterministically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dimacs::Cnf;
+
+/// Uniform random k-SAT with `clauses` clauses over `vars` variables.
+///
+/// The classic hardness knob is the ratio `clauses/vars` (~4.26 is the
+/// 3-SAT phase transition). Deterministic in `seed`.
+pub fn random_ksat(vars: usize, clauses: usize, k: usize, seed: u64) -> Cnf {
+    assert!(vars >= k && k >= 1, "need at least k variables");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cnf = Cnf::new(vars);
+    for _ in 0..clauses {
+        let mut clause: Vec<i64> = Vec::with_capacity(k);
+        while clause.len() < k {
+            let v = rng.gen_range(1..=vars as i64);
+            if clause.iter().any(|&c| c.abs() == v) {
+                continue;
+            }
+            clause.push(if rng.gen_bool(0.5) { v } else { -v });
+        }
+        cnf.clause(&clause);
+    }
+    cnf
+}
+
+/// The pigeonhole principle PHP(holes+1, holes): provably UNSAT and
+/// exponentially hard for resolution — a worst-case CDCL workload.
+pub fn pigeonhole(holes: usize) -> Cnf {
+    let pigeons = holes + 1;
+    let var = |p: usize, h: usize| (p * holes + h + 1) as i64;
+    let mut cnf = Cnf::new(pigeons * holes);
+    // Every pigeon sits somewhere.
+    for p in 0..pigeons {
+        let clause: Vec<i64> = (0..holes).map(|h| var(p, h)).collect();
+        cnf.clause(&clause);
+    }
+    // No two pigeons share a hole.
+    for h in 0..holes {
+        for a in 0..pigeons {
+            for b in a + 1..pigeons {
+                cnf.clause(&[-var(a, h), -var(b, h)]);
+            }
+        }
+    }
+    cnf
+}
+
+/// K-colouring of a random graph (Erdős–Rényi `G(n, p)`).
+///
+/// Variables `x(v,c)` = vertex `v` has colour `c`. SAT iff the sampled
+/// graph is k-colourable.
+pub fn graph_coloring(vertices: usize, edge_prob: f64, colors: usize, seed: u64) -> Cnf {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let var = |v: usize, c: usize| (v * colors + c + 1) as i64;
+    let mut cnf = Cnf::new(vertices * colors);
+    for v in 0..vertices {
+        // At least one colour.
+        let clause: Vec<i64> = (0..colors).map(|c| var(v, c)).collect();
+        cnf.clause(&clause);
+        // At most one colour.
+        for a in 0..colors {
+            for b in a + 1..colors {
+                cnf.clause(&[-var(v, a), -var(v, b)]);
+            }
+        }
+    }
+    for u in 0..vertices {
+        for v in u + 1..vertices {
+            if rng.gen_bool(edge_prob) {
+                for c in 0..colors {
+                    cnf.clause(&[-var(u, c), -var(v, c)]);
+                }
+            }
+        }
+    }
+    cnf
+}
+
+/// An incremental query family for experiments E4/E5.
+///
+/// `base(seed)` is a satisfiable random 3-SAT instance `p`; `increment(i)`
+/// produces the extra clauses `qᵢ` (a handful of random clauses over the
+/// same variables). Solving `p ∧ q₀ ∧ … ∧ qᵢ` incrementally should beat
+/// re-solving from scratch by reusing learnt clauses.
+pub struct IncrementalFamily {
+    /// Variables in the family.
+    pub vars: usize,
+    seed: u64,
+    base_clauses: usize,
+    inc_clauses: usize,
+}
+
+impl IncrementalFamily {
+    /// Creates a family over `vars` variables.
+    ///
+    /// The base gets `ratio ≈ 3.5` clauses/var (satisfiable region for
+    /// 3-SAT), each increment `inc_clauses` more.
+    pub fn new(vars: usize, inc_clauses: usize, seed: u64) -> Self {
+        IncrementalFamily {
+            vars,
+            seed,
+            base_clauses: (vars as f64 * 3.5) as usize,
+            inc_clauses,
+        }
+    }
+
+    /// The base problem `p`.
+    pub fn base(&self) -> Cnf {
+        random_ksat(self.vars, self.base_clauses, 3, self.seed)
+    }
+
+    /// The `i`-th increment `qᵢ` (clauses only; same variable space).
+    pub fn increment(&self, i: u64) -> Vec<Vec<crate::lit::Lit>> {
+        let cnf = random_ksat(
+            self.vars,
+            self.inc_clauses,
+            3,
+            self.seed ^ (0x9e37_79b9 + i),
+        );
+        cnf.clauses
+    }
+
+    /// The full formula `p ∧ q₀ ∧ … ∧ q_{upto-1}` as one CNF (for the
+    /// from-scratch baseline).
+    pub fn combined(&self, upto: u64) -> Cnf {
+        let mut cnf = self.base();
+        for i in 0..upto {
+            cnf.clauses.extend(self.increment(i));
+        }
+        cnf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    #[test]
+    fn random_ksat_shape() {
+        let cnf = random_ksat(20, 50, 3, 7);
+        assert_eq!(cnf.num_vars, 20);
+        assert_eq!(cnf.clauses.len(), 50);
+        for c in &cnf.clauses {
+            assert_eq!(c.len(), 3);
+            // No repeated variables inside a clause.
+            let mut vars: Vec<u32> = c.iter().map(|l| l.var().0).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            assert_eq!(vars.len(), 3);
+        }
+    }
+
+    #[test]
+    fn random_ksat_deterministic() {
+        assert_eq!(random_ksat(10, 30, 3, 42), random_ksat(10, 30, 3, 42));
+        assert_ne!(random_ksat(10, 30, 3, 42), random_ksat(10, 30, 3, 43));
+    }
+
+    #[test]
+    fn underconstrained_is_sat_overconstrained_unsat_tendency() {
+        // ratio 2.0: almost surely SAT.
+        let mut s = random_ksat(50, 100, 3, 1).to_solver();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        for holes in 2..=4 {
+            let mut s = pigeonhole(holes).to_solver();
+            assert_eq!(s.solve(), SolveResult::Unsat, "PHP({},{holes})", holes + 1);
+        }
+    }
+
+    #[test]
+    fn triangle_needs_three_colors() {
+        // A complete graph K3 with edge_prob 1.0.
+        let mut two = graph_coloring(3, 1.0, 2, 5).to_solver();
+        assert_eq!(two.solve(), SolveResult::Unsat);
+        let mut three = graph_coloring(3, 1.0, 3, 5).to_solver();
+        assert_eq!(three.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn coloring_model_is_proper() {
+        let n = 8;
+        let colors = 4;
+        let cnf = graph_coloring(n, 0.5, colors, 99);
+        let mut s = cnf.to_solver();
+        if s.solve() == SolveResult::Sat {
+            let m = s.model();
+            for v in 0..n {
+                let assigned: Vec<usize> = (0..colors).filter(|&c| m[v * colors + c]).collect();
+                assert_eq!(assigned.len(), 1, "vertex {v} colours: {assigned:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_family_consistent() {
+        let fam = IncrementalFamily::new(30, 5, 11);
+        let combined = fam.combined(3);
+        assert_eq!(
+            combined.clauses.len(),
+            fam.base().clauses.len() + 3 * 5,
+            "combined = base + increments"
+        );
+        // Increments are deterministic.
+        assert_eq!(fam.increment(1), fam.increment(1));
+        assert_ne!(fam.increment(1), fam.increment(2));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests: the CDCL solver against brute force, and solver
+//! invariants that must hold on arbitrary formulas.
+
+use lwsnap_solver::{Cnf, Lit, SolveResult, Var};
+use proptest::prelude::*;
+
+/// Random CNF over at most 10 variables (brute-forceable).
+fn cnf_strategy() -> impl Strategy<Value = Cnf> {
+    let clause = proptest::collection::vec((1i64..=10, any::<bool>()), 1..5).prop_map(|lits| {
+        lits.into_iter()
+            .map(|(v, neg)| if neg { -v } else { v })
+            .collect::<Vec<i64>>()
+    });
+    proptest::collection::vec(clause, 0..40).prop_map(|clauses| {
+        let mut cnf = Cnf::new(10);
+        for c in &clauses {
+            cnf.clause(c);
+        }
+        cnf
+    })
+}
+
+/// Exhaustive SAT check over 2^10 assignments.
+fn brute_force(cnf: &Cnf) -> bool {
+    'outer: for bits in 0..1u32 << cnf.num_vars {
+        for clause in &cnf.clauses {
+            let satisfied = clause.iter().any(|l| {
+                let val = bits >> l.var().0 & 1 == 1;
+                val != l.sign()
+            });
+            if !satisfied {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn model_satisfies(cnf: &Cnf, model: &[bool]) -> bool {
+    cnf.clauses.iter().all(|clause| {
+        clause
+            .iter()
+            .any(|l| model.get(l.var().index()).copied().unwrap_or(false) != l.sign())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// CDCL agrees with brute force on every random formula.
+    #[test]
+    fn cdcl_matches_brute_force(cnf in cnf_strategy()) {
+        let mut solver = cnf.to_solver();
+        let expected = brute_force(&cnf);
+        let got = solver.solve() == SolveResult::Sat;
+        prop_assert_eq!(got, expected, "formula: {:?}", cnf);
+        if got {
+            prop_assert!(model_satisfies(&cnf, &solver.model()), "bogus model");
+        }
+    }
+
+    /// Solving twice gives the same verdict (restarts/learning are sound).
+    #[test]
+    fn solve_is_idempotent(cnf in cnf_strategy()) {
+        let mut solver = cnf.to_solver();
+        let first = solver.solve();
+        let second = solver.solve();
+        prop_assert_eq!(first, second);
+    }
+
+    /// Solving under assumptions equals solving a clone with those
+    /// assumptions added as unit clauses.
+    #[test]
+    fn assumptions_equal_unit_clauses(
+        cnf in cnf_strategy(),
+        assumps in proptest::collection::vec((0u32..10, any::<bool>()), 0..4),
+    ) {
+        // Dedup contradictory/duplicate assumptions to keep both sides
+        // well-defined.
+        let mut seen = std::collections::HashMap::new();
+        let mut lits = Vec::new();
+        for (v, neg) in assumps {
+            if seen.insert(v, neg).is_none() {
+                lits.push(Var(v).lit(neg));
+            }
+        }
+
+        let mut with_assumps = cnf.to_solver();
+        let a = with_assumps.solve_under(&lits);
+
+        let mut with_units = cnf.to_solver();
+        for &l in &lits {
+            with_units.add_clause(&[l]);
+        }
+        let b = with_units.solve();
+        prop_assert_eq!(a, b);
+
+        // And the original formula's verdict is unaffected afterwards.
+        let mut base = cnf.to_solver();
+        prop_assert_eq!(with_assumps.solve(), base.solve());
+    }
+
+    /// Adding a clause never turns UNSAT into SAT (monotonicity).
+    #[test]
+    fn adding_clauses_is_monotone(cnf in cnf_strategy(), extra in 1i64..=10) {
+        let mut solver = cnf.to_solver();
+        let before = solver.solve();
+        solver.add_clause(&[Lit::from_dimacs(extra)]);
+        let after = solver.solve();
+        if before == SolveResult::Unsat {
+            prop_assert_eq!(after, SolveResult::Unsat);
+        }
+    }
+
+    /// DIMACS round-trips.
+    #[test]
+    fn dimacs_roundtrip(cnf in cnf_strategy()) {
+        let text = lwsnap_solver::write_dimacs(&cnf);
+        let back = lwsnap_solver::parse_dimacs(&text).unwrap();
+        prop_assert_eq!(back, cnf);
+    }
+}

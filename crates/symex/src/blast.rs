@@ -1,0 +1,269 @@
+//! Bit-blasting: expression DAG → Tseitin circuit → SAT.
+//!
+//! Path feasibility and test-case generation both reduce to one
+//! question — "is this conjunction of 1-bit expressions satisfiable, and
+//! if so, what are the input bytes?" — answered by `lwsnap-solver`.
+
+use std::collections::HashMap;
+
+use lwsnap_solver::{Bv, CLit, Circuit, SolveResult, Solver};
+
+use crate::expr::{BinOp, CmpOp, Expr, ExprId, ExprPool};
+
+/// A bit-blasting session over one expression pool.
+pub struct Blaster<'p> {
+    pool: &'p ExprPool,
+    circuit: Circuit,
+    memo: HashMap<ExprId, Bv>,
+    inputs: HashMap<u32, Bv>,
+}
+
+/// Outcome of a feasibility query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Feasibility {
+    /// Satisfiable, with one concrete assignment of the input bytes.
+    Sat(HashMap<u32, u8>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl<'p> Blaster<'p> {
+    /// Creates a blaster for `pool`.
+    pub fn new(pool: &'p ExprPool) -> Self {
+        Blaster {
+            pool,
+            circuit: Circuit::new(),
+            memo: HashMap::new(),
+            inputs: HashMap::new(),
+        }
+    }
+
+    /// Bit-vector for an expression (width per node kind).
+    fn blast(&mut self, id: ExprId) -> Bv {
+        if let Some(bv) = self.memo.get(&id) {
+            return bv.clone();
+        }
+        let bv = match self.pool.node(id) {
+            Expr::Input { id: input } => self
+                .inputs
+                .entry(input)
+                .or_insert_with(|| self.circuit.fresh_bv(8))
+                .clone(),
+            Expr::Const { v } => self.circuit.const_bv(v, 64),
+            Expr::Bin { op, a, b } => {
+                let av = self.blast(a);
+                let bv = self.blast(b);
+                match op {
+                    BinOp::Add => self.circuit.bv_add(&av, &bv),
+                    BinOp::Sub => self.circuit.bv_sub(&av, &bv),
+                    BinOp::Mul => self.circuit.bv_mul(&av, &bv),
+                    BinOp::And => self.circuit.bv_and(&av, &bv),
+                    BinOp::Or => self.circuit.bv_or(&av, &bv),
+                    BinOp::Xor => self.circuit.bv_xor(&av, &bv),
+                    BinOp::Shl => self.shift(&av, &bv, false),
+                    BinOp::Shr => self.shift(&av, &bv, true),
+                }
+            }
+            Expr::Extract8 { e, byte } => {
+                let ev = self.blast(e);
+                ev[8 * byte as usize..8 * (byte as usize + 1)].to_vec()
+            }
+            Expr::ZExt8 { e } => {
+                let mut ev = self.blast(e);
+                ev.resize(64, CLit::False);
+                ev
+            }
+            Expr::Cmp { op, a, b } => {
+                let av = self.blast(a);
+                let bv = self.blast(b);
+                let bit = match op {
+                    CmpOp::Eq => self.circuit.bv_eq(&av, &bv),
+                    CmpOp::Ult => self.circuit.bv_ult(&av, &bv),
+                    CmpOp::Ule => self.circuit.bv_ule(&av, &bv),
+                    CmpOp::Slt => self.circuit.bv_slt(&av, &bv),
+                    CmpOp::Sle => {
+                        let gt = self.circuit.bv_slt(&bv, &av);
+                        gt.not()
+                    }
+                };
+                vec![bit]
+            }
+            Expr::Not1 { e } => {
+                let ev = self.blast(e);
+                vec![ev[0].not()]
+            }
+        };
+        self.memo.insert(id, bv.clone());
+        bv
+    }
+
+    /// Barrel shifter for variable shift amounts (6 mux stages).
+    #[allow(clippy::needless_range_loop)] // index math is the algorithm here
+    fn shift(&mut self, value: &Bv, amount: &Bv, right: bool) -> Bv {
+        let mut cur = value.clone();
+        for stage in 0..6 {
+            let dist = 1usize << stage;
+            let sel = amount[stage];
+            let mut shifted = vec![CLit::False; 64];
+            for i in 0..64 {
+                let src = if right {
+                    i + dist
+                } else {
+                    i.wrapping_sub(dist)
+                };
+                if src < 64 {
+                    shifted[i] = cur[src];
+                }
+            }
+            cur = cur
+                .iter()
+                .zip(&shifted)
+                .map(|(&keep, &shift)| self.circuit.mux(sel, shift, keep))
+                .collect();
+        }
+        cur
+    }
+
+    /// Asserts a 1-bit expression with the given polarity.
+    pub fn assert_cond(&mut self, cond: ExprId, polarity: bool) {
+        let bv = self.blast(cond);
+        debug_assert_eq!(bv.len(), 1, "condition must be 1-bit");
+        let lit = if polarity { bv[0] } else { bv[0].not() };
+        self.circuit.assert_true(lit);
+    }
+
+    /// Solves the accumulated assertions.
+    pub fn solve(&self) -> Feasibility {
+        let mut solver: Solver = self.circuit.to_cnf().to_solver();
+        match solver.solve() {
+            SolveResult::Unsat => Feasibility::Unsat,
+            SolveResult::Sat => {
+                let model = solver.model();
+                let mut inputs = HashMap::new();
+                for (&id, bv) in &self.inputs {
+                    inputs.insert(id, Circuit::bv_value(bv, &model) as u8);
+                }
+                Feasibility::Sat(inputs)
+            }
+        }
+    }
+}
+
+/// Convenience: checks whether `constraints` (cond, polarity) are jointly
+/// satisfiable, returning a witness input assignment.
+pub fn check_path(pool: &ExprPool, constraints: &[(ExprId, bool)]) -> Feasibility {
+    let mut blaster = Blaster::new(pool);
+    for &(cond, polarity) in constraints {
+        blaster.assert_cond(cond, polarity);
+    }
+    blaster.solve()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, CmpOp};
+
+    #[test]
+    fn solve_linear_equation() {
+        // x*3 + 7 == 52  → x = 15.
+        let mut p = ExprPool::new();
+        let x0 = p.input(0);
+        let x = p.zext8(x0);
+        let three = p.constant(3);
+        let seven = p.constant(7);
+        let target = p.constant(52);
+        let mul = p.bin(BinOp::Mul, x, three);
+        let add = p.bin(BinOp::Add, mul, seven);
+        let cond = p.cmp(CmpOp::Eq, add, target);
+        match check_path(&p, &[(cond, true)]) {
+            Feasibility::Sat(inputs) => assert_eq!(inputs[&0], 15),
+            Feasibility::Unsat => panic!("should be SAT"),
+        }
+    }
+
+    #[test]
+    fn contradictory_path_unsat() {
+        let mut p = ExprPool::new();
+        let x0 = p.input(0);
+        let x = p.zext8(x0);
+        let five = p.constant(5);
+        let eq5 = p.cmp(CmpOp::Eq, x, five);
+        assert_eq!(
+            check_path(&p, &[(eq5, true), (eq5, false)]),
+            Feasibility::Unsat
+        );
+    }
+
+    #[test]
+    fn multi_byte_constraint() {
+        // Two input bytes forming a 16-bit LE word w == 0xbeef.
+        let mut p = ExprPool::new();
+        let b0 = p.input(0);
+        let b1 = p.input(1);
+        let z0 = p.zext8(b0);
+        let z1 = p.zext8(b1);
+        let eight = p.constant(8);
+        let hi = p.bin(BinOp::Shl, z1, eight);
+        let word = p.bin(BinOp::Or, z0, hi);
+        let target = p.constant(0xbeef);
+        let cond = p.cmp(CmpOp::Eq, word, target);
+        match check_path(&p, &[(cond, true)]) {
+            Feasibility::Sat(inputs) => {
+                assert_eq!(inputs[&0], 0xef);
+                assert_eq!(inputs[&1], 0xbe);
+            }
+            Feasibility::Unsat => panic!("should be SAT"),
+        }
+    }
+
+    #[test]
+    fn witness_validates_by_evaluation() {
+        // Mixed conditions; verify the witness through ExprPool::eval.
+        let mut p = ExprPool::new();
+        let a0 = p.input(0);
+        let b0 = p.input(1);
+        let a = p.zext8(a0);
+        let b = p.zext8(b0);
+        let sum = p.bin(BinOp::Add, a, b);
+        let hundred = p.constant(100);
+        let c1 = p.cmp(CmpOp::Ult, hundred, sum); // a+b > 100
+        let c2 = p.cmp(CmpOp::Ult, a, b); // a < b
+        match check_path(&p, &[(c1, true), (c2, true)]) {
+            Feasibility::Sat(inputs) => {
+                assert_eq!(p.eval(c1, &inputs), 1);
+                assert_eq!(p.eval(c2, &inputs), 1);
+            }
+            Feasibility::Unsat => panic!("should be SAT"),
+        }
+    }
+
+    #[test]
+    fn variable_shift_blasts() {
+        // (1 << x) == 16 → x = 4 (x is a symbolic byte).
+        let mut p = ExprPool::new();
+        let x0 = p.input(0);
+        let x = p.zext8(x0);
+        let one = p.constant(1);
+        let sixteen = p.constant(16);
+        let shl = p.bin(BinOp::Shl, one, x);
+        let cond = p.cmp(CmpOp::Eq, shl, sixteen);
+        match check_path(&p, &[(cond, true)]) {
+            Feasibility::Sat(inputs) => {
+                assert_eq!(1u64 << (inputs[&0] & 63), 16);
+            }
+            Feasibility::Unsat => panic!("should be SAT"),
+        }
+    }
+
+    #[test]
+    fn signed_comparison() {
+        // x <s 0 with x a zero-extended byte is UNSAT (always >= 0).
+        let mut p = ExprPool::new();
+        let x0 = p.input(0);
+        let x = p.zext8(x0);
+        let zero = p.constant(0);
+        let cond = p.cmp(CmpOp::Slt, x, zero);
+        assert_eq!(check_path(&p, &[(cond, true)]), Feasibility::Unsat);
+    }
+}

@@ -1,0 +1,382 @@
+//! Hash-consed symbolic expression DAG.
+//!
+//! Three widths exist: 1-bit (branch conditions), 8-bit (symbolic input
+//! bytes and extracted bytes), and 64-bit (everything the guest computes).
+//! Construction constant-folds, so fully-concrete subtrees never allocate
+//! nodes. The pool is append-only: expression ids stay valid across every
+//! forked path, which is what lets path constraints ride inside engine
+//! snapshots as plain data.
+
+use std::collections::HashMap;
+
+/// Index of an expression in the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(pub u32);
+
+/// 64-bit binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (low 64 bits).
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift (count masked to 63).
+    Shl,
+    /// Logical right shift (count masked to 63).
+    Shr,
+}
+
+/// Comparison operators (produce 1-bit values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Unsigned less-than.
+    Ult,
+    /// Unsigned less-or-equal.
+    Ule,
+    /// Signed less-than.
+    Slt,
+    /// Signed less-or-equal.
+    Sle,
+}
+
+/// One DAG node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A symbolic input byte (width 8).
+    Input {
+        /// Dense input identifier.
+        id: u32,
+    },
+    /// A 64-bit constant.
+    Const {
+        /// The value.
+        v: u64,
+    },
+    /// 64-bit binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand (width 64).
+        a: ExprId,
+        /// Right operand (width 64).
+        b: ExprId,
+    },
+    /// Byte `byte` of a 64-bit expression (width 8).
+    Extract8 {
+        /// Source (width 64).
+        e: ExprId,
+        /// Byte index 0..8 (little-endian).
+        byte: u8,
+    },
+    /// Zero-extend a byte-width expression to 64 bits.
+    ZExt8 {
+        /// Source (width 8).
+        e: ExprId,
+    },
+    /// Comparison of two 64-bit expressions (width 1).
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        a: ExprId,
+        /// Right operand.
+        b: ExprId,
+    },
+    /// Boolean negation (width 1).
+    Not1 {
+        /// Source (width 1).
+        e: ExprId,
+    },
+}
+
+/// Expression width classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Width {
+    /// Boolean.
+    W1,
+    /// Byte.
+    W8,
+    /// Word.
+    W64,
+}
+
+/// Append-only hash-consing expression pool.
+#[derive(Debug, Default, Clone)]
+pub struct ExprPool {
+    nodes: Vec<Expr>,
+    dedup: HashMap<Expr, ExprId>,
+}
+
+impl ExprPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        ExprPool::default()
+    }
+
+    /// Number of distinct nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Reads a node.
+    pub fn node(&self, id: ExprId) -> Expr {
+        self.nodes[id.0 as usize]
+    }
+
+    fn intern(&mut self, node: Expr) -> ExprId {
+        if let Some(&id) = self.dedup.get(&node) {
+            return id;
+        }
+        let id = ExprId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.dedup.insert(node, id);
+        id
+    }
+
+    /// Width of an expression.
+    pub fn width(&self, id: ExprId) -> Width {
+        match self.node(id) {
+            Expr::Input { .. } | Expr::Extract8 { .. } => Width::W8,
+            Expr::Cmp { .. } | Expr::Not1 { .. } => Width::W1,
+            Expr::Const { .. } | Expr::Bin { .. } | Expr::ZExt8 { .. } => Width::W64,
+        }
+    }
+
+    /// A fresh symbolic input byte.
+    pub fn input(&mut self, id: u32) -> ExprId {
+        self.intern(Expr::Input { id })
+    }
+
+    /// A 64-bit constant.
+    pub fn constant(&mut self, v: u64) -> ExprId {
+        self.intern(Expr::Const { v })
+    }
+
+    fn const_of(&self, id: ExprId) -> Option<u64> {
+        match self.node(id) {
+            Expr::Const { v } => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Binary operation with constant folding.
+    pub fn bin(&mut self, op: BinOp, a: ExprId, b: ExprId) -> ExprId {
+        debug_assert_eq!(self.width(a), Width::W64, "bin lhs must be 64-bit");
+        debug_assert_eq!(self.width(b), Width::W64, "bin rhs must be 64-bit");
+        if let (Some(x), Some(y)) = (self.const_of(a), self.const_of(b)) {
+            return self.constant(eval_bin(op, x, y));
+        }
+        // Identity folds.
+        match (op, self.const_of(a), self.const_of(b)) {
+            (BinOp::Add | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr, _, Some(0)) => {
+                return a
+            }
+            (BinOp::Add | BinOp::Or | BinOp::Xor, Some(0), _) => return b,
+            (BinOp::Mul, _, Some(1)) => return a,
+            (BinOp::Mul, Some(1), _) => return b,
+            (BinOp::And | BinOp::Mul, _, Some(0)) | (BinOp::And | BinOp::Mul, Some(0), _) => {
+                return self.constant(0)
+            }
+            _ => {}
+        }
+        self.intern(Expr::Bin { op, a, b })
+    }
+
+    /// Extracts byte `byte` of `e` (width 8).
+    pub fn extract8(&mut self, e: ExprId, byte: u8) -> ExprId {
+        debug_assert!(byte < 8);
+        debug_assert_eq!(self.width(e), Width::W64);
+        if let Some(v) = self.const_of(e) {
+            return self.constant(v >> (8 * byte) & 0xff);
+        }
+        // extract(zext(x), 0) == x.
+        if byte == 0 {
+            if let Expr::ZExt8 { e: inner } = self.node(e) {
+                return inner;
+            }
+        }
+        self.intern(Expr::Extract8 { e, byte })
+    }
+
+    /// Zero-extends a byte expression to 64 bits.
+    pub fn zext8(&mut self, e: ExprId) -> ExprId {
+        match self.width(e) {
+            Width::W64 => e, // constants are already 64-bit
+            Width::W8 => self.intern(Expr::ZExt8 { e }),
+            Width::W1 => panic!("zext8 of boolean"),
+        }
+    }
+
+    /// Comparison with constant folding.
+    pub fn cmp(&mut self, op: CmpOp, a: ExprId, b: ExprId) -> ExprId {
+        if let (Some(x), Some(y)) = (self.const_of(a), self.const_of(b)) {
+            return self.constant(eval_cmp(op, x, y) as u64);
+        }
+        self.intern(Expr::Cmp { op, a, b })
+    }
+
+    /// Boolean negation with folding.
+    pub fn not1(&mut self, e: ExprId) -> ExprId {
+        if let Some(v) = self.const_of(e) {
+            return self.constant((v == 0) as u64);
+        }
+        if let Expr::Not1 { e: inner } = self.node(e) {
+            return inner;
+        }
+        self.intern(Expr::Not1 { e })
+    }
+
+    /// Returns `true` if the expression is a constant.
+    pub fn is_const(&self, id: ExprId) -> bool {
+        self.const_of(id).is_some()
+    }
+
+    /// Evaluates an expression under a concrete input assignment.
+    pub fn eval(&self, id: ExprId, inputs: &HashMap<u32, u8>) -> u64 {
+        match self.node(id) {
+            Expr::Input { id } => *inputs.get(&id).unwrap_or(&0) as u64,
+            Expr::Const { v } => v,
+            Expr::Bin { op, a, b } => eval_bin(op, self.eval(a, inputs), self.eval(b, inputs)),
+            Expr::Extract8 { e, byte } => self.eval(e, inputs) >> (8 * byte) & 0xff,
+            Expr::ZExt8 { e } => self.eval(e, inputs),
+            Expr::Cmp { op, a, b } => {
+                eval_cmp(op, self.eval(a, inputs), self.eval(b, inputs)) as u64
+            }
+            Expr::Not1 { e } => (self.eval(e, inputs) == 0) as u64,
+        }
+    }
+}
+
+fn eval_bin(op: BinOp, x: u64, y: u64) -> u64 {
+    match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        BinOp::Shl => x.wrapping_shl(y as u32 & 63),
+        BinOp::Shr => x.wrapping_shr(y as u32 & 63),
+    }
+}
+
+fn eval_cmp(op: CmpOp, x: u64, y: u64) -> bool {
+    match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ult => x < y,
+        CmpOp::Ule => x <= y,
+        CmpOp::Slt => (x as i64) < (y as i64),
+        CmpOp::Sle => (x as i64) <= (y as i64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_dedups() {
+        let mut p = ExprPool::new();
+        let a = p.input(0);
+        let b = p.input(0);
+        assert_eq!(a, b);
+        let za = p.zext8(a);
+        let five = p.constant(5);
+        let e1 = p.bin(BinOp::Add, za, five);
+        let e2 = p.bin(BinOp::Add, za, five);
+        assert_eq!(e1, e2);
+        assert_eq!(p.len(), 4, "input, zext, const, add");
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut p = ExprPool::new();
+        let a = p.constant(10);
+        let b = p.constant(3);
+        let add = p.bin(BinOp::Add, a, b);
+        assert_eq!(p.node(add), Expr::Const { v: 13 });
+        let mul = p.bin(BinOp::Mul, a, b);
+        assert_eq!(p.node(mul), Expr::Const { v: 30 });
+        let lt = p.cmp(CmpOp::Ult, b, a);
+        assert_eq!(p.node(lt), Expr::Const { v: 1 });
+        let t = p.constant(1);
+        let nt = p.not1(t);
+        assert_eq!(p.node(nt), Expr::Const { v: 0 });
+    }
+
+    #[test]
+    fn identity_folds() {
+        let mut p = ExprPool::new();
+        let x0 = p.input(0);
+        let x = p.zext8(x0);
+        let zero = p.constant(0);
+        let one = p.constant(1);
+        assert_eq!(p.bin(BinOp::Add, x, zero), x);
+        assert_eq!(p.bin(BinOp::Add, zero, x), x);
+        assert_eq!(p.bin(BinOp::Mul, x, one), x);
+        assert_eq!(p.bin(BinOp::Mul, x, zero), zero);
+        assert_eq!(p.bin(BinOp::And, zero, x), zero);
+        assert_eq!(p.bin(BinOp::Shl, x, zero), x);
+        let eq = p.cmp(CmpOp::Eq, x, one);
+        let nn = p.not1(eq);
+        assert_eq!(p.not1(nn), eq, "double negation folds");
+    }
+
+    #[test]
+    fn extract_of_zext_folds() {
+        let mut p = ExprPool::new();
+        let byte = p.input(3);
+        let word = p.zext8(byte);
+        assert_eq!(p.extract8(word, 0), byte);
+        assert_ne!(p.extract8(word, 1), byte);
+    }
+
+    #[test]
+    fn widths() {
+        let mut p = ExprPool::new();
+        let i = p.input(0);
+        assert_eq!(p.width(i), Width::W8);
+        let z = p.zext8(i);
+        assert_eq!(p.width(z), Width::W64);
+        let c = p.cmp(CmpOp::Eq, z, z);
+        assert_eq!(p.width(c), Width::W1);
+        let x = p.extract8(z, 3);
+        assert_eq!(p.width(x), Width::W8);
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let mut p = ExprPool::new();
+        // expr = (in0 * 3 + in1) ^ 0xff
+        let in0 = p.input(0);
+        let in1 = p.input(1);
+        let z0 = p.zext8(in0);
+        let z1 = p.zext8(in1);
+        let three = p.constant(3);
+        let mul = p.bin(BinOp::Mul, z0, three);
+        let add = p.bin(BinOp::Add, mul, z1);
+        let ff = p.constant(0xff);
+        let expr = p.bin(BinOp::Xor, add, ff);
+        let mut inputs = HashMap::new();
+        inputs.insert(0, 7u8);
+        inputs.insert(1, 5u8);
+        assert_eq!(p.eval(expr, &inputs), (7u64 * 3 + 5) ^ 0xff);
+        // Missing inputs default to 0.
+        assert_eq!(p.eval(expr, &HashMap::new()), 0xff);
+    }
+}

@@ -1,0 +1,166 @@
+//! SVM-64 disassembler.
+//!
+//! Turns encoded text back into the assembler's input syntax; used by
+//! debugging tools and by the round-trip property tests that pin down the
+//! encoding.
+
+use crate::isa::{Instr, Opcode, INSTR_SIZE};
+
+/// Formats one instruction in canonical assembler syntax.
+pub fn format_instr(ins: &Instr) -> String {
+    let d = ins.dst.name();
+    let s = ins.src.name();
+    let imm = ins.imm;
+    let mem = |base: &str| {
+        if imm == 0 {
+            format!("[{base}]")
+        } else if imm > 0 {
+            format!("[{base}+{imm}]")
+        } else {
+            format!("[{base}{imm}]")
+        }
+    };
+    match ins.op {
+        Opcode::MovRI => format!("mov {d}, {imm}"),
+        Opcode::MovRR => format!("mov {d}, {s}"),
+        Opcode::Ld1 => format!("ld1 {d}, {}", mem(s)),
+        Opcode::Ld2 => format!("ld2 {d}, {}", mem(s)),
+        Opcode::Ld4 => format!("ld4 {d}, {}", mem(s)),
+        Opcode::Ld8 => format!("ld8 {d}, {}", mem(s)),
+        Opcode::Lds1 => format!("lds1 {d}, {}", mem(s)),
+        Opcode::Lds2 => format!("lds2 {d}, {}", mem(s)),
+        Opcode::Lds4 => format!("lds4 {d}, {}", mem(s)),
+        Opcode::St1 => format!("st1 {}, {s}", mem(d)),
+        Opcode::St2 => format!("st2 {}, {s}", mem(d)),
+        Opcode::St4 => format!("st4 {}, {s}", mem(d)),
+        Opcode::St8 => format!("st8 {}, {s}", mem(d)),
+        Opcode::Add => format!("add {d}, {s}"),
+        Opcode::AddI => format!("add {d}, {imm}"),
+        Opcode::Sub => format!("sub {d}, {s}"),
+        Opcode::SubI => format!("sub {d}, {imm}"),
+        Opcode::Mul => format!("mul {d}, {s}"),
+        Opcode::MulI => format!("mul {d}, {imm}"),
+        Opcode::Udiv => format!("udiv {d}, {s}"),
+        Opcode::UdivI => format!("udiv {d}, {imm}"),
+        Opcode::Urem => format!("urem {d}, {s}"),
+        Opcode::UremI => format!("urem {d}, {imm}"),
+        Opcode::And => format!("and {d}, {s}"),
+        Opcode::AndI => format!("and {d}, {imm}"),
+        Opcode::Or => format!("or {d}, {s}"),
+        Opcode::OrI => format!("or {d}, {imm}"),
+        Opcode::Xor => format!("xor {d}, {s}"),
+        Opcode::XorI => format!("xor {d}, {imm}"),
+        Opcode::Shl => format!("shl {d}, {s}"),
+        Opcode::ShlI => format!("shl {d}, {imm}"),
+        Opcode::Shr => format!("shr {d}, {s}"),
+        Opcode::ShrI => format!("shr {d}, {imm}"),
+        Opcode::Sar => format!("sar {d}, {s}"),
+        Opcode::SarI => format!("sar {d}, {imm}"),
+        Opcode::Neg => format!("neg {d}"),
+        Opcode::Not => format!("not {d}"),
+        Opcode::Cmp => format!("cmp {d}, {s}"),
+        Opcode::CmpI => format!("cmp {d}, {imm}"),
+        Opcode::Test => format!("test {d}, {s}"),
+        Opcode::Jmp => format!("jmp {}", imm as u64),
+        Opcode::Jz => format!("jz {}", imm as u64),
+        Opcode::Jnz => format!("jnz {}", imm as u64),
+        Opcode::Jl => format!("jl {}", imm as u64),
+        Opcode::Jle => format!("jle {}", imm as u64),
+        Opcode::Jg => format!("jg {}", imm as u64),
+        Opcode::Jge => format!("jge {}", imm as u64),
+        Opcode::Jb => format!("jb {}", imm as u64),
+        Opcode::Jbe => format!("jbe {}", imm as u64),
+        Opcode::Ja => format!("ja {}", imm as u64),
+        Opcode::Jae => format!("jae {}", imm as u64),
+        Opcode::Call => format!("call {}", imm as u64),
+        Opcode::Ret => "ret".to_owned(),
+        Opcode::Push => format!("push {s}"),
+        Opcode::Pop => format!("pop {d}"),
+        Opcode::Syscall => "syscall".to_owned(),
+        Opcode::Nop => "nop".to_owned(),
+    }
+}
+
+/// Disassembles a text segment into `(address, text)` lines.
+///
+/// Undecodable slots are rendered as `.bad <hex>`.
+pub fn disassemble(text: &[u8], base: u64) -> Vec<(u64, String)> {
+    let mut out = Vec::new();
+    for (i, chunk) in text.chunks(INSTR_SIZE as usize).enumerate() {
+        let addr = base + i as u64 * INSTR_SIZE;
+        let line = match <&[u8; 16]>::try_from(chunk).ok().and_then(Instr::decode) {
+            Some(ins) => format_instr(&ins),
+            None => format!(".bad {:02x?}", chunk),
+        };
+        out.push((addr, line));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::assemble_source;
+
+    #[test]
+    fn format_covers_shapes() {
+        use lwsnap_core::Reg;
+        let cases = [
+            (
+                Instr::new(Opcode::MovRI).dst(Reg::Rax).imm(-3),
+                "mov rax, -3",
+            ),
+            (
+                Instr::new(Opcode::Ld8).dst(Reg::Rbx).src(Reg::Rsp).imm(8),
+                "ld8 rbx, [rsp+8]",
+            ),
+            (
+                Instr::new(Opcode::St4).dst(Reg::Rbp).src(Reg::Rcx).imm(-4),
+                "st4 [rbp-4], rcx",
+            ),
+            (
+                Instr::new(Opcode::Ld1).dst(Reg::R9).src(Reg::R10),
+                "ld1 r9, [r10]",
+            ),
+            (Instr::new(Opcode::Ret), "ret"),
+            (Instr::new(Opcode::Push).src(Reg::R15), "push r15"),
+            (Instr::new(Opcode::Jz).imm(0x40_0000), "jz 4194304"),
+        ];
+        for (ins, expected) in cases {
+            assert_eq!(format_instr(&ins), expected);
+        }
+    }
+
+    #[test]
+    fn disassemble_then_reassemble_roundtrip() {
+        let src = r#"
+        _start:
+            mov  rbx, 5
+            cmp  rbx, 0
+            jz   _start
+            ld8  rax, [rsp+16]
+            st8  [rsp-8], rax
+            call _start
+            syscall
+            ret
+        "#;
+        let prog = assemble_source(src).unwrap();
+        let listing = disassemble(&prog.text, prog.text_base);
+        assert_eq!(listing.len() as u64, prog.instr_count());
+        // Re-assemble the disassembly (jump targets are absolute numbers,
+        // which the parser accepts) and compare the encodings.
+        let text2: String = listing
+            .iter()
+            .map(|(_, line)| format!("{line}\n"))
+            .collect();
+        let prog2 = assemble_source(&text2).unwrap();
+        assert_eq!(prog.text, prog2.text, "round-trip must be byte-identical");
+    }
+
+    #[test]
+    fn bad_bytes_render_as_bad() {
+        let bytes = [0xffu8; 16];
+        let lines = disassemble(&bytes, 0);
+        assert!(lines[0].1.starts_with(".bad"));
+    }
+}

@@ -1,0 +1,429 @@
+//! SVM-64 instruction set: encoding and decoding.
+//!
+//! SVM-64 is an x86-64-flavoured register machine designed for one job:
+//! being the "arbitrary code" that candidate extension steps execute. The
+//! crucial property is that *all* of its state is the architected register
+//! file plus paged guest memory — code is fetched from the snapshotted
+//! address space on every step, so a lightweight snapshot really does
+//! capture the entire execution.
+//!
+//! Instructions are a fixed 16 bytes:
+//!
+//! ```text
+//! byte 0      opcode
+//! byte 1      reserved (must be 0)
+//! byte 2      first register operand  (dst)
+//! byte 3      second register operand (src)
+//! bytes 4..8  reserved (must be 0)
+//! bytes 8..16 64-bit little-endian immediate / displacement
+//! ```
+//!
+//! Fixed width wastes space but keeps fetch/decode trivial and — more
+//! importantly for the experiments — makes instruction cost uniform, so
+//! "instructions per extension step" (paper §5, problem granularity) is a
+//! clean knob.
+
+use lwsnap_core::Reg;
+
+/// Instruction size in bytes (fixed).
+pub const INSTR_SIZE: u64 = 16;
+
+/// SVM-64 opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// `mov dst, imm` — load immediate.
+    MovRI = 0x01,
+    /// `mov dst, src` — register copy.
+    MovRR = 0x02,
+
+    /// `ld1 dst, [src+disp]` — zero-extending 1-byte load.
+    Ld1 = 0x10,
+    /// `ld2 dst, [src+disp]` — zero-extending 2-byte load.
+    Ld2 = 0x11,
+    /// `ld4 dst, [src+disp]` — zero-extending 4-byte load.
+    Ld4 = 0x12,
+    /// `ld8 dst, [src+disp]` — 8-byte load.
+    Ld8 = 0x13,
+    /// `lds1 dst, [src+disp]` — sign-extending 1-byte load.
+    Lds1 = 0x14,
+    /// `lds2 dst, [src+disp]` — sign-extending 2-byte load.
+    Lds2 = 0x15,
+    /// `lds4 dst, [src+disp]` — sign-extending 4-byte load.
+    Lds4 = 0x16,
+    /// `st1 [dst+disp], src` — 1-byte store.
+    St1 = 0x18,
+    /// `st2 [dst+disp], src` — 2-byte store.
+    St2 = 0x19,
+    /// `st4 [dst+disp], src` — 4-byte store.
+    St4 = 0x1a,
+    /// `st8 [dst+disp], src` — 8-byte store.
+    St8 = 0x1b,
+
+    /// `add dst, src`.
+    Add = 0x20,
+    /// `add dst, imm`.
+    AddI = 0x21,
+    /// `sub dst, src`.
+    Sub = 0x22,
+    /// `sub dst, imm`.
+    SubI = 0x23,
+    /// `mul dst, src` (low 64 bits).
+    Mul = 0x24,
+    /// `mul dst, imm`.
+    MulI = 0x25,
+    /// `udiv dst, src` (unsigned; divide-by-zero faults).
+    Udiv = 0x26,
+    /// `udiv dst, imm`.
+    UdivI = 0x27,
+    /// `urem dst, src` (unsigned remainder).
+    Urem = 0x28,
+    /// `urem dst, imm`.
+    UremI = 0x29,
+    /// `and dst, src`.
+    And = 0x2a,
+    /// `and dst, imm`.
+    AndI = 0x2b,
+    /// `or dst, src`.
+    Or = 0x2c,
+    /// `or dst, imm`.
+    OrI = 0x2d,
+    /// `xor dst, src`.
+    Xor = 0x2e,
+    /// `xor dst, imm`.
+    XorI = 0x2f,
+    /// `shl dst, src` (count masked to 63).
+    Shl = 0x30,
+    /// `shl dst, imm`.
+    ShlI = 0x31,
+    /// `shr dst, src` — logical right shift.
+    Shr = 0x32,
+    /// `shr dst, imm`.
+    ShrI = 0x33,
+    /// `sar dst, src` — arithmetic right shift.
+    Sar = 0x34,
+    /// `sar dst, imm`.
+    SarI = 0x35,
+    /// `neg dst` — two's-complement negate.
+    Neg = 0x3a,
+    /// `not dst` — bitwise complement.
+    Not = 0x3b,
+
+    /// `cmp a, b` — set flags from `a - b`.
+    Cmp = 0x40,
+    /// `cmp a, imm`.
+    CmpI = 0x41,
+    /// `test a, b` — set ZF/SF from `a & b`.
+    Test = 0x42,
+
+    /// `jmp target` — unconditional, absolute.
+    Jmp = 0x48,
+    /// `jz target` — jump if ZF.
+    Jz = 0x4a,
+    /// `jnz target` — jump if !ZF.
+    Jnz = 0x4b,
+    /// `jl target` — signed less (SF != OF).
+    Jl = 0x4c,
+    /// `jle target` — signed less-or-equal.
+    Jle = 0x4d,
+    /// `jg target` — signed greater.
+    Jg = 0x4e,
+    /// `jge target` — signed greater-or-equal.
+    Jge = 0x4f,
+    /// `jb target` — unsigned below (CF).
+    Jb = 0x50,
+    /// `jbe target` — unsigned below-or-equal.
+    Jbe = 0x51,
+    /// `ja target` — unsigned above.
+    Ja = 0x52,
+    /// `jae target` — unsigned above-or-equal.
+    Jae = 0x53,
+
+    /// `call target` — push return address, jump.
+    Call = 0x58,
+    /// `ret` — pop return address.
+    Ret = 0x59,
+    /// `push src`.
+    Push = 0x5a,
+    /// `pop dst`.
+    Pop = 0x5b,
+
+    /// `syscall` — trap into the libOS.
+    Syscall = 0x60,
+    /// `nop`.
+    Nop = 0x61,
+}
+
+impl Opcode {
+    /// Decodes an opcode byte.
+    pub fn from_u8(b: u8) -> Option<Opcode> {
+        use Opcode::*;
+        Some(match b {
+            0x01 => MovRI,
+            0x02 => MovRR,
+            0x10 => Ld1,
+            0x11 => Ld2,
+            0x12 => Ld4,
+            0x13 => Ld8,
+            0x14 => Lds1,
+            0x15 => Lds2,
+            0x16 => Lds4,
+            0x18 => St1,
+            0x19 => St2,
+            0x1a => St4,
+            0x1b => St8,
+            0x20 => Add,
+            0x21 => AddI,
+            0x22 => Sub,
+            0x23 => SubI,
+            0x24 => Mul,
+            0x25 => MulI,
+            0x26 => Udiv,
+            0x27 => UdivI,
+            0x28 => Urem,
+            0x29 => UremI,
+            0x2a => And,
+            0x2b => AndI,
+            0x2c => Or,
+            0x2d => OrI,
+            0x2e => Xor,
+            0x2f => XorI,
+            0x30 => Shl,
+            0x31 => ShlI,
+            0x32 => Shr,
+            0x33 => ShrI,
+            0x34 => Sar,
+            0x35 => SarI,
+            0x3a => Neg,
+            0x3b => Not,
+            0x40 => Cmp,
+            0x41 => CmpI,
+            0x42 => Test,
+            0x48 => Jmp,
+            0x4a => Jz,
+            0x4b => Jnz,
+            0x4c => Jl,
+            0x4d => Jle,
+            0x4e => Jg,
+            0x4f => Jge,
+            0x50 => Jb,
+            0x51 => Jbe,
+            0x52 => Ja,
+            0x53 => Jae,
+            0x58 => Call,
+            0x59 => Ret,
+            0x5a => Push,
+            0x5b => Pop,
+            0x60 => Syscall,
+            0x61 => Nop,
+            _ => return None,
+        })
+    }
+
+    /// Returns `true` for conditional or unconditional branches.
+    pub fn is_branch(self) -> bool {
+        matches!(
+            self,
+            Opcode::Jmp
+                | Opcode::Jz
+                | Opcode::Jnz
+                | Opcode::Jl
+                | Opcode::Jle
+                | Opcode::Jg
+                | Opcode::Jge
+                | Opcode::Jb
+                | Opcode::Jbe
+                | Opcode::Ja
+                | Opcode::Jae
+        )
+    }
+}
+
+/// One decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instr {
+    /// Operation.
+    pub op: Opcode,
+    /// First register operand (destination for most ops).
+    pub dst: Reg,
+    /// Second register operand (source).
+    pub src: Reg,
+    /// Immediate / displacement / branch target.
+    pub imm: i64,
+}
+
+impl Instr {
+    /// Creates an instruction; unused fields default to `rax`/0.
+    pub fn new(op: Opcode) -> Instr {
+        Instr {
+            op,
+            dst: Reg::Rax,
+            src: Reg::Rax,
+            imm: 0,
+        }
+    }
+
+    /// Builder: sets the destination register.
+    pub fn dst(mut self, r: Reg) -> Instr {
+        self.dst = r;
+        self
+    }
+
+    /// Builder: sets the source register.
+    pub fn src(mut self, r: Reg) -> Instr {
+        self.src = r;
+        self
+    }
+
+    /// Builder: sets the immediate.
+    pub fn imm(mut self, v: i64) -> Instr {
+        self.imm = v;
+        self
+    }
+
+    /// Encodes into the fixed 16-byte format.
+    pub fn encode(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[0] = self.op as u8;
+        out[2] = self.dst as u8;
+        out[3] = self.src as u8;
+        out[8..16].copy_from_slice(&self.imm.to_le_bytes());
+        out
+    }
+
+    /// Decodes from 16 bytes; `None` for malformed encodings.
+    ///
+    /// Reserved bytes must be zero — this catches execution wandering
+    /// into data pages early.
+    pub fn decode(bytes: &[u8; 16]) -> Option<Instr> {
+        let op = Opcode::from_u8(bytes[0])?;
+        if bytes[1] != 0 || bytes[4..8] != [0, 0, 0, 0] {
+            return None;
+        }
+        let dst = Reg::from_u8(bytes[2])?;
+        let src = Reg::from_u8(bytes[3])?;
+        let imm = i64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        Some(Instr { op, dst, src, imm })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL_OPCODES: [Opcode; 52] = [
+        Opcode::MovRI,
+        Opcode::MovRR,
+        Opcode::Ld1,
+        Opcode::Ld2,
+        Opcode::Ld4,
+        Opcode::Ld8,
+        Opcode::Lds1,
+        Opcode::Lds2,
+        Opcode::Lds4,
+        Opcode::St1,
+        Opcode::St2,
+        Opcode::St4,
+        Opcode::St8,
+        Opcode::Add,
+        Opcode::AddI,
+        Opcode::Sub,
+        Opcode::SubI,
+        Opcode::Mul,
+        Opcode::MulI,
+        Opcode::Udiv,
+        Opcode::UdivI,
+        Opcode::Urem,
+        Opcode::UremI,
+        Opcode::And,
+        Opcode::AndI,
+        Opcode::Or,
+        Opcode::OrI,
+        Opcode::Xor,
+        Opcode::XorI,
+        Opcode::Shl,
+        Opcode::ShlI,
+        Opcode::Shr,
+        Opcode::ShrI,
+        Opcode::Sar,
+        Opcode::SarI,
+        Opcode::Neg,
+        Opcode::Not,
+        Opcode::Cmp,
+        Opcode::CmpI,
+        Opcode::Test,
+        Opcode::Jmp,
+        Opcode::Jz,
+        Opcode::Jnz,
+        Opcode::Jl,
+        Opcode::Jle,
+        Opcode::Jg,
+        Opcode::Jge,
+        Opcode::Jb,
+        Opcode::Jbe,
+        Opcode::Ja,
+        Opcode::Jae,
+        Opcode::Call,
+    ];
+
+    #[test]
+    fn opcode_byte_roundtrip() {
+        for op in ALL_OPCODES {
+            assert_eq!(Opcode::from_u8(op as u8), Some(op));
+        }
+        for op in [
+            Opcode::Ret,
+            Opcode::Push,
+            Opcode::Pop,
+            Opcode::Syscall,
+            Opcode::Nop,
+        ] {
+            assert_eq!(Opcode::from_u8(op as u8), Some(op));
+        }
+        assert_eq!(Opcode::from_u8(0x00), None);
+        assert_eq!(Opcode::from_u8(0xff), None);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let ins = Instr::new(Opcode::AddI).dst(Reg::R12).imm(-12345);
+        let bytes = ins.encode();
+        assert_eq!(Instr::decode(&bytes), Some(ins));
+
+        let ins = Instr::new(Opcode::Ld8)
+            .dst(Reg::Rbx)
+            .src(Reg::Rsp)
+            .imm(0x7fff_ffff);
+        assert_eq!(Instr::decode(&ins.encode()), Some(ins));
+    }
+
+    #[test]
+    fn zero_bytes_are_illegal() {
+        assert_eq!(Instr::decode(&[0u8; 16]), None, "zero page must not decode");
+    }
+
+    #[test]
+    fn reserved_bytes_must_be_zero() {
+        let mut bytes = Instr::new(Opcode::Nop).encode();
+        bytes[1] = 1;
+        assert_eq!(Instr::decode(&bytes), None);
+        let mut bytes = Instr::new(Opcode::Nop).encode();
+        bytes[5] = 1;
+        assert_eq!(Instr::decode(&bytes), None);
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        let mut bytes = Instr::new(Opcode::MovRR).encode();
+        bytes[2] = 16;
+        assert_eq!(Instr::decode(&bytes), None);
+    }
+
+    #[test]
+    fn branch_classification() {
+        assert!(Opcode::Jz.is_branch());
+        assert!(Opcode::Jmp.is_branch());
+        assert!(!Opcode::Call.is_branch());
+        assert!(!Opcode::Add.is_branch());
+    }
+}

@@ -1,0 +1,659 @@
+//! The SVM-64 assembly text parser.
+//!
+//! Line-oriented AT&T-free syntax, Intel operand order:
+//!
+//! ```text
+//! ; n-queens inner loop (comment styles: ';' '#' '//')
+//! .text
+//! _start:
+//!     mov   rdi, 8            ; immediate
+//!     mov   rax, 1000         ; sys_guess
+//!     syscall
+//!     ld8   rbx, [r12+8]      ; load with displacement
+//!     st8   [r12], rbx
+//!     cmp   rbx, 0
+//!     jnz   _start
+//!     ret
+//! .data
+//! board:  .space 64
+//! msg:    .asciz "hello\n"
+//! table:  .quad 1, 2, board+8
+//! ```
+
+use lwsnap_core::Reg;
+
+use crate::isa::Opcode;
+use crate::prog::{AsmError, Item, Section, SymExpr};
+
+/// Parses assembly text into items (feed to [`crate::prog::assemble`]).
+pub fn parse(source: &str) -> Result<Vec<Item>, AsmError> {
+    let mut items = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw);
+        let mut rest = line.trim();
+        // Leading labels (possibly several, e.g. `a: b: nop`).
+        while let Some((label, tail)) = split_label(rest) {
+            items.push(Item::Label(label.to_owned()));
+            rest = tail.trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        if let Some(directive) = rest.strip_prefix('.') {
+            items.push(parse_directive(directive, line_no)?);
+        } else {
+            items.push(parse_instruction(rest, line_no)?);
+        }
+    }
+    Ok(items)
+}
+
+/// Convenience: parse + assemble with the default layout.
+pub fn assemble_source(source: &str) -> Result<crate::prog::Program, AsmError> {
+    crate::prog::assemble(&parse(source)?)
+}
+
+/// Removes `;`, `#`, `//` comments, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_str {
+            match b {
+                b'\\' => i += 1, // skip the escaped char
+                b'"' => in_str = false,
+                _ => {}
+            }
+        } else {
+            match b {
+                b'"' => in_str = true,
+                b';' | b'#' => return &line[..i],
+                b'/' if bytes.get(i + 1) == Some(&b'/') => return &line[..i],
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Splits a leading `label:` off `rest`, if present.
+fn split_label(rest: &str) -> Option<(&str, &str)> {
+    let colon = rest.find(':')?;
+    let candidate = &rest[..colon];
+    if !candidate.is_empty()
+        && candidate
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !candidate.chars().next().is_some_and(|c| c.is_ascii_digit())
+    {
+        Some((candidate, &rest[colon + 1..]))
+    } else {
+        None
+    }
+}
+
+fn syntax(line: usize, msg: impl Into<String>) -> AsmError {
+    AsmError::Syntax {
+        line,
+        msg: msg.into(),
+    }
+}
+
+fn parse_directive(directive: &str, line: usize) -> Result<Item, AsmError> {
+    let (name, args) = directive
+        .split_once(char::is_whitespace)
+        .unwrap_or((directive, ""));
+    let args = args.trim();
+    match name {
+        "text" => Ok(Item::Section(Section::Text)),
+        "data" => Ok(Item::Section(Section::Data)),
+        "byte" => {
+            let mut bytes = Vec::new();
+            for part in split_args(args) {
+                let v =
+                    parse_int(&part).ok_or_else(|| syntax(line, format!("bad byte `{part}`")))?;
+                if !(-128..=255).contains(&v) {
+                    return Err(syntax(line, format!("byte out of range: {v}")));
+                }
+                bytes.push(v as u8);
+            }
+            if bytes.is_empty() {
+                return Err(syntax(line, ".byte needs at least one value"));
+            }
+            Ok(Item::Bytes(bytes))
+        }
+        "quad" => {
+            let mut quads = Vec::new();
+            for part in split_args(args) {
+                quads.push(
+                    parse_expr(&part).ok_or_else(|| syntax(line, format!("bad quad `{part}`")))?,
+                );
+            }
+            if quads.is_empty() {
+                return Err(syntax(line, ".quad needs at least one value"));
+            }
+            Ok(Item::Quads(quads))
+        }
+        "asciz" => {
+            let mut bytes = parse_string(args).ok_or_else(|| syntax(line, "bad string literal"))?;
+            bytes.push(0);
+            Ok(Item::Bytes(bytes))
+        }
+        "ascii" => {
+            let bytes = parse_string(args).ok_or_else(|| syntax(line, "bad string literal"))?;
+            Ok(Item::Bytes(bytes))
+        }
+        "space" => {
+            let n = parse_int(args).ok_or_else(|| syntax(line, "bad .space size"))?;
+            if n < 0 {
+                return Err(syntax(line, "negative .space"));
+            }
+            Ok(Item::Space(n as u64))
+        }
+        "align" => {
+            let n = parse_int(args).ok_or_else(|| syntax(line, "bad .align"))?;
+            if n <= 0 || (n as u64).count_ones() != 1 {
+                return Err(syntax(line, ".align must be a positive power of two"));
+            }
+            Ok(Item::Align(n as u64))
+        }
+        other => Err(syntax(line, format!("unknown directive `.{other}`"))),
+    }
+}
+
+/// Splits comma-separated operands, trimming whitespace.
+fn split_args(args: &str) -> Vec<String> {
+    if args.trim().is_empty() {
+        return Vec::new();
+    }
+    args.split(',').map(|s| s.trim().to_owned()).collect()
+}
+
+/// Parses an integer literal: decimal, `0x` hex, optional sign, `'c'` char.
+fn parse_int(text: &str) -> Option<i64> {
+    let text = text.trim();
+    if let Some(inner) = text.strip_prefix('\'').and_then(|t| t.strip_suffix('\'')) {
+        let mut chars = inner.chars();
+        let c = match (chars.next()?, chars.next()) {
+            ('\\', Some('n')) => '\n',
+            ('\\', Some('t')) => '\t',
+            ('\\', Some('0')) => '\0',
+            ('\\', Some('\\')) => '\\',
+            ('\\', Some('\'')) => '\'',
+            (c, None) => c,
+            _ => return None,
+        };
+        return Some(c as i64);
+    }
+    let (neg, body) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text.strip_prefix('+').unwrap_or(text)),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16).ok()? as i64
+    } else {
+        body.replace('_', "").parse::<i64>().ok()?
+    };
+    Some(if neg { -value } else { value })
+}
+
+/// Parses `number`, `symbol`, `symbol+number`, or `symbol-number`.
+fn parse_expr(text: &str) -> Option<SymExpr> {
+    let text = text.trim();
+    if text.is_empty() {
+        return None;
+    }
+    if let Some(v) = parse_int(text) {
+        return Some(SymExpr::imm(v));
+    }
+    // Find a +/- splitting symbol from addend (not at position 0).
+    for (i, c) in text.char_indices().skip(1) {
+        if c == '+' || c == '-' {
+            let (sym, rest) = text.split_at(i);
+            let addend = parse_int(rest)?;
+            return valid_symbol(sym.trim()).then(|| SymExpr::sym(sym.trim(), addend));
+        }
+    }
+    valid_symbol(text).then(|| SymExpr::sym(text, 0))
+}
+
+fn valid_symbol(s: &str) -> bool {
+    !s.is_empty()
+        && !s.chars().next().is_some_and(|c| c.is_ascii_digit())
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && Reg::parse(s).is_none()
+}
+
+/// Parses a double-quoted string with `\n \t \0 \\ \"` escapes.
+fn parse_string(text: &str) -> Option<Vec<u8>> {
+    let inner = text.trim().strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = Vec::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                'n' => out.push(b'\n'),
+                't' => out.push(b'\t'),
+                '0' => out.push(0),
+                '\\' => out.push(b'\\'),
+                '"' => out.push(b'"'),
+                _ => return None,
+            }
+        } else {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+        }
+    }
+    Some(out)
+}
+
+/// A parsed operand.
+enum Arg {
+    Reg(Reg),
+    Expr(SymExpr),
+    Mem { base: Reg, disp: SymExpr },
+}
+
+fn parse_arg(text: &str, line: usize) -> Result<Arg, AsmError> {
+    let text = text.trim();
+    if let Some(reg) = Reg::parse(text) {
+        return Ok(Arg::Reg(reg));
+    }
+    if let Some(inner) = text.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
+        let compact: String = inner.chars().filter(|c| !c.is_whitespace()).collect();
+        // Forms: [reg], [reg+expr], [reg-expr].
+        for (i, c) in compact.char_indices().skip(1) {
+            if c == '+' || c == '-' {
+                let (base, rest) = compact.split_at(i);
+                let base = Reg::parse(base)
+                    .ok_or_else(|| syntax(line, format!("bad base register `{base}`")))?;
+                let disp = if c == '+' {
+                    parse_expr(&rest[1..])
+                } else {
+                    parse_int(rest).map(SymExpr::imm)
+                }
+                .ok_or_else(|| syntax(line, format!("bad displacement `{rest}`")))?;
+                return Ok(Arg::Mem { base, disp });
+            }
+        }
+        let base = Reg::parse(&compact)
+            .ok_or_else(|| syntax(line, format!("bad memory operand `[{inner}]`")))?;
+        return Ok(Arg::Mem {
+            base,
+            disp: SymExpr::imm(0),
+        });
+    }
+    parse_expr(text)
+        .map(Arg::Expr)
+        .ok_or_else(|| syntax(line, format!("bad operand `{text}`")))
+}
+
+fn ins(op: Opcode, dst: Reg, src: Reg, imm: SymExpr) -> Item {
+    Item::Ins { op, dst, src, imm }
+}
+
+fn parse_instruction(text: &str, line: usize) -> Result<Item, AsmError> {
+    let (mnemonic, rest) = text.split_once(char::is_whitespace).unwrap_or((text, ""));
+    let mnemonic = mnemonic.to_ascii_lowercase();
+    let args: Vec<Arg> = split_args(rest)
+        .iter()
+        .map(|a| parse_arg(a, line))
+        .collect::<Result<_, _>>()?;
+
+    let need = |n: usize| -> Result<(), AsmError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(syntax(
+                line,
+                format!("`{mnemonic}` expects {n} operand(s), got {}", args.len()),
+            ))
+        }
+    };
+
+    // Two-operand reg, reg|imm instructions (RR/RI opcode pairs).
+    let rr_ri = |rr: Opcode, ri: Opcode, args: &[Arg]| -> Result<Item, AsmError> {
+        match args {
+            [Arg::Reg(d), Arg::Reg(s)] => Ok(ins(rr, *d, *s, SymExpr::imm(0))),
+            [Arg::Reg(d), Arg::Expr(e)] => Ok(ins(ri, *d, Reg::Rax, e.clone())),
+            _ => Err(syntax(line, format!("`{mnemonic}` expects reg, reg|imm"))),
+        }
+    };
+
+    match mnemonic.as_str() {
+        "mov" => {
+            need(2)?;
+            rr_ri(Opcode::MovRR, Opcode::MovRI, &args)
+        }
+        "add" => {
+            need(2)?;
+            rr_ri(Opcode::Add, Opcode::AddI, &args)
+        }
+        "sub" => {
+            need(2)?;
+            rr_ri(Opcode::Sub, Opcode::SubI, &args)
+        }
+        "mul" => {
+            need(2)?;
+            rr_ri(Opcode::Mul, Opcode::MulI, &args)
+        }
+        "udiv" => {
+            need(2)?;
+            rr_ri(Opcode::Udiv, Opcode::UdivI, &args)
+        }
+        "urem" => {
+            need(2)?;
+            rr_ri(Opcode::Urem, Opcode::UremI, &args)
+        }
+        "and" => {
+            need(2)?;
+            rr_ri(Opcode::And, Opcode::AndI, &args)
+        }
+        "or" => {
+            need(2)?;
+            rr_ri(Opcode::Or, Opcode::OrI, &args)
+        }
+        "xor" => {
+            need(2)?;
+            rr_ri(Opcode::Xor, Opcode::XorI, &args)
+        }
+        "shl" => {
+            need(2)?;
+            rr_ri(Opcode::Shl, Opcode::ShlI, &args)
+        }
+        "shr" => {
+            need(2)?;
+            rr_ri(Opcode::Shr, Opcode::ShrI, &args)
+        }
+        "sar" => {
+            need(2)?;
+            rr_ri(Opcode::Sar, Opcode::SarI, &args)
+        }
+        "cmp" => {
+            need(2)?;
+            rr_ri(Opcode::Cmp, Opcode::CmpI, &args)
+        }
+        "test" => {
+            need(2)?;
+            match &args[..] {
+                [Arg::Reg(a), Arg::Reg(b)] => Ok(ins(Opcode::Test, *a, *b, SymExpr::imm(0))),
+                _ => Err(syntax(line, "`test` expects reg, reg")),
+            }
+        }
+        "neg" | "not" => {
+            need(1)?;
+            let op = if mnemonic == "neg" {
+                Opcode::Neg
+            } else {
+                Opcode::Not
+            };
+            match &args[..] {
+                [Arg::Reg(r)] => Ok(ins(op, *r, Reg::Rax, SymExpr::imm(0))),
+                _ => Err(syntax(line, format!("`{mnemonic}` expects a register"))),
+            }
+        }
+        "ld1" | "ld2" | "ld4" | "ld8" | "lds1" | "lds2" | "lds4" => {
+            need(2)?;
+            let op = match mnemonic.as_str() {
+                "ld1" => Opcode::Ld1,
+                "ld2" => Opcode::Ld2,
+                "ld4" => Opcode::Ld4,
+                "ld8" => Opcode::Ld8,
+                "lds1" => Opcode::Lds1,
+                "lds2" => Opcode::Lds2,
+                _ => Opcode::Lds4,
+            };
+            match &args[..] {
+                [Arg::Reg(d), Arg::Mem { base, disp }] => Ok(ins(op, *d, *base, disp.clone())),
+                _ => Err(syntax(
+                    line,
+                    format!("`{mnemonic}` expects reg, [reg+disp]"),
+                )),
+            }
+        }
+        "st1" | "st2" | "st4" | "st8" => {
+            need(2)?;
+            let op = match mnemonic.as_str() {
+                "st1" => Opcode::St1,
+                "st2" => Opcode::St2,
+                "st4" => Opcode::St4,
+                _ => Opcode::St8,
+            };
+            match &args[..] {
+                [Arg::Mem { base, disp }, Arg::Reg(s)] => Ok(ins(op, *base, *s, disp.clone())),
+                _ => Err(syntax(
+                    line,
+                    format!("`{mnemonic}` expects [reg+disp], reg"),
+                )),
+            }
+        }
+        "jmp" | "jz" | "je" | "jnz" | "jne" | "jl" | "jle" | "jg" | "jge" | "jb" | "jbe" | "ja"
+        | "jae" => {
+            need(1)?;
+            let op = match mnemonic.as_str() {
+                "jmp" => Opcode::Jmp,
+                "jz" | "je" => Opcode::Jz,
+                "jnz" | "jne" => Opcode::Jnz,
+                "jl" => Opcode::Jl,
+                "jle" => Opcode::Jle,
+                "jg" => Opcode::Jg,
+                "jge" => Opcode::Jge,
+                "jb" => Opcode::Jb,
+                "jbe" => Opcode::Jbe,
+                "ja" => Opcode::Ja,
+                _ => Opcode::Jae,
+            };
+            match &args[..] {
+                [Arg::Expr(e)] => Ok(ins(op, Reg::Rax, Reg::Rax, e.clone())),
+                _ => Err(syntax(line, format!("`{mnemonic}` expects a target"))),
+            }
+        }
+        "call" => {
+            need(1)?;
+            match &args[..] {
+                [Arg::Expr(e)] => Ok(ins(Opcode::Call, Reg::Rax, Reg::Rax, e.clone())),
+                _ => Err(syntax(line, "`call` expects a target")),
+            }
+        }
+        "ret" => {
+            need(0)?;
+            Ok(ins(Opcode::Ret, Reg::Rax, Reg::Rax, SymExpr::imm(0)))
+        }
+        "push" => {
+            need(1)?;
+            match &args[..] {
+                [Arg::Reg(r)] => Ok(ins(Opcode::Push, Reg::Rax, *r, SymExpr::imm(0))),
+                _ => Err(syntax(line, "`push` expects a register")),
+            }
+        }
+        "pop" => {
+            need(1)?;
+            match &args[..] {
+                [Arg::Reg(r)] => Ok(ins(Opcode::Pop, *r, Reg::Rax, SymExpr::imm(0))),
+                _ => Err(syntax(line, "`pop` expects a register")),
+            }
+        }
+        "syscall" => {
+            need(0)?;
+            Ok(ins(Opcode::Syscall, Reg::Rax, Reg::Rax, SymExpr::imm(0)))
+        }
+        "nop" => {
+            need(0)?;
+            Ok(ins(Opcode::Nop, Reg::Rax, Reg::Rax, SymExpr::imm(0)))
+        }
+        other => Err(syntax(line, format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(src: &str) -> Item {
+        let items = parse(src).unwrap();
+        assert_eq!(items.len(), 1, "{items:?}");
+        items.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn mov_forms() {
+        assert_eq!(
+            one("mov rax, 42"),
+            ins(Opcode::MovRI, Reg::Rax, Reg::Rax, SymExpr::imm(42))
+        );
+        assert_eq!(
+            one("mov rax, rbx"),
+            ins(Opcode::MovRR, Reg::Rax, Reg::Rbx, SymExpr::imm(0))
+        );
+        assert_eq!(
+            one("mov r15, -0x10"),
+            ins(Opcode::MovRI, Reg::R15, Reg::Rax, SymExpr::imm(-16))
+        );
+        assert_eq!(
+            one("mov rdi, msg"),
+            ins(Opcode::MovRI, Reg::Rdi, Reg::Rax, SymExpr::sym("msg", 0))
+        );
+        assert_eq!(
+            one("mov rdi, msg+8"),
+            ins(Opcode::MovRI, Reg::Rdi, Reg::Rax, SymExpr::sym("msg", 8))
+        );
+        assert_eq!(
+            one("mov rdi, msg-4"),
+            ins(Opcode::MovRI, Reg::Rdi, Reg::Rax, SymExpr::sym("msg", -4))
+        );
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        assert_eq!(
+            one("ld8 rax, [rbx]"),
+            ins(Opcode::Ld8, Reg::Rax, Reg::Rbx, SymExpr::imm(0))
+        );
+        assert_eq!(
+            one("ld4 rcx, [rsp+16]"),
+            ins(Opcode::Ld4, Reg::Rcx, Reg::Rsp, SymExpr::imm(16))
+        );
+        assert_eq!(
+            one("lds1 rcx, [rsp + 16]"),
+            ins(Opcode::Lds1, Reg::Rcx, Reg::Rsp, SymExpr::imm(16))
+        );
+        assert_eq!(
+            one("st8 [rbp-8], rdx"),
+            ins(Opcode::St8, Reg::Rbp, Reg::Rdx, SymExpr::imm(-8))
+        );
+        assert_eq!(
+            one("ld8 rax, [r12+table]"),
+            ins(Opcode::Ld8, Reg::Rax, Reg::R12, SymExpr::sym("table", 0))
+        );
+    }
+
+    #[test]
+    fn labels_and_comments() {
+        let items = parse("start: ; a comment\n  nop # more\n  jmp start // c style\n").unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0], Item::Label("start".into()));
+        assert_eq!(
+            items[2],
+            ins(Opcode::Jmp, Reg::Rax, Reg::Rax, SymExpr::sym("start", 0))
+        );
+    }
+
+    #[test]
+    fn label_with_instruction_same_line() {
+        let items = parse("loop: add rax, 1").unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0], Item::Label("loop".into()));
+    }
+
+    #[test]
+    fn directives() {
+        assert_eq!(one(".text"), Item::Section(Section::Text));
+        assert_eq!(one(".data"), Item::Section(Section::Data));
+        assert_eq!(one(".byte 1, 2, 0xff"), Item::Bytes(vec![1, 2, 255]));
+        assert_eq!(
+            one(".quad 7, label+8"),
+            Item::Quads(vec![SymExpr::imm(7), SymExpr::sym("label", 8)])
+        );
+        assert_eq!(one(".space 32"), Item::Space(32));
+        assert_eq!(one(".align 8"), Item::Align(8));
+        assert_eq!(
+            one(".asciz \"hi\\n\""),
+            Item::Bytes(vec![b'h', b'i', b'\n', 0])
+        );
+        assert_eq!(one(".ascii \"ab\""), Item::Bytes(vec![b'a', b'b']));
+    }
+
+    #[test]
+    fn string_with_semicolon_not_truncated() {
+        assert_eq!(
+            one(".asciz \"a;b\""),
+            Item::Bytes(vec![b'a', b';', b'b', 0])
+        );
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(parse_int("'a'"), Some(97));
+        assert_eq!(parse_int("'\\n'"), Some(10));
+        assert_eq!(parse_int("'\\0'"), Some(0));
+    }
+
+    #[test]
+    fn jump_aliases() {
+        assert_eq!(
+            one("je x"),
+            ins(Opcode::Jz, Reg::Rax, Reg::Rax, SymExpr::sym("x", 0))
+        );
+        assert_eq!(
+            one("jne x"),
+            ins(Opcode::Jnz, Reg::Rax, Reg::Rax, SymExpr::sym("x", 0))
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("nop\n  bogus rax\n").unwrap_err();
+        assert_eq!(err, syntax(2, "unknown mnemonic `bogus`"));
+        let err = parse("mov rax").unwrap_err();
+        assert!(matches!(err, AsmError::Syntax { line: 1, .. }));
+        let err = parse("ld8 rax, rbx").unwrap_err();
+        assert!(matches!(err, AsmError::Syntax { .. }));
+        let err = parse(".bogus 1").unwrap_err();
+        assert!(matches!(err, AsmError::Syntax { .. }));
+    }
+
+    #[test]
+    fn register_names_are_not_symbols() {
+        // `mov rax, rsp` must be RR, and `jmp rax` must fail (no indirect
+        // jumps in SVM-64).
+        assert_eq!(
+            one("mov rax, rsp"),
+            ins(Opcode::MovRR, Reg::Rax, Reg::Rsp, SymExpr::imm(0))
+        );
+        assert!(parse("jmp rax").is_err());
+    }
+
+    #[test]
+    fn end_to_end_assembles() {
+        let prog = assemble_source(
+            r#"
+            .text
+            _start:
+                mov  rdi, greeting
+                mov  rax, 60
+                syscall
+            .data
+            greeting: .asciz "bye"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(prog.instr_count(), 3);
+        assert_eq!(prog.data, b"bye\0");
+        assert!(prog.symbols.contains_key("greeting"));
+    }
+}

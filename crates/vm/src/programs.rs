@@ -1,0 +1,358 @@
+//! Ready-made SVM-64 guest programs used by examples, tests and benches.
+//!
+//! The flagship is [`nqueens_source`] — a line-for-line transcription of
+//! the paper's Figure 1: one `sys_guess(N)` per column, `sys_guess_fail`
+//! on conflict, print the board, and a final fail after printing so the
+//! engine enumerates *all* answers. Note what is absent: there is no undo
+//! code anywhere — the snapshots provide the backtracking.
+
+/// Generates the Figure-1 n-queens program for board size `n`.
+///
+/// * `print` — emit each solution on stdout via `write(2)` (one line of
+///   `'0'+row` digits per board, exactly like `printboard`).
+/// * `emit` — mark each solution with `sys_emit` so the engine counts it.
+///
+/// Supports `n` up to 26 (row digits become ASCII past '9'; the *count*
+/// of solutions is what the experiments check).
+pub fn nqueens_source(n: u64, print: bool, emit: bool) -> String {
+    assert!((1..=26).contains(&n), "n out of range");
+    let print_call = if print { "    call printboard\n" } else { "" };
+    let emit_call = if emit {
+        "    mov rax, 1003\n    syscall\n"
+    } else {
+        ""
+    };
+    format!(
+        r#"
+; n-queens with system-level backtracking (paper, Figure 1). N = {n}.
+.text
+_start:
+    mov  rdi, 0            ; DFS
+    mov  rax, 1002         ; sys_guess_strategy(DFS)
+    syscall
+    cmp  rax, 1
+    jnz  done              ; strategy rejected
+    mov  r12, 0            ; c = 0
+col_loop:
+    cmp  r12, {n}
+    jae  solution
+    mov  rdi, {n}
+    mov  rax, 1000         ; r = sys_guess(N)   <- a little magic
+    syscall
+    mov  r13, rax
+    ; if (row[r] || ld[r+c] || rd[N+r-c]) sys_guess_fail();
+    mov  rbx, r13
+    add  rbx, row
+    ld1  rcx, [rbx]
+    cmp  rcx, 0
+    jnz  fail
+    mov  rbx, r13
+    add  rbx, r12
+    add  rbx, ldiag
+    ld1  rcx, [rbx]
+    cmp  rcx, 0
+    jnz  fail
+    mov  rbx, r13
+    add  rbx, {n}
+    sub  rbx, r12
+    add  rbx, rdiag
+    ld1  rcx, [rbx]
+    cmp  rcx, 0
+    jnz  fail
+    ; col[c]=r; row[r]=1; ld[r+c]=1; rd[N+r-c]=1;   (no undo code!)
+    mov  rbx, r12
+    add  rbx, cols
+    st1  [rbx], r13
+    mov  rcx, 1
+    mov  rbx, r13
+    add  rbx, row
+    st1  [rbx], rcx
+    mov  rbx, r13
+    add  rbx, r12
+    add  rbx, ldiag
+    st1  [rbx], rcx
+    mov  rbx, r13
+    add  rbx, {n}
+    sub  rbx, r12
+    add  rbx, rdiag
+    st1  [rbx], rcx
+    add  r12, 1
+    jmp  col_loop
+solution:
+{print_call}{emit_call}fail:
+    mov  rax, 1001         ; sys_guess_fail -> print all answers
+    syscall
+done:
+    mov  rdi, 0
+    mov  rax, 60
+    syscall
+
+printboard:
+    mov  r14, 0
+pb_loop:
+    cmp  r14, {n}
+    jae  pb_done
+    mov  rbx, r14
+    add  rbx, cols
+    ld1  rcx, [rbx]
+    add  rcx, 48           ; '0' + row
+    mov  rbx, r14
+    add  rbx, linebuf
+    st1  [rbx], rcx
+    add  r14, 1
+    jmp  pb_loop
+pb_done:
+    mov  rbx, linebuf
+    add  rbx, {n}
+    mov  rcx, 10           ; newline
+    st1  [rbx], rcx
+    mov  rdi, 1
+    mov  rsi, linebuf
+    mov  rdx, {line_len}
+    mov  rax, 1            ; write(1, linebuf, N+1)
+    syscall
+    ret
+
+.data
+row:     .space {n}
+ldiag:   .space {diag}
+rdiag:   .space {diag}
+cols:    .space {n}
+linebuf: .space {line_len}
+"#,
+        n = n,
+        diag = 2 * n,
+        line_len = n + 1,
+        print_call = print_call,
+        emit_call = emit_call,
+    )
+}
+
+/// Generates a guest that enumerates all `depth`-bit strings, emitting
+/// each complete string (used by strategy/ordering tests).
+pub fn bitstrings_source(depth: u64) -> String {
+    assert!((1..=30).contains(&depth), "depth out of range");
+    format!(
+        r#"
+; Enumerate all {depth}-bit strings; emit one solution per string.
+.text
+_start:
+    mov  r12, 0            ; level
+    mov  r13, 0            ; accumulated value
+level_loop:
+    cmp  r12, {depth}
+    jae  leaf
+    mov  rdi, 2
+    mov  rax, 1000         ; bit = sys_guess(2)
+    syscall
+    shl  r13, 1
+    or   r13, rax
+    add  r12, 1
+    jmp  level_loop
+leaf:
+    mov  rdi, r13
+    mov  rax, 1005         ; putint(value)
+    syscall
+    mov  rdi, 32
+    call putch
+    mov  rax, 1003         ; sys_emit
+    syscall
+    mov  rax, 1001         ; backtrack
+    syscall
+
+putch:                     ; putch(rdi = ascii)
+    mov  rbx, chbuf
+    st1  [rbx], rdi
+    mov  rdi, 1
+    mov  rsi, chbuf
+    mov  rdx, 1
+    mov  rax, 1
+    syscall
+    ret
+
+.data
+chbuf: .space 1
+"#,
+    )
+}
+
+/// Generates the granularity/locality workload of experiments E3 and E7.
+///
+/// The guest explores a `fanout`-ary decision tree of `depth` guesses. At
+/// every node it (a) spins `work_iters` iterations of register-only work
+/// — the "instruction count per extension step" knob of paper §5 — and
+/// (b) dirties `touch_pages` distinct 4 KiB pages of a large buffer — the
+/// "page-level memory locality" knob. Leaves emit and fail.
+pub fn search_workload_source(
+    depth: u64,
+    fanout: u64,
+    work_iters: u64,
+    touch_pages: u64,
+    buffer_pages: u64,
+) -> String {
+    assert!(depth >= 1 && fanout >= 1, "degenerate workload");
+    assert!(
+        touch_pages <= buffer_pages,
+        "cannot touch more pages than the buffer has"
+    );
+    let buffer_bytes = buffer_pages.max(1) * 4096;
+    format!(
+        r#"
+; Search workload: depth={depth} fanout={fanout} work_iters={work_iters}
+; touch_pages={touch_pages} buffer_pages={buffer_pages}
+.text
+_start:
+    mov  r12, 0            ; level
+node:
+    cmp  r12, {depth}
+    jae  leaf
+    ; --- (a) busy work: work_iters register ops ---
+    mov  rcx, {work_iters}
+work_loop:
+    cmp  rcx, 0
+    jz   work_done
+    mul_step:
+    mov  rbx, rcx
+    mul  rbx, 2862933555777941757
+    add  rbx, 3037000493
+    sub  rcx, 1
+    jmp  work_loop
+work_done:
+    ; --- (b) dirty touch_pages pages (page-stride writes) ---
+    mov  rcx, 0
+touch_loop:
+    cmp  rcx, {touch_pages}
+    jae  touch_done
+    mov  rbx, rcx
+    mul  rbx, 4096
+    add  rbx, buffer
+    st8  [rbx], r12        ; dirty one page
+    add  rcx, 1
+    jmp  touch_loop
+touch_done:
+    ; --- guess the next move ---
+    mov  rdi, {fanout}
+    mov  rax, 1000
+    syscall
+    add  r12, 1
+    jmp  node
+leaf:
+    mov  rax, 1003         ; emit
+    syscall
+    mov  rax, 1001         ; fail / backtrack
+    syscall
+
+.data
+.align 4096
+buffer: .space {buffer_bytes}
+"#,
+    )
+}
+
+/// A trivially failing program: guesses then immediately fails — used to
+/// measure pure snapshot/restore overhead with zero useful work.
+pub fn guess_fail_source(depth: u64, fanout: u64) -> String {
+    format!(
+        r#"
+.text
+_start:
+    mov  r12, 0
+again:
+    cmp  r12, {depth}
+    jae  leaf
+    mov  rdi, {fanout}
+    mov  rax, 1000
+    syscall
+    add  r12, 1
+    jmp  again
+leaf:
+    mov  rax, 1001
+    syscall
+"#,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interp;
+    use crate::parse::assemble_source;
+    use lwsnap_core::strategy::{Bfs, Dfs};
+    use lwsnap_core::{Engine, StopReason};
+
+    #[test]
+    fn nqueens_6_has_4_solutions() {
+        let prog = assemble_source(&nqueens_source(6, true, true)).unwrap();
+        let mut engine = Engine::new(Dfs::new());
+        let mut interp = Interp::new();
+        let result = engine.run(&mut interp, prog.boot().unwrap());
+        assert_eq!(result.stop, StopReason::Exhausted);
+        assert_eq!(result.stats.solutions, 4, "{}", result.transcript_str());
+        // Each solution line is a valid placement.
+        for line in result.transcript_str().lines() {
+            assert_eq!(line.len(), 6);
+            let rows: Vec<i64> = line.bytes().map(|b| (b - b'0') as i64).collect();
+            for c1 in 0..6 {
+                for c2 in c1 + 1..6 {
+                    assert_ne!(rows[c1], rows[c2], "row clash in {line}");
+                    assert_ne!(
+                        (rows[c1] - rows[c2]).abs(),
+                        (c1 as i64 - c2 as i64).abs(),
+                        "diagonal clash in {line}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nqueens_8_has_92_solutions() {
+        let prog = assemble_source(&nqueens_source(8, false, true)).unwrap();
+        let mut engine = Engine::new(Dfs::new());
+        let mut interp = Interp::new();
+        let result = engine.run(&mut interp, prog.boot().unwrap());
+        assert_eq!(result.stats.solutions, 92);
+    }
+
+    #[test]
+    fn nqueens_under_bfs_finds_same_count() {
+        let prog = assemble_source(&nqueens_source(6, false, true)).unwrap();
+        let mut engine = Engine::new(Bfs::new());
+        let mut interp = Interp::new();
+        let result = engine.run(&mut interp, prog.boot().unwrap());
+        assert_eq!(result.stats.solutions, 4);
+    }
+
+    #[test]
+    fn bitstrings_enumerates_in_dfs_order() {
+        let prog = assemble_source(&bitstrings_source(3)).unwrap();
+        let mut engine = Engine::new(Dfs::new());
+        let mut interp = Interp::new();
+        let result = engine.run(&mut interp, prog.boot().unwrap());
+        assert_eq!(result.stats.solutions, 8);
+        assert_eq!(result.transcript_str(), "0 1 2 3 4 5 6 7 ");
+    }
+
+    #[test]
+    fn workload_touches_expected_pages() {
+        let prog = assemble_source(&search_workload_source(2, 2, 10, 3, 8)).unwrap();
+        let mut engine = Engine::new(Dfs::new());
+        let mut interp = Interp::new();
+        let result = engine.run(&mut interp, prog.boot().unwrap());
+        assert_eq!(result.stats.solutions, 4, "2^2 leaves");
+        // 3 internal nodes + 4 leaves... every node dirties 3 pages; the
+        // workload exists for its side effects on MMU counters, checked
+        // in the dedicated integration tests. Here: it completes.
+        assert_eq!(result.stop, StopReason::Exhausted);
+    }
+
+    #[test]
+    fn guess_fail_explores_full_tree() {
+        let prog = assemble_source(&guess_fail_source(4, 2)).unwrap();
+        let mut engine = Engine::new(Dfs::new());
+        let mut interp = Interp::new();
+        let result = engine.run(&mut interp, prog.boot().unwrap());
+        assert_eq!(result.stats.failures, 16, "2^4 leaves all fail");
+        assert_eq!(result.stats.snapshots_created, 15);
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: run the paper's Figure 1 verbatim.
+//!
+//! Assembles the n-queens guest program (one `sys_guess` per column,
+//! `sys_guess_fail` on conflict — and **zero undo code**), boots it into
+//! a snapshottable address space, and lets the DFS engine enumerate all
+//! answers by restoring lightweight snapshots.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [N]
+//! ```
+
+use lwsnap_core::{strategy::Dfs, Engine};
+use lwsnap_vm::{assemble_source, programs::nqueens_source, Interp};
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
+
+    // Figure 1, as an SVM-64 program (printing + emitting solutions).
+    let source = nqueens_source(n, true, true);
+    let program = assemble_source(&source).expect("n-queens assembles");
+    println!(
+        "assembled {} instructions; entry {:#x}",
+        program.instr_count(),
+        program.entry
+    );
+
+    let root = program.boot().expect("program boots");
+    let mut engine = Engine::new(Dfs::new());
+    let mut interp = Interp::new();
+    let start = std::time::Instant::now();
+    let result = engine.run(&mut interp, root);
+    let elapsed = start.elapsed();
+
+    print!("{}", result.transcript_str());
+    println!("--------------------------------------------------");
+    println!(
+        "{n}-queens: {} solutions in {elapsed:?}",
+        result.stats.solutions
+    );
+    println!(
+        "snapshots: {} created (peak {} live), {} restores, {} inline fast-path continues",
+        result.stats.snapshots_created,
+        result.stats.snapshots_peak,
+        result.stats.restores,
+        result.stats.inline_continues,
+    );
+    println!(
+        "extension steps: {}; failed paths: {}; guest instructions: {}",
+        result.stats.extensions_evaluated, result.stats.failures, interp.total_steps,
+    );
+}

@@ -1,0 +1,203 @@
+//! Cross-crate integration: the full stack working together.
+
+use lwsnap_core::strategy::Dfs;
+use lwsnap_core::{replay_dfs, Engine, InterposePolicy, Outcome, StopReason};
+use lwsnap_fs::{FsView, Volume};
+use lwsnap_prolog::{Machine, NQUEENS_PROGRAM};
+use lwsnap_symex::{PathEnd, SymExec};
+use lwsnap_vm::{assemble_source, Interp};
+
+/// The three backtracking implementations agree on solution counts.
+#[test]
+fn engines_agree_on_nqueens_counts() {
+    for (n, expected) in [(4u64, 2u64), (5, 10), (6, 4)] {
+        // 1. Snapshot engine on the SVM-64 guest.
+        let program =
+            assemble_source(&lwsnap_vm::programs::nqueens_source(n, false, true)).unwrap();
+        let mut engine = Engine::new(Dfs::new());
+        let result = engine.run(&mut Interp::new(), program.boot().unwrap());
+        assert_eq!(result.stats.solutions, expected, "snapshot engine N={n}");
+
+        // 2. Replay oracle on a host closure.
+        let replay = replay_dfs(
+            |ctx| {
+                let size = n as usize;
+                let mut col = vec![false; size];
+                let mut d1 = vec![false; 2 * size];
+                let mut d2 = vec![false; 2 * size];
+                for c in 0..size {
+                    let r = ctx.guess(n) as usize;
+                    if col[r] || d1[r + c] || d2[size + r - c] {
+                        return Outcome::Failed;
+                    }
+                    col[r] = true;
+                    d1[r + c] = true;
+                    d2[size + r - c] = true;
+                }
+                Outcome::Solution
+            },
+            None,
+        );
+        assert_eq!(replay.stats.solutions, expected, "replay N={n}");
+
+        // 3. Prolog.
+        let mut m = Machine::new();
+        m.consult(NQUEENS_PROGRAM).unwrap();
+        assert_eq!(
+            m.count_solutions(&format!("queens({n}, Qs)")).unwrap(),
+            expected
+        );
+    }
+}
+
+/// A guest that reads input from a file, writes results to another, and
+/// backtracks: file side effects stay branch-private, console output
+/// streams through, and the input file is shared read-only by all
+/// branches.
+#[test]
+fn file_io_is_contained_per_branch() {
+    let source = r#"
+.text
+_start:
+    mov  rdi, 3
+    mov  rax, 1000        ; which = sys_guess(3)
+    syscall
+    mov  r15, rax
+    ; read the 1-byte input file
+    mov  rdi, inpath
+    mov  rsi, 0           ; O_RDONLY
+    mov  rax, 2
+    syscall
+    mov  r14, rax
+    mov  rdi, r14
+    mov  rsi, buf
+    mov  rdx, 1
+    mov  rax, 0           ; read
+    syscall
+    ; out = input + which; write it to a per-branch result file
+    mov  rbx, buf
+    ld1  rcx, [rbx]
+    add  rcx, r15
+    st1  [rbx], rcx
+    mov  rdi, outpath
+    mov  rsi, 577         ; O_WRONLY|O_CREAT|O_TRUNC (0o1101)
+    mov  rax, 2
+    syscall
+    mov  r13, rax
+    mov  rdi, r13
+    mov  rsi, buf
+    mov  rdx, 1
+    mov  rax, 1           ; write
+    syscall
+    ; echo to console (escapes containment)
+    mov  rdi, 1
+    mov  rsi, buf
+    mov  rdx, 1
+    mov  rax, 1
+    syscall
+    mov  rax, 1001        ; fail: discard this branch's files
+    syscall
+.data
+inpath:  .asciz "/in.txt"
+outpath: .asciz "/out.txt"
+buf:     .space 1
+"#;
+    let program = assemble_source(source).unwrap();
+    let mut volume = Volume::new();
+    volume.write_file("/in.txt", b"A").unwrap();
+    let root = program.boot_with_fs(FsView::new(volume)).unwrap();
+    let mut engine = Engine::new(Dfs::new());
+    let result = engine.run(&mut Interp::new(), root);
+    assert_eq!(result.stop, StopReason::Exhausted);
+    // Console shows each branch's computed byte: 'A'+0, 'A'+1, 'A'+2.
+    assert_eq!(result.transcript_str(), "ABC");
+    // All three branches failed; their /out.txt never escaped.
+    assert_eq!(result.stats.failures, 3);
+}
+
+/// Symbolic execution drives the whole stack: vm decodes, core forks
+/// snapshots, symex tracks constraints, solver answers feasibility.
+#[test]
+fn symex_full_stack_password() {
+    let password = b"k9!";
+    let program = assemble_source(&lwsnap_symex::programs::password_source(password)).unwrap();
+    let mut exec = SymExec::new();
+    let mut engine = Engine::new(Dfs::new());
+    engine.run(&mut exec, program.boot().unwrap());
+    let success: Vec<_> = exec
+        .cases
+        .iter()
+        .filter(|c| c.end == PathEnd::Exit(42))
+        .collect();
+    assert_eq!(success.len(), 1);
+    assert_eq!(success[0].inputs, password);
+}
+
+/// Strict interposition policy turns unsupported syscalls into faults
+/// that kill only the offending path.
+#[test]
+fn strict_policy_fails_paths_not_the_search() {
+    let source = r#"
+.text
+_start:
+    mov  rdi, 2
+    mov  rax, 1000        ; guess(2)
+    syscall
+    cmp  rax, 0
+    jz   misbehave
+    mov  rax, 1003        ; emit: the good path succeeds
+    syscall
+    mov  rax, 1001
+    syscall
+misbehave:
+    mov  rax, 9999        ; unsupported syscall
+    syscall
+    mov  rax, 1001
+    syscall
+"#;
+    let program = assemble_source(source).unwrap();
+    let policy = InterposePolicy {
+        strict: true,
+        ..Default::default()
+    };
+    let mut engine = Engine::new(Dfs::new());
+    let mut interp = Interp::with_policy(policy);
+    let result = engine.run(&mut interp, program.boot().unwrap());
+    assert_eq!(result.stop, StopReason::Exhausted);
+    assert_eq!(result.stats.faults, 1, "the misbehaving path faulted");
+    assert_eq!(result.stats.solutions, 1, "the other path still completed");
+}
+
+/// The Prolog machine and the snapshot engine agree on a non-queens
+/// problem too (map colouring as a cross-check).
+#[test]
+fn prolog_vs_engine_map_coloring() {
+    // Four regions in a row, 3 colours, adjacent must differ:
+    // 3 * 2 * 2 * 2 = 24 colourings.
+    let mut m = Machine::new();
+    m.consult(
+        "color(r). color(g). color(b).
+         diff(X, Y) :- color(X), color(Y), X \\= Y.
+         row(A, B, C, D) :- color(A), diff(A, B), diff(B, C), diff(C, D).",
+    )
+    .unwrap();
+    let prolog_count = m.count_solutions("row(A, B, C, D)").unwrap();
+    assert_eq!(prolog_count, 24);
+
+    // Same problem through replay backtracking.
+    let replay = replay_dfs(
+        |ctx| {
+            let mut prev = u64::MAX;
+            for _ in 0..4 {
+                let c = ctx.guess(3);
+                if c == prev {
+                    return Outcome::Failed;
+                }
+                prev = c;
+            }
+            Outcome::Solution
+        },
+        None,
+    );
+    assert_eq!(replay.stats.solutions, 24);
+}

@@ -1,0 +1,147 @@
+//! F1 — behavioural reproduction of the paper's Figure 1.
+//!
+//! The n-queens guest has the exact shape of the listing: a guess per
+//! column, a fail on conflict, a print per completed board, and a final
+//! fail so the engine enumerates *all* answers. No undo code exists
+//! anywhere in the guest.
+
+use std::collections::HashSet;
+
+use lwsnap_core::strategy::{BestFirst, Bfs, Dfs, RandomWalk};
+use lwsnap_core::{Engine, EngineConfig, StopReason};
+use lwsnap_vm::{assemble_source, programs::nqueens_source, Interp};
+
+/// OEIS A000170.
+const SOLUTION_COUNTS: [(u64, u64); 5] = [(4, 2), (5, 10), (6, 4), (7, 40), (8, 92)];
+
+fn boards_from(transcript: &str, n: usize) -> Vec<Vec<u8>> {
+    transcript
+        .lines()
+        .map(|line| {
+            assert_eq!(line.len(), n, "board line `{line}`");
+            line.bytes().map(|b| b - b'0').collect()
+        })
+        .collect()
+}
+
+fn assert_valid_board(rows: &[u8]) {
+    let n = rows.len() as i64;
+    for c1 in 0..rows.len() {
+        for c2 in c1 + 1..rows.len() {
+            let (r1, r2) = (rows[c1] as i64, rows[c2] as i64);
+            assert!(r1 < n && r2 < n);
+            assert_ne!(r1, r2, "row clash");
+            assert_ne!(
+                (r1 - r2).abs(),
+                (c1 as i64 - c2 as i64).abs(),
+                "diagonal clash"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig1_enumerates_all_answers_for_known_sizes() {
+    for (n, expected) in SOLUTION_COUNTS {
+        let program = assemble_source(&nqueens_source(n, true, true)).unwrap();
+        let mut engine = Engine::new(Dfs::new());
+        let mut interp = Interp::new();
+        let result = engine.run(&mut interp, program.boot().unwrap());
+        assert_eq!(result.stop, StopReason::Exhausted);
+        assert_eq!(result.stats.solutions, expected, "N={n}");
+        let boards = boards_from(&result.transcript_str(), n as usize);
+        assert_eq!(boards.len() as u64, expected);
+        for board in &boards {
+            assert_valid_board(board);
+        }
+        // All distinct.
+        let unique: HashSet<_> = boards.iter().collect();
+        assert_eq!(unique.len() as u64, expected);
+    }
+}
+
+#[test]
+fn all_strategies_find_the_same_solution_set() {
+    let n = 6u64;
+    let program = assemble_source(&nqueens_source(n, true, true)).unwrap();
+    let run = |strategy: StrategyKind| -> HashSet<String> {
+        let mut interp = Interp::new();
+        let result = match strategy {
+            StrategyKind::Dfs => Engine::new(Dfs::new()).run(&mut interp, program.boot().unwrap()),
+            StrategyKind::Bfs => Engine::new(Bfs::new()).run(&mut interp, program.boot().unwrap()),
+            StrategyKind::Astar => {
+                Engine::new(BestFirst::new()).run(&mut interp, program.boot().unwrap())
+            }
+            StrategyKind::Random => {
+                Engine::new(RandomWalk::new(7)).run(&mut interp, program.boot().unwrap())
+            }
+        };
+        result.transcript_str().lines().map(str::to_owned).collect()
+    };
+    enum StrategyKind {
+        Dfs,
+        Bfs,
+        Astar,
+        Random,
+    }
+    let dfs = run(StrategyKind::Dfs);
+    assert_eq!(dfs.len(), 4);
+    assert_eq!(dfs, run(StrategyKind::Bfs), "BFS finds the same set");
+    assert_eq!(dfs, run(StrategyKind::Astar), "A* finds the same set");
+    assert_eq!(
+        dfs,
+        run(StrategyKind::Random),
+        "random order finds the same set"
+    );
+}
+
+#[test]
+fn dfs_enumerates_in_lexicographic_order() {
+    // DFS + extension order = lexicographically sorted boards.
+    let program = assemble_source(&nqueens_source(6, true, true)).unwrap();
+    let mut engine = Engine::new(Dfs::new());
+    let result = engine.run(&mut Interp::new(), program.boot().unwrap());
+    let transcript = result.transcript_str();
+    let lines: Vec<&str> = transcript.lines().collect();
+    let mut sorted = lines.clone();
+    sorted.sort_unstable();
+    assert_eq!(lines, sorted);
+}
+
+#[test]
+fn solution_limit_cuts_enumeration() {
+    let program = assemble_source(&nqueens_source(8, false, true)).unwrap();
+    let config = EngineConfig {
+        max_solutions: Some(10),
+        ..Default::default()
+    };
+    let mut engine = Engine::with_config(Dfs::new(), config);
+    let result = engine.run(&mut Interp::new(), program.boot().unwrap());
+    assert_eq!(result.stop, StopReason::SolutionLimit);
+    assert_eq!(result.stats.solutions, 10);
+}
+
+#[test]
+fn snapshot_accounting_matches_tree_shape() {
+    // For a DFS run, every snapshot is created once and every extension
+    // either continues inline (ext 0) or is restored later.
+    let program = assemble_source(&nqueens_source(6, false, true)).unwrap();
+    let mut engine = Engine::new(Dfs::new());
+    let result = engine.run(&mut Interp::new(), program.boot().unwrap());
+    let s = result.stats;
+    assert_eq!(
+        s.inline_continues, s.snapshots_created,
+        "one inline continue per guess"
+    );
+    assert_eq!(
+        s.restores,
+        s.snapshots_created * 5,
+        "fan-out 6: five queued siblings per guess"
+    );
+    assert_eq!(s.extensions_evaluated, 1 + s.inline_continues + s.restores);
+    assert!(
+        s.snapshots_peak <= 7,
+        "DFS keeps O(depth) snapshots live: {}",
+        s.snapshots_peak
+    );
+}
