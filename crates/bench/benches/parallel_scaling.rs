@@ -1,0 +1,44 @@
+//! Parallel scaling of the work-stealing engine.
+//!
+//! Measures the wall-clock of an exhaustive n-queens search as worker
+//! count grows, against the sequential engine as baseline. The search
+//! tree is irregular (failed prefixes die early), which is exactly the
+//! load shape work stealing exists for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lwsnap_core::{strategy::Dfs, Engine, ParallelEngine};
+use lwsnap_vm::{assemble_source, programs::nqueens_source, Interp};
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+
+    let n = 7u64;
+    let program = assemble_source(&nqueens_source(n, false, true)).expect("assembles");
+    let expected = 40; // 7-queens
+
+    group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+        b.iter(|| {
+            let result = Engine::new(Dfs::new()).run(&mut Interp::new(), program.boot().unwrap());
+            assert_eq!(result.stats.solutions, expected);
+        })
+    });
+
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let result =
+                        ParallelEngine::new(workers).run(Interp::new, program.boot().unwrap());
+                    assert_eq!(result.stats.solutions, expected);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

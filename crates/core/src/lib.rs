@@ -54,6 +54,7 @@
 pub mod engine;
 pub mod guest;
 pub mod interpose;
+pub mod parallel;
 pub mod registers;
 pub mod replay;
 pub mod snapshot;
@@ -62,6 +63,7 @@ pub mod strategy;
 pub use engine::{Engine, EngineConfig, EngineStats, FaultPolicy, RunResult, Solution, StopReason};
 pub use guest::{Exit, GuessHint, Guest, GuestFault, GuestState};
 pub use interpose::{handle_syscall, InterposePolicy, SyscallEffect, Sysno};
+pub use parallel::{ParallelConfig, ParallelEngine, ParallelRunResult};
 pub use registers::{Flags, Reg, RegisterFile};
 pub use replay::{replay_dfs, Outcome, ReplayCtx, ReplayResult, ReplayStats};
 pub use snapshot::{ExtData, Snapshot, SnapshotId, SnapshotTree};

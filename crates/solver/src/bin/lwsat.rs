@@ -12,9 +12,7 @@
 
 use std::process::ExitCode;
 
-use lwsnap_solver::{
-    parse_dimacs, pigeonhole, random_ksat, write_dimacs, SolveResult, Var,
-};
+use lwsnap_solver::{parse_dimacs, pigeonhole, random_ksat, write_dimacs, SolveResult, Var};
 
 fn usage() -> ExitCode {
     eprintln!(

@@ -1,0 +1,70 @@
+//! Parallel n-queens: Figure 1 on N worker threads.
+//!
+//! Demonstrates the work-stealing [`ParallelEngine`]: the same SVM-64
+//! n-queens guest as `quickstart`, but with extension steps evaluated by
+//! a pool of workers sharing immutable snapshots. The transcript is
+//! deterministic — byte-identical to the sequential DFS run — because
+//! results are merged in tree-path order.
+//!
+//! ```sh
+//! cargo run --release --example parallel_nqueens [N] [WORKERS]
+//! ```
+
+use lwsnap_core::{strategy::Dfs, Engine, ParallelEngine};
+use lwsnap_vm::{assemble_source, programs::nqueens_source, Interp};
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
+    let workers: usize = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        });
+
+    let program = assemble_source(&nqueens_source(n, true, true)).expect("n-queens assembles");
+
+    // Sequential baseline.
+    let start = std::time::Instant::now();
+    let sequential = Engine::new(Dfs::new()).run(&mut Interp::new(), program.boot().unwrap());
+    let sequential_time = start.elapsed();
+
+    // Parallel run: each worker builds its own interpreter; snapshots
+    // are shared immutably between threads.
+    let start = std::time::Instant::now();
+    let parallel = ParallelEngine::new(workers).run(Interp::new, program.boot().unwrap());
+    let parallel_time = start.elapsed();
+
+    assert_eq!(
+        parallel.transcript, sequential.transcript,
+        "deterministic merge must reproduce the sequential transcript"
+    );
+
+    print!("{}", parallel.transcript_str());
+    println!("--------------------------------------------------");
+    println!(
+        "{n}-queens: {} solutions | sequential {sequential_time:?} | {workers} workers {parallel_time:?}",
+        parallel.stats.solutions
+    );
+    println!(
+        "speedup: {:.2}x | transcripts identical: yes",
+        sequential_time.as_secs_f64() / parallel_time.as_secs_f64()
+    );
+    for (id, w) in parallel.worker_stats.iter().enumerate() {
+        println!(
+            "  worker {id}: {} extension steps, {} restores, {} inline continues, {} failed paths",
+            w.extensions_evaluated, w.restores, w.inline_continues, w.failures
+        );
+    }
+    println!(
+        "snapshots: {} created, peak {} live, frontier peak {}",
+        parallel.stats.snapshots_created,
+        parallel.stats.snapshots_peak,
+        parallel.stats.frontier_peak
+    );
+}

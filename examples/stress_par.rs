@@ -1,0 +1,31 @@
+//! Concurrency stress for the parallel engine.
+//!
+//! Runs the 6-queens search many times across several worker counts,
+//! asserting the solution count every iteration. Exists to flush out
+//! rare scheduling races (it caught a frontier-counter underflow that
+//! could wedge a run); run it after touching `lwsnap_core::parallel`:
+//!
+//! ```sh
+//! cargo run --release --example stress_par [ITERATIONS]
+//! ```
+
+use lwsnap_core::ParallelEngine;
+use lwsnap_vm::{assemble_source, programs::nqueens_source, Interp};
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(300);
+    let program = assemble_source(&nqueens_source(6, true, true)).unwrap();
+    for i in 0..iters {
+        for workers in [2usize, 3, 8] {
+            let r = ParallelEngine::new(workers).run(Interp::new, program.boot().unwrap());
+            assert_eq!(r.stats.solutions, 4, "iter {i} workers {workers}");
+        }
+        if i % 50 == 0 {
+            eprintln!("iter {i} ok");
+        }
+    }
+    eprintln!("all ok");
+}

@@ -1,0 +1,140 @@
+//! Cross-crate guarantee: the work-stealing parallel engine finds the
+//! exact solution set — and, under deterministic ordering, the exact
+//! transcript — of the sequential DFS engine.
+//!
+//! Two workloads, per the paper's two motivating applications:
+//! * the Figure-1 n-queens guest running on the SVM-64 interpreter;
+//! * a SAT enumeration guest (one `sys_guess(2)` per variable, clause
+//!   check per assignment) over a generated 3-SAT formula.
+
+use std::collections::HashSet;
+
+use lwsnap_core::{strategy::Dfs, Engine, Exit, GuestState, ParallelEngine, Reg, StopReason};
+use lwsnap_solver::{random_ksat, Cnf};
+use lwsnap_vm::{assemble_source, programs::nqueens_source, Interp};
+
+#[test]
+fn six_queens_parallel_matches_sequential() {
+    let program = assemble_source(&nqueens_source(6, true, true)).unwrap();
+    let sequential = Engine::new(Dfs::new()).run(&mut Interp::new(), program.boot().unwrap());
+    assert_eq!(sequential.stats.solutions, 4, "6-queens has 4 answers");
+
+    for workers in [2usize, 3, 8] {
+        let parallel = ParallelEngine::new(workers).run(Interp::new, program.boot().unwrap());
+        assert_eq!(parallel.stop, StopReason::Exhausted);
+
+        // Identical solution *set* (boards, order-independent)...
+        let seq_text = sequential.transcript_str();
+        let par_text = parallel.transcript_str();
+        let seq_set: HashSet<&str> = seq_text.lines().collect();
+        let par_set: HashSet<&str> = par_text.lines().collect();
+        assert_eq!(par_set, seq_set, "same boards at {workers} workers");
+
+        // ...and the full deterministic-ordering guarantee: the merged
+        // transcript and solution records are byte-identical.
+        assert_eq!(parallel.transcript, sequential.transcript);
+        assert_eq!(parallel.solutions.len(), sequential.solutions.len());
+        for (p, s) in parallel.solutions.iter().zip(&sequential.solutions) {
+            assert_eq!(p, s, "solution record mismatch at {workers} workers");
+        }
+        assert_eq!(parallel.stats.solutions, 4);
+    }
+}
+
+/// A guest enumerating all satisfying assignments of `cnf` by guessing
+/// one variable per depth and failing as soon as any clause is fully
+/// falsified. State machine over registers: rbx = phase, rcx = number of
+/// variables assigned, r12 = assignment bits.
+fn sat_guest(cnf: Cnf) -> impl FnMut(&mut GuestState) -> Exit {
+    let falsified = move |bits: u64, assigned: u64, clauses: &[Vec<lwsnap_solver::Lit>]| {
+        clauses.iter().any(|clause| {
+            clause.iter().all(|l| {
+                let v = l.var().index() as u64;
+                // A clause is dead only when every literal is assigned
+                // and false. `sign()` is true for negative literals.
+                v < assigned && (bits >> v & 1 == 1) == l.sign()
+            })
+        })
+    };
+    move |st: &mut GuestState| loop {
+        let phase = st.regs.get(Reg::Rbx);
+        let assigned = st.regs.get(Reg::Rcx);
+        let bits = st.regs.get(Reg::R12);
+        match phase {
+            0 => {
+                if falsified(bits, assigned, &cnf.clauses) {
+                    return Exit::Fail;
+                }
+                if assigned == cnf.num_vars as u64 {
+                    st.regs.set(Reg::Rbx, 2);
+                    return Exit::Output {
+                        fd: 1,
+                        data: format!("{bits:0w$b}\n", w = cnf.num_vars).into_bytes(),
+                    };
+                }
+                st.regs.set(Reg::Rbx, 1);
+                return Exit::Guess { n: 2, hint: None };
+            }
+            1 => {
+                let choice = st.regs.get(Reg::Rax);
+                st.regs.set(Reg::R12, bits | choice << assigned);
+                st.regs.set(Reg::Rcx, assigned + 1);
+                st.regs.set(Reg::Rbx, 0);
+            }
+            2 => {
+                st.regs.set(Reg::Rbx, 3);
+                return Exit::Emit;
+            }
+            _ => return Exit::Fail,
+        }
+    }
+}
+
+/// Host-side model check used to validate what the guests report.
+fn brute_force_models(cnf: &Cnf) -> HashSet<u64> {
+    (0..1u64 << cnf.num_vars)
+        .filter(|bits| {
+            cnf.clauses.iter().all(|clause| {
+                clause
+                    .iter()
+                    .any(|l| (bits >> l.var().index() & 1 == 1) != l.sign())
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn sat_enumeration_parallel_matches_sequential() {
+    // Deterministic, satisfiable-but-constrained instance: 10 vars at a
+    // sub-phase-transition clause ratio.
+    let cnf = random_ksat(10, 30, 3, 0xc0ffee);
+    let expected = brute_force_models(&cnf);
+    assert!(!expected.is_empty(), "workload should be satisfiable");
+
+    let sequential = Engine::new(Dfs::new()).run(&mut sat_guest(cnf.clone()), GuestState::new());
+    assert_eq!(sequential.stats.solutions as usize, expected.len());
+
+    for workers in [2usize, 4] {
+        let cnf = cnf.clone();
+        let parallel =
+            ParallelEngine::new(workers).run(move || sat_guest(cnf.clone()), GuestState::new());
+        assert_eq!(parallel.stop, StopReason::Exhausted);
+
+        // Solution set: parse the reported assignments and compare with
+        // the brute-force models.
+        let models: HashSet<u64> = parallel
+            .transcript_str()
+            .lines()
+            .map(|line| u64::from_str_radix(line, 2).unwrap())
+            .collect();
+        assert_eq!(models, expected, "model set differs at {workers} workers");
+
+        // Deterministic ordering: transcript identical to sequential.
+        assert_eq!(parallel.transcript, sequential.transcript);
+        assert_eq!(parallel.stats.solutions, sequential.stats.solutions);
+        assert_eq!(
+            parallel.stats.extensions_evaluated, sequential.stats.extensions_evaluated,
+            "parallel run must do the same work, just elsewhere"
+        );
+    }
+}

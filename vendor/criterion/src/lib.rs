@@ -1,0 +1,361 @@
+//! Vendored offline shim for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `black_box` — with a simple wall-clock measurement loop instead of
+//! Criterion's statistical machinery.
+//!
+//! Behavioural contract kept from real Criterion:
+//!
+//! * `--test` (as in `cargo bench -- --test`) runs every benchmark body
+//!   exactly once and reports `ok`, so CI can smoke-test benches cheaply;
+//! * a positional CLI argument filters benchmarks by substring;
+//! * benchmark IDs render as `group/function/parameter`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (recorded, reported alongside timings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self, group: &str) -> String {
+        let mut s = group.to_owned();
+        if let Some(f) = &self.function {
+            let _ = write!(s, "/{f}");
+        }
+        if let Some(p) = &self.parameter {
+            let _ = write!(s, "/{p}");
+        }
+        s
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: Some(s.to_owned()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Shared measurement configuration and CLI state.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            filter: None,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a `Criterion` from the process CLI arguments, accepting
+    /// (and where irrelevant, ignoring) the flags cargo and real
+    /// Criterion pass: `--bench`, `--test`, `--exact`, value-taking
+    /// tuning flags, and a positional name filter.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                "--bench" | "--exact" | "--verbose" | "--quiet" | "--noplot" | "--list"
+                | "--discard-baseline" => {}
+                "--save-baseline"
+                | "--baseline"
+                | "--load-baseline"
+                | "--sample-size"
+                | "--measurement-time"
+                | "--warm-up-time"
+                | "--profile-time"
+                | "--significance-level"
+                | "--noise-threshold"
+                | "--confidence-level"
+                | "--output-format"
+                | "--color"
+                | "--plotting-backend" => {
+                    let _ = args.next();
+                }
+                flag if flag.starts_with("--") => {}
+                positional => {
+                    if c.filter.is_none() {
+                        c.filter = Some(positional.to_owned());
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id: BenchmarkId = id.into();
+        let name = id.render("");
+        let name = name.trim_start_matches('/').to_owned();
+        run_one(self, &name, 20, None, f);
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(f) => name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples (kept for API compatibility;
+    /// the shim uses it to bound the measurement loop).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Records throughput for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the target measurement time (accepted, loosely honoured).
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.measurement_time = time;
+        self
+    }
+
+    /// Benchmarks a closure under the given id.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into().render(&self.name);
+        run_one(self.criterion, &name, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks a closure that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = id.render(&self.name);
+        run_one(
+            self.criterion,
+            &name,
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (reporting is per-benchmark in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(
+    criterion: &Criterion,
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if !criterion.matches(name) {
+        return;
+    }
+    if criterion.test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test {name} ... ok");
+        return;
+    }
+    // Calibrate: run once to estimate per-iteration cost, then size the
+    // measurement loop to roughly the target measurement time, capped by
+    // sample_size on the high end for slow benches.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let target = criterion.measurement_time;
+    let iters = (target.as_nanos() / once.as_nanos()).clamp(1, sample_size as u128 * 5) as u64;
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed / iters.max(1) as u32;
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let gib_s = n as f64 / per_iter.as_secs_f64() / (1u64 << 30) as f64;
+            println!("{name:<60} {per_iter:>12.2?}/iter ({iters} iters, {gib_s:.3} GiB/s)");
+        }
+        Some(Throughput::Elements(n)) => {
+            let elem_s = n as f64 / per_iter.as_secs_f64();
+            println!("{name:<60} {per_iter:>12.2?}/iter ({iters} iters, {elem_s:.0} elem/s)");
+        }
+        None => {
+            println!("{name:<60} {per_iter:>12.2?}/iter ({iters} iters)");
+        }
+    }
+}
+
+/// Declares a benchmark group function compatible with real Criterion's
+/// plain form: `criterion_group!(benches, bench_a, bench_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_renders_group_function_parameter() {
+        assert_eq!(BenchmarkId::new("f", 3).render("g"), "g/f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).render("g"), "g/7");
+        assert_eq!(BenchmarkId::from("name").render("g"), "g/name");
+    }
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 5,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn filter_matches_substring() {
+        let c = Criterion {
+            filter: Some("fork".into()),
+            ..Criterion::default()
+        };
+        assert!(c.matches("e7_fork_baseline/replay/4"));
+        assert!(!c.matches("e1_nqueens/prolog"));
+    }
+}

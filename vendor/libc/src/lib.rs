@@ -1,0 +1,136 @@
+//! Vendored offline shim for the `libc` crate.
+//!
+//! The build environment for this workspace has no access to crates.io,
+//! so this crate declares exactly the FFI surface `lwsnap-osnative`
+//! uses, with struct layouts matching glibc on 64-bit Linux. It is NOT a
+//! general-purpose libc binding — do not grow it beyond what the
+//! workspace needs (see vendor/README.md).
+
+#![allow(non_camel_case_types)]
+#![cfg(all(target_os = "linux", target_pointer_width = "64"))]
+
+pub use core::ffi::c_void;
+
+pub type c_char = i8;
+pub type c_int = i32;
+pub type c_uint = u32;
+pub type c_long = i64;
+pub type c_ulong = u64;
+pub type size_t = usize;
+pub type ssize_t = isize;
+pub type off_t = i64;
+pub type pid_t = i32;
+pub type sighandler_t = size_t;
+
+pub const PROT_READ: c_int = 1;
+pub const PROT_WRITE: c_int = 2;
+pub const MAP_PRIVATE: c_int = 0x0002;
+pub const MAP_ANONYMOUS: c_int = 0x0020;
+pub const MAP_FAILED: *mut c_void = !0 as *mut c_void;
+pub const SIGSEGV: c_int = 11;
+pub const SA_SIGINFO: c_int = 0x0000_0004;
+pub const SIG_DFL: sighandler_t = 0;
+
+/// glibc `sigset_t`: 1024 bits.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sigset_t {
+    __val: [u64; 16],
+}
+
+/// glibc `struct sigaction` on 64-bit Linux.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sigaction {
+    pub sa_sigaction: sighandler_t,
+    pub sa_mask: sigset_t,
+    pub sa_flags: c_int,
+    pub sa_restorer: Option<extern "C" fn()>,
+}
+
+/// glibc `siginfo_t` on 64-bit Linux: three ints, padding to an 8-byte
+/// boundary, then the 112-byte `_sifields` union.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct siginfo_t {
+    pub si_signo: c_int,
+    pub si_errno: c_int,
+    pub si_code: c_int,
+    _pad: c_int,
+    _sifields: [usize; 14],
+}
+
+impl siginfo_t {
+    /// The fault address, valid for SIGSEGV/SIGBUS delivered with
+    /// `SA_SIGINFO` (first field of the `_sigfault` arm of the union).
+    ///
+    /// # Safety
+    ///
+    /// Only meaningful for signals whose `_sifields` arm starts with an
+    /// address (SIGSEGV, SIGBUS), mirroring the real libc crate.
+    pub unsafe fn si_addr(&self) -> *mut c_void {
+        self._sifields[0] as *mut c_void
+    }
+}
+
+extern "C" {
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    pub fn mprotect(addr: *mut c_void, len: size_t, prot: c_int) -> c_int;
+    pub fn sigaction(signum: c_int, act: *const sigaction, oldact: *mut sigaction) -> c_int;
+    pub fn sigemptyset(set: *mut sigset_t) -> c_int;
+    pub fn raise(sig: c_int) -> c_int;
+    pub fn fork() -> pid_t;
+    pub fn waitpid(pid: pid_t, status: *mut c_int, options: c_int) -> pid_t;
+    pub fn _exit(status: c_int) -> !;
+    pub fn pipe(fds: *mut c_int) -> c_int;
+    pub fn close(fd: c_int) -> c_int;
+    pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigaction_layout_matches_glibc() {
+        // glibc x86_64: handler (8) + mask (128) + flags (4, padded) +
+        // restorer (8) = 152 bytes.
+        assert_eq!(std::mem::size_of::<sigaction>(), 152);
+        assert_eq!(std::mem::size_of::<sigset_t>(), 128);
+    }
+
+    #[test]
+    fn siginfo_layout_matches_glibc() {
+        assert_eq!(std::mem::size_of::<siginfo_t>(), 128);
+        // si_addr must sit at offset 16 (after signo/errno/code + pad).
+        let mut si: siginfo_t = unsafe { std::mem::zeroed() };
+        si._sifields[0] = 0xdead_beef;
+        assert_eq!(unsafe { si.si_addr() } as usize, 0xdead_beef);
+    }
+
+    #[test]
+    fn mmap_roundtrip_works() {
+        unsafe {
+            let p = mmap(
+                std::ptr::null_mut(),
+                4096,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            );
+            assert_ne!(p, MAP_FAILED);
+            *(p as *mut u8) = 42;
+            assert_eq!(*(p as *const u8), 42);
+            assert_eq!(munmap(p, 4096), 0);
+        }
+    }
+}

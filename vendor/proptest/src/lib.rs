@@ -1,0 +1,560 @@
+//! Vendored offline shim for the `proptest` crate.
+//!
+//! Implements the API surface this workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map` / `prop_filter_map`, integer-range
+//! and tuple strategies, [`any`], [`Just`], `collection::vec`, the
+//! `prop_oneof!` / `proptest!` / `prop_assert!` / `prop_assert_eq!`
+//! macros, and [`ProptestConfig::with_cases`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case panics with the generated inputs
+//!   `Debug`-printed, but is not minimised.
+//! * **Deterministic seeding** — every test function derives its RNG
+//!   seed from its own name, so runs are reproducible by construction
+//!   (and CI failures reproduce locally). Set `PROPTEST_SEED` to vary.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------
+
+/// SplitMix64 generator driving all sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Derives the per-test seed: FNV-1a of the test name mixed with the
+    /// case index, XORed with `PROPTEST_SEED` when set.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let env = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        TestRng::new(h ^ env ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw below `n` (n > 0), bias-corrected.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let zone = n.wrapping_neg() % n;
+        loop {
+            let m = self.next_u64() as u128 * n as u128;
+            if (m as u64) >= zone {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: std::fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values `f` maps to `Some`, resampling otherwise.
+    fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        O: std::fmt::Debug,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Keeps only values satisfying `f`, resampling otherwise.
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T: std::fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: std::fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    O: std::fmt::Debug,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        for _ in 0..10_000 {
+            if let Some(v) = (self.f)(self.inner.sample(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map {:?}: rejection rate too high", self.whence);
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?}: rejection rate too high", self.whence);
+    }
+}
+
+/// Weighted union of boxed strategies — the engine behind `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T: std::fmt::Debug> Union<T> {
+    /// Builds a union from weighted arms. Panics if empty or all-zero.
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof needs at least one positive weight");
+        Union { arms, total }
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, arm) in &self.arms {
+            if pick < *w as u64 {
+                return arm.sample(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+// Integer ranges.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let width = (end as i128 - start as i128) as u128 + 1;
+                if width > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + rng.below(width as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// Tuples of strategies.
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Marker returned by [`any`], sampling the full domain of `T`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Strategy over the entire domain of `T` (the subset of types the
+/// workspace uses).
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<char> {
+    type Value = char;
+    fn sample(&self, rng: &mut TestRng) -> char {
+        // Printable ASCII keeps generated text debuggable.
+        (0x20u8 + rng.below(0x5f) as u8) as char
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A size specification for [`vec`]: a fixed length or a range.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "cannot sample empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    /// Strategy generating `Vec`s of `elem` values with lengths in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl SizeRange) -> VecStrategy<S, impl SizeRange> {
+        VecStrategy { elem, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, Z> {
+        elem: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample_len(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Config & prelude
+// ---------------------------------------------------------------------
+
+/// Runner configuration (the subset the workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Weighted choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Property assertion (no shrinking: delegates to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion (no shrinking: delegates to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running `config.cases` sampled cases. Failing
+/// inputs are printed (not shrunk).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@runner ($config); $($rest)*);
+    };
+    (
+        @runner ($config:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases as u64 {
+                    let mut rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    // Render inputs before the body may move them.
+                    let mut case_desc = String::new();
+                    $(case_desc.push_str(&format!(
+                        "    {} = {:?}\n", stringify!($arg), &$arg));)+
+                    let result = std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(move || $body)
+                    );
+                    if let Err(payload) = result {
+                        eprintln!("proptest case {case} failed for inputs:\n{case_desc}");
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@runner ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..1000 {
+            let v = crate::Strategy::sample(&(-50i64..50), &mut rng);
+            assert!((-50..50).contains(&v));
+            let w = crate::Strategy::sample(&(1u8..=10), &mut rng);
+            assert!((1..=10).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_size_range() {
+        let strat = crate::collection::vec(any::<u8>(), 3..7);
+        let mut rng = crate::TestRng::new(2);
+        for _ in 0..100 {
+            let v = crate::Strategy::sample(&strat, &mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_uses_every_arm() {
+        let strat = prop_oneof![
+            1 => Just(0u8),
+            1 => Just(1u8),
+            2 => Just(2u8),
+        ];
+        let mut rng = crate::TestRng::new(3);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[crate::Strategy::sample(&strat, &mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn filter_map_resamples() {
+        let strat = (0u8..100).prop_filter_map("even", |v| (v % 2 == 0).then_some(v));
+        let mut rng = crate::TestRng::new(4);
+        for _ in 0..100 {
+            assert_eq!(crate::Strategy::sample(&strat, &mut rng) % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_cases(a in 0i64..10, b in proptest::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert!(b.len() < 4);
+        }
+    }
+
+    // Self-use of the crate name inside its own tests needs an alias.
+    use crate as proptest;
+}
