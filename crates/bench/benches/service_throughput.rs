@@ -1,0 +1,43 @@
+//! Service throughput: the sequential `SolverService` vs the sharded,
+//! worker-pooled `ShardedService` on the same multi-session closed-loop
+//! workload (see `lwsnap_bench::service_workload`).
+//!
+//! Expected shape: throughput grows with the worker count until the
+//! session/shard parallelism is exhausted; the eviction-capped variant
+//! trades a little throughput for a 4× smaller resident set. The shim's
+//! min/median/stddev report is what makes the comparison meaningful.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lwsnap_bench::service_workload::{run_sequential, run_sharded, Workload};
+
+fn bench_service_throughput(c: &mut Criterion) {
+    let sessions = 8;
+    let queries = 6;
+    let workload = Workload::build(sessions, queries, 50, 0xbe9c);
+    let total = workload.total_queries() as u64;
+
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total));
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| std::hint::black_box(run_sequential(&workload).verdicts))
+    });
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("sharded", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| std::hint::black_box(run_sharded(&workload, 8, workers, None).0.verdicts))
+            },
+        );
+    }
+    // The memory-bounded flavour: 25%-ish caps force eviction + replay.
+    group.bench_with_input(BenchmarkId::new("sharded_cap2", 4), &4, |b, &workers| {
+        b.iter(|| std::hint::black_box(run_sharded(&workload, 8, workers, Some(2)).0.verdicts))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_throughput);
+criterion_main!(benches);

@@ -2,4 +2,294 @@
 //!
 //! The real content of this crate lives in `benches/` (one Criterion
 //! harness per experiment in `EXPERIMENTS.md`) and in the workspace
-//! `examples/` directory, which this package hosts.
+//! `examples/` directory, which this package hosts. The
+//! [`service_workload`] module is the shared closed-loop workload used
+//! by both `examples/service_loadgen.rs` and the `service_throughput`
+//! bench, so the numbers they report describe the same traffic.
+
+pub mod service_workload {
+    //! A deterministic multi-session workload over a shared problem tree.
+    //!
+    //! Every session owns a plan: a sequence of solve steps, each
+    //! extending a node it created earlier (or the shared base problem)
+    //! with a few fresh clauses — the §3.2 traffic shape: mostly
+    //! chain-deepening, sometimes branching an old reference
+    //! (multi-path). Plans are built up front from a seeded RNG, so the
+    //! same workload can be replayed against the sequential service, the
+    //! sharded service, and the sharded service under eviction, and the
+    //! verdicts compared step for step.
+
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use lwsnap_service::{ServiceConfig, ShardedService, WorkerPool};
+    use lwsnap_solver::{model_satisfies, IncrementalFamily, Lit, SolveResult, SolverService};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// One solve step of a session.
+    #[derive(Debug, Clone)]
+    pub struct Step {
+        /// Which session-local node to extend: 0 is the shared base,
+        /// `k > 0` is the result of step `k-1`.
+        pub parent: usize,
+        /// The incremental constraint.
+        pub clauses: Vec<Vec<Lit>>,
+    }
+
+    /// A session's full plan.
+    #[derive(Debug, Clone)]
+    pub struct SessionPlan {
+        /// Session id (hashes onto a shard).
+        pub session: u64,
+        /// The solve steps, in order.
+        pub steps: Vec<Step>,
+    }
+
+    /// A deterministic closed-loop workload.
+    #[derive(Debug, Clone)]
+    pub struct Workload {
+        /// Variables in the shared 3-SAT base problem.
+        pub vars: usize,
+        /// The shared base clauses (solved once per shard, then pinned).
+        pub base: Vec<Vec<Lit>>,
+        /// Per-session plans.
+        pub sessions: Vec<SessionPlan>,
+    }
+
+    impl Workload {
+        /// Builds a workload of `sessions` sessions × `queries` steps
+        /// over a shared base of `vars` variables. Deterministic in
+        /// `seed`.
+        pub fn build(sessions: usize, queries: usize, vars: usize, seed: u64) -> Workload {
+            let fam = IncrementalFamily::new(vars, 5, seed);
+            let plans = (0..sessions as u64)
+                .map(|session| {
+                    let mut rng = StdRng::seed_from_u64(seed ^ session.wrapping_mul(0xd1b5));
+                    let steps = (0..queries)
+                        .map(|step| {
+                            // Mostly deepen the newest node; every 4th
+                            // step or so branch an older reference.
+                            let parent = if step == 0 || rng.gen_bool(0.75) {
+                                step
+                            } else {
+                                rng.gen_range(0..step)
+                            };
+                            let inc = session * 100_000 + step as u64;
+                            Step {
+                                parent,
+                                clauses: fam.increment(inc),
+                            }
+                        })
+                        .collect();
+                    SessionPlan { session, steps }
+                })
+                .collect();
+            Workload {
+                vars,
+                base: fam.base().clauses,
+                sessions: plans,
+            }
+        }
+
+        /// Total solve queries (excluding the per-shard base solves).
+        pub fn total_queries(&self) -> usize {
+            self.sessions.iter().map(|s| s.steps.len()).sum()
+        }
+
+        /// The full constraint stack of each node of one session:
+        /// `stacks[0]` is the base, `stacks[k]` the path of step `k-1`'s
+        /// result.
+        pub fn stacks(&self, plan: &SessionPlan) -> Vec<Vec<Vec<Lit>>> {
+            let mut stacks = vec![self.base.clone()];
+            for step in &plan.steps {
+                let mut stack = stacks[step.parent].clone();
+                stack.extend(step.clauses.iter().cloned());
+                stacks.push(stack);
+            }
+            stacks
+        }
+    }
+
+    /// Outcome of replaying a workload against some service flavour.
+    pub struct RunOutcome {
+        /// Per-session, per-step verdicts.
+        pub verdicts: Vec<Vec<SolveResult>>,
+        /// Wall-clock time for the whole run.
+        pub wall: Duration,
+        /// Per-query latencies (unordered).
+        pub latencies: Vec<Duration>,
+        /// SAT models verified against their constraint path.
+        pub verified_models: u64,
+    }
+
+    impl RunOutcome {
+        /// Queries per second over the run.
+        pub fn throughput(&self) -> f64 {
+            self.latencies.len() as f64 / self.wall.as_secs_f64().max(1e-9)
+        }
+
+        /// The `q`-quantile latency (e.g. 0.5, 0.99).
+        pub fn latency_quantile(&self, q: f64) -> Duration {
+            let mut sorted = self.latencies.clone();
+            sorted.sort_unstable();
+            if sorted.is_empty() {
+                return Duration::ZERO;
+            }
+            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+            sorted[idx]
+        }
+    }
+
+    /// Replays the workload on a single-threaded [`SolverService`]
+    /// (everything in one shard, one caller) — the scaling baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any returned model fails verification against its
+    /// constraint path.
+    pub fn run_sequential(workload: &Workload) -> RunOutcome {
+        let started = Instant::now();
+        let mut service = SolverService::new();
+        let base = service
+            .solve(service.root(), &workload.base)
+            .expect("root is live");
+        let mut verdicts = Vec::with_capacity(workload.sessions.len());
+        let mut latencies = Vec::with_capacity(workload.total_queries());
+        let mut verified = 0u64;
+        for plan in &workload.sessions {
+            let stacks = workload.stacks(plan);
+            let mut nodes = vec![base.problem];
+            let mut session_verdicts = Vec::with_capacity(plan.steps.len());
+            for (k, step) in plan.steps.iter().enumerate() {
+                let t0 = Instant::now();
+                let reply = service
+                    .solve(nodes[step.parent], &step.clauses)
+                    .expect("plan only references live nodes");
+                latencies.push(t0.elapsed());
+                if let Some(model) = &reply.model {
+                    assert!(
+                        model_satisfies(&stacks[k + 1], model),
+                        "sequential model failed verification at session {} step {k}",
+                        plan.session
+                    );
+                    verified += 1;
+                }
+                nodes.push(reply.problem);
+                session_verdicts.push(reply.result);
+            }
+            verdicts.push(session_verdicts);
+        }
+        RunOutcome {
+            verdicts,
+            wall: started.elapsed(),
+            latencies,
+            verified_models: verified,
+        }
+    }
+
+    /// Replays the workload on a [`ShardedService`]: one concurrent
+    /// closed-loop client thread per session, solve requests executed by
+    /// a `workers`-thread [`WorkerPool`], base problems pre-solved and
+    /// pinned per shard. Returns the outcome plus the service (for
+    /// stats inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query fails (dead reference) or any returned model
+    /// fails verification against its constraint path.
+    pub fn run_sharded(
+        workload: &Workload,
+        shards: usize,
+        workers: usize,
+        snapshot_capacity: Option<usize>,
+    ) -> (
+        RunOutcome,
+        Arc<ShardedService>,
+        Vec<lwsnap_service::WorkerStats>,
+    ) {
+        let mut config = ServiceConfig::new(shards);
+        config.snapshot_capacity = snapshot_capacity;
+        let service = Arc::new(ShardedService::new(config));
+        let started = Instant::now();
+        // The shared problem tree: solve the base once per shard, pin it
+        // so eviction can't drop the hottest node of all.
+        let bases: Vec<_> = (0..service.num_shards())
+            .map(|shard| {
+                let root = service.root(shard).expect("shard exists");
+                let reply = service.solve(root, &workload.base).expect("root is live");
+                service.pin(reply.problem);
+                reply.problem
+            })
+            .collect();
+        let pool = WorkerPool::new(Arc::clone(&service), workers);
+
+        let mut outcomes: Vec<(usize, Vec<SolveResult>, Vec<Duration>, u64)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = workload
+                    .sessions
+                    .iter()
+                    .enumerate()
+                    .map(|(i, plan)| {
+                        let client = pool.client();
+                        let service = &service;
+                        let workload = &workload;
+                        let bases = &bases;
+                        scope.spawn(move || {
+                            let stacks = workload.stacks(plan);
+                            let shard = service.session_root(plan.session).shard();
+                            let mut nodes = vec![bases[shard]];
+                            let mut verdicts = Vec::with_capacity(plan.steps.len());
+                            let mut latencies = Vec::with_capacity(plan.steps.len());
+                            let mut verified = 0u64;
+                            for (k, step) in plan.steps.iter().enumerate() {
+                                let t0 = Instant::now();
+                                let reply = client
+                                    .solve(nodes[step.parent], step.clauses.clone())
+                                    .expect("plan only references live nodes");
+                                latencies.push(t0.elapsed());
+                                if let Some(model) = &reply.model {
+                                    assert!(
+                                        model_satisfies(&stacks[k + 1], model),
+                                        "sharded model failed verification at \
+                                         session {} step {k}",
+                                        plan.session
+                                    );
+                                    verified += 1;
+                                }
+                                nodes.push(reply.problem);
+                                verdicts.push(reply.result);
+                            }
+                            (i, verdicts, latencies, verified)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("session thread panicked"))
+                    .collect()
+            });
+        let wall = started.elapsed();
+        let worker_stats = pool.shutdown();
+
+        outcomes.sort_by_key(|(i, ..)| *i);
+        let mut verdicts = Vec::with_capacity(outcomes.len());
+        let mut latencies = Vec::new();
+        let mut verified = 0;
+        for (_, v, l, n) in outcomes {
+            verdicts.push(v);
+            latencies.extend(l);
+            verified += n;
+        }
+        (
+            RunOutcome {
+                verdicts,
+                wall,
+                latencies,
+                verified_models: verified,
+            },
+            service,
+            worker_stats,
+        )
+    }
+}

@@ -59,6 +59,7 @@ pub mod registers;
 pub mod replay;
 pub mod snapshot;
 pub mod strategy;
+pub mod workqueue;
 
 pub use engine::{Engine, EngineConfig, EngineStats, FaultPolicy, RunResult, Solution, StopReason};
 pub use guest::{Exit, GuessHint, Guest, GuestFault, GuestState};

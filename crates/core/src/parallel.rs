@@ -197,6 +197,12 @@ struct SharedState {
     /// Sleep/wake coordination for idle workers.
     idle_lock: Mutex<()>,
     idle_cv: Condvar,
+    /// Workers currently parked on `idle_cv`. Producers skip the wakeup
+    /// lock entirely while this is zero, so wide fan-outs in a saturated
+    /// run pay one deque lock per sibling batch and nothing else. A
+    /// stale-zero read can miss a wakeup; the parked worker's timed wait
+    /// bounds that miss at one tick.
+    idle: AtomicUsize,
     /// Cooperative early-stop flag.
     stop: AtomicBool,
     /// First non-exhaustion stop reason, if any.
@@ -245,6 +251,8 @@ impl SharedState {
         None
     }
 
+    /// Publishes a whole sibling batch under a single deque-lock
+    /// acquisition, then wakes sleepers only if any exist.
     fn push_work(&self, me: usize, items: Vec<WorkItem>) {
         let added = items.len();
         if added == 0 {
@@ -256,10 +264,13 @@ impl SharedState {
         Self::bump_peak(&self.frontier, &self.peak_frontier, added);
         {
             let mut deque = self.deques[me].lock().unwrap();
+            deque.reserve(added);
             deque.extend(items);
         }
-        let _guard = self.idle_lock.lock().unwrap();
-        self.idle_cv.notify_all();
+        if self.idle.load(Ordering::Acquire) > 0 {
+            let _guard = self.idle_lock.lock().unwrap();
+            self.idle_cv.notify_all();
+        }
     }
 
     /// Marks `n` new pending paths.
@@ -330,6 +341,7 @@ impl ParallelEngine {
             pending: AtomicUsize::new(1),
             idle_lock: Mutex::new(()),
             idle_cv: Condvar::new(),
+            idle: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
             stop_reason: Mutex::new(None),
             solutions: AtomicU64::new(0),
@@ -415,12 +427,15 @@ fn worker_loop(
                 if shared.done() {
                     break;
                 }
-                // Timed wait guards against the (benign) race between
-                // the emptiness check and a concurrent push.
+                // Timed wait guards against the (benign) races between
+                // the emptiness check and a concurrent push, and between
+                // a producer's idle-count read and this increment.
+                shared.idle.fetch_add(1, Ordering::AcqRel);
                 let _ = shared
                     .idle_cv
                     .wait_timeout(guard, std::time::Duration::from_millis(1))
                     .unwrap();
+                shared.idle.fetch_sub(1, Ordering::AcqRel);
             }
         }
     }

@@ -1,0 +1,210 @@
+//! A batch-push MPMC injector queue.
+//!
+//! The work-distribution primitive shared between the snapshot search
+//! engine and the sharded solver service: producers inject work (a whole
+//! batch under **one** lock acquisition — the cure for contention on wide
+//! fan-outs), consumers block until work arrives or the queue is closed.
+//!
+//! This is deliberately the simple, correct shape — a mutex-protected
+//! deque with a condvar — not a lock-free deque. Its throughput ceiling
+//! is far above what solve-shaped work items need (each item costs
+//! milliseconds of solving against nanoseconds of queueing); the
+//! lock-free upgrade stays on the roadmap for finer-grained items.
+//!
+//! ```
+//! use lwsnap_core::workqueue::Injector;
+//! use std::sync::Arc;
+//!
+//! let queue = Arc::new(Injector::new());
+//! queue.push_batch(0..4);
+//! let consumer = {
+//!     let queue = Arc::clone(&queue);
+//!     std::thread::spawn(move || {
+//!         let mut got = Vec::new();
+//!         while let Some(item) = queue.pop() {
+//!             got.push(item);
+//!         }
+//!         got
+//!     })
+//! };
+//! queue.close();
+//! assert_eq!(consumer.join().unwrap(), vec![0, 1, 2, 3]);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A closable FIFO work queue for many producers and many consumers.
+pub struct Injector<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// An empty, open queue.
+    pub fn new() -> Self {
+        Injector {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Injects one item. No-op (item dropped) after [`Injector::close`].
+    pub fn push(&self, item: T) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return;
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+    }
+
+    /// Injects a whole batch under a single lock acquisition, then wakes
+    /// as many consumers as there are new items. Returns how many items
+    /// were accepted (0 if the queue is closed).
+    pub fn push_batch(&self, items: impl IntoIterator<Item = T>) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return 0;
+        }
+        let before = inner.items.len();
+        inner.items.extend(items);
+        let added = inner.items.len() - before;
+        drop(inner);
+        match added {
+            0 => {}
+            1 => self.ready.notify_one(),
+            _ => self.ready.notify_all(),
+        }
+        added
+    }
+
+    /// Blocks until an item is available (`Some`) or the queue is closed
+    /// *and drained* (`None`).
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap();
+        }
+    }
+
+    /// Non-blocking pop.
+    pub fn try_pop(&self) -> Option<T> {
+        self.inner.lock().unwrap().items.pop_front()
+    }
+
+    /// Closes the queue: future pushes are rejected and consumers drain
+    /// the remaining items, then observe `None`.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// `true` once [`Injector::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// `true` when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = Injector::new();
+        q.push(1);
+        q.push_batch([2, 3, 4]);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.try_pop(), Some(4));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn close_drains_then_none() {
+        let q = Injector::new();
+        assert_eq!(q.push_batch([1, 2]), 2);
+        q.close();
+        assert_eq!(q.push_batch([3]), 0, "closed queue rejects pushes");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_everything() {
+        let q = Arc::new(Injector::new());
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    q.push_batch((0..100).map(|i| p * 1000 + i));
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(item) = q.pop() {
+                        got.push(item);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expected: Vec<u64> = (0..4u64)
+            .flat_map(|p| (0..100).map(move |i| p * 1000 + i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+    }
+}

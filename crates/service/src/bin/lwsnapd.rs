@@ -1,0 +1,89 @@
+//! `lwsnapd` — the sharded multi-path incremental solver daemon.
+//!
+//! ```sh
+//! lwsnapd [--addr 127.0.0.1:7557] [--shards N] [--workers M] [--capacity K]
+//! ```
+//!
+//! Serves the length-prefixed `lwsnap-service` wire protocol until a
+//! client sends a `Shutdown` request, then prints the final service and
+//! worker statistics. `--capacity` bounds the resident solver snapshots
+//! *per shard*; evicted problems are re-derived transparently by
+//! constraint replay.
+
+use lwsnap_service::{Server, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lwsnapd [--addr HOST:PORT] [--shards N] [--workers M] [--capacity K]\n\
+         \n\
+         --addr      listen address (default 127.0.0.1:7557)\n\
+         --shards    independently locked problem-tree shards (default 8)\n\
+         --workers   solver worker threads (default: available parallelism)\n\
+         --capacity  max resident snapshots per shard (default: unbounded)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7557".to_owned();
+    let mut shards = 8usize;
+    let mut workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut capacity: Option<usize> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--shards" => shards = value("--shards").parse().unwrap_or_else(|_| usage()),
+            "--workers" => workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--capacity" => {
+                capacity = Some(value("--capacity").parse().unwrap_or_else(|_| usage()))
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let mut config = ServiceConfig::new(shards);
+    config.snapshot_capacity = capacity;
+    let server = match Server::start(&addr, config, workers) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("lwsnapd: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "lwsnapd listening on {} ({} shards, {} workers, capacity {})",
+        server.local_addr(),
+        shards,
+        workers,
+        capacity.map_or("unbounded".to_owned(), |c| c.to_string()),
+    );
+
+    let service = server.service().clone();
+    let worker_stats = server.wait();
+
+    let total = service.stats().total();
+    println!(
+        "served {} queries ({} conflicts): {} snapshot hits, {} rederivations \
+         ({} clauses replayed, {} conflicts), {} evictions, {} live problems",
+        total.queries,
+        total.total_conflicts,
+        total.snapshot_hits,
+        total.rederivations,
+        total.replayed_clauses,
+        total.rederive_conflicts,
+        total.evictions,
+        total.live_problems,
+    );
+    for (i, w) in worker_stats.iter().enumerate() {
+        println!("worker {i}: {} jobs, {:.3?} busy", w.jobs, w.busy);
+    }
+}

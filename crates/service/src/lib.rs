@@ -1,0 +1,58 @@
+//! # lwsnap-service — the sharded, concurrent multi-path solver service
+//!
+//! The paper's §3.2 vision scaled out: clients hand in an opaque
+//! reference to a solved problem plus an incremental constraint and get
+//! back a solution and a new reference — except here the service is
+//! **concurrent** (a worker pool executes solve requests in parallel),
+//! **sharded** (problem trees are hashed across N independently locked
+//! shards, so unrelated client sessions never contend) and
+//! **memory-bounded** (each shard runs the LRU snapshot-eviction policy
+//! of [`lwsnap_solver::SolverService`], transparently re-deriving evicted
+//! problems by replaying their constraint path from the nearest resident
+//! ancestor).
+//!
+//! The layering, bottom up:
+//!
+//! * [`lwsnap_solver::SolverService`] — the single-shard building block:
+//!   one problem tree, snapshots, eviction, replay.
+//! * [`sharded::ShardedService`] — N shards behind one façade;
+//!   [`sharded::ProblemId`] routes a reference to its shard.
+//! * [`pool::WorkerPool`] — M worker threads pulling solve jobs from a
+//!   shared [`lwsnap_core::workqueue::Injector`]; clients submit one job
+//!   or a whole batch under one lock acquisition.
+//! * [`net`] — a `std::net` TCP front end speaking the length-prefixed
+//!   [`protocol`]; the `lwsnapd` binary serves it.
+//! * [`stats`] — per-shard and per-worker counters aggregated into one
+//!   cluster view.
+//!
+//! ```
+//! use lwsnap_service::{ServiceConfig, ShardedService};
+//! use lwsnap_solver::{Lit, SolveResult};
+//!
+//! let service = ShardedService::new(ServiceConfig::new(4));
+//! let root = service.session_root(42);
+//! let p = service
+//!     .solve(root, &[vec![Lit::from_dimacs(1), Lit::from_dimacs(2)]])
+//!     .unwrap();
+//! assert_eq!(p.result, SolveResult::Sat);
+//! // Two divergent continuations of the same solved problem.
+//! let q1 = service.solve(p.problem, &[vec![Lit::from_dimacs(-1)]]).unwrap();
+//! let q2 = service.solve(p.problem, &[vec![Lit::from_dimacs(1)]]).unwrap();
+//! assert_eq!(q1.result, SolveResult::Sat);
+//! assert_eq!(q2.result, SolveResult::Sat);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod net;
+pub mod pool;
+pub mod protocol;
+pub mod sharded;
+pub mod stats;
+
+pub use net::{Server, TcpClient};
+pub use pool::{PoolClient, WorkerPool};
+pub use protocol::{Request, Response, StatsSummary};
+pub use sharded::{ProblemId, ServiceConfig, ShardedService, SolveReply};
+pub use stats::{ClusterStats, WorkerStats};

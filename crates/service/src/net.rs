@@ -1,0 +1,276 @@
+//! The `std::net` TCP front end: `lwsnapd`'s server loop and a matching
+//! blocking client.
+//!
+//! One thread accepts connections; each connection gets a handler thread
+//! that decodes [`Request`] frames and submits solve jobs to the shared
+//! [`WorkerPool`] — so solver work is bounded by the pool size no matter
+//! how many connections are open, and concurrent connections on
+//! different shards solve in parallel.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::pool::{PoolClient, WorkerPool};
+use crate::protocol::{
+    clauses_to_lits, read_frame, write_frame, ProtoError, Request, Response, StatsSummary,
+};
+use crate::sharded::{ProblemId, ServiceConfig, ShardedService};
+use crate::stats::WorkerStats;
+
+/// A running `lwsnapd` server: acceptor thread + worker pool.
+pub struct Server {
+    addr: SocketAddr,
+    service: Arc<ShardedService>,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    pool: Option<WorkerPool>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving a fresh [`ShardedService`] built from `config`
+    /// with a `workers`-thread pool.
+    pub fn start(addr: &str, config: ServiceConfig, workers: usize) -> io::Result<Server> {
+        let service = Arc::new(ShardedService::new(config));
+        Server::serve(addr, service, workers)
+    }
+
+    /// Like [`Server::start`] but over an existing service instance.
+    pub fn serve(addr: &str, service: Arc<ShardedService>, workers: usize) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let pool = WorkerPool::new(Arc::clone(&service), workers);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let service = Arc::clone(&service);
+            let shutdown = Arc::clone(&shutdown);
+            let client = pool.client();
+            std::thread::spawn(move || accept_loop(listener, service, client, shutdown))
+        };
+        Ok(Server {
+            addr,
+            service,
+            shutdown,
+            acceptor: Some(acceptor),
+            pool: Some(pool),
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service behind the server.
+    pub fn service(&self) -> &Arc<ShardedService> {
+        &self.service
+    }
+
+    /// Blocks until a client sends [`Request::Shutdown`], then tears the
+    /// server down and returns the worker counters.
+    pub fn wait(mut self) -> Vec<WorkerStats> {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        match self.pool.take() {
+            Some(pool) => pool.shutdown(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Initiates shutdown from the hosting process and waits for it.
+    pub fn shutdown(self) -> Vec<WorkerStats> {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.wait()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        if let Some(pool) = self.pool.take() {
+            pool.shutdown();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<ShardedService>,
+    client: PoolClient,
+    shutdown: Arc<AtomicBool>,
+) {
+    let self_addr = listener.local_addr().ok();
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let service = Arc::clone(&service);
+        let client = client.clone();
+        let shutdown = Arc::clone(&shutdown);
+        let unblock = self_addr;
+        std::thread::spawn(move || {
+            let asked_shutdown = handle_connection(stream, &service, &client).unwrap_or(false);
+            if asked_shutdown {
+                shutdown.store(true, Ordering::Release);
+                if let Some(addr) = unblock {
+                    let _ = TcpStream::connect(addr);
+                }
+            }
+        });
+    }
+}
+
+/// Serves one connection; `Ok(true)` if the client requested shutdown.
+fn handle_connection(
+    stream: TcpStream,
+    service: &ShardedService,
+    client: &PoolClient,
+) -> io::Result<bool> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(payload) = read_frame(&mut reader)? {
+        let (response, stop) = match Request::decode(&payload) {
+            Err(e) => (Response::Error(e.to_string()), false),
+            Ok(request) => execute(request, service, client),
+        };
+        write_frame(&mut writer, &response.encode())?;
+        if stop {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Executes one request; the bool asks the server to shut down.
+fn execute(request: Request, service: &ShardedService, client: &PoolClient) -> (Response, bool) {
+    match request {
+        Request::Root { session } => (
+            Response::Root {
+                problem: service.session_root(session).to_wire(),
+            },
+            false,
+        ),
+        Request::Solve { parent, clauses } => {
+            let parent = ProblemId::from_wire(parent);
+            match client.solve(parent, clauses_to_lits(&clauses)) {
+                Some(reply) => (
+                    Response::Solved {
+                        problem: reply.problem.to_wire(),
+                        sat: reply.result == lwsnap_solver::SolveResult::Sat,
+                        rederived: reply.rederived,
+                        conflicts: reply.conflicts,
+                        model: reply.model,
+                    },
+                    false,
+                ),
+                None => (
+                    Response::Error("dead or unknown problem reference".into()),
+                    false,
+                ),
+            }
+        }
+        Request::Release { problem } => {
+            service.release(ProblemId::from_wire(problem));
+            (Response::Released, false)
+        }
+        Request::Stats => (Response::Stats((&service.stats()).into()), false),
+        // Shutdown acks with the final stats snapshot.
+        Request::Shutdown => (Response::Stats((&service.stats()).into()), true),
+    }
+}
+
+/// A blocking client for the `lwsnapd` wire protocol.
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl TcpClient {
+    /// Connects to a running server.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// One request/response exchange.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.writer, &request.encode())?;
+        let payload = read_frame(&mut self.reader)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+        Response::decode(&payload).map_err(io::Error::from)
+    }
+
+    /// The root problem for a session id.
+    pub fn session_root(&mut self, session: u64) -> io::Result<u64> {
+        match self.call(&Request::Root { session })? {
+            Response::Root { problem } => Ok(problem),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Solves `parent ∧ clauses` (DIMACS literals); returns the full
+    /// [`Response::Solved`] payload or the server's error as `io::Error`.
+    pub fn solve(&mut self, parent: u64, clauses: &[Vec<i64>]) -> io::Result<Response> {
+        let response = self.call(&Request::Solve {
+            parent,
+            clauses: clauses.to_vec(),
+        })?;
+        match response {
+            Response::Solved { .. } => Ok(response),
+            Response::Error(msg) => Err(io::Error::new(io::ErrorKind::NotFound, msg)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Releases a problem snapshot.
+    pub fn release(&mut self, problem: u64) -> io::Result<()> {
+        match self.call(&Request::Release { problem })? {
+            Response::Released => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the aggregated service statistics.
+    pub fn stats(&mut self) -> io::Result<StatsSummary> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the daemon to shut down; returns its final stats snapshot.
+    pub fn shutdown_server(&mut self) -> io::Result<StatsSummary> {
+        match self.call(&Request::Shutdown)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(response: Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        ProtoError::BadTag(match response {
+            Response::Root { .. } => 1,
+            Response::Solved { .. } => 2,
+            Response::Released => 3,
+            Response::Stats(_) => 4,
+            Response::Error(_) => 5,
+        }),
+    )
+}

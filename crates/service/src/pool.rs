@@ -1,0 +1,247 @@
+//! The worker pool: M threads executing solve requests concurrently.
+//!
+//! Requests flow through one shared [`Injector`] — the same batch-push
+//! work-distribution primitive the parallel search engine uses — so a
+//! client can inject a whole batch of independent queries under a single
+//! lock acquisition and the pool fans them out across workers. True
+//! parallelism comes from sharding: two jobs on different shards solve
+//! concurrently; two jobs on the same shard serialise on that shard's
+//! lock (and nothing else).
+
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use lwsnap_core::workqueue::Injector;
+use lwsnap_solver::Lit;
+
+use crate::sharded::{ProblemId, ShardedService, SolveReply};
+use crate::stats::WorkerStats;
+
+enum Job {
+    Solve {
+        parent: ProblemId,
+        clauses: Vec<Vec<Lit>>,
+        reply: mpsc::Sender<Option<SolveReply>>,
+    },
+    Release {
+        id: ProblemId,
+    },
+}
+
+/// A fixed pool of worker threads serving a [`ShardedService`].
+pub struct WorkerPool {
+    service: Arc<ShardedService>,
+    injector: Arc<Injector<Job>>,
+    workers: Vec<JoinHandle<WorkerStats>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (clamped to ≥ 1) over `service`.
+    pub fn new(service: Arc<ShardedService>, workers: usize) -> Self {
+        let injector: Arc<Injector<Job>> = Arc::new(Injector::new());
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let injector = Arc::clone(&injector);
+                std::thread::spawn(move || worker_loop(&service, &injector))
+            })
+            .collect();
+        WorkerPool {
+            service,
+            injector,
+            workers: handles,
+        }
+    }
+
+    /// A cloneable handle for submitting requests.
+    pub fn client(&self) -> PoolClient {
+        PoolClient {
+            injector: Arc::clone(&self.injector),
+        }
+    }
+
+    /// The service this pool executes against.
+    pub fn service(&self) -> &Arc<ShardedService> {
+        &self.service
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Drains the queue, stops the workers and returns their counters.
+    /// In-flight and already-queued jobs complete; new submissions are
+    /// rejected (clients observe `None` replies).
+    pub fn shutdown(self) -> Vec<WorkerStats> {
+        self.injector.close();
+        self.workers
+            .into_iter()
+            .map(|w| w.join().expect("worker panicked"))
+            .collect()
+    }
+}
+
+fn worker_loop(service: &ShardedService, injector: &Injector<Job>) -> WorkerStats {
+    let mut stats = WorkerStats::default();
+    while let Some(job) = injector.pop() {
+        let started = Instant::now();
+        match job {
+            Job::Solve {
+                parent,
+                clauses,
+                reply,
+            } => {
+                let result = service.solve(parent, &clauses);
+                // A dropped receiver (client gave up) is not an error.
+                let _ = reply.send(result);
+            }
+            Job::Release { id } => service.release(id),
+        }
+        stats.jobs += 1;
+        stats.busy += started.elapsed();
+    }
+    stats
+}
+
+/// Client handle onto a [`WorkerPool`]'s injector. Cloneable and
+/// shareable across session threads.
+#[derive(Clone)]
+pub struct PoolClient {
+    injector: Arc<Injector<Job>>,
+}
+
+impl PoolClient {
+    /// Submits one solve request; the receiver yields the reply when a
+    /// worker gets to it (`None` reply for dead references, `Err` on
+    /// recv if the pool shut down first).
+    pub fn submit(
+        &self,
+        parent: ProblemId,
+        clauses: Vec<Vec<Lit>>,
+    ) -> mpsc::Receiver<Option<SolveReply>> {
+        let (tx, rx) = mpsc::channel();
+        self.injector.push(Job::Solve {
+            parent,
+            clauses,
+            reply: tx,
+        });
+        rx
+    }
+
+    /// Synchronous solve: submit and wait.
+    pub fn solve(&self, parent: ProblemId, clauses: Vec<Vec<Lit>>) -> Option<SolveReply> {
+        self.submit(parent, clauses).recv().unwrap_or(None)
+    }
+
+    /// Submits a batch of independent queries under **one** injector
+    /// lock acquisition and waits for all replies, in request order.
+    pub fn solve_batch(
+        &self,
+        requests: Vec<(ProblemId, Vec<Vec<Lit>>)>,
+    ) -> Vec<Option<SolveReply>> {
+        let mut receivers = Vec::with_capacity(requests.len());
+        let jobs: Vec<Job> = requests
+            .into_iter()
+            .map(|(parent, clauses)| {
+                let (tx, rx) = mpsc::channel();
+                receivers.push(rx);
+                Job::Solve {
+                    parent,
+                    clauses,
+                    reply: tx,
+                }
+            })
+            .collect();
+        self.injector.push_batch(jobs);
+        receivers
+            .into_iter()
+            .map(|rx| rx.recv().unwrap_or(None))
+            .collect()
+    }
+
+    /// Queues an asynchronous release (fire-and-forget).
+    pub fn release(&self, id: ProblemId) {
+        self.injector.push(Job::Release { id });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharded::ServiceConfig;
+    use lwsnap_solver::SolveResult;
+
+    fn lits(c: &[i64]) -> Vec<Vec<Lit>> {
+        vec![c.iter().map(|&v| Lit::from_dimacs(v)).collect()]
+    }
+
+    #[test]
+    fn pool_solves_and_shuts_down() {
+        let service = Arc::new(ShardedService::new(ServiceConfig::new(2)));
+        let pool = WorkerPool::new(Arc::clone(&service), 3);
+        let client = pool.client();
+        let root = service.session_root(1);
+        let p = client.solve(root, lits(&[1, 2])).unwrap();
+        assert_eq!(p.result, SolveResult::Sat);
+        let q = client.solve(p.problem, lits(&[-1])).unwrap();
+        assert_eq!(q.result, SolveResult::Sat);
+        let stats = pool.shutdown();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats.iter().map(|w| w.jobs).sum::<u64>(), 2);
+        // After shutdown, submissions resolve to None instead of hanging.
+        assert!(client.solve(root, lits(&[3])).is_none());
+    }
+
+    #[test]
+    fn batch_replies_in_request_order() {
+        let service = Arc::new(ShardedService::new(ServiceConfig::new(4)));
+        let pool = WorkerPool::new(Arc::clone(&service), 4);
+        let client = pool.client();
+        // One independent query per shard, plus one dead reference.
+        let mut requests: Vec<(ProblemId, Vec<Vec<Lit>>)> = (0..4)
+            .map(|s| {
+                let root = service.root(s).unwrap();
+                (root, lits(&[s as i64 + 1]))
+            })
+            .collect();
+        requests.push((ProblemId::from_wire(77u64 << 32), lits(&[1])));
+        let replies = client.solve_batch(requests);
+        assert_eq!(replies.len(), 5);
+        for (s, reply) in replies.iter().take(4).enumerate() {
+            let reply = reply.as_ref().expect("live shard root");
+            assert_eq!(reply.result, SolveResult::Sat);
+            assert_eq!(reply.problem.shard(), s, "reply order matches");
+        }
+        assert!(replies[4].is_none(), "dead reference answers None");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn concurrent_sessions_make_progress() {
+        let service = Arc::new(ShardedService::new(ServiceConfig::new(4)));
+        let pool = WorkerPool::new(Arc::clone(&service), 4);
+        let sessions: Vec<_> = (0..8u64)
+            .map(|session| {
+                let client = pool.client();
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    let mut cur = service.session_root(session);
+                    for step in 0..4i64 {
+                        let v = 1 + (session as i64 * 4 + step) % 8;
+                        let reply = client.solve(cur, lits(&[v])).expect("live chain");
+                        assert_eq!(reply.result, SolveResult::Sat);
+                        cur = reply.problem;
+                    }
+                })
+            })
+            .collect();
+        for s in sessions {
+            s.join().unwrap();
+        }
+        assert_eq!(service.stats().total().queries, 32);
+        let stats = pool.shutdown();
+        assert_eq!(stats.iter().map(|w| w.jobs).sum::<u64>(), 32);
+    }
+}

@@ -1,0 +1,580 @@
+//! The wire protocol: length-prefixed binary frames over any
+//! `Read`/`Write` transport.
+//!
+//! Every message is one frame: a little-endian `u32` payload length
+//! followed by the payload; payloads start with a one-byte tag. The
+//! encoding is hand-rolled (the workspace builds offline, without serde)
+//! and deliberately boring: LE fixed-width integers, `u32`-prefixed
+//! sequences, bit-packed models.
+//!
+//! Clause literals travel in DIMACS convention (non-zero `i64`, sign =
+//! negation) so the protocol stays independent of the solver's internal
+//! literal encoding.
+
+use std::io::{self, Read, Write};
+
+use lwsnap_solver::Lit;
+
+/// Upper bound on a frame payload (guards against hostile or corrupt
+/// length prefixes before any allocation happens).
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Protocol-level decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Payload ended before the message did.
+    Truncated,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// A length prefix exceeded [`MAX_FRAME`] or its container.
+    BadLength(u64),
+    /// A string field was not UTF-8.
+    BadUtf8,
+    /// A clause literal was zero (forbidden in DIMACS convention).
+    ZeroLiteral,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "truncated message"),
+            ProtoError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            ProtoError::BadLength(n) => write!(f, "implausible length {n}"),
+            ProtoError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+            ProtoError::ZeroLiteral => write!(f, "zero literal in clause"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<ProtoError> for io::Error {
+    fn from(e: ProtoError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// The root problem for a client session (the service hashes the
+    /// session id onto a shard).
+    Root {
+        /// Client-chosen session identifier.
+        session: u64,
+    },
+    /// Solve `parent ∧ clauses`.
+    Solve {
+        /// Wire id of the parent problem ([`crate::ProblemId::to_wire`]).
+        parent: u64,
+        /// Incremental constraint, DIMACS literals.
+        clauses: Vec<Vec<i64>>,
+    },
+    /// Release a problem snapshot.
+    Release {
+        /// Wire id of the problem to release.
+        problem: u64,
+    },
+    /// Fetch aggregated service statistics.
+    Stats,
+    /// Ask the daemon to shut down (connection close follows).
+    Shutdown,
+}
+
+/// Aggregated counters carried by [`Response::Stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSummary {
+    /// Number of shards.
+    pub shards: u32,
+    /// Queries served.
+    pub queries: u64,
+    /// Live (unreleased) problems.
+    pub live_problems: u64,
+    /// Resident (unevicted) solver snapshots.
+    pub resident_snapshots: u64,
+    /// Queries served straight from a resident snapshot.
+    pub snapshot_hits: u64,
+    /// Queries that re-derived an evicted parent.
+    pub rederivations: u64,
+    /// Clauses replayed during re-derivations.
+    pub replayed_clauses: u64,
+    /// Conflicts spent inside re-derivations.
+    pub rederive_conflicts: u64,
+    /// Snapshots evicted by the LRU policy.
+    pub evictions: u64,
+    /// Conflicts across all queries.
+    pub total_conflicts: u64,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Reply to [`Request::Root`].
+    Root {
+        /// Wire id of the session's root problem.
+        problem: u64,
+    },
+    /// Reply to [`Request::Solve`].
+    Solved {
+        /// Wire id of the new problem `p∧q`.
+        problem: u64,
+        /// `true` = SAT (then `model` is `Some`), `false` = UNSAT.
+        sat: bool,
+        /// Whether the parent was re-derived from an evicted snapshot.
+        rederived: bool,
+        /// Conflicts the query cost.
+        conflicts: u64,
+        /// The model, if SAT.
+        model: Option<Vec<bool>>,
+    },
+    /// Reply to [`Request::Release`] (idempotent).
+    Released,
+    /// Reply to [`Request::Stats`].
+    Stats(StatsSummary),
+    /// The request could not be served (dead reference, bad shard, ...).
+    Error(String),
+}
+
+// ---------------------------------------------------------------------
+// Frame I/O.
+// ---------------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME)
+        .ok_or(ProtoError::BadLength(payload.len() as u64))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` on clean EOF at a frame
+/// boundary (peer closed the connection).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(ProtoError::BadLength(len as u64).into());
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------
+// Payload encoding.
+// ---------------------------------------------------------------------
+
+struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self.pos.checked_add(n).ok_or(ProtoError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(ProtoError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, ProtoError> {
+        Ok(i64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    /// A `u32` used as an element count: bounded by what the remaining
+    /// payload could possibly hold (`min_elem_size` bytes per element).
+    fn count(&mut self, min_elem_size: usize) -> Result<usize, ProtoError> {
+        let n = self.u32()? as usize;
+        let remaining = self.buf.len() - self.pos;
+        if n.saturating_mul(min_elem_size.max(1)) > remaining {
+            return Err(ProtoError::BadLength(n as u64));
+        }
+        Ok(n)
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::BadLength((self.buf.len() - self.pos) as u64))
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_clauses(out: &mut Vec<u8>, clauses: &[Vec<i64>]) {
+    put_u32(out, clauses.len() as u32);
+    for clause in clauses {
+        put_u32(out, clause.len() as u32);
+        for &lit in clause {
+            out.extend_from_slice(&lit.to_le_bytes());
+        }
+    }
+}
+
+fn decode_clauses(d: &mut Decoder<'_>) -> Result<Vec<Vec<i64>>, ProtoError> {
+    let nclauses = d.count(4)?;
+    let mut clauses = Vec::with_capacity(nclauses);
+    for _ in 0..nclauses {
+        let nlits = d.count(8)?;
+        let mut clause = Vec::with_capacity(nlits);
+        for _ in 0..nlits {
+            let lit = d.i64()?;
+            if lit == 0 {
+                return Err(ProtoError::ZeroLiteral);
+            }
+            clause.push(lit);
+        }
+        clauses.push(clause);
+    }
+    Ok(clauses)
+}
+
+fn encode_model(out: &mut Vec<u8>, model: &Option<Vec<bool>>) {
+    match model {
+        None => out.push(0),
+        Some(bits) => {
+            out.push(1);
+            put_u32(out, bits.len() as u32);
+            let mut byte = 0u8;
+            for (i, &b) in bits.iter().enumerate() {
+                if b {
+                    byte |= 1 << (i % 8);
+                }
+                if i % 8 == 7 {
+                    out.push(byte);
+                    byte = 0;
+                }
+            }
+            if bits.len() % 8 != 0 {
+                out.push(byte);
+            }
+        }
+    }
+}
+
+fn decode_model(d: &mut Decoder<'_>) -> Result<Option<Vec<bool>>, ProtoError> {
+    match d.u8()? {
+        0 => Ok(None),
+        1 => {
+            let nbits = d.u32()? as usize;
+            let nbytes = nbits.div_ceil(8);
+            let packed = d.bytes(nbytes)?;
+            Ok(Some(
+                (0..nbits)
+                    .map(|i| packed[i / 8] >> (i % 8) & 1 == 1)
+                    .collect(),
+            ))
+        }
+        t => Err(ProtoError::BadTag(t)),
+    }
+}
+
+impl Request {
+    /// Encodes into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Root { session } => {
+                out.push(1);
+                put_u64(&mut out, *session);
+            }
+            Request::Solve { parent, clauses } => {
+                out.push(2);
+                put_u64(&mut out, *parent);
+                encode_clauses(&mut out, clauses);
+            }
+            Request::Release { problem } => {
+                out.push(3);
+                put_u64(&mut out, *problem);
+            }
+            Request::Stats => out.push(4),
+            Request::Shutdown => out.push(5),
+        }
+        out
+    }
+
+    /// Decodes a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
+        let mut d = Decoder::new(payload);
+        let req = match d.u8()? {
+            1 => Request::Root { session: d.u64()? },
+            2 => Request::Solve {
+                parent: d.u64()?,
+                clauses: decode_clauses(&mut d)?,
+            },
+            3 => Request::Release { problem: d.u64()? },
+            4 => Request::Stats,
+            5 => Request::Shutdown,
+            t => return Err(ProtoError::BadTag(t)),
+        };
+        d.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Root { problem } => {
+                out.push(1);
+                put_u64(&mut out, *problem);
+            }
+            Response::Solved {
+                problem,
+                sat,
+                rederived,
+                conflicts,
+                model,
+            } => {
+                out.push(2);
+                put_u64(&mut out, *problem);
+                out.push(*sat as u8);
+                out.push(*rederived as u8);
+                put_u64(&mut out, *conflicts);
+                encode_model(&mut out, model);
+            }
+            Response::Released => out.push(3),
+            Response::Stats(s) => {
+                out.push(4);
+                put_u32(&mut out, s.shards);
+                for v in [
+                    s.queries,
+                    s.live_problems,
+                    s.resident_snapshots,
+                    s.snapshot_hits,
+                    s.rederivations,
+                    s.replayed_clauses,
+                    s.rederive_conflicts,
+                    s.evictions,
+                    s.total_conflicts,
+                ] {
+                    put_u64(&mut out, v);
+                }
+            }
+            Response::Error(msg) => {
+                out.push(5);
+                put_u32(&mut out, msg.len() as u32);
+                out.extend_from_slice(msg.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtoError> {
+        let mut d = Decoder::new(payload);
+        let resp = match d.u8()? {
+            1 => Response::Root { problem: d.u64()? },
+            2 => Response::Solved {
+                problem: d.u64()?,
+                sat: d.u8()? != 0,
+                rederived: d.u8()? != 0,
+                conflicts: d.u64()?,
+                model: decode_model(&mut d)?,
+            },
+            3 => Response::Released,
+            4 => Response::Stats(StatsSummary {
+                shards: d.u32()?,
+                queries: d.u64()?,
+                live_problems: d.u64()?,
+                resident_snapshots: d.u64()?,
+                snapshot_hits: d.u64()?,
+                rederivations: d.u64()?,
+                replayed_clauses: d.u64()?,
+                rederive_conflicts: d.u64()?,
+                evictions: d.u64()?,
+                total_conflicts: d.u64()?,
+            }),
+            5 => {
+                let len = d.count(1)?;
+                let bytes = d.bytes(len)?;
+                Response::Error(
+                    std::str::from_utf8(bytes)
+                        .map_err(|_| ProtoError::BadUtf8)?
+                        .to_owned(),
+                )
+            }
+            t => return Err(ProtoError::BadTag(t)),
+        };
+        d.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Converts wire clauses (DIMACS `i64`) to solver literals.
+pub fn clauses_to_lits(clauses: &[Vec<i64>]) -> Vec<Vec<Lit>> {
+    clauses
+        .iter()
+        .map(|c| c.iter().map(|&v| Lit::from_dimacs(v)).collect())
+        .collect()
+}
+
+/// Converts solver literals to wire clauses.
+pub fn lits_to_clauses(clauses: &[Vec<Lit>]) -> Vec<Vec<i64>> {
+    clauses
+        .iter()
+        .map(|c| c.iter().map(|l| l.to_dimacs()).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let payload = req.encode();
+        assert_eq!(Request::decode(&payload), Ok(req));
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let payload = resp.encode();
+        assert_eq!(Response::decode(&payload), Ok(resp));
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(Request::Root { session: 99 });
+        roundtrip_request(Request::Solve {
+            parent: 7 << 32 | 3,
+            clauses: vec![vec![1, -2, 3], vec![-4], vec![]],
+        });
+        roundtrip_request(Request::Release { problem: 12 });
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_response(Response::Root { problem: 1 << 32 });
+        roundtrip_response(Response::Solved {
+            problem: 5,
+            sat: true,
+            rederived: true,
+            conflicts: 42,
+            model: Some(vec![
+                true, false, true, true, false, false, true, true, true,
+            ]),
+        });
+        roundtrip_response(Response::Solved {
+            problem: 6,
+            sat: false,
+            rederived: false,
+            conflicts: 17,
+            model: None,
+        });
+        roundtrip_response(Response::Released);
+        roundtrip_response(Response::Stats(StatsSummary {
+            shards: 4,
+            queries: 100,
+            live_problems: 50,
+            resident_snapshots: 12,
+            snapshot_hits: 90,
+            rederivations: 10,
+            replayed_clauses: 333,
+            rederive_conflicts: 21,
+            evictions: 38,
+            total_conflicts: 1234,
+        }));
+        roundtrip_response(Response::Error("dead reference".into()));
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut wire = Vec::new();
+        let reqs = [
+            Request::Root { session: 1 },
+            Request::Solve {
+                parent: 0,
+                clauses: vec![vec![1, 2]],
+            },
+            Request::Shutdown,
+        ];
+        for req in &reqs {
+            write_frame(&mut wire, &req.encode()).unwrap();
+        }
+        let mut r = wire.as_slice();
+        for req in &reqs {
+            let payload = read_frame(&mut r).unwrap().expect("frame present");
+            assert_eq!(Request::decode(&payload).unwrap(), *req);
+        }
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_errors() {
+        let payload = Request::Solve {
+            parent: 3,
+            clauses: vec![vec![1, -2]],
+        }
+        .encode();
+        for cut in 1..payload.len() {
+            assert!(
+                Request::decode(&payload[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+        assert_eq!(Request::decode(&[99]), Err(ProtoError::BadTag(99)));
+        // Trailing junk is rejected too.
+        let mut long = Request::Stats.encode();
+        long.push(0);
+        assert!(Request::decode(&long).is_err());
+        // Zero literals never cross the boundary.
+        let mut zero = Vec::new();
+        zero.push(2);
+        put_u64(&mut zero, 0);
+        put_u32(&mut zero, 1);
+        put_u32(&mut zero, 1);
+        zero.extend_from_slice(&0i64.to_le_bytes());
+        assert_eq!(Request::decode(&zero), Err(ProtoError::ZeroLiteral));
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let mut r = wire.as_slice();
+        assert!(read_frame(&mut r).is_err());
+        // An absurd element count inside a tiny payload is caught too.
+        let mut payload = vec![2u8];
+        put_u64(&mut payload, 0);
+        put_u32(&mut payload, u32::MAX);
+        assert!(Request::decode(&payload).is_err());
+    }
+}

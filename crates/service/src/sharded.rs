@@ -1,0 +1,276 @@
+//! The sharded problem-tree store.
+//!
+//! [`ProblemId`]s are hashed across N shards; each shard is one
+//! [`SolverService`] behind its own mutex, so sessions working on
+//! unrelated problem trees never contend. A problem's children live in
+//! its shard by construction (a child forks its parent's snapshot), so
+//! routing is a pure function of the id — no cross-shard coordination,
+//! no global lock.
+
+use std::sync::Mutex;
+
+use lwsnap_solver::{Lit, ProblemRef, ServiceStats, SolveResult, SolverService};
+
+use crate::stats::ClusterStats;
+
+/// Configuration for a [`ShardedService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of shards (independently locked problem trees).
+    pub shards: usize,
+    /// Per-shard resident-snapshot bound (`None` = unbounded). The
+    /// whole-service memory budget is `shards × snapshot_capacity`
+    /// solver snapshots.
+    pub snapshot_capacity: Option<usize>,
+}
+
+impl ServiceConfig {
+    /// A config with `shards` shards and no memory bound.
+    pub fn new(shards: usize) -> Self {
+        ServiceConfig {
+            shards: shards.max(1),
+            snapshot_capacity: None,
+        }
+    }
+
+    /// Sets the per-shard resident-snapshot bound.
+    pub fn with_snapshot_capacity(mut self, capacity: usize) -> Self {
+        self.snapshot_capacity = Some(capacity);
+        self
+    }
+}
+
+/// A service-wide problem reference: shard index plus the in-shard
+/// [`ProblemRef`]. Packs into a `u64` for the wire protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProblemId {
+    shard: u32,
+    local: u32,
+}
+
+impl ProblemId {
+    /// The shard this problem lives in.
+    #[inline]
+    pub fn shard(self) -> usize {
+        self.shard as usize
+    }
+
+    /// The in-shard reference.
+    #[inline]
+    pub fn local(self) -> ProblemRef {
+        ProblemRef::from_index(self.local)
+    }
+
+    /// Packs the id for the wire (`shard` in the high 32 bits).
+    #[inline]
+    pub fn to_wire(self) -> u64 {
+        (self.shard as u64) << 32 | self.local as u64
+    }
+
+    /// Unpacks a wire id. The service validates the shard index on use.
+    #[inline]
+    pub fn from_wire(wire: u64) -> ProblemId {
+        ProblemId {
+            shard: (wire >> 32) as u32,
+            local: wire as u32,
+        }
+    }
+}
+
+/// Reply to a [`ShardedService::solve`] request.
+#[derive(Debug, Clone)]
+pub struct SolveReply {
+    /// Reference to the new problem `p∧q`.
+    pub problem: ProblemId,
+    /// SAT/UNSAT.
+    pub result: SolveResult,
+    /// The model, if SAT.
+    pub model: Option<Vec<bool>>,
+    /// Conflicts this query cost.
+    pub conflicts: u64,
+    /// Whether the parent snapshot had to be re-derived (eviction miss).
+    pub rederived: bool,
+}
+
+/// N independently locked [`SolverService`] shards behind one façade.
+///
+/// All methods take `&self`: the type is `Sync` and any number of
+/// threads (the worker pool, TCP connection handlers, in-process
+/// clients) may call into it concurrently. Only the target shard is
+/// locked, for exactly the duration of one request.
+pub struct ShardedService {
+    shards: Vec<Mutex<SolverService>>,
+}
+
+impl ShardedService {
+    /// Builds the service: `config.shards` empty shards, each containing
+    /// its root problem, each bounded by `config.snapshot_capacity`.
+    pub fn new(config: ServiceConfig) -> Self {
+        let shards = (0..config.shards.max(1))
+            .map(|_| {
+                let mut svc = SolverService::new();
+                svc.set_snapshot_capacity(config.snapshot_capacity);
+                Mutex::new(svc)
+            })
+            .collect();
+        ShardedService { shards }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The root problem of shard `shard` (empty, trivially SAT).
+    pub fn root(&self, shard: usize) -> Option<ProblemId> {
+        (shard < self.shards.len()).then_some(ProblemId {
+            shard: shard as u32,
+            local: 0,
+        })
+    }
+
+    /// The root a new client session should branch from: sessions are
+    /// hashed across shards (Fibonacci hashing) so concurrent sessions
+    /// spread out and unrelated trees never share a lock.
+    pub fn session_root(&self, session: u64) -> ProblemId {
+        let hash = session.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let shard = (hash >> 32) as usize % self.shards.len();
+        ProblemId {
+            shard: shard as u32,
+            local: 0,
+        }
+    }
+
+    fn shard(&self, id: ProblemId) -> Option<&Mutex<SolverService>> {
+        self.shards.get(id.shard())
+    }
+
+    /// Solves `parent ∧ added`; see [`SolverService::solve`]. Locks only
+    /// the parent's shard. `None` for dead or malformed references.
+    pub fn solve(&self, parent: ProblemId, added: &[Vec<Lit>]) -> Option<SolveReply> {
+        let mut shard = self.shard(parent)?.lock().unwrap();
+        let reply = shard.solve(parent.local(), added)?;
+        Some(SolveReply {
+            problem: ProblemId {
+                shard: parent.shard,
+                local: reply.problem.index(),
+            },
+            result: reply.result,
+            model: reply.model,
+            conflicts: reply.conflicts,
+            rederived: reply.rederived,
+        })
+    }
+
+    /// Releases a problem snapshot in its shard.
+    pub fn release(&self, id: ProblemId) {
+        if let Some(shard) = self.shard(id) {
+            shard.lock().unwrap().release(id.local());
+        }
+    }
+
+    /// Pins a problem against eviction.
+    pub fn pin(&self, id: ProblemId) {
+        if let Some(shard) = self.shard(id) {
+            shard.lock().unwrap().pin(id.local());
+        }
+    }
+
+    /// The cached result of an already-solved problem.
+    pub fn result_of(&self, id: ProblemId) -> Option<SolveResult> {
+        self.shard(id)?.lock().unwrap().result_of(id.local())
+    }
+
+    /// Depth of a problem in its shard's derivation tree.
+    pub fn depth_of(&self, id: ProblemId) -> Option<u32> {
+        self.shard(id)?.lock().unwrap().depth_of(id.local())
+    }
+
+    /// Whether the problem's snapshot is resident (not evicted).
+    pub fn is_resident(&self, id: ProblemId) -> Option<bool> {
+        self.shard(id)?.lock().unwrap().is_resident(id.local())
+    }
+
+    /// Per-shard counters plus the aggregate.
+    pub fn stats(&self) -> ClusterStats {
+        let shards: Vec<ServiceStats> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap().stats())
+            .collect();
+        ClusterStats { shards }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(c: &[i64]) -> Vec<Lit> {
+        c.iter().map(|&v| Lit::from_dimacs(v)).collect()
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let id = ProblemId {
+            shard: 7,
+            local: 123,
+        };
+        assert_eq!(ProblemId::from_wire(id.to_wire()), id);
+        assert_eq!(id.shard(), 7);
+        assert_eq!(id.local(), ProblemRef::from_index(123));
+    }
+
+    #[test]
+    fn sessions_spread_over_shards() {
+        let svc = ShardedService::new(ServiceConfig::new(4));
+        let mut seen = std::collections::HashSet::new();
+        for session in 0..64u64 {
+            seen.insert(svc.session_root(session).shard());
+        }
+        assert!(seen.len() >= 3, "64 sessions hit ≥3 of 4 shards: {seen:?}");
+    }
+
+    #[test]
+    fn shards_are_independent_trees() {
+        let svc = ShardedService::new(ServiceConfig::new(2));
+        let a = svc.solve(svc.root(0).unwrap(), &[lits(&[1])]).unwrap();
+        let b = svc.solve(svc.root(1).unwrap(), &[lits(&[-1])]).unwrap();
+        assert_eq!(a.result, SolveResult::Sat);
+        assert_eq!(b.result, SolveResult::Sat);
+        assert_ne!(a.problem.shard(), b.problem.shard());
+        // Contradictory facts coexist because the trees are disjoint.
+        assert!(a.model.unwrap()[0]);
+        assert!(!b.model.unwrap()[0]);
+        let total = svc.stats().total();
+        assert_eq!(total.queries, 2);
+        assert_eq!(total.live_problems, 4, "2 roots + 2 children");
+    }
+
+    #[test]
+    fn malformed_ids_fail_gracefully() {
+        let svc = ShardedService::new(ServiceConfig::new(2));
+        let bogus_shard = ProblemId::from_wire(99u64 << 32);
+        assert!(svc.solve(bogus_shard, &[lits(&[1])]).is_none());
+        assert_eq!(svc.result_of(bogus_shard), None);
+        let bogus_local = ProblemId::from_wire(500);
+        assert!(svc.solve(bogus_local, &[lits(&[1])]).is_none());
+        assert!(svc.root(5).is_none());
+    }
+
+    #[test]
+    fn eviction_applies_per_shard() {
+        let svc = ShardedService::new(ServiceConfig::new(2).with_snapshot_capacity(2));
+        let root = svc.root(0).unwrap();
+        let mut cur = root;
+        for v in 1..=5 {
+            cur = svc.solve(cur, &[lits(&[v])]).unwrap().problem;
+        }
+        let stats = svc.stats();
+        assert!(stats.shards[0].evictions > 0, "chain exceeded capacity");
+        assert_eq!(stats.shards[1].evictions, 0, "other shard untouched");
+        // Evicted ancestors still answer via replay.
+        let reply = svc.solve(root, &[lits(&[6])]).unwrap();
+        assert_eq!(reply.result, SolveResult::Sat);
+    }
+}

@@ -1,0 +1,106 @@
+//! Per-shard / per-worker counters and their cluster-level aggregation.
+
+use std::time::Duration;
+
+use lwsnap_solver::ServiceStats;
+
+/// Counters for one worker thread of a [`crate::pool::WorkerPool`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Jobs executed by this worker.
+    pub jobs: u64,
+    /// Wall-clock time spent executing jobs (excludes queue waits).
+    pub busy: Duration,
+}
+
+/// The service-wide view: one [`ServiceStats`] per shard.
+#[derive(Debug, Clone)]
+pub struct ClusterStats {
+    /// Per-shard counters, indexed by shard.
+    pub shards: Vec<ServiceStats>,
+}
+
+impl ClusterStats {
+    /// Sums the per-shard counters into one aggregate.
+    pub fn total(&self) -> ServiceStats {
+        let mut total = ServiceStats::default();
+        for s in &self.shards {
+            total.queries += s.queries;
+            total.total_conflicts += s.total_conflicts;
+            total.total_propagations += s.total_propagations;
+            total.live_problems += s.live_problems;
+            total.resident_snapshots += s.resident_snapshots;
+            total.snapshot_hits += s.snapshot_hits;
+            total.rederivations += s.rederivations;
+            total.replayed_clauses += s.replayed_clauses;
+            total.rederive_conflicts += s.rederive_conflicts;
+            total.evictions += s.evictions;
+        }
+        total
+    }
+
+    /// Fraction of queries served straight from a resident snapshot
+    /// (1.0 when nothing was ever evicted). `None` before any query.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.total();
+        let lookups = total.snapshot_hits + total.rederivations;
+        (lookups > 0).then(|| total.snapshot_hits as f64 / lookups as f64)
+    }
+}
+
+impl From<&ClusterStats> for crate::protocol::StatsSummary {
+    fn from(cluster: &ClusterStats) -> Self {
+        let t = cluster.total();
+        crate::protocol::StatsSummary {
+            shards: cluster.shards.len() as u32,
+            queries: t.queries,
+            live_problems: t.live_problems as u64,
+            resident_snapshots: t.resident_snapshots as u64,
+            snapshot_hits: t.snapshot_hits,
+            rederivations: t.rederivations,
+            replayed_clauses: t.replayed_clauses,
+            rederive_conflicts: t.rederive_conflicts,
+            evictions: t.evictions,
+            total_conflicts: t.total_conflicts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_across_shards() {
+        let a = ServiceStats {
+            queries: 3,
+            snapshot_hits: 2,
+            rederivations: 1,
+            live_problems: 4,
+            ..Default::default()
+        };
+        let b = ServiceStats {
+            queries: 5,
+            snapshot_hits: 5,
+            evictions: 2,
+            live_problems: 6,
+            ..Default::default()
+        };
+        let cluster = ClusterStats { shards: vec![a, b] };
+        let total = cluster.total();
+        assert_eq!(total.queries, 8);
+        assert_eq!(total.snapshot_hits, 7);
+        assert_eq!(total.rederivations, 1);
+        assert_eq!(total.evictions, 2);
+        assert_eq!(total.live_problems, 10);
+        assert_eq!(cluster.hit_rate(), Some(7.0 / 8.0));
+    }
+
+    #[test]
+    fn hit_rate_undefined_before_traffic() {
+        let cluster = ClusterStats {
+            shards: vec![ServiceStats::default()],
+        };
+        assert_eq!(cluster.hit_rate(), None);
+    }
+}

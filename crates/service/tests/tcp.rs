@@ -1,0 +1,130 @@
+//! End-to-end tests of the TCP front end: concurrent clients over real
+//! sockets, model verification, stats, eviction, and daemon shutdown.
+
+use std::sync::Arc;
+
+use lwsnap_service::{protocol, Response, Server, ServiceConfig, ShardedService, TcpClient};
+
+fn assert_model_satisfies(model: &[bool], stack: &[Vec<i64>]) {
+    assert!(
+        lwsnap_solver::model_satisfies(&protocol::clauses_to_lits(stack), model),
+        "stack {stack:?} unsatisfied by {model:?}"
+    );
+}
+
+#[test]
+fn tcp_session_roundtrip_with_verification() {
+    let server = Server::start("127.0.0.1:0", ServiceConfig::new(4), 2).unwrap();
+    let addr = server.local_addr();
+
+    let clients: Vec<_> = (0..4u64)
+        .map(|session| {
+            std::thread::spawn(move || {
+                let mut client = TcpClient::connect(addr).unwrap();
+                let root = client.session_root(session).unwrap();
+                let mut stack: Vec<Vec<i64>> = Vec::new();
+                let mut cur = root;
+                for step in 0..5 {
+                    // A chain of satisfiable constraints unique per session.
+                    let v = (session * 5 + step + 1) as i64;
+                    let clauses = vec![vec![v, v + 1], vec![-v, v + 1]];
+                    stack.extend(clauses.clone());
+                    let response = client.solve(cur, &clauses).unwrap();
+                    let Response::Solved {
+                        problem,
+                        sat,
+                        model,
+                        ..
+                    } = response
+                    else {
+                        panic!("expected Solved");
+                    };
+                    assert!(sat, "chain stays satisfiable");
+                    assert_model_satisfies(&model.unwrap(), &stack);
+                    cur = problem;
+                }
+                cur
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    let mut client = TcpClient::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.shards, 4);
+    assert_eq!(stats.queries, 20, "4 sessions × 5 queries");
+    assert_eq!(stats.rederivations, 0, "no eviction configured");
+
+    let final_stats = client.shutdown_server().unwrap();
+    assert_eq!(final_stats.queries, 20);
+    let worker_stats = server.wait();
+    assert_eq!(worker_stats.len(), 2);
+    assert_eq!(worker_stats.iter().map(|w| w.jobs).sum::<u64>(), 20);
+}
+
+#[test]
+fn tcp_surfaces_dead_references_and_eviction() {
+    let config = ServiceConfig::new(2).with_snapshot_capacity(2);
+    let server = Server::start("127.0.0.1:0", config, 2).unwrap();
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+
+    let root = client.session_root(7).unwrap();
+    // March a chain past the capacity so early nodes get evicted.
+    let mut refs = vec![root];
+    let mut cur = root;
+    for v in 1..=5i64 {
+        let Response::Solved { problem, sat, .. } = client.solve(cur, &[vec![v]]).unwrap() else {
+            panic!("expected Solved");
+        };
+        assert!(sat);
+        refs.push(problem);
+        cur = problem;
+    }
+    // Query an early (evicted) node: still answers, flags the replay.
+    let Response::Solved { sat, rederived, .. } = client.solve(refs[1], &[vec![6]]).unwrap() else {
+        panic!("expected Solved");
+    };
+    assert!(sat);
+    assert!(rederived, "early node was evicted and replayed");
+    let stats = client.stats().unwrap();
+    assert!(stats.evictions > 0);
+    assert!(stats.rederivations > 0);
+    assert!(stats.replayed_clauses > 0);
+
+    // Released refs turn into protocol-level errors (and releasing a
+    // bogus id is harmless and idempotent).
+    client.release(0xdead_beef_0000_0001).unwrap();
+    client.release(refs[2]).unwrap();
+    let err = client.solve(refs[2], &[vec![9]]).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn server_over_existing_service_shares_state() {
+    let service = Arc::new(ShardedService::new(ServiceConfig::new(2)));
+    // Pre-populate in-process, then read through TCP.
+    let root = service.session_root(3);
+    let reply = service
+        .solve(root, &[vec![lwsnap_solver::Lit::from_dimacs(1)]])
+        .unwrap();
+    let server = Server::serve("127.0.0.1:0", Arc::clone(&service), 1).unwrap();
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+    let Response::Solved { sat, model, .. } =
+        client.solve(reply.problem.to_wire(), &[vec![2]]).unwrap()
+    else {
+        panic!("expected Solved");
+    };
+    assert!(sat);
+    let model = model.unwrap();
+    assert!(
+        model[0] && model[1],
+        "both in-process and TCP constraints hold"
+    );
+    assert_eq!(client.stats().unwrap().queries, 2);
+    server.shutdown();
+}

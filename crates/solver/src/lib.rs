@@ -43,4 +43,4 @@ pub use dimacs::{parse_dimacs, write_dimacs, Cnf, DimacsError};
 pub use generators::{graph_coloring, pigeonhole, random_ksat, IncrementalFamily};
 pub use lit::{Lbool, Lit, Var};
 pub use service::{ProblemRef, Reply, ServiceStats, SolverService};
-pub use solver::{luby, SolveResult, Solver, SolverStats};
+pub use solver::{luby, model_satisfies, SolveResult, Solver, SolverStats};

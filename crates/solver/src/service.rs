@@ -13,6 +13,25 @@
 //! starts from all the inference its parent already performed. The
 //! from-scratch baseline (`solve_scratch`) re-derives everything, which is
 //! exactly the waste experiment E5 quantifies.
+//!
+//! ## Memory bound and eviction
+//!
+//! Snapshots are cheap relative to solving but not free: a long-running
+//! service accumulating one solver clone per query would grow without
+//! bound. [`SolverService::set_snapshot_capacity`] arms an LRU eviction
+//! policy: when the number of *resident* solver snapshots exceeds the
+//! capacity, the least-recently-used unpinned snapshot is dropped. The
+//! node itself survives as a skeleton — its constraint edge, result and
+//! parent link — so a later query against an evicted problem is answered
+//! by **replaying its constraint path from the nearest resident
+//! ancestor**: the paper's system-level-backtracking trick applied to the
+//! service's own memory budget. The root is always resident, so replay
+//! always terminates. [`ServiceStats`] counts snapshot hits against
+//! re-derivations (and the conflicts re-derivation cost), which is the
+//! service-level analogue of experiment E5.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::lit::Lit;
 use crate::solver::{SolveResult, Solver, SolverStats};
@@ -21,11 +40,48 @@ use crate::solver::{SolveResult, Solver, SolverStats};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ProblemRef(u32);
 
+impl ProblemRef {
+    /// The dense index behind the reference.
+    ///
+    /// Exposed so distributed front-ends (the sharded service) can embed
+    /// the reference in a wire-level id; within one service instance the
+    /// reference should stay opaque.
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a reference from [`ProblemRef::index`]. The caller is
+    /// responsible for only rebuilding indices obtained from the same
+    /// service instance.
+    #[inline]
+    pub fn from_index(index: u32) -> ProblemRef {
+        ProblemRef(index)
+    }
+}
+
 struct ProblemNode {
-    solver: Solver,
+    /// The solved snapshot; `None` once evicted (re-derivable by replay).
+    solver: Option<Solver>,
     parent: Option<ProblemRef>,
+    /// The constraint edge: clauses added on top of `parent` to form
+    /// this problem. Retained after eviction and release so descendants
+    /// stay derivable.
+    constraint: Vec<Vec<Lit>>,
     result: SolveResult,
     depth: u32,
+    /// Direct children still occupying slots (live or tombstoned).
+    /// A released node with no children is reaped outright, cascading
+    /// up through released ancestors — so leaf-release traffic does not
+    /// accumulate tombstones.
+    children: u32,
+    /// Released nodes are tombstones: invisible to queries, but their
+    /// constraint edge still carries replay for live descendants.
+    released: bool,
+    /// Pinned nodes are never evicted (the root is implicitly pinned).
+    pinned: bool,
+    /// LRU stamp (service-wide logical clock).
+    last_use: u64,
 }
 
 /// Counters for the service.
@@ -37,14 +93,39 @@ pub struct ServiceStats {
     pub total_conflicts: u64,
     /// Solver propagations across all queries.
     pub total_propagations: u64,
-    /// Live problem snapshots.
+    /// Live (unreleased) problems in the tree.
     pub live_problems: usize,
+    /// Problems whose solver snapshot is resident in memory.
+    pub resident_snapshots: usize,
+    /// Queries whose parent snapshot was resident (no replay needed).
+    pub snapshot_hits: u64,
+    /// Queries whose parent had to be re-derived by constraint replay.
+    pub rederivations: u64,
+    /// Clauses re-added during replays (the re-derivation work metric).
+    pub replayed_clauses: u64,
+    /// Solver conflicts spent inside replays (not billed to any query).
+    pub rederive_conflicts: u64,
+    /// Snapshots dropped by the LRU eviction policy.
+    pub evictions: u64,
 }
 
 /// A multi-path incremental SAT service.
 pub struct SolverService {
     nodes: Vec<Option<ProblemNode>>,
     stats: ServiceStats,
+    /// Maximum resident solver snapshots (`None` = unbounded).
+    capacity: Option<usize>,
+    /// Logical clock for LRU stamps.
+    clock: u64,
+    /// Resident solver snapshots, maintained incrementally so capacity
+    /// enforcement never scans the node table.
+    resident: usize,
+    /// Lazy-deletion min-heap of `(last_use, index)` eviction
+    /// candidates: every residency touch pushes a fresh entry; stale
+    /// entries (stamp no longer matching the node) are discarded on
+    /// pop. Keeps victim selection O(log n) amortised instead of a
+    /// full-table scan per eviction.
+    lru: BinaryHeap<Reverse<(u64, u32)>>,
 }
 
 impl Default for SolverService {
@@ -64,21 +145,54 @@ pub struct Reply {
     pub model: Option<Vec<bool>>,
     /// Conflicts this query cost (the incremental-saving metric).
     pub conflicts: u64,
+    /// `true` if the parent snapshot had been evicted and was re-derived
+    /// by constraint replay to serve this query.
+    pub rederived: bool,
 }
 
 impl SolverService {
-    /// Creates a service containing only the empty root problem.
+    /// Creates a service containing only the empty root problem, with no
+    /// memory bound.
     pub fn new() -> Self {
         let root = ProblemNode {
-            solver: Solver::new(),
+            solver: Some(Solver::new()),
             parent: None,
+            constraint: Vec::new(),
             result: SolveResult::Sat,
             depth: 0,
+            children: 0,
+            released: false,
+            pinned: true,
+            last_use: 0,
         };
         SolverService {
             nodes: vec![Some(root)],
             stats: ServiceStats::default(),
+            capacity: None,
+            clock: 0,
+            resident: 1,
+            lru: BinaryHeap::new(),
         }
+    }
+
+    /// Creates a service bounded to at most `capacity` resident solver
+    /// snapshots (the root always counts as one and is never evicted).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut svc = Self::new();
+        svc.set_snapshot_capacity(Some(capacity));
+        svc
+    }
+
+    /// Sets (or clears) the resident-snapshot bound. Lowering the bound
+    /// evicts immediately.
+    pub fn set_snapshot_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity.map(|c| c.max(1));
+        self.enforce_capacity(None);
+    }
+
+    /// The configured resident-snapshot bound.
+    pub fn snapshot_capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// The root (empty, trivially SAT) problem.
@@ -89,11 +203,30 @@ impl SolverService {
     /// Service counters.
     pub fn stats(&self) -> ServiceStats {
         let mut s = self.stats;
-        s.live_problems = self.nodes.iter().filter(|n| n.is_some()).count();
+        s.live_problems = self.nodes.iter().flatten().filter(|n| !n.released).count();
+        s.resident_snapshots = self.resident;
+        debug_assert_eq!(
+            self.resident,
+            self.nodes
+                .iter()
+                .flatten()
+                .filter(|n| n.solver.is_some())
+                .count(),
+            "incremental resident counter drifted from the node table"
+        );
         s
     }
 
     fn node(&self, r: ProblemRef) -> Option<&ProblemNode> {
+        self.nodes
+            .get(r.0 as usize)
+            .and_then(Option::as_ref)
+            .filter(|n| !n.released)
+    }
+
+    /// Like [`SolverService::node`] but sees released tombstones too —
+    /// replay walks through them.
+    fn raw_node(&self, r: ProblemRef) -> Option<&ProblemNode> {
         self.nodes.get(r.0 as usize).and_then(Option::as_ref)
     }
 
@@ -107,17 +240,157 @@ impl SolverService {
         self.node(r).map(|n| n.depth)
     }
 
+    /// Whether the problem's solver snapshot is currently resident (not
+    /// evicted). `None` if the reference is dead.
+    pub fn is_resident(&self, r: ProblemRef) -> Option<bool> {
+        self.node(r).map(|n| n.solver.is_some())
+    }
+
+    /// Pins a problem: its snapshot is never evicted. No-op on dead refs.
+    pub fn pin(&mut self, r: ProblemRef) {
+        if let Some(node) = self.nodes.get_mut(r.0 as usize).and_then(Option::as_mut) {
+            if !node.released {
+                node.pinned = true;
+            }
+        }
+    }
+
+    /// Unpins a problem (the root stays pinned regardless).
+    pub fn unpin(&mut self, r: ProblemRef) {
+        if r.0 == 0 {
+            return;
+        }
+        if let Some(node) = self.nodes.get_mut(r.0 as usize).and_then(Option::as_mut) {
+            node.pinned = false;
+            // Pinned entries are discarded from the LRU heap on pop, so
+            // a freshly unpinned resident node needs a new candidacy.
+            if node.solver.is_some() {
+                self.lru.push(Reverse((node.last_use, r.0)));
+            }
+        }
+    }
+
+    fn next_stamp(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// A solved solver for `r`, cloned from the resident snapshot or
+    /// re-derived by replaying constraint edges from the nearest resident
+    /// ancestor. Returns `None` for dead references.
+    fn materialize(&mut self, r: ProblemRef) -> Option<(Solver, bool)> {
+        self.node(r)?;
+        let stamp = self.next_stamp();
+        if let Some(node) = self.nodes[r.0 as usize].as_mut() {
+            if let Some(solver) = &node.solver {
+                node.last_use = stamp;
+                let cloned = solver.clone();
+                if !node.pinned {
+                    self.lru.push(Reverse((stamp, r.0)));
+                }
+                self.stats.snapshot_hits += 1;
+                return Some((cloned, false));
+            }
+        }
+        // Evicted: walk up to the nearest resident ancestor, then replay
+        // the constraint edges downward. The root is always resident, so
+        // the walk terminates even through released tombstones.
+        let mut chain = vec![r];
+        let mut cur = self.raw_node(r)?.parent?;
+        loop {
+            let node = self.raw_node(cur)?;
+            if node.solver.is_some() {
+                break;
+            }
+            chain.push(cur);
+            cur = node.parent?;
+        }
+        let mut solver = self.raw_node(cur).and_then(|n| n.solver.clone())?;
+        let before = solver.stats();
+        let mut replayed = 0u64;
+        for &link in chain.iter().rev() {
+            let node = self.raw_node(link)?;
+            for clause in &node.constraint {
+                solver.add_clause(clause);
+                replayed += 1;
+            }
+        }
+        let result = solver.solve();
+        debug_assert_eq!(
+            result,
+            self.raw_node(r).map(|n| n.result).unwrap(),
+            "replay must reproduce the recorded result"
+        );
+        let after = solver.stats();
+        self.stats.rederivations += 1;
+        self.stats.replayed_clauses += replayed;
+        self.stats.rederive_conflicts += after.conflicts - before.conflicts;
+        // Cache the re-derived snapshot back: the query touching it makes
+        // it the most recently used node by definition.
+        let node = self.nodes[r.0 as usize].as_mut()?;
+        node.solver = Some(solver.clone());
+        node.last_use = stamp;
+        let pinned = node.pinned;
+        self.resident += 1;
+        if !pinned {
+            self.lru.push(Reverse((stamp, r.0)));
+        }
+        self.enforce_capacity(Some(r));
+        Some((solver, true))
+    }
+
+    /// Evicts LRU snapshots until the resident count fits the capacity.
+    /// `protect` shields one reference (the node a query is being served
+    /// from) from immediate eviction.
+    ///
+    /// Victims come off the lazy-deletion heap: an entry is live only if
+    /// its stamp still matches the node's `last_use` (newer touches push
+    /// newer entries, orphaning the old ones). Pinned, evicted, reaped
+    /// and stale entries are simply discarded, so the work per eviction
+    /// is O(log n) amortised over touches — never a table scan.
+    fn enforce_capacity(&mut self, protect: Option<ProblemRef>) {
+        let Some(capacity) = self.capacity else {
+            return;
+        };
+        let mut deferred: Option<Reverse<(u64, u32)>> = None;
+        while self.resident > capacity {
+            let Some(Reverse((stamp, index))) = self.lru.pop() else {
+                break; // everything left is pinned/protected
+            };
+            let live = self
+                .nodes
+                .get(index as usize)
+                .and_then(Option::as_ref)
+                .is_some_and(|n| n.solver.is_some() && !n.pinned && n.last_use == stamp);
+            if !live {
+                continue; // stale heap entry
+            }
+            if protect == Some(ProblemRef(index)) {
+                // Still a valid candidate — put it back after the loop.
+                deferred = Some(Reverse((stamp, index)));
+                continue;
+            }
+            let node = self.nodes[index as usize].as_mut().unwrap();
+            node.solver = None;
+            self.resident -= 1;
+            self.stats.evictions += 1;
+        }
+        if let Some(entry) = deferred {
+            self.lru.push(entry);
+        }
+    }
+
     /// Solves `parent ∧ added`, returning the reply with an opaque
     /// reference to the new problem.
     ///
     /// The parent snapshot is immutable: solving a child never perturbs
     /// it, so any number of divergent `q`s can be layered on the same `p`
-    /// — the "multi-path" in the name.
+    /// — the "multi-path" in the name. If the parent snapshot was evicted
+    /// it is re-derived transparently (see the module docs).
     pub fn solve(&mut self, parent: ProblemRef, added: &[Vec<Lit>]) -> Option<Reply> {
-        let parent_node = self.node(parent)?;
-        let parent_depth = parent_node.depth;
+        let parent_depth = self.node(parent)?.depth;
         // The lightweight snapshot: fork the solved parent state.
-        let mut solver = parent_node.solver.clone();
+        let (mut solver, rederived) = self.materialize(parent)?;
         let before = solver.stats();
         for clause in added {
             solver.add_clause(clause);
@@ -129,42 +402,108 @@ impl SolverService {
         self.stats.total_conflicts += conflicts;
         self.stats.total_propagations += after.propagations - before.propagations;
         let model = (result == SolveResult::Sat).then(|| solver.model());
+        let stamp = self.next_stamp();
         let node = ProblemNode {
-            solver,
+            solver: Some(solver),
             parent: Some(parent),
+            constraint: added.to_vec(),
             result,
             depth: parent_depth + 1,
+            children: 0,
+            released: false,
+            pinned: false,
+            last_use: stamp,
         };
         self.nodes.push(Some(node));
         let problem = ProblemRef((self.nodes.len() - 1) as u32);
+        if let Some(parent_node) = self.nodes[parent.0 as usize].as_mut() {
+            parent_node.children += 1;
+        }
+        self.resident += 1;
+        self.lru.push(Reverse((stamp, problem.0)));
+        self.enforce_capacity(Some(problem));
         Some(Reply {
             problem,
             result,
             model,
             conflicts,
+            rederived,
         })
     }
 
-    /// Releases a problem snapshot (its children remain valid — they own
-    /// complete solver states).
+    /// Releases a problem: the heavy solver snapshot is freed immediately
+    /// and the reference goes dead for queries. If the node still has
+    /// children its constraint edge is retained as a tombstone so the
+    /// descendants remain derivable (they replay through it if their own
+    /// snapshots get evicted); a childless node is reaped outright,
+    /// cascading up through released ancestors — so solve-then-release
+    /// traffic does not accumulate per-query garbage.
     pub fn release(&mut self, r: ProblemRef) {
         if r.0 == 0 {
             return; // the root is permanent
         }
-        if let Some(slot) = self.nodes.get_mut(r.0 as usize) {
-            *slot = None;
+        let freed_solver = match self.nodes.get_mut(r.0 as usize).and_then(Option::as_mut) {
+            Some(node) if !node.released => {
+                node.released = true;
+                node.pinned = false;
+                node.solver.take().is_some()
+            }
+            _ => return,
+        };
+        if freed_solver {
+            self.resident -= 1;
+        }
+        self.reap(r);
+    }
+
+    /// Frees `r`'s slot if it is a childless tombstone, then walks up
+    /// freeing every released ancestor this leaves childless. Reaped
+    /// nodes can never be needed again: replay only ever walks from a
+    /// live descendant, and they have none.
+    fn reap(&mut self, mut r: ProblemRef) {
+        loop {
+            if r.0 == 0 {
+                return; // the root is never reaped
+            }
+            let Some(node) = self.nodes.get(r.0 as usize).and_then(Option::as_ref) else {
+                return;
+            };
+            if !node.released || node.children > 0 {
+                return;
+            }
+            let parent = node.parent;
+            self.nodes[r.0 as usize] = None;
+            match parent {
+                Some(p) => {
+                    let Some(parent_node) =
+                        self.nodes.get_mut(p.0 as usize).and_then(Option::as_mut)
+                    else {
+                        return;
+                    };
+                    parent_node.children -= 1;
+                    r = p;
+                }
+                None => return,
+            }
         }
     }
 
-    /// Chain of ancestors of `r`, nearest first.
+    /// Chain of ancestors of `r`, nearest first (released ancestors
+    /// included — the chain reflects derivation, not liveness).
     pub fn ancestry(&self, r: ProblemRef) -> Vec<ProblemRef> {
         let mut out = Vec::new();
-        let mut cur = self.node(r).and_then(|n| n.parent);
+        let mut cur = self.raw_node(r).and_then(|n| n.parent);
         while let Some(p) = cur {
             out.push(p);
-            cur = self.node(p).and_then(|n| n.parent);
+            cur = self.raw_node(p).and_then(|n| n.parent);
         }
         out
+    }
+
+    /// The constraint clauses on the edge `parent(r) → r` (empty for the
+    /// root). `None` for unknown references.
+    pub fn constraint_of(&self, r: ProblemRef) -> Option<&[Vec<Lit>]> {
+        self.raw_node(r).map(|n| n.constraint.as_slice())
     }
 
     /// Baseline: solve a whole clause set from scratch (no reuse).
@@ -241,15 +580,10 @@ mod tests {
             let reply = svc.solve(cur.problem, &inc).unwrap();
             if reply.result == SolveResult::Sat {
                 let m = reply.model.as_ref().unwrap();
-                for clause in &all {
-                    assert!(
-                        clause.iter().any(|l| {
-                            let v = m.get(l.var().index()).copied().unwrap_or(false);
-                            v != l.sign()
-                        }),
-                        "clause unsatisfied after increment {i}"
-                    );
-                }
+                assert!(
+                    crate::solver::model_satisfies(&all, m),
+                    "model unsatisfied after increment {i}"
+                );
             }
             cur = reply;
         }
@@ -303,5 +637,150 @@ mod tests {
         let st = svc.stats();
         assert_eq!(st.queries, 2);
         assert_eq!(st.live_problems, 3, "root + two children");
+        assert_eq!(st.resident_snapshots, 3, "nothing evicted by default");
+        assert_eq!(st.snapshot_hits, 2, "both parents were resident");
+        assert_eq!(st.rederivations, 0);
+    }
+
+    /// Satellite: the release leak-audit. Freeing interior nodes that
+    /// still have solved children must drop them from `live_problems`,
+    /// leave every child answerable, and keep the tombstones replayable.
+    #[test]
+    fn release_interior_nodes_leak_audit() {
+        let mut svc = SolverService::new();
+        let a = svc.solve(svc.root(), &[lits(&[1, 2])]).unwrap();
+        let b = svc.solve(a.problem, &[lits(&[2, 3])]).unwrap();
+        let c = svc.solve(b.problem, &[lits(&[3, 4])]).unwrap();
+        let d = svc.solve(b.problem, &[lits(&[-3]), lits(&[4])]).unwrap();
+        assert_eq!(svc.stats().live_problems, 5, "root + a,b,c,d");
+
+        // Free the interior chain a→b while c and d still hang off b.
+        svc.release(a.problem);
+        svc.release(b.problem);
+        let st = svc.stats();
+        assert_eq!(st.live_problems, 3, "root + c + d after interior frees");
+        assert_eq!(
+            st.resident_snapshots, 3,
+            "released interior snapshots freed immediately"
+        );
+
+        // Released refs are dead for every query path.
+        assert_eq!(svc.result_of(a.problem), None);
+        assert_eq!(svc.depth_of(b.problem), None);
+        assert!(svc.solve(b.problem, &[lits(&[5])]).is_none());
+        assert_eq!(svc.is_resident(a.problem), None);
+
+        // The children still answer — both from their own snapshots...
+        let c2 = svc.solve(c.problem, &[lits(&[5])]).unwrap();
+        assert_eq!(c2.result, SolveResult::Sat);
+        assert!(!c2.rederived, "child snapshot was resident");
+        // ...and after their own eviction, by replay *through* the
+        // released tombstones down from the root.
+        svc.set_snapshot_capacity(Some(1));
+        assert_eq!(svc.is_resident(d.problem), Some(false), "evicted by cap");
+        svc.set_snapshot_capacity(None);
+        let d2 = svc.solve(d.problem, &[lits(&[5])]).unwrap();
+        assert_eq!(d2.result, SolveResult::Sat);
+        assert!(d2.rederived, "evicted child re-derived through tombstones");
+        let m = d2.model.unwrap();
+        // d's path pinned ¬3 ∧ 4; the replayed state must still honour it.
+        assert!(!m[2] && m[3], "replayed constraints hold: {m:?}");
+        assert!(svc.stats().rederivations >= 1);
+        assert!(svc.stats().replayed_clauses >= 4, "a+b+d edges replayed");
+    }
+
+    #[test]
+    fn eviction_rederives_transparently() {
+        let fam = IncrementalFamily::new(20, 3, 9);
+        let mut svc = SolverService::with_capacity(2);
+        let base = svc.solve(svc.root(), &fam.base().clauses).unwrap();
+        let mut refs = vec![base.problem];
+        let mut cur = base.problem;
+        for i in 0..5 {
+            let reply = svc.solve(cur, &fam.increment(i)).unwrap();
+            cur = reply.problem;
+            refs.push(cur);
+        }
+        let st = svc.stats();
+        assert!(st.evictions >= 4, "capacity 2 must evict on a 6-chain");
+        assert!(
+            st.resident_snapshots <= 3,
+            "root + capacity bound (got {})",
+            st.resident_snapshots
+        );
+        // Every historical ref still answers, with the recorded result
+        // intact and a correct model for the *full* path.
+        for (i, &r) in refs.iter().enumerate() {
+            let reply = svc.solve(r, &[]).unwrap();
+            assert_eq!(reply.result, svc.result_of(r).unwrap(), "ref {i}");
+            if let Some(m) = &reply.model {
+                let mut stack = fam.base().clauses;
+                for j in 0..i as u64 {
+                    stack.extend(fam.increment(j));
+                }
+                assert!(
+                    crate::solver::model_satisfies(&stack, m),
+                    "ref {i}: replayed model violates its path"
+                );
+            }
+        }
+        assert!(svc.stats().rederivations > 0, "the chain forced replays");
+    }
+
+    /// Solve-then-release traffic must not accumulate per-query garbage:
+    /// childless tombstones are reaped outright, cascading up through
+    /// released ancestors.
+    #[test]
+    fn leaf_release_reaps_slots_and_cascades() {
+        let mut svc = SolverService::new();
+        let a = svc.solve(svc.root(), &[lits(&[1])]).unwrap();
+        let b = svc.solve(a.problem, &[lits(&[2])]).unwrap();
+        // Releasing the interior node keeps a tombstone (b depends on it)…
+        svc.release(a.problem);
+        assert!(svc.constraint_of(a.problem).is_some(), "tombstone retained");
+        // …but releasing the leaf reaps it AND cascades into a.
+        svc.release(b.problem);
+        assert!(svc.constraint_of(b.problem).is_none(), "leaf slot reaped");
+        assert!(svc.constraint_of(a.problem).is_none(), "cascade freed a");
+        let st = svc.stats();
+        assert_eq!(st.live_problems, 1, "only the root remains");
+        assert_eq!(st.resident_snapshots, 1, "only the root snapshot");
+        // The classic one-shot client loop stays O(1) in retained nodes.
+        for v in 1..=20i64 {
+            let q = svc.solve(svc.root(), &[lits(&[v])]).unwrap();
+            svc.release(q.problem);
+        }
+        assert_eq!(svc.stats().live_problems, 1, "no per-query garbage");
+        // Double release is idempotent; the refs stay dead.
+        svc.release(b.problem);
+        assert_eq!(svc.result_of(b.problem), None);
+    }
+
+    #[test]
+    fn pinning_protects_from_eviction() {
+        let mut svc = SolverService::with_capacity(2);
+        let a = svc.solve(svc.root(), &[lits(&[1])]).unwrap();
+        svc.pin(a.problem);
+        let mut cur = a.problem;
+        for v in 2..6 {
+            cur = svc.solve(cur, &[lits(&[v])]).unwrap().problem;
+        }
+        assert_eq!(svc.is_resident(a.problem), Some(true), "pinned survives");
+        svc.unpin(a.problem);
+        cur = svc.solve(cur, &[lits(&[6])]).unwrap().problem;
+        let _ = cur;
+        assert_eq!(svc.is_resident(a.problem), Some(false), "unpinned evicts");
+        // The root is never evictable even via unpin.
+        svc.unpin(svc.root());
+        assert_eq!(svc.is_resident(svc.root()), Some(true));
+    }
+
+    #[test]
+    fn problem_ref_index_roundtrip() {
+        let mut svc = SolverService::new();
+        let p = svc.solve(svc.root(), &[lits(&[1])]).unwrap();
+        let r = ProblemRef::from_index(p.problem.index());
+        assert_eq!(r, p.problem);
+        assert_eq!(svc.result_of(r), Some(SolveResult::Sat));
     }
 }

@@ -665,6 +665,21 @@ impl Solver {
     }
 }
 
+/// `true` iff `model` satisfies every clause (variables beyond the
+/// model's length read as false).
+///
+/// The one canonical implementation of the check every harness in the
+/// workspace uses to validate returned models against a constraint
+/// stack — keep verification logic here, next to the encoding it must
+/// agree with ([`crate::lit::Lit::sign`] is `true` for negation).
+pub fn model_satisfies(clauses: &[Vec<Lit>], model: &[bool]) -> bool {
+    clauses.iter().all(|clause| {
+        clause
+            .iter()
+            .any(|l| model.get(l.var().index()).copied().unwrap_or(false) != l.sign())
+    })
+}
+
 /// The Luby restart sequence: 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
 pub fn luby(y: u64, mut x: u64) -> u64 {
     // Find the finite subsequence containing x and its position.

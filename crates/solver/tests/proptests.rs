@@ -38,11 +38,7 @@ fn brute_force(cnf: &Cnf) -> bool {
 }
 
 fn model_satisfies(cnf: &Cnf, model: &[bool]) -> bool {
-    cnf.clauses.iter().all(|clause| {
-        clause
-            .iter()
-            .any(|l| model.get(l.var().index()).copied().unwrap_or(false) != l.sign())
-    })
+    lwsnap_solver::model_satisfies(&cnf.clauses, model)
 }
 
 proptest! {

@@ -1,0 +1,137 @@
+//! Closed-loop load generator for the sharded solver service.
+//!
+//! Drives M concurrent client sessions over a shared problem tree and
+//! reports throughput, p50/p99 latency and the snapshot-economy
+//! counters, for three service flavours:
+//!
+//! 1. the single-threaded `SolverService` baseline;
+//! 2. the sharded service with a worker pool (unbounded memory);
+//! 3. the same, with resident snapshots capped at 25% of the problem
+//!    tree — exercising LRU eviction and constraint-path re-derivation.
+//!
+//! Every SAT model returned in any phase is re-checked against the full
+//! constraint path of its problem, and the SAT/UNSAT verdict streams of
+//! all three phases are compared step for step; any mismatch exits
+//! non-zero. That is the "deterministically verifiable under
+//! concurrency" property the paper's service sketch demands.
+//!
+//! ```sh
+//! cargo run --release --example service_loadgen -- \
+//!     [--sessions M] [--queries Q] [--vars V] [--shards S] [--workers W] [--smoke]
+//! ```
+
+use lwsnap_bench::service_workload::{RunOutcome, Workload};
+
+fn parse_flag(args: &[String], name: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn report(label: &str, outcome: &RunOutcome) {
+    println!(
+        "  {label:<28} {:>8.0} q/s   p50 {:>9.2?}   p99 {:>9.2?}   wall {:>8.2?}   \
+         {} models verified",
+        outcome.throughput(),
+        outcome.latency_quantile(0.5),
+        outcome.latency_quantile(0.99),
+        outcome.wall,
+        outcome.verified_models,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let sessions = parse_flag(&args, "--sessions", 8);
+    let queries = parse_flag(&args, "--queries", if smoke { 6 } else { 24 });
+    let vars = parse_flag(&args, "--vars", if smoke { 40 } else { 70 });
+    let shards = parse_flag(&args, "--shards", 8);
+    let workers = parse_flag(
+        &args,
+        "--workers",
+        std::thread::available_parallelism().map_or(4, |n| n.get()),
+    );
+    assert!(sessions >= 1 && queries >= 1);
+
+    println!(
+        "workload: {sessions} sessions × {queries} queries, 3-SAT base over {vars} vars, \
+         {shards} shards, {workers} workers\n"
+    );
+    let workload = Workload::build(sessions, queries, vars, 0x10ad);
+
+    // Phase 1: the single-threaded scaling baseline.
+    let sequential = lwsnap_bench::service_workload::run_sequential(&workload);
+    report("sequential SolverService", &sequential);
+
+    // Phase 2: sharded + worker pool, no memory bound.
+    let (sharded, service, worker_stats) =
+        lwsnap_bench::service_workload::run_sharded(&workload, shards, workers, None);
+    report("sharded (unbounded)", &sharded);
+    let stats = service.stats();
+    let total = stats.total();
+    let busiest_shard_live = stats
+        .shards
+        .iter()
+        .map(|s| s.live_problems)
+        .max()
+        .unwrap_or(1);
+    println!(
+        "    {} live problems over {} shards (busiest {}), hit rate {:.1}%, jobs/worker {:?}",
+        total.live_problems,
+        stats.shards.len(),
+        busiest_shard_live,
+        stats.hit_rate().unwrap_or(1.0) * 100.0,
+        worker_stats.iter().map(|w| w.jobs).collect::<Vec<_>>(),
+    );
+
+    // Phase 3: cap resident snapshots at 25% of the busiest shard's
+    // tree, forcing eviction + replay on the same workload.
+    let capacity = (busiest_shard_live / 4).max(1);
+    let (evicting, evicting_service, _) =
+        lwsnap_bench::service_workload::run_sharded(&workload, shards, workers, Some(capacity));
+    report(&format!("sharded (cap {capacity}/shard)"), &evicting);
+    let etotal = evicting_service.stats().total();
+    println!(
+        "    {} evictions, {} rederivations ({} clauses, {} conflicts replayed), \
+         hit rate {:.1}%",
+        etotal.evictions,
+        etotal.rederivations,
+        etotal.replayed_clauses,
+        etotal.rederive_conflicts,
+        evicting_service.stats().hit_rate().unwrap_or(1.0) * 100.0,
+    );
+
+    // Cross-phase verification: identical verdict streams everywhere.
+    let mut mismatches = 0usize;
+    for (s, seq_session) in sequential.verdicts.iter().enumerate() {
+        if sharded.verdicts[s] != *seq_session {
+            eprintln!("VERDICT MISMATCH: session {s}, sharded vs sequential");
+            mismatches += 1;
+        }
+        if evicting.verdicts[s] != *seq_session {
+            eprintln!("VERDICT MISMATCH: session {s}, evicting vs sequential");
+            mismatches += 1;
+        }
+    }
+    if mismatches > 0 {
+        eprintln!("\n{mismatches} verdict mismatches — the service is WRONG");
+        std::process::exit(1);
+    }
+    let speedup = evicting.throughput().max(sharded.throughput()) / sequential.throughput();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "\nall {} queries × 3 phases verified: identical verdicts, every model re-checked \
+         against its constraint path ({:.2}× best sharded speedup over sequential on \
+         {cores} core{})",
+        workload.total_queries(),
+        speedup,
+        if cores == 1 {
+            " — expect <1× here"
+        } else {
+            "s"
+        },
+    );
+}

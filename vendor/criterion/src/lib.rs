@@ -3,8 +3,12 @@
 //! Implements the API surface the workspace's benches use —
 //! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
 //! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`,
-//! `black_box` — with a simple wall-clock measurement loop instead of
-//! Criterion's statistical machinery.
+//! `black_box` — with a multi-sample wall-clock measurement loop in
+//! place of Criterion's full statistical machinery. Each benchmark is
+//! timed as S samples of k iterations; the report carries the median,
+//! minimum and mean ± standard deviation of the per-iteration time, so
+//! two runs (e.g. sequential vs sharded service) are comparable beyond
+//! a single noisy mean.
 //!
 //! Behavioural contract kept from real Criterion:
 //!
@@ -252,6 +256,51 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Per-iteration timing statistics over a run's samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Fastest sample (the least-noise estimate).
+    pub min: Duration,
+    /// Median sample (the headline number).
+    pub median: Duration,
+    /// Mean over samples.
+    pub mean: Duration,
+    /// Population standard deviation over samples.
+    pub stddev: Duration,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// Summarises per-iteration sample times (`samples` must be non-empty).
+fn summarize(per_iter: &[Duration], iters_per_sample: u64) -> SampleStats {
+    let mut sorted = per_iter.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let min = sorted[0];
+    // Even-length median: mean of the two central samples.
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    };
+    let mean_s = sorted.iter().map(Duration::as_secs_f64).sum::<f64>() / n as f64;
+    let var = sorted
+        .iter()
+        .map(|d| (d.as_secs_f64() - mean_s).powi(2))
+        .sum::<f64>()
+        / n as f64;
+    SampleStats {
+        min,
+        median,
+        mean: Duration::from_secs_f64(mean_s),
+        stddev: Duration::from_secs_f64(var.sqrt()),
+        samples: n,
+        iters_per_sample,
+    }
+}
+
 fn run_one<F>(
     criterion: &Criterion,
     name: &str,
@@ -273,9 +322,10 @@ fn run_one<F>(
         println!("test {name} ... ok");
         return;
     }
-    // Calibrate: run once to estimate per-iteration cost, then size the
-    // measurement loop to roughly the target measurement time, capped by
-    // sample_size on the high end for slow benches.
+    // Calibrate: run once to estimate per-iteration cost, then split the
+    // target measurement time into samples. Slow benches degrade to 2
+    // samples of 1 iteration (≈ the cost of the old single-shot loop);
+    // fast ones get `sample_size` samples with many iterations each.
     let mut b = Bencher {
         iters: 1,
         elapsed: Duration::ZERO,
@@ -283,24 +333,36 @@ fn run_one<F>(
     f(&mut b);
     let once = b.elapsed.max(Duration::from_nanos(1));
     let target = criterion.measurement_time;
-    let iters = (target.as_nanos() / once.as_nanos()).clamp(1, sample_size as u128 * 5) as u64;
-    let mut b = Bencher {
-        iters,
-        elapsed: Duration::ZERO,
-    };
-    f(&mut b);
-    let per_iter = b.elapsed / iters.max(1) as u32;
+    // `.max(2)` keeps the clamp well-formed for `sample_size(1)` groups.
+    let samples =
+        (target.as_nanos() / once.as_nanos()).clamp(2, (sample_size as u128).max(2)) as usize;
+    let iters = (target.as_nanos() / (once.as_nanos() * samples as u128)).max(1) as u64;
+    let mut per_iter = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed / iters.max(1) as u32);
+    }
+    let stats = summarize(&per_iter, iters);
+    let spread = format!(
+        "min {:.2?}, mean {:.2?} ± {:.2?}, {}×{} iters",
+        stats.min, stats.mean, stats.stddev, stats.samples, stats.iters_per_sample
+    );
+    let median = stats.median;
     match throughput {
         Some(Throughput::Bytes(n)) => {
-            let gib_s = n as f64 / per_iter.as_secs_f64() / (1u64 << 30) as f64;
-            println!("{name:<60} {per_iter:>12.2?}/iter ({iters} iters, {gib_s:.3} GiB/s)");
+            let gib_s = n as f64 / median.as_secs_f64() / (1u64 << 30) as f64;
+            println!("{name:<60} {median:>12.2?}/iter ({spread}, {gib_s:.3} GiB/s)");
         }
         Some(Throughput::Elements(n)) => {
-            let elem_s = n as f64 / per_iter.as_secs_f64();
-            println!("{name:<60} {per_iter:>12.2?}/iter ({iters} iters, {elem_s:.0} elem/s)");
+            let elem_s = n as f64 / median.as_secs_f64();
+            println!("{name:<60} {median:>12.2?}/iter ({spread}, {elem_s:.0} elem/s)");
         }
         None => {
-            println!("{name:<60} {per_iter:>12.2?}/iter ({iters} iters)");
+            println!("{name:<60} {median:>12.2?}/iter ({spread})");
         }
     }
 }
@@ -347,6 +409,27 @@ mod tests {
         };
         b.iter(|| calls += 1);
         assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn summarize_reports_min_median_mean_stddev() {
+        let ms = Duration::from_millis;
+        // Odd count: exact middle element.
+        let stats = summarize(&[ms(30), ms(10), ms(20)], 7);
+        assert_eq!(stats.min, ms(10));
+        assert_eq!(stats.median, ms(20));
+        assert_eq!(stats.mean, ms(20));
+        assert_eq!(stats.samples, 3);
+        assert_eq!(stats.iters_per_sample, 7);
+        // Population stddev of {10,20,30}ms = sqrt(200/3) ms ≈ 8.165ms.
+        assert!((stats.stddev.as_secs_f64() - 0.008165).abs() < 1e-5);
+        // Even count: median interpolates the central pair.
+        let stats = summarize(&[ms(10), ms(20), ms(40), ms(30)], 1);
+        assert_eq!(stats.median, ms(25));
+        // Constant samples: zero spread.
+        let stats = summarize(&[ms(5); 4], 1);
+        assert_eq!(stats.stddev, Duration::ZERO);
+        assert_eq!(stats.median, ms(5));
     }
 
     #[test]
