@@ -10,15 +10,21 @@
 //!
 //! ## Architecture
 //!
-//! * Each worker owns a deque of [`WorkItem`]s (one unevaluated extension
-//!   step each: `Arc<Snapshot>` + extension index + tree path).
+//! * Each worker owns a **lock-free Chase–Lev deque** ([`crate::deque`])
+//!   of [`WorkItem`]s (one unevaluated extension step each:
+//!   `Arc<Snapshot>` + extension index + tree path).
 //! * A worker pushes the siblings of every guess onto its **own** deque
-//!   (back) and continues extension 0 inline — the same depth-first fast
-//!   path as the sequential engine.
+//!   (bottom) and continues extension 0 inline — the same depth-first
+//!   fast path as the sequential engine. An owner push is a plain store
+//!   plus a `Release` publish: no lock, no read-modify-write.
 //! * An idle worker pops its own deque LIFO (depth-first, cache-warm) and
-//!   **steals from the front** of other workers' deques (the shallowest
+//!   **steals from the top** of other workers' deques (the shallowest
 //!   entry — the largest unexplored subtree, the classic work-stealing
-//!   heuristic).
+//!   heuristic). A steal is one `compare_exchange`.
+//! * Only when a full steal sweep finds nothing does a worker fall back
+//!   to the **condvar slow path**: it registers in the idle count and
+//!   parks on a timed wait, so an idle fleet sleeps instead of spinning.
+//!   Producers skip the wakeup lock entirely while nobody is parked.
 //! * Termination: a shared count of unevaluated paths; the run is over
 //!   when it reaches zero.
 //!
@@ -52,10 +58,10 @@
 //!
 //! [`Dfs`]: crate::strategy::Dfs
 
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use crate::deque::{Deque, Steal, Stealer};
 use crate::engine::{EngineStats, FaultPolicy, RunResult, Solution, StopReason, MAX_FANOUT};
 use crate::guest::{Exit, Guest, GuestFault, GuestState};
 use crate::registers::Reg;
@@ -191,7 +197,10 @@ struct PathEvent {
 
 /// State shared by all workers.
 struct SharedState {
-    deques: Vec<Mutex<VecDeque<WorkItem>>>,
+    /// Thief handles onto every worker's lock-free deque, indexed by
+    /// worker id. The owning [`Deque`] handles live on the worker
+    /// threads themselves.
+    stealers: Vec<Stealer<WorkItem>>,
     /// Paths queued or executing. The run is over when this hits zero.
     pending: AtomicUsize,
     /// Sleep/wake coordination for idle workers.
@@ -235,25 +244,48 @@ impl SharedState {
     }
 
     /// Pops local work (LIFO) or steals from a victim (FIFO).
-    fn find_work(&self, me: usize) -> Option<WorkItem> {
-        if let Some(item) = self.deques[me].lock().unwrap().pop_back() {
+    ///
+    /// Lock-free fast path: the local pop is the owner side of a
+    /// Chase–Lev deque, a steal is one CAS. `Steal::Retry` (a lost race)
+    /// triggers a bounded number of re-sweeps; if work keeps slipping
+    /// away the caller falls back to the condvar slow path, whose timed
+    /// wait guarantees liveness.
+    fn find_work(&self, me: usize, own: &mut Deque<WorkItem>) -> Option<WorkItem> {
+        if let Some(item) = own.pop() {
             self.frontier.fetch_sub(1, Ordering::Relaxed);
             return Some(item);
         }
-        let n = self.deques.len();
-        for offset in 1..n {
-            let victim = (me + offset) % n;
-            if let Some(item) = self.deques[victim].lock().unwrap().pop_front() {
-                self.frontier.fetch_sub(1, Ordering::Relaxed);
-                return Some(item);
+        let n = self.stealers.len();
+        for _sweep in 0..4 {
+            let mut contended = false;
+            for offset in 1..n {
+                let victim = (me + offset) % n;
+                // Retry the same victim a few times: a Retry means work
+                // is moving right here, the best place to look.
+                for _attempt in 0..4 {
+                    match self.stealers[victim].steal() {
+                        Steal::Success(item) => {
+                            self.frontier.fetch_sub(1, Ordering::Relaxed);
+                            return Some(item);
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => {
+                            contended = true;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+            if !contended {
+                return None;
             }
         }
         None
     }
 
-    /// Publishes a whole sibling batch under a single deque-lock
-    /// acquisition, then wakes sleepers only if any exist.
-    fn push_work(&self, me: usize, items: Vec<WorkItem>) {
+    /// Publishes a sibling batch onto the worker's own deque (wait-free
+    /// owner pushes), then wakes sleepers only if any exist.
+    fn push_work(&self, own: &mut Deque<WorkItem>, items: Vec<WorkItem>) {
         let added = items.len();
         if added == 0 {
             return;
@@ -262,10 +294,8 @@ impl SharedState {
         // moment an item is visible, so incrementing afterwards would
         // let the counter underflow.
         Self::bump_peak(&self.frontier, &self.peak_frontier, added);
-        {
-            let mut deque = self.deques[me].lock().unwrap();
-            deque.reserve(added);
-            deque.extend(items);
+        for item in items {
+            own.push(item);
         }
         if self.idle.load(Ordering::Acquire) > 0 {
             let _guard = self.idle_lock.lock().unwrap();
@@ -336,8 +366,9 @@ impl ParallelEngine {
         F: Fn() -> G + Sync,
     {
         let workers = self.config.workers;
+        let mut deques: Vec<Deque<WorkItem>> = (0..workers).map(|_| Deque::new()).collect();
         let shared = SharedState {
-            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            stealers: deques.iter().map(Deque::stealer).collect(),
             pending: AtomicUsize::new(1),
             idle_lock: Mutex::new(()),
             idle_cv: Condvar::new(),
@@ -353,20 +384,22 @@ impl ParallelEngine {
             config: self.config.clone(),
         };
         SharedState::bump_peak(&shared.frontier, &shared.peak_frontier, 1);
-        shared.deques[0].lock().unwrap().push_back(WorkItem {
+        deques[0].push(WorkItem {
             kind: ItemKind::Root(Box::new(root)),
             path: Vec::new(),
         });
 
         let mut worker_outputs: Vec<(EngineStats, Vec<PathEvent>)> = Vec::new();
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|id| {
+            let handles: Vec<_> = deques
+                .into_iter()
+                .enumerate()
+                .map(|(id, mut own)| {
                     let shared = &shared;
                     let factory = &factory;
                     scope.spawn(move || {
                         let mut guest = factory();
-                        worker_loop(id, shared, &mut guest)
+                        worker_loop(id, shared, &mut own, &mut guest)
                     })
                 })
                 .collect();
@@ -412,6 +445,7 @@ impl<S: crate::strategy::Strategy> crate::Engine<S> {
 fn worker_loop(
     id: usize,
     shared: &SharedState,
+    own: &mut Deque<WorkItem>,
     guest: &mut dyn Guest,
 ) -> (EngineStats, Vec<PathEvent>) {
     let mut stats = EngineStats::default();
@@ -420,8 +454,8 @@ fn worker_loop(
         if shared.done() {
             break;
         }
-        match shared.find_work(id) {
-            Some(item) => evaluate_path(id, shared, guest, item, &mut stats, &mut events),
+        match shared.find_work(id, own) {
+            Some(item) => evaluate_path(shared, own, guest, item, &mut stats, &mut events),
             None => {
                 let guard = shared.idle_lock.lock().unwrap();
                 if shared.done() {
@@ -445,8 +479,8 @@ fn worker_loop(
 /// Evaluates one path to completion: materialise, resume, fork siblings
 /// at guesses, continue extension 0 inline until the path dies.
 fn evaluate_path(
-    id: usize,
     shared: &SharedState,
+    own: &mut Deque<WorkItem>,
     guest: &mut dyn Guest,
     item: WorkItem,
     stats: &mut EngineStats,
@@ -573,7 +607,7 @@ fn evaluate_path(
                             })
                             .collect();
                         shared.add_pending(siblings.len());
-                        shared.push_work(id, siblings);
+                        shared.push_work(own, siblings);
                     }
                     // Depth-first fast path: continue extension 0 here.
                     state.regs.set(Reg::Rax, 0);

@@ -1,10 +1,11 @@
 //! The worker pool: M threads executing solve requests concurrently.
 //!
-//! Requests flow through one shared [`Injector`] — the same batch-push
-//! work-distribution primitive the parallel search engine uses — so a
-//! client can inject a whole batch of independent queries under a single
-//! lock acquisition and the pool fans them out across workers. True
-//! parallelism comes from sharding: two jobs on different shards solve
+//! Requests flow through one shared [`Injector`] — the lock-free
+//! segment-list queue from `lwsnap_core::workqueue` — so a client can
+//! inject a whole batch of independent queries with a single atomic
+//! tail swap and the pool fans them out across workers, each pop one
+//! `fetch_add` on the head segment's claim cursor. True parallelism
+//! comes from sharding: two jobs on different shards solve
 //! concurrently; two jobs on the same shard serialise on that shard's
 //! lock (and nothing else).
 
@@ -71,15 +72,31 @@ impl WorkerPool {
         self.workers.len()
     }
 
+    /// Jobs currently queued (not yet claimed by a worker) — a racy but
+    /// bounded backpressure signal for admission control.
+    pub fn queue_depth(&self) -> usize {
+        self.injector.len()
+    }
+
     /// Drains the queue, stops the workers and returns their counters.
     /// In-flight and already-queued jobs complete; new submissions are
     /// rejected (clients observe `None` replies).
     pub fn shutdown(self) -> Vec<WorkerStats> {
         self.injector.close();
-        self.workers
+        let stats: Vec<WorkerStats> = self
+            .workers
             .into_iter()
             .map(|w| w.join().expect("worker panicked"))
-            .collect()
+            .collect();
+        // The lock-free injector's close is advisory under races: a
+        // submit that passed the closed check concurrently with close()
+        // may be accepted after the workers' final drain. Quiesce those
+        // in-flight producers, then drop whatever jobs remain — their
+        // reply senders close, so blocked clients observe `None`
+        // instead of hanging on a job nobody will ever execute.
+        self.injector.quiesce();
+        while self.injector.try_pop().is_some() {}
+        stats
     }
 }
 
@@ -187,6 +204,7 @@ mod tests {
         assert_eq!(p.result, SolveResult::Sat);
         let q = client.solve(p.problem, lits(&[-1])).unwrap();
         assert_eq!(q.result, SolveResult::Sat);
+        assert_eq!(pool.queue_depth(), 0, "idle pool has an empty queue");
         let stats = pool.shutdown();
         assert_eq!(stats.len(), 3);
         assert_eq!(stats.iter().map(|w| w.jobs).sum::<u64>(), 2);

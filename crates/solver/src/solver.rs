@@ -297,10 +297,17 @@ impl Solver {
     }
 
     fn detach(&mut self, cref: u32) {
-        let l0 = self.lit_at(cref, 0);
-        let l1 = self.lit_at(cref, 1);
-        self.watches[l0.index()].retain(|w| w.cref != cref);
-        self.watches[l1.index()].retain(|w| w.cref != cref);
+        // Swap-remove at the found index: `retain` would keep scanning
+        // (and shifting) the whole watch list after the hit, an O(n)
+        // compaction per removal that dominates bulk clause deletion.
+        // Watcher order within a list carries no meaning, so the swap
+        // is semantics-preserving.
+        for lit in [self.lit_at(cref, 0), self.lit_at(cref, 1)] {
+            let ws = &mut self.watches[lit.index()];
+            if let Some(at) = ws.iter().position(|w| w.cref == cref) {
+                ws.swap_remove(at);
+            }
+        }
     }
 
     // -- propagation ----------------------------------------------------

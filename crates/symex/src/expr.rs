@@ -6,8 +6,18 @@
 //! nodes. The pool is append-only: expression ids stay valid across every
 //! forked path, which is what lets path constraints ride inside engine
 //! snapshots as plain data.
+//!
+//! [`SharedPool`] extends that property across *threads*: the parallel
+//! symex driver hands stolen paths (and their `ExprId`-bearing shadows)
+//! between workers, so every worker must intern into — and resolve ids
+//! against — one pool. `SharedPool` is the `Arc<RwLock<_>>`-backed
+//! handle that makes the ids globally meaningful: interning takes the
+//! write lock (short, append-only), while feasibility checks (the
+//! expensive SAT part) solve against a [`SharedPool::snapshot`] taken
+//! under a briefly held read lock, so solving never blocks interning.
 
 use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
 
 /// Index of an expression in the pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -259,6 +269,109 @@ impl ExprPool {
             }
             Expr::Not1 { e } => (self.eval(e, inputs) == 0) as u64,
         }
+    }
+}
+
+/// A cloneable, thread-safe handle onto one [`ExprPool`].
+///
+/// Every clone interns into the same pool, so an [`ExprId`] minted by
+/// one thread resolves identically on every other — the invariant the
+/// parallel symex driver relies on when a worker steals a path whose
+/// [`crate::Shadow`] carries constraints built elsewhere. Mutating
+/// constructors take the write lock briefly; long computations (path
+/// feasibility solves) clone a [`SharedPool::snapshot`] and run with no
+/// lock held at all, so solver work on one worker never stalls another
+/// worker's execution.
+#[derive(Debug, Default, Clone)]
+pub struct SharedPool(Arc<RwLock<ExprPool>>);
+
+impl SharedPool {
+    /// A new handle onto a fresh, empty pool.
+    pub fn new() -> Self {
+        SharedPool::default()
+    }
+
+    /// Runs `f` with shared (read) access to the underlying pool. Keep
+    /// `f` short: while any reader is inside, writers (interning
+    /// workers) block — for long work such as a SAT solve, take a
+    /// [`SharedPool::snapshot`] instead.
+    pub fn with<R>(&self, f: impl FnOnce(&ExprPool) -> R) -> R {
+        f(&self.0.read().unwrap())
+    }
+
+    /// Clones the current pool contents under a briefly held read lock.
+    /// The pool is append-only, so a snapshot resolves every `ExprId`
+    /// minted up to this point — feasibility checks solve against the
+    /// snapshot without blocking other workers' interning (cloning a
+    /// few thousand nodes costs microseconds; a solve costs
+    /// milliseconds).
+    pub fn snapshot(&self) -> ExprPool {
+        self.0.read().unwrap().clone()
+    }
+
+    /// Number of distinct nodes.
+    pub fn len(&self) -> usize {
+        self.0.read().unwrap().len()
+    }
+
+    /// Returns `true` if the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.read().unwrap().is_empty()
+    }
+
+    /// Reads a node.
+    pub fn node(&self, id: ExprId) -> Expr {
+        self.0.read().unwrap().node(id)
+    }
+
+    /// Width of an expression.
+    pub fn width(&self, id: ExprId) -> Width {
+        self.0.read().unwrap().width(id)
+    }
+
+    /// A fresh symbolic input byte.
+    pub fn input(&self, id: u32) -> ExprId {
+        self.0.write().unwrap().input(id)
+    }
+
+    /// A 64-bit constant.
+    pub fn constant(&self, v: u64) -> ExprId {
+        self.0.write().unwrap().constant(v)
+    }
+
+    /// Binary operation with constant folding.
+    pub fn bin(&self, op: BinOp, a: ExprId, b: ExprId) -> ExprId {
+        self.0.write().unwrap().bin(op, a, b)
+    }
+
+    /// Extracts byte `byte` of `e` (width 8).
+    pub fn extract8(&self, e: ExprId, byte: u8) -> ExprId {
+        self.0.write().unwrap().extract8(e, byte)
+    }
+
+    /// Zero-extends a byte expression to 64 bits.
+    pub fn zext8(&self, e: ExprId) -> ExprId {
+        self.0.write().unwrap().zext8(e)
+    }
+
+    /// Comparison with constant folding.
+    pub fn cmp(&self, op: CmpOp, a: ExprId, b: ExprId) -> ExprId {
+        self.0.write().unwrap().cmp(op, a, b)
+    }
+
+    /// Boolean negation with folding.
+    pub fn not1(&self, e: ExprId) -> ExprId {
+        self.0.write().unwrap().not1(e)
+    }
+
+    /// Returns `true` if the expression is a constant.
+    pub fn is_const(&self, id: ExprId) -> bool {
+        self.0.read().unwrap().is_const(id)
+    }
+
+    /// Evaluates an expression under a concrete input assignment.
+    pub fn eval(&self, id: ExprId, inputs: &HashMap<u32, u8>) -> u64 {
+        self.0.read().unwrap().eval(id, inputs)
     }
 }
 

@@ -36,8 +36,10 @@
 pub mod blast;
 pub mod expr;
 pub mod machine;
+pub mod par;
 pub mod programs;
 
 pub use blast::{check_path, Blaster, Feasibility};
-pub use expr::{BinOp, CmpOp, Expr, ExprId, ExprPool, Width};
+pub use expr::{BinOp, CmpOp, Expr, ExprId, ExprPool, SharedPool, Width};
 pub use machine::{PathEnd, Shadow, SymExec, SymStats, TestCase, SYS_MAKE_SYMBOLIC};
+pub use par::{par_explore, par_explore_with, ParExploreResult};

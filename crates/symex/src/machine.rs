@@ -31,7 +31,7 @@ use lwsnap_core::{
 use lwsnap_vm::{Instr, Opcode, INSTR_SIZE};
 
 use crate::blast::{check_path, Feasibility};
-use crate::expr::{BinOp, CmpOp, ExprId, ExprPool};
+use crate::expr::{BinOp, CmpOp, ExprId, SharedPool};
 
 /// Syscall number for `make_symbolic(addr, len)`.
 pub const SYS_MAKE_SYMBOLIC: u64 = 1100;
@@ -72,7 +72,7 @@ impl Shadow {
 }
 
 /// How a completed path ended.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum PathEnd {
     /// Normal `exit(code)`.
     Exit(i64),
@@ -93,6 +93,25 @@ pub struct TestCase {
     pub depth: u64,
 }
 
+impl TestCase {
+    /// The canonical ordering for verdict comparison: by concrete
+    /// inputs, then depth, constraint count and path end. Scheduling-
+    /// independent, so sorting with it makes a parallel exploration's
+    /// verdicts directly `==`-comparable to a sequential run's.
+    pub fn canonical_cmp(&self, other: &TestCase) -> std::cmp::Ordering {
+        self.inputs
+            .cmp(&other.inputs)
+            .then(self.depth.cmp(&other.depth))
+            .then(self.constraints.cmp(&other.constraints))
+            .then(self.end.cmp(&other.end))
+    }
+
+    /// Sorts `cases` into [`TestCase::canonical_cmp`] order.
+    pub fn canonical_sort(cases: &mut [TestCase]) {
+        cases.sort_by(TestCase::canonical_cmp);
+    }
+}
+
 /// Counters for a symbolic execution run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SymStats {
@@ -110,8 +129,11 @@ pub struct SymStats {
 
 /// The symbolic executor (implements [`Guest`]).
 pub struct SymExec {
-    /// The (append-only, shared) expression pool.
-    pub pool: ExprPool,
+    /// The (append-only, shared) expression pool. A [`SharedPool`]
+    /// handle: executors built with [`SymExec::with_pool`] intern into
+    /// the same pool, which is what lets the parallel driver move
+    /// `ExprId`-bearing shadows between worker threads.
+    pub pool: SharedPool,
     /// Encapsulation policy for ordinary syscalls.
     pub policy: InterposePolicy,
     /// Per-resume instruction budget.
@@ -144,8 +166,15 @@ impl Val {
 impl SymExec {
     /// Creates a symbolic executor with default policy and budget.
     pub fn new() -> Self {
+        Self::with_pool(SharedPool::new())
+    }
+
+    /// Creates a symbolic executor interning into an existing shared
+    /// pool — the constructor the parallel driver uses so that all
+    /// workers resolve each other's expression ids.
+    pub fn with_pool(pool: SharedPool) -> Self {
         SymExec {
-            pool: ExprPool::new(),
+            pool,
             policy: InterposePolicy::default(),
             max_steps: 50_000_000,
             stats: SymStats::default(),
@@ -267,7 +296,9 @@ impl SymExec {
     /// Finishes a path: solve its constraints and record a test case.
     fn finish_path(&mut self, st: &GuestState, shadow: &Shadow, end: PathEnd) {
         self.stats.solver_checks += 1;
-        match check_path(&self.pool, &shadow.constraints) {
+        // Snapshot, then solve lock-free: holding the read lock across
+        // the SAT solve would stall every other worker's interning.
+        match check_path(&self.pool.snapshot(), &shadow.constraints) {
             Feasibility::Sat(model) => {
                 let mut inputs = vec![0u8; shadow.n_inputs as usize];
                 for (id, byte) in model {
@@ -339,7 +370,8 @@ impl Guest for SymExec {
             let taken = st.regs.get(Reg::Rax) == 1;
             shadow.constraints.push((p.cond, taken));
             self.stats.solver_checks += 1;
-            if check_path(&self.pool, &shadow.constraints) == Feasibility::Unsat {
+            // Snapshot, then solve lock-free (see `finish_path`).
+            if check_path(&self.pool.snapshot(), &shadow.constraints) == Feasibility::Unsat {
                 self.stats.infeasible_pruned += 1;
                 Self::save_shadow(st, shadow);
                 return Exit::Fail;

@@ -2,15 +2,19 @@
 //! exact solution set — and, under deterministic ordering, the exact
 //! transcript — of the sequential DFS engine.
 //!
-//! Two workloads, per the paper's two motivating applications:
+//! Three workloads, per the paper's motivating applications:
 //! * the Figure-1 n-queens guest running on the SVM-64 interpreter;
 //! * a SAT enumeration guest (one `sys_guess(2)` per variable, clause
-//!   check per assignment) over a generated 3-SAT formula.
+//!   check per assignment) over a generated 3-SAT formula;
+//! * the S2E-style symbolic executor via the parallel symex driver
+//!   (`par_explore`), whose per-path verdicts must equal a sequential
+//!   exploration's.
 
 use std::collections::HashSet;
 
 use lwsnap_core::{strategy::Dfs, Engine, Exit, GuestState, ParallelEngine, Reg, StopReason};
 use lwsnap_solver::{random_ksat, Cnf};
+use lwsnap_symex::{par_explore, programs::branch_tree_source, SymExec, TestCase};
 use lwsnap_vm::{assemble_source, programs::nqueens_source, Interp};
 
 #[test]
@@ -135,6 +139,37 @@ fn sat_enumeration_parallel_matches_sequential() {
         assert_eq!(
             parallel.stats.extensions_evaluated, sequential.stats.extensions_evaluated,
             "parallel run must do the same work, just elsewhere"
+        );
+    }
+}
+
+#[test]
+fn symex_par_explore_matches_sequential_verdicts() {
+    // 2^6 = 64 feasible paths, each ended by a solver-validated test
+    // case. The parallel driver must reproduce the sequential verdict
+    // set exactly (canonical order), at any worker count.
+    let src = branch_tree_source(6);
+    let prog = assemble_source(&src).unwrap();
+    let mut exec = SymExec::new();
+    let sequential = Engine::new(Dfs::new()).run(&mut exec, prog.boot().unwrap());
+    assert_eq!(sequential.stop, StopReason::Exhausted);
+    let mut seq_cases = exec.cases.clone();
+    TestCase::canonical_sort(&mut seq_cases);
+    assert_eq!(seq_cases.len(), 64);
+
+    for workers in [2usize, 4] {
+        let prog = assemble_source(&src).unwrap();
+        let report = par_explore(prog.boot().unwrap(), workers);
+        assert_eq!(report.run.stop, StopReason::Exhausted);
+        assert_eq!(
+            report.cases, seq_cases,
+            "symex verdicts differ at {workers} workers"
+        );
+        assert_eq!(report.stats.forks, exec.stats.forks);
+        assert_eq!(report.stats.tests_generated, exec.stats.tests_generated);
+        assert_eq!(
+            report.run.stats.extensions_evaluated,
+            sequential.stats.extensions_evaluated
         );
     }
 }

@@ -16,6 +16,12 @@
 //!   exactly once and reports `ok`, so CI can smoke-test benches cheaply;
 //! * a positional CLI argument filters benchmarks by substring;
 //! * benchmark IDs render as `group/function/parameter`.
+//!
+//! Beyond real Criterion, the shim emits a machine-readable report: when
+//! the `BENCH_JSON_DIR` environment variable names a directory, a full
+//! (non-`--test`) run writes `BENCH_<bench-name>.json` there with
+//! min/median/mean/stddev nanoseconds per benchmark, so successive PRs
+//! accumulate a comparable perf trajectory.
 
 #![forbid(unsafe_code)]
 
@@ -107,11 +113,19 @@ impl Bencher {
     }
 }
 
+/// One measured benchmark, retained for the JSON report.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    name: String,
+    stats: SampleStats,
+}
+
 /// Shared measurement configuration and CLI state.
 pub struct Criterion {
     test_mode: bool,
     filter: Option<String>,
     measurement_time: Duration,
+    records: Vec<BenchRecord>,
 }
 
 impl Default for Criterion {
@@ -120,6 +134,7 @@ impl Default for Criterion {
             test_mode: false,
             filter: None,
             measurement_time: Duration::from_millis(500),
+            records: Vec::new(),
         }
     }
 }
@@ -191,6 +206,80 @@ impl Criterion {
             None => true,
         }
     }
+
+    /// Writes `BENCH_<bench-name>.json` into `$BENCH_JSON_DIR` (if set)
+    /// with every measured benchmark's min/median/mean/stddev, for
+    /// cross-PR perf trajectories. Called by `criterion_main!` after all
+    /// groups have run; a no-op in `--test` mode (nothing is measured)
+    /// or when the env var is absent.
+    pub fn write_json_report(&self) {
+        let Ok(dir) = std::env::var("BENCH_JSON_DIR") else {
+            return;
+        };
+        if self.records.is_empty() {
+            return;
+        }
+        let name = bench_binary_name();
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+        let json = render_json_report(&name, &self.records);
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("bench report: {}", path.display()),
+            Err(err) => eprintln!("bench report write failed ({}): {err}", path.display()),
+        }
+    }
+}
+
+/// The bench binary's logical name: `argv[0]`'s file stem minus cargo's
+/// trailing `-<16 hex>` disambiguation hash (when present).
+fn bench_binary_name() -> String {
+    let arg0 = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&arg0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    strip_cargo_hash(stem).to_owned()
+}
+
+/// Strips cargo's `-<16 hex>` target-disambiguation suffix from a file
+/// stem, if present.
+fn strip_cargo_hash(stem: &str) -> &str {
+    match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            base
+        }
+        _ => stem,
+    }
+}
+
+/// Minimal JSON escaping for benchmark names (quotes and backslashes;
+/// names are otherwise printable ASCII by construction).
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_json_report(bench: &str, records: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"bench\":\"{}\",\"results\":[", escape_json(bench));
+    for (i, rec) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let s = &rec.stats;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"min_ns\":{},\"median_ns\":{},\"mean_ns\":{},\
+             \"stddev_ns\":{},\"samples\":{},\"iters_per_sample\":{}}}",
+            escape_json(&rec.name),
+            s.min.as_nanos(),
+            s.median.as_nanos(),
+            s.mean.as_nanos(),
+            s.stddev.as_nanos(),
+            s.samples,
+            s.iters_per_sample,
+        );
+    }
+    out.push_str("]}\n");
+    out
 }
 
 /// A group of related benchmarks sharing configuration.
@@ -302,7 +391,7 @@ fn summarize(per_iter: &[Duration], iters_per_sample: u64) -> SampleStats {
 }
 
 fn run_one<F>(
-    criterion: &Criterion,
+    criterion: &mut Criterion,
     name: &str,
     sample_size: usize,
     throughput: Option<Throughput>,
@@ -347,6 +436,10 @@ fn run_one<F>(
         per_iter.push(b.elapsed / iters.max(1) as u32);
     }
     let stats = summarize(&per_iter, iters);
+    criterion.records.push(BenchRecord {
+        name: name.to_owned(),
+        stats,
+    });
     let spread = format!(
         "min {:.2?}, mean {:.2?} ± {:.2?}, {}×{} iters",
         stats.min, stats.mean, stats.stddev, stats.samples, stats.iters_per_sample
@@ -378,13 +471,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench `main` running one or more groups.
+/// Declares the bench `main` running one or more groups, then emitting
+/// the machine-readable report (see [`Criterion::write_json_report`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             let mut criterion = $crate::Criterion::from_args();
             $( $group(&mut criterion); )+
+            criterion.write_json_report();
         }
     };
 }
@@ -430,6 +525,46 @@ mod tests {
         let stats = summarize(&[ms(5); 4], 1);
         assert_eq!(stats.stddev, Duration::ZERO);
         assert_eq!(stats.median, ms(5));
+    }
+
+    #[test]
+    fn json_report_renders_all_fields() {
+        let ms = Duration::from_millis;
+        let records = vec![
+            BenchRecord {
+                name: "g/locked/4".into(),
+                stats: summarize(&[ms(10), ms(20), ms(30)], 7),
+            },
+            BenchRecord {
+                name: "g/\"quoted\"".into(),
+                stats: summarize(&[ms(5)], 1),
+            },
+        ];
+        let json = render_json_report("deque_scaling", &records);
+        assert!(json.starts_with("{\"bench\":\"deque_scaling\",\"results\":["));
+        assert!(json.contains("\"name\":\"g/locked/4\""));
+        assert!(json.contains("\"min_ns\":10000000"));
+        assert!(json.contains("\"median_ns\":20000000"));
+        assert!(json.contains("\"mean_ns\":20000000"));
+        assert!(json.contains("\"samples\":3"));
+        assert!(json.contains("\"iters_per_sample\":7"));
+        assert!(json.contains("\\\"quoted\\\""), "names are JSON-escaped");
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn binary_name_strips_cargo_hash() {
+        assert_eq!(
+            strip_cargo_hash("deque_scaling-126f88c5665aa028"),
+            "deque_scaling"
+        );
+        assert_eq!(strip_cargo_hash("fork_baseline"), "fork_baseline");
+        assert_eq!(strip_cargo_hash("multi-word-name"), "multi-word-name");
+        assert_eq!(
+            strip_cargo_hash("name-0123456789abcdeX"),
+            "name-0123456789abcdeX",
+            "non-hex suffix is kept"
+        );
     }
 
     #[test]
