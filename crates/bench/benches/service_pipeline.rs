@@ -1,0 +1,98 @@
+//! Pipelined vs blocking wire throughput against the epoll front end.
+//!
+//! Both benchmarks push the same stream of independent solve queries
+//! through one loopback TCP connection; the only variable is the wire
+//! discipline:
+//!
+//! * `tcp_blocking` — the legacy [`TcpClient`]: one v1 frame out, wait
+//!   for the reply, repeat. Every query pays a full round trip plus a
+//!   reactor wakeup.
+//! * `tcp_pipelined/8` — the [`PipelinedClient`] keeping a depth-8
+//!   window of tagged requests in flight: the round trips and reactor
+//!   wakeups amortise across the window, and the worker pool sees the
+//!   whole window at once instead of one query at a time.
+//!
+//! Expected shape: pipelined ≥ 1.5× blocking at depth 8 (the win grows
+//! with round-trip cost — loopback is the *worst* case for pipelining,
+//! any real network makes the gap wider).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lwsnap_service::{PipelinedClient, Response, Server, ServiceConfig, SolverBackend, TcpClient};
+use lwsnap_solver::Lit;
+
+const DEPTH: usize = 8;
+const WINDOWS: usize = 8;
+
+/// A small satisfiable query, distinct per step so nothing caches.
+fn clauses(step: usize) -> Vec<Vec<Lit>> {
+    let v = (step % 40 + 1) as i64;
+    vec![
+        vec![Lit::from_dimacs(v), Lit::from_dimacs(v + 1)],
+        vec![Lit::from_dimacs(-v), Lit::from_dimacs(v + 2)],
+    ]
+}
+
+fn wire_clauses(step: usize) -> Vec<Vec<i64>> {
+    clauses(step)
+        .iter()
+        .map(|c| c.iter().map(|l| l.to_dimacs()).collect())
+        .collect()
+}
+
+fn bench_service_pipeline(c: &mut Criterion) {
+    // Bound residency so the growing problem tree stays cheap; the
+    // queries never revisit children, so eviction costs nothing here.
+    let config = ServiceConfig::new(8).with_snapshot_capacity(32);
+    let server = Server::start("127.0.0.1:0", config, 4).expect("bind loopback");
+    let addr = server.local_addr();
+
+    let mut group = c.benchmark_group("service_pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((DEPTH * WINDOWS) as u64));
+
+    group.bench_function("tcp_blocking", |b| {
+        let mut client = TcpClient::connect(addr).expect("connect");
+        let root = client.session_root(1).expect("root");
+        let mut step = 0usize;
+        b.iter(|| {
+            for _ in 0..DEPTH * WINDOWS {
+                let response = client.solve(root, &wire_clauses(step)).expect("solve");
+                let Response::Solved { sat: true, .. } = response else {
+                    panic!("expected SAT");
+                };
+                step += 1;
+            }
+        })
+    });
+
+    group.bench_with_input(
+        BenchmarkId::new("tcp_pipelined", DEPTH),
+        &DEPTH,
+        |b, &depth| {
+            let client = PipelinedClient::connect(addr).expect("connect");
+            let root = client.session_root(2).expect("root");
+            let mut step = 0usize;
+            b.iter(|| {
+                for _ in 0..WINDOWS {
+                    let tickets: Vec<_> = (0..depth)
+                        .map(|_| {
+                            let t = client.submit(root, clauses(step)).expect("submit");
+                            step += 1;
+                            t
+                        })
+                        .collect();
+                    for ticket in tickets {
+                        let reply = client.wait(ticket).expect("wait").expect("live root");
+                        assert_eq!(reply.result, lwsnap_solver::SolveResult::Sat);
+                    }
+                }
+            })
+        },
+    );
+
+    group.finish();
+    drop(server);
+}
+
+criterion_group!(benches, bench_service_pipeline);
+criterion_main!(benches);

@@ -22,7 +22,7 @@ pub mod service_workload {
     use std::sync::Arc;
     use std::time::{Duration, Instant};
 
-    use lwsnap_service::{ServiceConfig, ShardedService, WorkerPool};
+    use lwsnap_service::{ProblemId, ServiceConfig, ShardedService, SolverBackend, WorkerPool};
     use lwsnap_solver::{model_satisfies, IncrementalFamily, Lit, SolveResult, SolverService};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -188,11 +188,106 @@ pub mod service_workload {
         }
     }
 
+    /// One closed-loop session against any [`SolverBackend`]: replays
+    /// the plan from `base`, verifying every SAT model against the
+    /// node's full constraint stack. This is the single session loop
+    /// every service flavour (in-process, pooled, remote blocking,
+    /// remote pipelined) runs — written once against the trait.
+    ///
+    /// # Panics
+    ///
+    /// Panics on transport failure, a dead reference, or a model that
+    /// fails verification.
+    pub fn run_session(
+        backend: &dyn SolverBackend,
+        workload: &Workload,
+        plan: &SessionPlan,
+        base: ProblemId,
+    ) -> (Vec<SolveResult>, Vec<Duration>, u64) {
+        let stacks = workload.stacks(plan);
+        let mut nodes = vec![base];
+        let mut verdicts = Vec::with_capacity(plan.steps.len());
+        let mut latencies = Vec::with_capacity(plan.steps.len());
+        let mut verified = 0u64;
+        for (k, step) in plan.steps.iter().enumerate() {
+            let t0 = Instant::now();
+            let reply = backend
+                .solve(nodes[step.parent], step.clauses.clone())
+                .expect("backend transport failure")
+                .expect("plan only references live nodes");
+            latencies.push(t0.elapsed());
+            if let Some(model) = &reply.model {
+                assert!(
+                    model_satisfies(&stacks[k + 1], model),
+                    "model failed verification at session {} step {k}",
+                    plan.session
+                );
+                verified += 1;
+            }
+            nodes.push(reply.problem);
+            verdicts.push(reply.result);
+        }
+        (verdicts, latencies, verified)
+    }
+
+    /// Replays the whole workload: one concurrent closed-loop thread
+    /// per session. `setup(i, plan)` picks the backend and base problem
+    /// for session `i` — the knob that distinguishes "shared service",
+    /// "one connection per session" and "everyone multiplexed on one
+    /// pipelined connection" without touching the session loop.
+    ///
+    /// # Panics
+    ///
+    /// See [`run_session`].
+    pub fn run_backend<'a>(
+        workload: &Workload,
+        setup: impl Fn(usize, &SessionPlan) -> (&'a dyn SolverBackend, ProblemId) + Sync,
+    ) -> RunOutcome {
+        let started = Instant::now();
+        let mut outcomes: Vec<(usize, Vec<SolveResult>, Vec<Duration>, u64)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = workload
+                    .sessions
+                    .iter()
+                    .enumerate()
+                    .map(|(i, plan)| {
+                        let setup = &setup;
+                        let workload = &workload;
+                        scope.spawn(move || {
+                            let (backend, base) = setup(i, plan);
+                            let (v, l, n) = run_session(backend, workload, plan, base);
+                            (i, v, l, n)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("session thread panicked"))
+                    .collect()
+            });
+        let wall = started.elapsed();
+        outcomes.sort_by_key(|(i, ..)| *i);
+        let mut verdicts = Vec::with_capacity(outcomes.len());
+        let mut latencies = Vec::new();
+        let mut verified = 0;
+        for (_, v, l, n) in outcomes {
+            verdicts.push(v);
+            latencies.extend(l);
+            verified += n;
+        }
+        RunOutcome {
+            verdicts,
+            wall,
+            latencies,
+            verified_models: verified,
+        }
+    }
+
     /// Replays the workload on a [`ShardedService`]: one concurrent
     /// closed-loop client thread per session, solve requests executed by
-    /// a `workers`-thread [`WorkerPool`], base problems pre-solved and
-    /// pinned per shard. Returns the outcome plus the service (for
-    /// stats inspection).
+    /// a `workers`-thread [`WorkerPool`] through the [`SolverBackend`]
+    /// trait, base problems pre-solved and pinned per shard. Returns
+    /// the outcome plus the service (for stats inspection).
     ///
     /// # Panics
     ///
@@ -211,7 +306,6 @@ pub mod service_workload {
         let mut config = ServiceConfig::new(shards);
         config.snapshot_capacity = snapshot_capacity;
         let service = Arc::new(ShardedService::new(config));
-        let started = Instant::now();
         // The shared problem tree: solve the base once per shard, pin it
         // so eviction can't drop the hottest node of all.
         let bases: Vec<_> = (0..service.num_shards())
@@ -223,73 +317,36 @@ pub mod service_workload {
             })
             .collect();
         let pool = WorkerPool::new(Arc::clone(&service), workers);
-
-        let mut outcomes: Vec<(usize, Vec<SolveResult>, Vec<Duration>, u64)> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = workload
-                    .sessions
-                    .iter()
-                    .enumerate()
-                    .map(|(i, plan)| {
-                        let client = pool.client();
-                        let service = &service;
-                        let workload = &workload;
-                        let bases = &bases;
-                        scope.spawn(move || {
-                            let stacks = workload.stacks(plan);
-                            let shard = service.session_root(plan.session).shard();
-                            let mut nodes = vec![bases[shard]];
-                            let mut verdicts = Vec::with_capacity(plan.steps.len());
-                            let mut latencies = Vec::with_capacity(plan.steps.len());
-                            let mut verified = 0u64;
-                            for (k, step) in plan.steps.iter().enumerate() {
-                                let t0 = Instant::now();
-                                let reply = client
-                                    .solve(nodes[step.parent], step.clauses.clone())
-                                    .expect("plan only references live nodes");
-                                latencies.push(t0.elapsed());
-                                if let Some(model) = &reply.model {
-                                    assert!(
-                                        model_satisfies(&stacks[k + 1], model),
-                                        "sharded model failed verification at \
-                                         session {} step {k}",
-                                        plan.session
-                                    );
-                                    verified += 1;
-                                }
-                                nodes.push(reply.problem);
-                                verdicts.push(reply.result);
-                            }
-                            (i, verdicts, latencies, verified)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("session thread panicked"))
-                    .collect()
-            });
-        let wall = started.elapsed();
+        let client = pool.client();
+        let outcome = run_backend(workload, |_, plan| {
+            (
+                &client as &dyn SolverBackend,
+                bases[service.session_root(plan.session).shard()],
+            )
+        });
         let worker_stats = pool.shutdown();
+        (outcome, service, worker_stats)
+    }
 
-        outcomes.sort_by_key(|(i, ..)| *i);
-        let mut verdicts = Vec::with_capacity(outcomes.len());
-        let mut latencies = Vec::new();
-        let mut verified = 0;
-        for (_, v, l, n) in outcomes {
-            verdicts.push(v);
-            latencies.extend(l);
-            verified += n;
-        }
-        (
-            RunOutcome {
-                verdicts,
-                wall,
-                latencies,
-                verified_models: verified,
-            },
-            service,
-            worker_stats,
-        )
+    /// Replays the workload against a remote backend (TCP): every
+    /// session solves the shared base from its own session root first
+    /// (the wire has no pin, so bases stay per-session), then runs the
+    /// standard closed loop.
+    ///
+    /// # Panics
+    ///
+    /// See [`run_session`].
+    pub fn run_remote(workload: &Workload, backend: &dyn SolverBackend) -> RunOutcome {
+        run_backend(workload, |_, plan| {
+            let root = backend
+                .session_root(plan.session)
+                .expect("backend transport failure");
+            let base = backend
+                .solve(root, workload.base.clone())
+                .expect("backend transport failure")
+                .expect("root is live")
+                .problem;
+            (backend, base)
+        })
     }
 }

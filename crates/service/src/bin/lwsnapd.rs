@@ -1,25 +1,30 @@
 //! `lwsnapd` — the sharded multi-path incremental solver daemon.
 //!
 //! ```sh
-//! lwsnapd [--addr 127.0.0.1:7557] [--shards N] [--workers M] [--capacity K]
+//! lwsnapd [--addr 127.0.0.1:7557] [--shards N] [--workers M] \
+//!         [--capacity K] [--budget BYTES]
 //! ```
 //!
-//! Serves the length-prefixed `lwsnap-service` wire protocol until a
-//! client sends a `Shutdown` request, then prints the final service and
-//! worker statistics. `--capacity` bounds the resident solver snapshots
-//! *per shard*; evicted problems are re-derived transparently by
-//! constraint replay.
+//! Serves the `lwsnap-service` wire protocol (legacy in-order frames
+//! and pipelined tagged frames on the same port, multiplexed by one
+//! epoll reactor thread) until a client sends a `Shutdown` request,
+//! then prints the final service and worker statistics. `--capacity`
+//! bounds the resident solver snapshots *per shard* by count,
+//! `--budget` by byte cost (clause + assignment footprint); evicted
+//! problems are re-derived transparently by constraint replay.
 
 use lwsnap_service::{Server, ServiceConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lwsnapd [--addr HOST:PORT] [--shards N] [--workers M] [--capacity K]\n\
+        "usage: lwsnapd [--addr HOST:PORT] [--shards N] [--workers M] \
+         [--capacity K] [--budget BYTES]\n\
          \n\
          --addr      listen address (default 127.0.0.1:7557)\n\
          --shards    independently locked problem-tree shards (default 8)\n\
          --workers   solver worker threads (default: available parallelism)\n\
-         --capacity  max resident snapshots per shard (default: unbounded)"
+         --capacity  max resident snapshots per shard (default: unbounded)\n\
+         --budget    max resident snapshot bytes per shard (default: unbounded)"
     );
     std::process::exit(2);
 }
@@ -29,6 +34,7 @@ fn main() {
     let mut shards = 8usize;
     let mut workers = std::thread::available_parallelism().map_or(4, |n| n.get());
     let mut capacity: Option<usize> = None;
+    let mut budget: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -45,6 +51,7 @@ fn main() {
             "--capacity" => {
                 capacity = Some(value("--capacity").parse().unwrap_or_else(|_| usage()))
             }
+            "--budget" => budget = Some(value("--budget").parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -52,6 +59,7 @@ fn main() {
 
     let mut config = ServiceConfig::new(shards);
     config.snapshot_capacity = capacity;
+    config.snapshot_budget_bytes = budget;
     let server = match Server::start(&addr, config, workers) {
         Ok(server) => server,
         Err(e) => {

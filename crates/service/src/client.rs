@@ -1,0 +1,389 @@
+//! Wire-protocol clients: the blocking one-call-at-a-time
+//! [`TcpClient`] and the [`PipelinedClient`] that keeps many tagged
+//! requests in flight on one connection.
+//!
+//! Both speak the same `lwsnapd` protocol; the pipelined client uses
+//! v2 tagged frames ([`crate::protocol::TAGGED`]) so the server may
+//! complete its requests out of order, and implements
+//! [`crate::SolverBackend`] so drivers written against the trait can
+//! run remotely unchanged.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, TryLockError};
+use std::time::Duration;
+
+use lwsnap_solver::{Lit, SolveResult};
+
+use crate::backend::{foreign_ticket, SolverBackend, Ticket, TicketInner};
+use crate::protocol::{
+    lits_to_clauses, read_any_frame, read_frame, write_frame, write_tagged_frame, ProtoError,
+    Request, Response, StatsSummary,
+};
+use crate::sharded::{ProblemId, SolveReply};
+
+/// Typed payload of the error a client call returns when the server
+/// closed the connection **cleanly between frames** (daemon shutdown,
+/// idle reap). Distinct from `UnexpectedEof`, which means the stream
+/// died *mid-frame* — a truncation, never a clean goodbye.
+///
+/// ```
+/// # use lwsnap_service::Disconnected;
+/// fn is_clean_shutdown(e: &std::io::Error) -> bool {
+///     e.get_ref().is_some_and(|inner| inner.is::<Disconnected>())
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
+
+impl std::fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "server closed the connection")
+    }
+}
+
+impl std::error::Error for Disconnected {}
+
+pub(crate) fn disconnected() -> io::Error {
+    io::Error::new(io::ErrorKind::ConnectionAborted, Disconnected)
+}
+
+/// A blocking client for the `lwsnapd` wire protocol: one
+/// request/response exchange at a time, in order (legacy v1 frames).
+pub struct TcpClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl TcpClient {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream.try_clone()?),
+            stream,
+        })
+    }
+
+    /// Bounds how long a [`TcpClient::call`] may block waiting for the
+    /// server's reply (`None` = wait forever). On expiry the call fails
+    /// with a `WouldBlock`/`TimedOut` error; the connection may then
+    /// hold a half-read frame, so treat a timed-out client as dead and
+    /// reconnect — the timeout is for *detecting* a hung server, not
+    /// for retrying on a live connection.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// One request/response exchange.
+    ///
+    /// Error taxonomy: a clean server close between frames is
+    /// `ConnectionAborted` carrying [`Disconnected`]; a stream that
+    /// dies mid-frame is `UnexpectedEof` (truncation); a configured
+    /// read timeout surfaces as `WouldBlock`/`TimedOut`.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.writer, &request.encode())?;
+        let payload = read_frame(&mut self.reader)?.ok_or_else(disconnected)?;
+        Response::decode(&payload).map_err(io::Error::from)
+    }
+
+    /// The root problem for a session id.
+    pub fn session_root(&mut self, session: u64) -> io::Result<u64> {
+        match self.call(&Request::Root { session })? {
+            Response::Root { problem } => Ok(problem),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Solves `parent ∧ clauses` (DIMACS literals); returns the full
+    /// [`Response::Solved`] payload or the server's error as `io::Error`.
+    pub fn solve(&mut self, parent: u64, clauses: &[Vec<i64>]) -> io::Result<Response> {
+        let response = self.call(&Request::Solve {
+            parent,
+            clauses: clauses.to_vec(),
+        })?;
+        match response {
+            Response::Solved { .. } => Ok(response),
+            Response::Error(msg) => Err(io::Error::new(io::ErrorKind::NotFound, msg)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Releases a problem snapshot.
+    pub fn release(&mut self, problem: u64) -> io::Result<()> {
+        match self.call(&Request::Release { problem })? {
+            Response::Released => Ok(()),
+            Response::Error(msg) => Err(io::Error::new(io::ErrorKind::NotFound, msg)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the aggregated service statistics.
+    pub fn stats(&mut self) -> io::Result<StatsSummary> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the daemon to shut down; returns its final stats snapshot.
+    pub fn shutdown_server(&mut self) -> io::Result<StatsSummary> {
+        match self.call(&Request::Shutdown)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(response: Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        ProtoError::BadTag(match response {
+            Response::Root { .. } => 1,
+            Response::Solved { .. } => 2,
+            Response::Released => 3,
+            Response::Stats(_) => 4,
+            Response::Error(_) => 5,
+        }),
+    )
+}
+
+// ---------------------------------------------------------------------
+// The pipelined client.
+// ---------------------------------------------------------------------
+
+/// Shared completion state between waiting threads.
+struct PipeState {
+    /// Responses that arrived for tags nobody has claimed yet.
+    done: HashMap<u64, Response>,
+    /// Tags whose responses should be dropped on arrival
+    /// (fire-and-forget requests like release).
+    forgotten: HashSet<u64>,
+    /// A terminal transport error: once set, every wait fails with it.
+    dead: Option<(io::ErrorKind, String)>,
+}
+
+/// A pipelined client: many tagged requests in flight on one
+/// connection, completions redeemed in any order.
+///
+/// `send`-many/`await`-many is the intended shape —
+///
+/// ```no_run
+/// # use lwsnap_service::{PipelinedClient, SolverBackend};
+/// # fn main() -> std::io::Result<()> {
+/// let client = PipelinedClient::connect("127.0.0.1:7557")?;
+/// let root = client.session_root(1)?;
+/// let tickets: Vec<_> = (1..=8i64)
+///     .map(|v| client.submit(root, vec![vec![lwsnap_solver::Lit::from_dimacs(v)]]))
+///     .collect::<std::io::Result<_>>()?;
+/// for t in tickets {
+///     let reply = client.wait(t)?.expect("live root");
+/// }
+/// # Ok(()) }
+/// ```
+///
+/// — eight solves cost one round trip plus the slowest solve, not
+/// eight round trips. All methods take `&self`; the client may be
+/// shared across threads (waits coordinate through a condvar, with one
+/// thread at a time elected to read the socket).
+pub struct PipelinedClient {
+    stream: TcpStream,
+    reader: Mutex<BufReader<TcpStream>>,
+    writer: Mutex<BufWriter<TcpStream>>,
+    state: Mutex<PipeState>,
+    arrived: Condvar,
+    next_tag: AtomicU64,
+}
+
+impl PipelinedClient {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<PipelinedClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(PipelinedClient {
+            reader: Mutex::new(BufReader::new(stream.try_clone()?)),
+            writer: Mutex::new(BufWriter::new(stream.try_clone()?)),
+            stream,
+            state: Mutex::new(PipeState {
+                done: HashMap::new(),
+                forgotten: HashSet::new(),
+                dead: None,
+            }),
+            arrived: Condvar::new(),
+            next_tag: AtomicU64::new(1),
+        })
+    }
+
+    /// Bounds how long a blocked wait may sit on the socket before
+    /// failing (`None` = wait forever); see
+    /// [`TcpClient::set_read_timeout`] for the caveats.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Writes one tagged request and returns its correlation tag.
+    pub fn submit_request(&self, request: &Request) -> io::Result<u64> {
+        let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
+        let mut writer = self.writer.lock().unwrap();
+        write_tagged_frame(&mut *writer, tag, &request.encode())?;
+        Ok(tag)
+    }
+
+    /// Submits a request whose response should be discarded on arrival
+    /// (fire-and-forget).
+    fn submit_forgotten(&self, request: &Request) -> io::Result<()> {
+        let tag = self.submit_request(request)?;
+        let mut st = self.state.lock().unwrap();
+        // The response may have raced in already.
+        if st.done.remove(&tag).is_none() {
+            st.forgotten.insert(tag);
+        }
+        Ok(())
+    }
+
+    /// Blocks until the response for `tag` arrives, reading the socket
+    /// if no other thread currently is.
+    pub fn wait_response(&self, tag: u64) -> io::Result<Response> {
+        loop {
+            {
+                let mut st = self.state.lock().unwrap();
+                if let Some(resp) = st.done.remove(&tag) {
+                    return Ok(resp);
+                }
+                if let Some((kind, msg)) = &st.dead {
+                    return Err(io::Error::new(*kind, msg.clone()));
+                }
+            }
+            match self.reader.try_lock() {
+                Ok(mut reader) => {
+                    let read = read_any_frame(&mut *reader);
+                    let mut st = self.state.lock().unwrap();
+                    match read {
+                        Ok(Some(frame)) => {
+                            let Some(frame_tag) = frame.tag else {
+                                st.dead =
+                                    Some((io::ErrorKind::InvalidData, "untagged reply".into()));
+                                self.arrived.notify_all();
+                                continue;
+                            };
+                            if st.forgotten.remove(&frame_tag) {
+                                continue;
+                            }
+                            match Response::decode(&frame.payload) {
+                                Ok(resp) => {
+                                    st.done.insert(frame_tag, resp);
+                                }
+                                Err(e) => {
+                                    st.dead = Some((io::ErrorKind::InvalidData, e.to_string()));
+                                }
+                            }
+                            self.arrived.notify_all();
+                        }
+                        Ok(None) => {
+                            st.dead =
+                                Some((io::ErrorKind::ConnectionAborted, Disconnected.to_string()));
+                            self.arrived.notify_all();
+                        }
+                        Err(e) => {
+                            st.dead = Some((e.kind(), e.to_string()));
+                            self.arrived.notify_all();
+                        }
+                    }
+                }
+                Err(TryLockError::WouldBlock) => {
+                    // Someone else is reading; wait for them to deliver.
+                    // The timeout re-checks for a reader that bailed out
+                    // between our try_lock and their notify.
+                    let st = self.state.lock().unwrap();
+                    if st.done.contains_key(&tag) || st.dead.is_some() {
+                        continue;
+                    }
+                    let _ = self
+                        .arrived
+                        .wait_timeout(st, Duration::from_millis(50))
+                        .unwrap();
+                }
+                Err(TryLockError::Poisoned(e)) => panic!("reader lock poisoned: {e}"),
+            }
+        }
+    }
+
+    /// Submit + wait for one request (no overlap).
+    pub fn call(&self, request: &Request) -> io::Result<Response> {
+        let tag = self.submit_request(request)?;
+        self.wait_response(tag)
+    }
+
+    /// Asks the daemon to shut down; returns its final stats snapshot.
+    pub fn shutdown_server(&self) -> io::Result<StatsSummary> {
+        match self.call(&Request::Shutdown)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+impl SolverBackend for PipelinedClient {
+    fn session_root(&self, session: u64) -> io::Result<ProblemId> {
+        match self.call(&Request::Root { session })? {
+            Response::Root { problem } => Ok(ProblemId::from_wire(problem)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn submit(&self, parent: ProblemId, clauses: Vec<Vec<Lit>>) -> io::Result<Ticket> {
+        let tag = self.submit_request(&Request::Solve {
+            parent: parent.to_wire(),
+            clauses: lits_to_clauses(&clauses),
+        })?;
+        Ok(Ticket(TicketInner::Tagged(tag)))
+    }
+
+    fn wait(&self, ticket: Ticket) -> io::Result<Option<SolveReply>> {
+        let TicketInner::Tagged(tag) = ticket.0 else {
+            return Err(foreign_ticket());
+        };
+        match self.wait_response(tag)? {
+            Response::Solved {
+                problem,
+                sat,
+                rederived,
+                conflicts,
+                model,
+            } => Ok(Some(SolveReply {
+                problem: ProblemId::from_wire(problem),
+                result: if sat {
+                    SolveResult::Sat
+                } else {
+                    SolveResult::Unsat
+                },
+                model,
+                conflicts,
+                rederived,
+            })),
+            // Dead/unknown references answer None, like the in-process
+            // backends (the server's message is not worth a transport
+            // error).
+            Response::Error(_) => Ok(None),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn release(&self, id: ProblemId) -> io::Result<()> {
+        self.submit_forgotten(&Request::Release {
+            problem: id.to_wire(),
+        })
+    }
+
+    fn stats(&self) -> io::Result<StatsSummary> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+}

@@ -14,14 +14,29 @@
 //! The layering, bottom up:
 //!
 //! * [`lwsnap_solver::SolverService`] — the single-shard building block:
-//!   one problem tree, snapshots, eviction, replay.
+//!   one problem tree, snapshots, eviction (by count and/or byte
+//!   budget), replay.
 //! * [`sharded::ShardedService`] — N shards behind one façade;
 //!   [`sharded::ProblemId`] routes a reference to its shard.
 //! * [`pool::WorkerPool`] — M worker threads pulling solve jobs from a
 //!   shared [`lwsnap_core::workqueue::Injector`]; clients submit one job
 //!   or a whole batch under one lock acquisition.
-//! * [`net`] — a `std::net` TCP front end speaking the length-prefixed
-//!   [`protocol`]; the `lwsnapd` binary serves it.
+//! * [`backend`] — the **unified API**: the completion-based
+//!   [`SolverBackend`] trait (`submit → Ticket`, `wait → reply`) that
+//!   every layer above implements, so exploration drivers, load
+//!   generators and tests are written once and run against any of
+//!   them.
+//! * [`protocol`] — length-prefixed frames, in two versions on one
+//!   connection: legacy in-order v1 and tagged v2, whose correlation
+//!   tags let one connection pipeline many in-flight solves with
+//!   out-of-order completions.
+//! * [`net`] — the non-blocking front end: one epoll reactor thread
+//!   (vendored [`polling`] shim) multiplexing every connection, with
+//!   per-connection write backpressure and graceful shutdown; the
+//!   `lwsnapd` binary serves it.
+//! * [`client`] — [`TcpClient`] (blocking, v1) and [`PipelinedClient`]
+//!   (send-many/await-many, v2) — the latter is the remote
+//!   [`SolverBackend`].
 //! * [`stats`] — per-shard and per-worker counters aggregated into one
 //!   cluster view.
 //!
@@ -45,13 +60,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod client;
 pub mod net;
 pub mod pool;
 pub mod protocol;
 pub mod sharded;
 pub mod stats;
 
-pub use net::{Server, TcpClient};
+pub use backend::{SolverBackend, Ticket};
+pub use client::{Disconnected, PipelinedClient, TcpClient};
+pub use net::Server;
 pub use pool::{PoolClient, WorkerPool};
 pub use protocol::{Request, Response, StatsSummary};
 pub use sharded::{ProblemId, ServiceConfig, ShardedService, SolveReply};

@@ -1,31 +1,70 @@
-//! The `std::net` TCP front end: `lwsnapd`'s server loop and a matching
-//! blocking client.
+//! The non-blocking TCP front end: one reactor thread multiplexing
+//! every connection over an epoll readiness loop (the vendored
+//! [`polling`] shim), dispatching solve work into the shared
+//! [`WorkerPool`].
 //!
-//! One thread accepts connections; each connection gets a handler thread
-//! that decodes [`Request`] frames and submits solve jobs to the shared
-//! [`WorkerPool`] — so solver work is bounded by the pool size no matter
-//! how many connections are open, and concurrent connections on
-//! different shards solve in parallel.
+//! This replaces the old thread-per-connection server. The reactor
+//! thread does all framed reads and writes on nonblocking sockets; the
+//! only other threads are the pool workers, so the thread count is
+//! `1 + workers` no matter how many thousand connections are open.
+//!
+//! ## Data flow
+//!
+//! * **Readable socket** → bytes accumulate in the connection's input
+//!   buffer → complete frames are parsed ([`protocol::parse_frame`])
+//!   and dispatched: cheap requests (root/release/stats/shutdown)
+//!   execute inline on the reactor; solves are submitted to the pool
+//!   with a completion callback.
+//! * **Worker completion** → the callback pushes the reply onto the
+//!   reactor's completion queue and wakes it ([`polling::Poller::notify`]);
+//!   the reactor encodes the response into the connection's output
+//!   buffer and flushes opportunistically.
+//! * **Ordering** — v2 tagged requests complete out of order, written
+//!   the moment they finish. Legacy v1 requests are answered strictly
+//!   in request order per connection (a per-connection reorder map
+//!   holds early completions), so old clients keep working unchanged.
+//! * **Backpressure** — a connection whose output buffer or in-flight
+//!   count crosses the high-water mark stops being read (its read
+//!   interest is not re-armed) until it drains, so one slow client can
+//!   neither balloon server memory nor starve the pool.
+//! * **Shutdown** — a client `Shutdown` request drains gracefully:
+//!   stop accepting, stop reading, finish in-flight solves, flush every
+//!   output buffer, then exit. Host-initiated shutdown (`Server::drop`)
+//!   exits promptly without the flush guarantee.
 
-use std::io::{self, BufReader, BufWriter};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use polling::{Event, Poller};
+
 use crate::pool::{PoolClient, WorkerPool};
-use crate::protocol::{
-    clauses_to_lits, read_frame, write_frame, ProtoError, Request, Response, StatsSummary,
-};
-use crate::sharded::{ProblemId, ServiceConfig, ShardedService};
+use crate::protocol::{self, clauses_to_lits, Request, Response, TAGGED};
+use crate::sharded::{ProblemId, ServiceConfig, ShardedService, SolveReply};
 use crate::stats::WorkerStats;
 
-/// A running `lwsnapd` server: acceptor thread + worker pool.
+/// Stop reading a connection whose unflushed output exceeds this.
+const HIGH_WATER: usize = 1 << 20;
+/// Resume reading once the unflushed output falls below this.
+const LOW_WATER: usize = HIGH_WATER / 4;
+/// Stop reading a connection with this many unanswered solves.
+const MAX_INFLIGHT: usize = 1024;
+/// Poller key of the listening socket; connections use `idx + 1`.
+const KEY_LISTENER: usize = 0;
+/// How long a graceful drain waits for peers to read their last
+/// responses before giving up and exiting anyway.
+const DRAIN_GRACE: std::time::Duration = std::time::Duration::from_secs(5);
+
+/// A running `lwsnapd` server: reactor thread + worker pool.
 pub struct Server {
     addr: SocketAddr,
     service: Arc<ShardedService>,
-    shutdown: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
+    poller: Arc<Poller>,
+    hard_stop: Arc<AtomicBool>,
+    reactor: Option<JoinHandle<()>>,
     pool: Option<WorkerPool>,
 }
 
@@ -41,20 +80,35 @@ impl Server {
     /// Like [`Server::start`] but over an existing service instance.
     pub fn serve(addr: &str, service: Arc<ShardedService>, workers: usize) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let poller = Arc::new(Poller::new()?);
+        poller.add(&listener, Event::readable(KEY_LISTENER))?;
         let pool = WorkerPool::new(Arc::clone(&service), workers);
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let acceptor = {
-            let service = Arc::clone(&service);
-            let shutdown = Arc::clone(&shutdown);
-            let client = pool.client();
-            std::thread::spawn(move || accept_loop(listener, service, client, shutdown))
+        let hard_stop = Arc::new(AtomicBool::new(false));
+        let reactor = {
+            let mut reactor = Reactor {
+                listener,
+                poller: Arc::clone(&poller),
+                service: Arc::clone(&service),
+                pool: pool.client(),
+                completions: Arc::new(Mutex::new(Vec::new())),
+                hard_stop: Arc::clone(&hard_stop),
+                conns: Vec::new(),
+                free: Vec::new(),
+                gens: Vec::new(),
+                total_inflight: 0,
+                draining: false,
+                drain_deadline: None,
+            };
+            std::thread::spawn(move || reactor.run())
         };
         Ok(Server {
             addr,
             service,
-            shutdown,
-            acceptor: Some(acceptor),
+            poller,
+            hard_stop,
+            reactor: Some(reactor),
             pool: Some(pool),
         })
     }
@@ -69,11 +123,11 @@ impl Server {
         &self.service
     }
 
-    /// Blocks until a client sends [`Request::Shutdown`], then tears the
-    /// server down and returns the worker counters.
+    /// Blocks until a client sends [`Request::Shutdown`] and the
+    /// graceful drain completes, then returns the worker counters.
     pub fn wait(mut self) -> Vec<WorkerStats> {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
         match self.pool.take() {
             Some(pool) => pool.shutdown(),
@@ -81,21 +135,21 @@ impl Server {
         }
     }
 
-    /// Initiates shutdown from the hosting process and waits for it.
+    /// Initiates prompt shutdown from the hosting process and waits for
+    /// it (in-flight solves finish; unflushed responses may be lost).
     pub fn shutdown(self) -> Vec<WorkerStats> {
-        self.shutdown.store(true, Ordering::Release);
-        // Unblock the acceptor with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        self.hard_stop.store(true, Ordering::Release);
+        let _ = self.poller.notify();
         self.wait()
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::Release);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        self.hard_stop.store(true, Ordering::Release);
+        let _ = self.poller.notify();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
         if let Some(pool) = self.pool.take() {
             pool.shutdown();
@@ -103,174 +157,522 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    service: Arc<ShardedService>,
-    client: PoolClient,
-    shutdown: Arc<AtomicBool>,
-) {
-    let self_addr = listener.local_addr().ok();
-    for stream in listener.incoming() {
-        if shutdown.load(Ordering::Acquire) {
-            break;
+/// Where a response slots into its connection's output stream.
+enum Slot {
+    /// v2: echo this correlation tag, complete in any order.
+    Tagged(u64),
+    /// v1: the `seq`-th untagged request — completes in request order.
+    Seq(u64),
+}
+
+/// A finished solve travelling from a worker back to the reactor.
+struct Completion {
+    idx: usize,
+    gen: u64,
+    slot: Slot,
+    response: Response,
+}
+
+/// Per-connection state.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet parsed into frames.
+    inbuf: Vec<u8>,
+    /// Encoded frames awaiting the socket, from `outpos`.
+    outbuf: Vec<u8>,
+    outpos: usize,
+    /// Sequence assigned to the next untagged request.
+    v1_next_seq: u64,
+    /// Sequence whose response must be written next.
+    v1_next_flush: u64,
+    /// Early (out-of-order) completions for untagged requests.
+    v1_ready: HashMap<u64, Response>,
+    /// Solves submitted to the pool, not yet completed.
+    inflight: usize,
+    /// Peer half-closed its send side: stop reading, flush what
+    /// remains (the peer may still be reading), then close.
+    peer_closed: bool,
+    /// Transport hard-failed: discard everything and close.
+    broken: bool,
+    /// Fatal framing error: close as soon as the output buffer drains.
+    close_after_flush: bool,
+    /// Read interest withheld because of backpressure.
+    paused: bool,
+}
+
+impl Conn {
+    fn pending_out(&self) -> usize {
+        self.outbuf.len() - self.outpos
+    }
+
+    /// Appends one encoded response frame to the output buffer.
+    fn enqueue_frame(&mut self, slot: &Slot, response: &Response) {
+        let payload = response.encode();
+        match slot {
+            Slot::Tagged(tag) => {
+                let len = (payload.len() + 8) as u32 | TAGGED;
+                self.outbuf.extend_from_slice(&len.to_le_bytes());
+                self.outbuf.extend_from_slice(&tag.to_le_bytes());
+            }
+            Slot::Seq(_) => {
+                self.outbuf
+                    .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            }
         }
-        let Ok(stream) = stream else { continue };
-        let service = Arc::clone(&service);
-        let client = client.clone();
-        let shutdown = Arc::clone(&shutdown);
-        let unblock = self_addr;
-        std::thread::spawn(move || {
-            let asked_shutdown = handle_connection(stream, &service, &client).unwrap_or(false);
-            if asked_shutdown {
-                shutdown.store(true, Ordering::Release);
-                if let Some(addr) = unblock {
-                    let _ = TcpStream::connect(addr);
+        self.outbuf.extend_from_slice(&payload);
+    }
+
+    /// Routes a completed response: tagged frames are written
+    /// immediately, v1 frames strictly in request order.
+    fn complete(&mut self, slot: Slot, response: Response) {
+        match slot {
+            Slot::Tagged(_) => self.enqueue_frame(&slot, &response),
+            Slot::Seq(seq) => {
+                self.v1_ready.insert(seq, response);
+                while let Some(resp) = self.v1_ready.remove(&self.v1_next_flush) {
+                    let slot = Slot::Seq(self.v1_next_flush);
+                    self.enqueue_frame(&slot, &resp);
+                    self.v1_next_flush += 1;
                 }
             }
-        });
-    }
-}
-
-/// Serves one connection; `Ok(true)` if the client requested shutdown.
-fn handle_connection(
-    stream: TcpStream,
-    service: &ShardedService,
-    client: &PoolClient,
-) -> io::Result<bool> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    while let Some(payload) = read_frame(&mut reader)? {
-        let (response, stop) = match Request::decode(&payload) {
-            Err(e) => (Response::Error(e.to_string()), false),
-            Ok(request) => execute(request, service, client),
-        };
-        write_frame(&mut writer, &response.encode())?;
-        if stop {
-            return Ok(true);
         }
     }
-    Ok(false)
 }
 
-/// Executes one request; the bool asks the server to shut down.
-fn execute(request: Request, service: &ShardedService, client: &PoolClient) -> (Response, bool) {
-    match request {
-        Request::Root { session } => (
-            Response::Root {
-                problem: service.session_root(session).to_wire(),
-            },
-            false,
-        ),
-        Request::Solve { parent, clauses } => {
-            let parent = ProblemId::from_wire(parent);
-            match client.solve(parent, clauses_to_lits(&clauses)) {
-                Some(reply) => (
-                    Response::Solved {
-                        problem: reply.problem.to_wire(),
-                        sat: reply.result == lwsnap_solver::SolveResult::Sat,
-                        rederived: reply.rederived,
-                        conflicts: reply.conflicts,
-                        model: reply.model,
-                    },
-                    false,
-                ),
-                None => (
-                    Response::Error("dead or unknown problem reference".into()),
-                    false,
-                ),
+struct Reactor {
+    listener: TcpListener,
+    poller: Arc<Poller>,
+    service: Arc<ShardedService>,
+    pool: PoolClient,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    hard_stop: Arc<AtomicBool>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    /// Generation per slot: completions for a recycled slot are
+    /// discarded instead of answering the wrong connection.
+    gens: Vec<u64>,
+    total_inflight: usize,
+    draining: bool,
+    /// Set when draining starts: after this instant the reactor exits
+    /// even if some peer never drains its output buffer.
+    drain_deadline: Option<std::time::Instant>,
+}
+
+impl Reactor {
+    fn run(&mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            events.clear();
+            // Infinite wait normally; during a drain, tick so the
+            // deadline fires even if no peer produces another event.
+            let timeout = self.draining.then(|| std::time::Duration::from_millis(100));
+            if self.poller.wait(&mut events, timeout).is_err() {
+                break;
+            }
+            if self.hard_stop.load(Ordering::Acquire) {
+                break;
+            }
+            // Only connections whose state changed need an epoll re-arm
+            // (oneshot interests persist untouched otherwise), keeping
+            // per-wakeup syscall cost proportional to the batch, not to
+            // the total connection count.
+            let mut touched: Vec<usize> = self.drain_completions();
+            let ready: Vec<Event> = events.clone();
+            let mut accept_ready = false;
+            for ev in ready {
+                if ev.key == KEY_LISTENER {
+                    accept_ready = true;
+                    self.accept_burst();
+                } else {
+                    self.service_conn(ev.key - 1, ev);
+                    touched.push(ev.key - 1);
+                }
+            }
+            // Backpressure release: a connection throttled mid-burst may
+            // hold parsed-but-undispatched bytes in its input buffer;
+            // once completions freed capacity, resume from there (no
+            // readable event will fire for bytes already in userspace).
+            for idx in 0..self.conns.len() {
+                let resume = self.conns[idx].as_ref().is_some_and(|c| {
+                    !c.inbuf.is_empty() && !c.close_after_flush && !Self::at_capacity(c)
+                });
+                if resume {
+                    self.parse_and_dispatch(idx);
+                    touched.push(idx);
+                }
+            }
+            self.rearm(&touched);
+            if accept_ready && !self.draining {
+                let _ = self
+                    .poller
+                    .modify(&self.listener, Event::readable(KEY_LISTENER));
+            }
+            if self.draining {
+                let deadline = *self
+                    .drain_deadline
+                    .get_or_insert_with(|| std::time::Instant::now() + DRAIN_GRACE);
+                if self.total_inflight == 0
+                    && (self.all_flushed() || std::time::Instant::now() >= deadline)
+                {
+                    break;
+                }
             }
         }
-        Request::Release { problem } => {
-            service.release(ProblemId::from_wire(problem));
-            (Response::Released, false)
+    }
+
+    /// Whether backpressure should stop reading/dispatching for now.
+    fn at_capacity(conn: &Conn) -> bool {
+        conn.inflight >= MAX_INFLIGHT || conn.pending_out() > HIGH_WATER
+    }
+
+    fn all_flushed(&self) -> bool {
+        self.conns
+            .iter()
+            .flatten()
+            .all(|c| c.pending_out() == 0 && c.v1_ready.is_empty())
+    }
+
+    fn accept_burst(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.draining {
+                        continue; // accept+drop: no new sessions
+                    }
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    let conn = Conn {
+                        stream,
+                        inbuf: Vec::new(),
+                        outbuf: Vec::new(),
+                        outpos: 0,
+                        v1_next_seq: 0,
+                        v1_next_flush: 0,
+                        v1_ready: HashMap::new(),
+                        inflight: 0,
+                        peer_closed: false,
+                        broken: false,
+                        close_after_flush: false,
+                        paused: false,
+                    };
+                    let idx = match self.free.pop() {
+                        Some(idx) => {
+                            self.conns[idx] = Some(conn);
+                            idx
+                        }
+                        None => {
+                            self.conns.push(Some(conn));
+                            self.gens.push(0);
+                            self.conns.len() - 1
+                        }
+                    };
+                    let stream = &self.conns[idx].as_ref().unwrap().stream;
+                    if self.poller.add(stream, Event::readable(idx + 1)).is_err() {
+                        self.conns[idx] = None;
+                        self.free.push(idx);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
         }
-        Request::Stats => (Response::Stats((&service.stats()).into()), false),
-        // Shutdown acks with the final stats snapshot.
-        Request::Shutdown => (Response::Stats((&service.stats()).into()), true),
+    }
+
+    fn drain_completions(&mut self) -> Vec<usize> {
+        let batch: Vec<Completion> = std::mem::take(&mut *self.completions.lock().unwrap());
+        let mut touched = Vec::with_capacity(batch.len());
+        for c in batch {
+            self.total_inflight -= 1;
+            if self.gens.get(c.idx).copied() != Some(c.gen) {
+                continue; // connection gone; the reply has no reader
+            }
+            touched.push(c.idx);
+            let finished = match self.conns[c.idx].as_mut() {
+                Some(conn) => {
+                    conn.inflight -= 1;
+                    conn.complete(c.slot, c.response);
+                    Self::flush_conn(conn);
+                    Self::should_drop(conn)
+                }
+                None => false,
+            };
+            if finished {
+                self.drop_conn(c.idx);
+            }
+        }
+        touched
+    }
+
+    /// A connection is finished when nothing can ever flow again.
+    fn should_drop(conn: &Conn) -> bool {
+        conn.broken
+            || ((conn.peer_closed || conn.close_after_flush)
+                && conn.inflight == 0
+                && conn.pending_out() == 0)
+    }
+
+    fn drop_conn(&mut self, idx: usize) {
+        if let Some(conn) = self.conns[idx].take() {
+            let _ = self.poller.delete(&conn.stream);
+            self.gens[idx] += 1;
+            self.free.push(idx);
+        }
+    }
+
+    fn service_conn(&mut self, idx: usize, ev: Event) {
+        let want_read = match self.conns.get_mut(idx).and_then(Option::as_mut) {
+            Some(conn) => {
+                if ev.writable {
+                    Self::flush_conn(conn);
+                }
+                ev.readable && !conn.peer_closed && !conn.broken && !conn.close_after_flush
+            }
+            None => return,
+        };
+        if want_read {
+            self.read_conn(idx);
+        }
+        let finished = self
+            .conns
+            .get(idx)
+            .and_then(Option::as_ref)
+            .map(Self::should_drop);
+        if finished == Some(true) {
+            self.drop_conn(idx);
+        }
+    }
+
+    /// Writes the output buffer until done or the socket fills.
+    fn flush_conn(conn: &mut Conn) {
+        while conn.outpos < conn.outbuf.len() {
+            match conn.stream.write(&conn.outbuf[conn.outpos..]) {
+                Ok(0) => {
+                    conn.broken = true;
+                    break;
+                }
+                Ok(n) => conn.outpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.broken = true;
+                    break;
+                }
+            }
+        }
+        if conn.outpos == conn.outbuf.len() {
+            conn.outbuf.clear();
+            conn.outpos = 0;
+        } else if conn.outpos > HIGH_WATER {
+            conn.outbuf.drain(..conn.outpos);
+            conn.outpos = 0;
+        }
+    }
+
+    /// Reads until the socket would block, then parses and dispatches
+    /// every complete frame.
+    fn read_conn(&mut self, idx: usize) {
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            let got = {
+                let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                    return;
+                };
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        conn.peer_closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.inbuf.extend_from_slice(&buf[..n]);
+                        n
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.broken = true;
+                        break;
+                    }
+                }
+            };
+            let _ = got;
+            self.parse_and_dispatch(idx);
+            // Stop the burst once backpressure bites or framing died;
+            // unread bytes stay in the kernel buffer (or in inbuf) and
+            // resume when capacity frees.
+            let stop = self
+                .conns
+                .get(idx)
+                .and_then(Option::as_ref)
+                .is_none_or(|c| c.close_after_flush || c.broken || Self::at_capacity(c));
+            if stop {
+                break;
+            }
+        }
+        if let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) {
+            Self::flush_conn(conn);
+        }
+    }
+
+    fn parse_and_dispatch(&mut self, idx: usize) {
+        let mut pos = 0usize;
+        loop {
+            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                return;
+            };
+            // A connection that hit a framing error answers nothing
+            // more; one at capacity keeps its remaining bytes buffered
+            // until completions free a slot.
+            if conn.close_after_flush || Self::at_capacity(conn) {
+                break;
+            }
+            match protocol::parse_frame(&conn.inbuf[pos..]) {
+                Ok(Some((frame, used))) => {
+                    pos += used;
+                    let slot = match frame.tag {
+                        Some(tag) => Slot::Tagged(tag),
+                        None => {
+                            let seq = conn.v1_next_seq;
+                            conn.v1_next_seq += 1;
+                            Slot::Seq(seq)
+                        }
+                    };
+                    self.dispatch(idx, slot, &frame.payload);
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Framing is unrecoverable: answer, then close once
+                    // the error frame (and anything before it) flushes.
+                    let seq = conn.v1_next_seq;
+                    conn.v1_next_seq += 1;
+                    conn.complete(Slot::Seq(seq), Response::Error(e.to_string()));
+                    conn.close_after_flush = true;
+                    conn.inbuf.clear();
+                    pos = 0;
+                    break;
+                }
+            }
+        }
+        if let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) {
+            if pos > 0 {
+                conn.inbuf.drain(..pos);
+            }
+        }
+    }
+
+    /// Executes one decoded frame: cheap requests inline, solves via
+    /// the pool with a reactor-bound completion callback.
+    fn dispatch(&mut self, idx: usize, slot: Slot, payload: &[u8]) {
+        let request = match Request::decode(payload) {
+            Ok(request) => request,
+            Err(e) => {
+                self.complete_inline(idx, slot, Response::Error(e.to_string()));
+                return;
+            }
+        };
+        let num_shards = self.service.num_shards();
+        match request {
+            Request::Root { session } => {
+                let problem = self.service.session_root(session).to_wire();
+                self.complete_inline(idx, slot, Response::Root { problem });
+            }
+            Request::Release { problem } => {
+                let response = match ProblemId::from_wire_checked(problem, num_shards) {
+                    Ok(id) => {
+                        self.service.release(id);
+                        Response::Released
+                    }
+                    Err(e) => Response::Error(e.to_string()),
+                };
+                self.complete_inline(idx, slot, response);
+            }
+            Request::Stats => {
+                let response = Response::Stats((&self.service.stats()).into());
+                self.complete_inline(idx, slot, response);
+            }
+            Request::Shutdown => {
+                // Ack with the final stats, then drain gracefully.
+                let response = Response::Stats((&self.service.stats()).into());
+                self.complete_inline(idx, slot, response);
+                self.draining = true;
+            }
+            Request::Solve { parent, clauses } => {
+                let parent = match ProblemId::from_wire_checked(parent, num_shards) {
+                    Ok(id) => id,
+                    Err(e) => {
+                        self.complete_inline(idx, slot, Response::Error(e.to_string()));
+                        return;
+                    }
+                };
+                let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                    return;
+                };
+                conn.inflight += 1;
+                self.total_inflight += 1;
+                let completions = Arc::clone(&self.completions);
+                let poller = Arc::clone(&self.poller);
+                let gen = self.gens[idx];
+                self.pool
+                    .submit_with(parent, clauses_to_lits(&clauses), move |reply| {
+                        completions.lock().unwrap().push(Completion {
+                            idx,
+                            gen,
+                            slot,
+                            response: solve_response(reply),
+                        });
+                        let _ = poller.notify();
+                    });
+            }
+        }
+    }
+
+    fn complete_inline(&mut self, idx: usize, slot: Slot, response: Response) {
+        if let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) {
+            conn.complete(slot, response);
+        }
+    }
+
+    /// Recomputes the (oneshot) interest of the connections touched
+    /// this wakeup. Untouched connections keep whatever interest they
+    /// had armed — their state cannot have changed.
+    fn rearm(&mut self, touched: &[usize]) {
+        let mut seen = std::collections::HashSet::with_capacity(touched.len());
+        for &idx in touched {
+            if !seen.insert(idx) {
+                continue;
+            }
+            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                continue;
+            };
+            conn.paused = if conn.paused {
+                conn.pending_out() > LOW_WATER || conn.inflight >= MAX_INFLIGHT
+            } else {
+                conn.pending_out() > HIGH_WATER || conn.inflight >= MAX_INFLIGHT
+            };
+            let readable =
+                !conn.paused && !conn.peer_closed && !conn.close_after_flush && !self.draining;
+            let writable = conn.pending_out() > 0;
+            let interest = Event {
+                key: idx + 1,
+                readable,
+                writable,
+            };
+            if self.poller.modify(&conn.stream, interest).is_err() {
+                self.drop_conn(idx);
+            }
+        }
     }
 }
 
-/// A blocking client for the `lwsnapd` wire protocol.
-pub struct TcpClient {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
-}
-
-impl TcpClient {
-    /// Connects to a running server.
-    pub fn connect(addr: impl std::net::ToSocketAddrs) -> io::Result<TcpClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(TcpClient {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-        })
+fn solve_response(reply: Option<SolveReply>) -> Response {
+    match reply {
+        Some(reply) => Response::Solved {
+            problem: reply.problem.to_wire(),
+            sat: reply.result == lwsnap_solver::SolveResult::Sat,
+            rederived: reply.rederived,
+            conflicts: reply.conflicts,
+            model: reply.model,
+        },
+        None => Response::Error("dead or unknown problem reference".into()),
     }
-
-    /// One request/response exchange.
-    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
-        write_frame(&mut self.writer, &request.encode())?;
-        let payload = read_frame(&mut self.reader)?
-            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
-        Response::decode(&payload).map_err(io::Error::from)
-    }
-
-    /// The root problem for a session id.
-    pub fn session_root(&mut self, session: u64) -> io::Result<u64> {
-        match self.call(&Request::Root { session })? {
-            Response::Root { problem } => Ok(problem),
-            other => Err(unexpected(other)),
-        }
-    }
-
-    /// Solves `parent ∧ clauses` (DIMACS literals); returns the full
-    /// [`Response::Solved`] payload or the server's error as `io::Error`.
-    pub fn solve(&mut self, parent: u64, clauses: &[Vec<i64>]) -> io::Result<Response> {
-        let response = self.call(&Request::Solve {
-            parent,
-            clauses: clauses.to_vec(),
-        })?;
-        match response {
-            Response::Solved { .. } => Ok(response),
-            Response::Error(msg) => Err(io::Error::new(io::ErrorKind::NotFound, msg)),
-            other => Err(unexpected(other)),
-        }
-    }
-
-    /// Releases a problem snapshot.
-    pub fn release(&mut self, problem: u64) -> io::Result<()> {
-        match self.call(&Request::Release { problem })? {
-            Response::Released => Ok(()),
-            other => Err(unexpected(other)),
-        }
-    }
-
-    /// Fetches the aggregated service statistics.
-    pub fn stats(&mut self) -> io::Result<StatsSummary> {
-        match self.call(&Request::Stats)? {
-            Response::Stats(s) => Ok(s),
-            other => Err(unexpected(other)),
-        }
-    }
-
-    /// Asks the daemon to shut down; returns its final stats snapshot.
-    pub fn shutdown_server(&mut self) -> io::Result<StatsSummary> {
-        match self.call(&Request::Shutdown)? {
-            Response::Stats(s) => Ok(s),
-            other => Err(unexpected(other)),
-        }
-    }
-}
-
-fn unexpected(response: Response) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        ProtoError::BadTag(match response {
-            Response::Root { .. } => 1,
-            Response::Solved { .. } => 2,
-            Response::Released => 3,
-            Response::Stats(_) => 4,
-            Response::Error(_) => 5,
-        }),
-    )
 }

@@ -19,11 +19,17 @@ use lwsnap_solver::Lit;
 use crate::sharded::{ProblemId, ShardedService, SolveReply};
 use crate::stats::WorkerStats;
 
+/// A completion callback: invoked exactly once with the reply (or
+/// dropped uninvoked if the pool shuts down before serving the job —
+/// the drop is the cancellation signal, e.g. an `mpsc::Sender` going
+/// away).
+type Complete = Box<dyn FnOnce(Option<SolveReply>) + Send>;
+
 enum Job {
     Solve {
         parent: ProblemId,
         clauses: Vec<Vec<Lit>>,
-        reply: mpsc::Sender<Option<SolveReply>>,
+        complete: Complete,
     },
     Release {
         id: ProblemId,
@@ -58,6 +64,7 @@ impl WorkerPool {
     /// A cloneable handle for submitting requests.
     pub fn client(&self) -> PoolClient {
         PoolClient {
+            service: Arc::clone(&self.service),
             injector: Arc::clone(&self.injector),
         }
     }
@@ -108,12 +115,8 @@ fn worker_loop(service: &ShardedService, injector: &Injector<Job>) -> WorkerStat
             Job::Solve {
                 parent,
                 clauses,
-                reply,
-            } => {
-                let result = service.solve(parent, &clauses);
-                // A dropped receiver (client gave up) is not an error.
-                let _ = reply.send(result);
-            }
+                complete,
+            } => complete(service.solve(parent, &clauses)),
             Job::Release { id } => service.release(id),
         }
         stats.jobs += 1;
@@ -126,10 +129,35 @@ fn worker_loop(service: &ShardedService, injector: &Injector<Job>) -> WorkerStat
 /// shareable across session threads.
 #[derive(Clone)]
 pub struct PoolClient {
+    service: Arc<ShardedService>,
     injector: Arc<Injector<Job>>,
 }
 
 impl PoolClient {
+    /// The service the pool executes against.
+    pub fn service(&self) -> &Arc<ShardedService> {
+        &self.service
+    }
+
+    /// Submits one solve request with an explicit completion callback,
+    /// invoked on the worker thread that executes the job. This is the
+    /// primitive the readiness-loop front end uses to route completions
+    /// back to its reactor; most callers want [`PoolClient::submit`] or
+    /// the [`crate::SolverBackend`] impl instead. If the pool shuts
+    /// down before the job runs, the callback is dropped unexecuted.
+    pub fn submit_with(
+        &self,
+        parent: ProblemId,
+        clauses: Vec<Vec<Lit>>,
+        complete: impl FnOnce(Option<SolveReply>) + Send + 'static,
+    ) {
+        self.injector.push(Job::Solve {
+            parent,
+            clauses,
+            complete: Box::new(complete),
+        });
+    }
+
     /// Submits one solve request; the receiver yields the reply when a
     /// worker gets to it (`None` reply for dead references, `Err` on
     /// recv if the pool shut down first).
@@ -139,10 +167,9 @@ impl PoolClient {
         clauses: Vec<Vec<Lit>>,
     ) -> mpsc::Receiver<Option<SolveReply>> {
         let (tx, rx) = mpsc::channel();
-        self.injector.push(Job::Solve {
-            parent,
-            clauses,
-            reply: tx,
+        self.submit_with(parent, clauses, move |reply| {
+            // A dropped receiver (client gave up) is not an error.
+            let _ = tx.send(reply);
         });
         rx
     }
@@ -167,7 +194,9 @@ impl PoolClient {
                 Job::Solve {
                     parent,
                     clauses,
-                    reply: tx,
+                    complete: Box::new(move |reply| {
+                        let _ = tx.send(reply);
+                    }),
                 }
             })
             .collect();

@@ -1,11 +1,25 @@
 //! The wire protocol: length-prefixed binary frames over any
 //! `Read`/`Write` transport.
 //!
-//! Every message is one frame: a little-endian `u32` payload length
+//! Every message is one frame: a little-endian `u32` header word
 //! followed by the payload; payloads start with a one-byte tag. The
 //! encoding is hand-rolled (the workspace builds offline, without serde)
 //! and deliberately boring: LE fixed-width integers, `u32`-prefixed
 //! sequences, bit-packed models.
+//!
+//! ## Frame versions
+//!
+//! * **v1 (legacy)** — header bit 31 clear: the low 31 bits are the
+//!   payload length and the payload is the bare message. Responses to
+//!   v1 requests come back in request order.
+//! * **v2 (tagged)** — header bit 31 ([`TAGGED`]) set: the payload
+//!   starts with a little-endian `u64` *correlation tag* chosen by the
+//!   client, followed by the message. The server echoes the tag on the
+//!   reply and may complete tagged requests **out of order**, which is
+//!   what lets one connection pipeline many in-flight solves.
+//!
+//! Both versions coexist on one connection; old clients keep working
+//! against new servers unchanged.
 //!
 //! Clause literals travel in DIMACS convention (non-zero `i64`, sign =
 //! negation) so the protocol stays independent of the solver's internal
@@ -18,6 +32,9 @@ use lwsnap_solver::Lit;
 /// Upper bound on a frame payload (guards against hostile or corrupt
 /// length prefixes before any allocation happens).
 pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Header bit marking a v2 tagged frame.
+pub const TAGGED: u32 = 1 << 31;
 
 /// Protocol-level decode failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +49,8 @@ pub enum ProtoError {
     BadUtf8,
     /// A clause literal was zero (forbidden in DIMACS convention).
     ZeroLiteral,
+    /// A wire problem id named a shard the service does not have.
+    BadShard(u64),
 }
 
 impl std::fmt::Display for ProtoError {
@@ -42,6 +61,7 @@ impl std::fmt::Display for ProtoError {
             ProtoError::BadLength(n) => write!(f, "implausible length {n}"),
             ProtoError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
             ProtoError::ZeroLiteral => write!(f, "zero literal in clause"),
+            ProtoError::BadShard(s) => write!(f, "shard index {s} out of range"),
         }
     }
 }
@@ -139,33 +159,131 @@ pub enum Response {
 // Frame I/O.
 // ---------------------------------------------------------------------
 
-/// Writes one length-prefixed frame.
-pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    let len = u32::try_from(payload.len())
+/// One decoded frame: the optional v2 correlation tag plus the message
+/// payload (tag bytes already stripped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The correlation tag (`None` for legacy v1 frames).
+    pub tag: Option<u64>,
+    /// The message payload.
+    pub payload: Vec<u8>,
+}
+
+fn check_len(len: usize) -> Result<u32, ProtoError> {
+    u32::try_from(len)
         .ok()
         .filter(|&l| l <= MAX_FRAME)
-        .ok_or(ProtoError::BadLength(payload.len() as u64))?;
+        .ok_or(ProtoError::BadLength(len as u64))
+}
+
+/// Writes one legacy (v1) length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = check_len(payload.len())?;
     w.write_all(&len.to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
 }
 
-/// Reads one length-prefixed frame. `Ok(None)` on clean EOF at a frame
-/// boundary (peer closed the connection).
-pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
-    let mut len_buf = [0u8; 4];
-    match r.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+/// Writes one v2 tagged frame: header bit 31 set, payload prefixed with
+/// the little-endian correlation tag.
+pub fn write_tagged_frame(w: &mut impl Write, tag: u64, payload: &[u8]) -> io::Result<()> {
+    let len = check_len(payload.len().saturating_add(8))?;
+    w.write_all(&(len | TAGGED).to_le_bytes())?;
+    w.write_all(&tag.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads exactly `buf.len()` bytes. `Ok(false)` if the stream ended
+/// cleanly *before the first byte*; an EOF after a partial read is an
+/// `UnexpectedEof` error (truncation is never silently a clean close).
+fn read_exact_or_clean_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
     }
-    let len = u32::from_le_bytes(len_buf);
-    if len > MAX_FRAME {
+    Ok(true)
+}
+
+/// Reads one legacy (v1) frame. `Ok(None)` on clean EOF at a frame
+/// boundary (peer closed the connection); a v2 header here is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    match read_any_frame(r)? {
+        None => Ok(None),
+        Some(Frame { tag: None, payload }) => Ok(Some(payload)),
+        Some(Frame { tag: Some(_), .. }) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unexpected tagged frame on a v1 stream",
+        )),
+    }
+}
+
+/// Reads one frame of either version. `Ok(None)` on clean EOF at a
+/// frame boundary; an EOF inside a frame (even inside the 4-byte
+/// header) is an `UnexpectedEof` error.
+pub fn read_any_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
+    let mut header = [0u8; 4];
+    if !read_exact_or_clean_eof(r, &mut header)? {
+        return Ok(None);
+    }
+    let word = u32::from_le_bytes(header);
+    let tagged = word & TAGGED != 0;
+    let len = word & !TAGGED;
+    if len > MAX_FRAME || (tagged && len < 8) {
         return Err(ProtoError::BadLength(len as u64).into());
     }
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
-    Ok(Some(payload))
+    let tag = if tagged {
+        let tag = u64::from_le_bytes(payload[..8].try_into().unwrap());
+        payload.drain(..8);
+        Some(tag)
+    } else {
+        None
+    };
+    Ok(Some(Frame { tag, payload }))
+}
+
+/// Incremental (non-blocking) frame extraction for readiness-loop
+/// servers: examines the front of `buf` and returns the first complete
+/// frame plus the number of bytes it consumed, `Ok(None)` if more bytes
+/// are needed, or a [`ProtoError`] for a malformed header. Never blocks
+/// and never consumes a partial frame.
+pub fn parse_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, ProtoError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let word = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    let tagged = word & TAGGED != 0;
+    let len = (word & !TAGGED) as usize;
+    if len > MAX_FRAME as usize || (tagged && len < 8) {
+        return Err(ProtoError::BadLength(len as u64));
+    }
+    let total = 4 + len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body = &buf[4..total];
+    let (tag, payload) = if tagged {
+        (
+            Some(u64::from_le_bytes(body[..8].try_into().unwrap())),
+            body[8..].to_vec(),
+        )
+    } else {
+        (None, body.to_vec())
+    };
+    Ok(Some((Frame { tag, payload }, total)))
 }
 
 // ---------------------------------------------------------------------
@@ -563,6 +681,81 @@ mod tests {
         put_u32(&mut zero, 1);
         zero.extend_from_slice(&0i64.to_le_bytes());
         assert_eq!(Request::decode(&zero), Err(ProtoError::ZeroLiteral));
+    }
+
+    #[test]
+    fn tagged_frames_roundtrip_and_interleave_with_v1() {
+        let mut wire = Vec::new();
+        write_tagged_frame(&mut wire, 42, &Request::Stats.encode()).unwrap();
+        write_frame(&mut wire, &Request::Shutdown.encode()).unwrap();
+        write_tagged_frame(&mut wire, u64::MAX, &Request::Root { session: 9 }.encode()).unwrap();
+        let mut r = wire.as_slice();
+        let f1 = read_any_frame(&mut r).unwrap().unwrap();
+        assert_eq!(f1.tag, Some(42));
+        assert_eq!(Request::decode(&f1.payload), Ok(Request::Stats));
+        let f2 = read_any_frame(&mut r).unwrap().unwrap();
+        assert_eq!(f2.tag, None);
+        assert_eq!(Request::decode(&f2.payload), Ok(Request::Shutdown));
+        let f3 = read_any_frame(&mut r).unwrap().unwrap();
+        assert_eq!(f3.tag, Some(u64::MAX));
+        assert_eq!(
+            Request::decode(&f3.payload),
+            Ok(Request::Root { session: 9 })
+        );
+        assert_eq!(read_any_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn truncated_header_is_an_error_not_clean_eof() {
+        // v1 read path: 2 of 4 header bytes then EOF must be an error.
+        let wire = [7u8, 0];
+        let mut r = wire.as_slice();
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Same through read_any_frame.
+        let mut r = wire.as_slice();
+        assert!(read_any_frame(&mut r).is_err());
+        // Truncated payload mid-frame too.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Stats.encode()).unwrap();
+        wire.pop();
+        let mut r = wire.as_slice();
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn incremental_parser_matches_blocking_reader() {
+        let mut wire = Vec::new();
+        write_tagged_frame(&mut wire, 7, &Request::Stats.encode()).unwrap();
+        write_frame(&mut wire, &Request::Shutdown.encode()).unwrap();
+        // Every prefix short of the first full frame yields None.
+        let first_len = 4 + 8 + Request::Stats.encode().len();
+        for cut in 0..first_len {
+            assert_eq!(
+                parse_frame(&wire[..cut]).unwrap(),
+                None,
+                "prefix {cut} is incomplete"
+            );
+        }
+        let (f1, used1) = parse_frame(&wire).unwrap().unwrap();
+        assert_eq!(f1.tag, Some(7));
+        assert_eq!(used1, first_len);
+        let (f2, used2) = parse_frame(&wire[used1..]).unwrap().unwrap();
+        assert_eq!(f2.tag, None);
+        assert_eq!(Request::decode(&f2.payload), Ok(Request::Shutdown));
+        assert_eq!(used1 + used2, wire.len());
+    }
+
+    #[test]
+    fn tagged_header_shorter_than_its_tag_is_rejected() {
+        // A v2 header whose length can't even hold the 8-byte tag.
+        let word = TAGGED | 3;
+        let mut wire = word.to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0, 0, 0]);
+        assert!(parse_frame(&wire).is_err());
+        let mut r = wire.as_slice();
+        assert!(read_any_frame(&mut r).is_err());
     }
 
     #[test]

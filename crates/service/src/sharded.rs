@@ -22,6 +22,13 @@ pub struct ServiceConfig {
     /// whole-service memory budget is `shards × snapshot_capacity`
     /// solver snapshots.
     pub snapshot_capacity: Option<usize>,
+    /// Per-shard resident-snapshot **byte budget** (`None` =
+    /// unbounded): bounds the summed clause-database + assignment
+    /// footprint ([`lwsnap_solver::Solver::footprint_bytes`]) of the
+    /// resident snapshots, so the LRU evicts a few huge snapshots
+    /// before many tiny ones. Composes with `snapshot_capacity`;
+    /// whichever limit is exceeded first triggers eviction.
+    pub snapshot_budget_bytes: Option<usize>,
 }
 
 impl ServiceConfig {
@@ -30,12 +37,19 @@ impl ServiceConfig {
         ServiceConfig {
             shards: shards.max(1),
             snapshot_capacity: None,
+            snapshot_budget_bytes: None,
         }
     }
 
     /// Sets the per-shard resident-snapshot bound.
     pub fn with_snapshot_capacity(mut self, capacity: usize) -> Self {
         self.snapshot_capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the per-shard resident-snapshot byte budget.
+    pub fn with_snapshot_budget(mut self, bytes: usize) -> Self {
+        self.snapshot_budget_bytes = Some(bytes);
         self
     }
 }
@@ -67,13 +81,35 @@ impl ProblemId {
         (self.shard as u64) << 32 | self.local as u64
     }
 
-    /// Unpacks a wire id. The service validates the shard index on use.
+    /// Unpacks a wire id **without validation** — the shard index may
+    /// name a shard the service does not have (such ids answer `None`
+    /// on use). Transport front ends should prefer
+    /// [`ProblemId::from_wire_checked`], which rejects malformed ids at
+    /// decode time with a typed error.
     #[inline]
     pub fn from_wire(wire: u64) -> ProblemId {
         ProblemId {
             shard: (wire >> 32) as u32,
             local: wire as u32,
         }
+    }
+
+    /// Unpacks a wire id, validating the shard index against the
+    /// service's shard count. A shard index at or beyond `num_shards`
+    /// is a decode error ([`crate::protocol::ProtoError::BadShard`]),
+    /// not a silently-dead reference — so corrupt or cross-cluster ids
+    /// are surfaced to the client instead of aliasing into "unknown
+    /// problem" answers.
+    #[inline]
+    pub fn from_wire_checked(
+        wire: u64,
+        num_shards: usize,
+    ) -> Result<ProblemId, crate::protocol::ProtoError> {
+        let id = ProblemId::from_wire(wire);
+        if id.shard() >= num_shards {
+            return Err(crate::protocol::ProtoError::BadShard(id.shard() as u64));
+        }
+        Ok(id)
     }
 }
 
@@ -110,6 +146,7 @@ impl ShardedService {
             .map(|_| {
                 let mut svc = SolverService::new();
                 svc.set_snapshot_capacity(config.snapshot_capacity);
+                svc.set_snapshot_budget(config.snapshot_budget_bytes);
                 Mutex::new(svc)
             })
             .collect();
@@ -256,6 +293,48 @@ mod tests {
         let bogus_local = ProblemId::from_wire(500);
         assert!(svc.solve(bogus_local, &[lits(&[1])]).is_none());
         assert!(svc.root(5).is_none());
+    }
+
+    #[test]
+    fn checked_wire_decode_rejects_bad_shards() {
+        use crate::protocol::ProtoError;
+        let svc = ShardedService::new(ServiceConfig::new(4));
+        // In-range ids decode to themselves.
+        let good = ProblemId { shard: 3, local: 9 };
+        assert_eq!(
+            ProblemId::from_wire_checked(good.to_wire(), svc.num_shards()),
+            Ok(good)
+        );
+        // Out-of-range shard indices are decode errors, not silently
+        // dead references.
+        let bad = (4u64 << 32) | 1;
+        assert_eq!(
+            ProblemId::from_wire_checked(bad, svc.num_shards()),
+            Err(ProtoError::BadShard(4))
+        );
+        assert_eq!(
+            ProblemId::from_wire_checked(u64::MAX, svc.num_shards()),
+            Err(ProtoError::BadShard(u32::MAX as u64))
+        );
+    }
+
+    #[test]
+    fn byte_budget_applies_per_shard() {
+        // A tight per-shard byte budget forces evictions on the loaded
+        // shard only; stats surface the resident footprint.
+        let svc = ShardedService::new(ServiceConfig::new(2).with_snapshot_budget(1));
+        let root = svc.root(0).unwrap();
+        let mut cur = root;
+        for v in 1..=4 {
+            cur = svc.solve(cur, &[lits(&[v])]).unwrap().problem;
+        }
+        let stats = svc.stats();
+        assert!(stats.shards[0].evictions > 0, "budget forced evictions");
+        assert_eq!(stats.shards[1].evictions, 0, "other shard untouched");
+        assert!(stats.total().resident_bytes > 0);
+        // Evicted ancestors still answer via replay.
+        let reply = svc.solve(root, &[lits(&[5])]).unwrap();
+        assert_eq!(reply.result, SolveResult::Sat);
     }
 
     #[test]

@@ -35,6 +35,7 @@ impl ClusterStats {
             total.replayed_clauses += s.replayed_clauses;
             total.rederive_conflicts += s.rederive_conflicts;
             total.evictions += s.evictions;
+            total.resident_bytes += s.resident_bytes;
         }
         total
     }

@@ -1,0 +1,183 @@
+//! Protocol robustness: property-based round-trips for both frame
+//! versions (legacy v1 and tagged v2) and decode hardening against
+//! truncated, oversized and garbage payloads.
+
+use lwsnap_service::protocol::{
+    parse_frame, read_any_frame, read_frame, write_frame, write_tagged_frame, Frame, Request,
+    Response, StatsSummary, MAX_FRAME, TAGGED,
+};
+use proptest::prelude::*;
+
+// -------------------------------------------------------------------
+// Strategies for random protocol values.
+// -------------------------------------------------------------------
+
+fn clauses_strategy() -> impl Strategy<Value = Vec<Vec<i64>>> {
+    let lit = (1i64..=40, any::<bool>()).prop_map(|(v, neg)| if neg { -v } else { v });
+    proptest::collection::vec(proptest::collection::vec(lit, 0..6), 0..5)
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        any::<u64>().prop_map(|session| Request::Root { session }),
+        (any::<u64>(), clauses_strategy())
+            .prop_map(|(parent, clauses)| Request::Solve { parent, clauses }),
+        any::<u64>().prop_map(|problem| Request::Release { problem }),
+        Just(Request::Stats),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn model_strategy() -> impl Strategy<Value = Option<Vec<bool>>> {
+    prop_oneof![
+        Just(None),
+        proptest::collection::vec(any::<bool>(), 0..40).prop_map(Some),
+    ]
+}
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        any::<u64>().prop_map(|problem| Response::Root { problem }),
+        (
+            any::<u64>(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<u64>(),
+            model_strategy()
+        )
+            .prop_map(
+                |(problem, sat, rederived, conflicts, model)| Response::Solved {
+                    problem,
+                    sat,
+                    rederived,
+                    conflicts,
+                    model,
+                }
+            ),
+        Just(Response::Released),
+        (any::<u32>(), any::<u64>(), any::<u64>()).prop_map(|(shards, queries, evictions)| {
+            Response::Stats(StatsSummary {
+                shards,
+                queries,
+                evictions,
+                ..Default::default()
+            })
+        }),
+        proptest::collection::vec(0u8..128, 0..24)
+            .prop_map(|bytes| Response::Error(String::from_utf8(bytes).unwrap())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// v2 tagged frames round-trip through both the blocking reader and
+    /// the incremental parser, tag preserved exactly.
+    #[test]
+    fn tagged_request_frames_roundtrip(req in request_strategy(), tag in any::<u64>()) {
+        let mut wire = Vec::new();
+        write_tagged_frame(&mut wire, tag, &req.encode()).unwrap();
+
+        let mut r = wire.as_slice();
+        let frame = read_any_frame(&mut r).unwrap().unwrap();
+        prop_assert_eq!(frame.tag, Some(tag));
+        prop_assert_eq!(Request::decode(&frame.payload), Ok(req.clone()));
+
+        let (frame, used) = parse_frame(&wire).unwrap().unwrap();
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(frame.tag, Some(tag));
+        prop_assert_eq!(Request::decode(&frame.payload), Ok(req));
+    }
+
+    /// Responses round-trip under both frame versions; the v1 path is
+    /// byte-identical to what the pre-tagging protocol produced.
+    #[test]
+    fn response_frames_roundtrip_both_versions(resp in response_strategy(), tag in any::<u64>()) {
+        let payload = resp.encode();
+        prop_assert_eq!(Response::decode(&payload), Ok(resp.clone()));
+
+        let mut v1 = Vec::new();
+        write_frame(&mut v1, &payload).unwrap();
+        let mut r = v1.as_slice();
+        prop_assert_eq!(read_frame(&mut r).unwrap().unwrap(), payload.clone());
+
+        let mut v2 = Vec::new();
+        write_tagged_frame(&mut v2, tag, &payload).unwrap();
+        let mut r = v2.as_slice();
+        let frame = read_any_frame(&mut r).unwrap().unwrap();
+        prop_assert_eq!(frame, Frame { tag: Some(tag), payload });
+    }
+
+    /// A mixed v1/v2 frame sequence over one buffer parses back in
+    /// order, each frame keeping its version.
+    #[test]
+    fn mixed_version_streams_parse_in_order(
+        frames in proptest::collection::vec((request_strategy(), any::<u64>(), any::<bool>()), 1..6)
+    ) {
+        let mut wire = Vec::new();
+        for (req, tag, tagged) in &frames {
+            if *tagged {
+                write_tagged_frame(&mut wire, *tag, &req.encode()).unwrap();
+            } else {
+                write_frame(&mut wire, &req.encode()).unwrap();
+            }
+        }
+        let mut pos = 0usize;
+        for (req, tag, tagged) in &frames {
+            let (frame, used) = parse_frame(&wire[pos..]).unwrap().unwrap();
+            pos += used;
+            prop_assert_eq!(frame.tag, tagged.then_some(*tag));
+            prop_assert_eq!(Request::decode(&frame.payload), Ok(req.clone()));
+        }
+        prop_assert_eq!(pos, wire.len());
+    }
+
+    /// Truncating a frame at ANY byte boundary must never decode as a
+    /// complete frame: the incremental parser asks for more bytes and
+    /// the blocking reader reports UnexpectedEof (clean EOF only at
+    /// offset zero). Holds for both versions.
+    #[test]
+    fn truncation_never_yields_a_frame(req in request_strategy(), tag in any::<u64>(), tagged in any::<bool>()) {
+        let mut wire = Vec::new();
+        if tagged {
+            write_tagged_frame(&mut wire, tag, &req.encode()).unwrap();
+        } else {
+            write_frame(&mut wire, &req.encode()).unwrap();
+        }
+        for cut in 0..wire.len() {
+            prop_assert_eq!(parse_frame(&wire[..cut]).unwrap(), None, "cut at {}", cut);
+            let mut r = &wire[..cut];
+            match read_any_frame(&mut r) {
+                Ok(None) => prop_assert_eq!(cut, 0, "clean EOF only at a frame boundary"),
+                Ok(Some(_)) => prop_assert!(false, "truncated frame decoded at {}", cut),
+                Err(e) => prop_assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof),
+            }
+        }
+    }
+
+    /// Oversized length words are rejected up front, in both versions,
+    /// before any payload allocation happens.
+    #[test]
+    fn oversized_headers_are_rejected(extra in 1u32..1024, tagged in any::<bool>()) {
+        let len = MAX_FRAME + extra;
+        let word = if tagged { len | TAGGED } else { len };
+        let mut wire = word.to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0u8; 16]);
+        prop_assert!(parse_frame(&wire).is_err());
+        let mut r = wire.as_slice();
+        prop_assert!(read_any_frame(&mut r).is_err());
+    }
+
+    /// Garbage payloads never decode successfully into a request or
+    /// response unless they happen to re-encode to exactly themselves
+    /// (i.e. decode is the inverse of encode, never a lossy guess).
+    #[test]
+    fn garbage_decode_is_exact_or_error(payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        if let Ok(req) = Request::decode(&payload) {
+            prop_assert_eq!(req.encode(), payload.clone());
+        }
+        if let Ok(resp) = Response::decode(&payload) {
+            prop_assert_eq!(resp.encode(), payload);
+        }
+    }
+}

@@ -1,9 +1,15 @@
 //! End-to-end tests of the TCP front end: concurrent clients over real
-//! sockets, model verification, stats, eviction, and daemon shutdown.
+//! sockets, model verification, stats, eviction, daemon shutdown, and
+//! pipelined (tagged, out-of-order) sessions on the epoll reactor.
 
+use std::io::{Read, Write};
 use std::sync::Arc;
+use std::time::Duration;
 
-use lwsnap_service::{protocol, Response, Server, ServiceConfig, ShardedService, TcpClient};
+use lwsnap_service::{
+    protocol, Disconnected, PipelinedClient, Response, Server, ServiceConfig, ShardedService,
+    SolverBackend, TcpClient,
+};
 
 fn assert_model_satisfies(model: &[bool], stack: &[Vec<i64>]) {
     assert!(
@@ -93,14 +99,252 @@ fn tcp_surfaces_dead_references_and_eviction() {
     assert!(stats.rederivations > 0);
     assert!(stats.replayed_clauses > 0);
 
-    // Released refs turn into protocol-level errors (and releasing a
-    // bogus id is harmless and idempotent).
-    client.release(0xdead_beef_0000_0001).unwrap();
+    // A wire id naming a shard the service does not have is a decode
+    // error (satellite: no silent acceptance of arbitrary u64s) ...
+    let err = client.release(0xdead_beef_0000_0001).unwrap_err();
+    assert!(
+        err.to_string().contains("shard index"),
+        "expected BadShard, got: {err}"
+    );
+    let err = client.solve(0xdead_beef_0000_0001, &[vec![1]]).unwrap_err();
+    assert!(err.to_string().contains("shard index"));
+    // ... while releasing an in-range-but-dead id stays harmless and
+    // idempotent.
+    client.release((1u64 << 32) | 0xbeef).unwrap();
     client.release(refs[2]).unwrap();
     let err = client.solve(refs[2], &[vec![9]]).unwrap_err();
     assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
 
     drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_client_completes_out_of_order_submissions() {
+    let server = Server::start("127.0.0.1:0", ServiceConfig::new(8), 4).unwrap();
+    let client = PipelinedClient::connect(server.local_addr()).unwrap();
+    let root = client.session_root(3).unwrap();
+
+    // Submit a window of independent solves, then wait in REVERSE
+    // order: completions must match their tickets, not arrival order.
+    let lits = |v: i64| vec![vec![lwsnap_solver::Lit::from_dimacs(v)]];
+    let tickets: Vec<_> = (1..=8i64)
+        .map(|v| client.submit(root, lits(v)).unwrap())
+        .collect();
+    for (i, ticket) in tickets.into_iter().enumerate().rev() {
+        let reply = client.wait(ticket).unwrap().expect("live root");
+        assert_eq!(reply.result, lwsnap_solver::SolveResult::Sat);
+        let model = reply.model.unwrap();
+        assert!(model[i], "reply {i} answers its own query");
+    }
+    // Dead references answer None through the trait, like in-process.
+    let dead = client.submit(root, lits(1)).unwrap();
+    let alive = client.wait(dead).unwrap().unwrap();
+    client.release(alive.problem).unwrap();
+    let gone = client.submit(alive.problem, lits(2)).unwrap();
+    assert!(client.wait(gone).unwrap().is_none());
+
+    // 8 window solves + 1 live solve; the dead-reference attempt never
+    // reaches a solver.
+    assert_eq!(client.stats().unwrap().queries, 9);
+    client.shutdown_server().unwrap();
+    server.wait();
+}
+
+/// The acceptance bar: ≥ 64 concurrent pipelined sessions multiplexed
+/// on ONE reactor thread, each keeping a depth-8 window in flight, all
+/// models verified.
+#[test]
+fn sixty_four_pipelined_sessions_on_one_reactor() {
+    let server = Server::start("127.0.0.1:0", ServiceConfig::new(16), 4).unwrap();
+    let addr = server.local_addr();
+    const SESSIONS: u64 = 64;
+    const DEPTH: i64 = 8;
+
+    let handles: Vec<_> = (0..SESSIONS)
+        .map(|session| {
+            std::thread::spawn(move || {
+                let client = PipelinedClient::connect(addr).unwrap();
+                let root = client.session_root(session).unwrap();
+                // Depth-8 pipelined window of independent constraints.
+                let tickets: Vec<_> = (0..DEPTH)
+                    .map(|step| {
+                        let v = (session as i64 * DEPTH + step) % 50 + 1;
+                        let clauses = vec![
+                            vec![lwsnap_solver::Lit::from_dimacs(v)],
+                            vec![
+                                lwsnap_solver::Lit::from_dimacs(-v),
+                                lwsnap_solver::Lit::from_dimacs(v + 1),
+                            ],
+                        ];
+                        (v, client.submit(root, clauses).unwrap())
+                    })
+                    .collect();
+                for (v, ticket) in tickets {
+                    let reply = client.wait(ticket).unwrap().expect("live root");
+                    assert_eq!(reply.result, lwsnap_solver::SolveResult::Sat);
+                    let model = reply.model.unwrap();
+                    let idx = (v - 1) as usize;
+                    assert!(model[idx] && model[idx + 1], "v{v} and v{} set", v + 1);
+                    client.release(reply.problem).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let mut probe = TcpClient::connect(addr).unwrap();
+    let stats = probe.stats().unwrap();
+    assert_eq!(stats.queries, SESSIONS * DEPTH as u64);
+    probe.shutdown_server().unwrap();
+    server.wait();
+}
+
+/// Backpressure regression: a single connection pipelines far more
+/// requests than the server's per-connection in-flight cap (1024); the
+/// reactor must throttle reads mid-burst and resume from its buffered
+/// bytes as completions free capacity — every request still answers.
+#[test]
+fn overdriven_pipeline_is_throttled_not_dropped() {
+    let server = Server::start("127.0.0.1:0", ServiceConfig::new(8), 4).unwrap();
+    let client = PipelinedClient::connect(server.local_addr()).unwrap();
+    let root = client.session_root(5).unwrap();
+    const BURST: usize = 3000;
+    let tickets: Vec<_> = (0..BURST)
+        .map(|i| {
+            let v = (i % 60 + 1) as i64;
+            client
+                .submit(root, vec![vec![lwsnap_solver::Lit::from_dimacs(v)]])
+                .unwrap()
+        })
+        .collect();
+    for ticket in tickets {
+        let reply = client.wait(ticket).unwrap().expect("live root");
+        assert_eq!(reply.result, lwsnap_solver::SolveResult::Sat);
+    }
+    assert_eq!(client.stats().unwrap().queries, BURST as u64);
+    client.shutdown_server().unwrap();
+    server.wait();
+}
+
+#[test]
+fn v1_and_pipelined_clients_share_one_server() {
+    let server = Server::start("127.0.0.1:0", ServiceConfig::new(4), 2).unwrap();
+    let addr = server.local_addr();
+    let mut old = TcpClient::connect(addr).unwrap();
+    let new = PipelinedClient::connect(addr).unwrap();
+
+    let root_old = old.session_root(1).unwrap();
+    let root_new = new.session_root(1).unwrap();
+    assert_eq!(root_old, root_new.to_wire(), "same session, same root");
+
+    let Response::Solved { sat: true, .. } = old.solve(root_old, &[vec![5]]).unwrap() else {
+        panic!("expected SAT");
+    };
+    let reply = new
+        .solve(root_new, vec![vec![lwsnap_solver::Lit::from_dimacs(-5)]])
+        .unwrap()
+        .unwrap();
+    assert_eq!(reply.result, lwsnap_solver::SolveResult::Sat);
+    assert_eq!(old.stats().unwrap().queries, 2);
+    server.shutdown();
+}
+
+/// Satellite: a clean server close between frames is the typed
+/// [`Disconnected`] error; a stream dying mid-frame is `UnexpectedEof`.
+#[test]
+fn clean_disconnect_and_truncation_are_distinct_errors() {
+    // Fake server 1: reads the request, closes cleanly at the boundary.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let srv = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        let mut buf = [0u8; 256];
+        let _ = s.read(&mut buf); // swallow the request, reply nothing
+                                  // drop(s): clean FIN between frames
+    });
+    let mut client = TcpClient::connect(addr).unwrap();
+    let err = client.call(&protocol::Request::Stats).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::ConnectionAborted);
+    assert!(
+        err.get_ref().is_some_and(|e| e.is::<Disconnected>()),
+        "clean close carries the typed Disconnected payload: {err:?}"
+    );
+    srv.join().unwrap();
+
+    // Fake server 2: replies with a truncated frame, then closes.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let srv = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        let mut buf = [0u8; 256];
+        let _ = s.read(&mut buf);
+        // 16-byte frame promised, 2 bytes delivered.
+        let mut partial = 16u32.to_le_bytes().to_vec();
+        partial.extend_from_slice(&[1, 2]);
+        s.write_all(&partial).unwrap();
+    });
+    let mut client = TcpClient::connect(addr).unwrap();
+    let err = client.call(&protocol::Request::Stats).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    assert!(
+        err.get_ref().is_none_or(|e| !e.is::<Disconnected>()),
+        "truncation must NOT look like a clean disconnect"
+    );
+    srv.join().unwrap();
+}
+
+/// Satellite: the client read timeout bounds a call against a hung
+/// server instead of blocking forever.
+#[test]
+fn client_read_timeout_detects_hung_server() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let srv = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        // Read the request and then just sit on it.
+        let mut buf = [0u8; 256];
+        let _ = s.read(&mut buf);
+        std::thread::sleep(Duration::from_millis(400));
+    });
+    let mut client = TcpClient::connect(addr).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
+    let start = std::time::Instant::now();
+    let err = client.call(&protocol::Request::Stats).unwrap_err();
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ),
+        "timeout error, got {err:?}"
+    );
+    assert!(start.elapsed() < Duration::from_millis(350), "bounded wait");
+    srv.join().unwrap();
+}
+
+/// A garbage header on the wire gets an error response and the
+/// connection is closed — the reactor must not wedge or crash.
+#[test]
+fn framing_garbage_gets_an_error_then_close() {
+    let server = Server::start("127.0.0.1:0", ServiceConfig::new(2), 1).unwrap();
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    // Length prefix far beyond MAX_FRAME.
+    raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    let mut response = Vec::new();
+    raw.read_to_end(&mut response).unwrap(); // server closes after the error frame
+    let mut r = response.as_slice();
+    let payload = protocol::read_frame(&mut r).unwrap().expect("error frame");
+    let Response::Error(msg) = Response::decode(&payload).unwrap() else {
+        panic!("expected an error response");
+    };
+    assert!(msg.contains("length"), "framing diagnosis: {msg}");
+    // The server is still healthy for well-formed clients.
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+    assert_eq!(client.stats().unwrap().queries, 0);
     server.shutdown();
 }
 

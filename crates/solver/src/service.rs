@@ -82,6 +82,9 @@ struct ProblemNode {
     pinned: bool,
     /// LRU stamp (service-wide logical clock).
     last_use: u64,
+    /// Byte cost of the resident snapshot (clause arena + assignment
+    /// footprint, [`Solver::footprint_bytes`]); 0 while evicted.
+    cost: usize,
 }
 
 /// Counters for the service.
@@ -107,6 +110,8 @@ pub struct ServiceStats {
     pub rederive_conflicts: u64,
     /// Snapshots dropped by the LRU eviction policy.
     pub evictions: u64,
+    /// Approximate bytes held by resident solver snapshots.
+    pub resident_bytes: usize,
 }
 
 /// A multi-path incremental SAT service.
@@ -115,11 +120,17 @@ pub struct SolverService {
     stats: ServiceStats,
     /// Maximum resident solver snapshots (`None` = unbounded).
     capacity: Option<usize>,
+    /// Maximum bytes of resident solver snapshots (`None` = unbounded).
+    /// When set, the LRU evicts by *cost* — a few huge snapshots go
+    /// before many tiny ones — instead of by raw count.
+    budget: Option<usize>,
     /// Logical clock for LRU stamps.
     clock: u64,
     /// Resident solver snapshots, maintained incrementally so capacity
     /// enforcement never scans the node table.
     resident: usize,
+    /// Total byte cost of resident snapshots, maintained incrementally.
+    resident_cost: usize,
     /// Lazy-deletion min-heap of `(last_use, index)` eviction
     /// candidates: every residency touch pushes a fresh entry; stale
     /// entries (stamp no longer matching the node) are discarded on
@@ -154,8 +165,10 @@ impl SolverService {
     /// Creates a service containing only the empty root problem, with no
     /// memory bound.
     pub fn new() -> Self {
+        let root_solver = Solver::new();
+        let root_cost = root_solver.footprint_bytes();
         let root = ProblemNode {
-            solver: Some(Solver::new()),
+            solver: Some(root_solver),
             parent: None,
             constraint: Vec::new(),
             result: SolveResult::Sat,
@@ -164,13 +177,16 @@ impl SolverService {
             released: false,
             pinned: true,
             last_use: 0,
+            cost: root_cost,
         };
         SolverService {
             nodes: vec![Some(root)],
             stats: ServiceStats::default(),
             capacity: None,
+            budget: None,
             clock: 0,
             resident: 1,
+            resident_cost: root_cost,
             lru: BinaryHeap::new(),
         }
     }
@@ -195,6 +211,35 @@ impl SolverService {
         self.capacity
     }
 
+    /// Sets (or clears) the resident-snapshot **byte budget**: the LRU
+    /// then evicts until the summed [`Solver::footprint_bytes`] of
+    /// resident snapshots fits, so eviction pressure tracks what
+    /// snapshots actually cost rather than how many there are.
+    /// Lowering the budget evicts immediately. Pinned snapshots (and
+    /// the root) never count as victims, so the effective floor is
+    /// whatever the pinned set occupies.
+    pub fn set_snapshot_budget(&mut self, budget: Option<usize>) {
+        self.budget = budget;
+        self.enforce_capacity(None);
+    }
+
+    /// The configured resident-snapshot byte budget.
+    pub fn snapshot_budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Approximate bytes currently held by resident snapshots.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_cost
+    }
+
+    /// Whether the resident set exceeds either the count capacity or
+    /// the byte budget.
+    fn over_limits(&self) -> bool {
+        self.capacity.is_some_and(|c| self.resident > c)
+            || self.budget.is_some_and(|b| self.resident_cost > b)
+    }
+
     /// The root (empty, trivially SAT) problem.
     pub fn root(&self) -> ProblemRef {
         ProblemRef(0)
@@ -205,6 +250,7 @@ impl SolverService {
         let mut s = self.stats;
         s.live_problems = self.nodes.iter().flatten().filter(|n| !n.released).count();
         s.resident_snapshots = self.resident;
+        s.resident_bytes = self.resident_cost;
         debug_assert_eq!(
             self.resident,
             self.nodes
@@ -327,11 +373,14 @@ impl SolverService {
         self.stats.rederive_conflicts += after.conflicts - before.conflicts;
         // Cache the re-derived snapshot back: the query touching it makes
         // it the most recently used node by definition.
+        let cost = solver.footprint_bytes();
         let node = self.nodes[r.0 as usize].as_mut()?;
         node.solver = Some(solver.clone());
         node.last_use = stamp;
+        node.cost = cost;
         let pinned = node.pinned;
         self.resident += 1;
+        self.resident_cost += cost;
         if !pinned {
             self.lru.push(Reverse((stamp, r.0)));
         }
@@ -339,9 +388,9 @@ impl SolverService {
         Some((solver, true))
     }
 
-    /// Evicts LRU snapshots until the resident count fits the capacity.
-    /// `protect` shields one reference (the node a query is being served
-    /// from) from immediate eviction.
+    /// Evicts LRU snapshots until the resident set fits both the count
+    /// capacity and the byte budget. `protect` shields one reference
+    /// (the node a query is being served from) from immediate eviction.
     ///
     /// Victims come off the lazy-deletion heap: an entry is live only if
     /// its stamp still matches the node's `last_use` (newer touches push
@@ -349,11 +398,11 @@ impl SolverService {
     /// and stale entries are simply discarded, so the work per eviction
     /// is O(log n) amortised over touches — never a table scan.
     fn enforce_capacity(&mut self, protect: Option<ProblemRef>) {
-        let Some(capacity) = self.capacity else {
+        if self.capacity.is_none() && self.budget.is_none() {
             return;
-        };
+        }
         let mut deferred: Option<Reverse<(u64, u32)>> = None;
-        while self.resident > capacity {
+        while self.over_limits() {
             let Some(Reverse((stamp, index))) = self.lru.pop() else {
                 break; // everything left is pinned/protected
             };
@@ -373,6 +422,8 @@ impl SolverService {
             let node = self.nodes[index as usize].as_mut().unwrap();
             node.solver = None;
             self.resident -= 1;
+            self.resident_cost -= node.cost;
+            node.cost = 0;
             self.stats.evictions += 1;
         }
         if let Some(entry) = deferred {
@@ -403,6 +454,7 @@ impl SolverService {
         self.stats.total_propagations += after.propagations - before.propagations;
         let model = (result == SolveResult::Sat).then(|| solver.model());
         let stamp = self.next_stamp();
+        let cost = solver.footprint_bytes();
         let node = ProblemNode {
             solver: Some(solver),
             parent: Some(parent),
@@ -413,6 +465,7 @@ impl SolverService {
             released: false,
             pinned: false,
             last_use: stamp,
+            cost,
         };
         self.nodes.push(Some(node));
         let problem = ProblemRef((self.nodes.len() - 1) as u32);
@@ -420,6 +473,7 @@ impl SolverService {
             parent_node.children += 1;
         }
         self.resident += 1;
+        self.resident_cost += cost;
         self.lru.push(Reverse((stamp, problem.0)));
         self.enforce_capacity(Some(problem));
         Some(Reply {
@@ -442,16 +496,20 @@ impl SolverService {
         if r.0 == 0 {
             return; // the root is permanent
         }
-        let freed_solver = match self.nodes.get_mut(r.0 as usize).and_then(Option::as_mut) {
+        let freed_cost = match self.nodes.get_mut(r.0 as usize).and_then(Option::as_mut) {
             Some(node) if !node.released => {
                 node.released = true;
                 node.pinned = false;
-                node.solver.take().is_some()
+                let freed = node.solver.take().is_some();
+                let cost = node.cost;
+                node.cost = 0;
+                freed.then_some(cost)
             }
             _ => return,
         };
-        if freed_solver {
+        if let Some(cost) = freed_cost {
             self.resident -= 1;
+            self.resident_cost -= cost;
         }
         self.reap(r);
     }
@@ -754,6 +812,83 @@ mod tests {
         // Double release is idempotent; the refs stay dead.
         svc.release(b.problem);
         assert_eq!(svc.result_of(b.problem), None);
+    }
+
+    /// Byte-budget eviction is cost-aware: a few huge snapshots blow
+    /// the budget and get evicted while many tiny ones stay resident —
+    /// a raw count cap over the same tree (9 resident snapshots) would
+    /// have evicted nothing at all.
+    #[test]
+    fn byte_budget_evicts_huge_snapshots_before_many_tiny_ones() {
+        let mut svc = SolverService::new();
+        let root_cost = svc.stats().resident_bytes;
+        // A couple of huge snapshots first (least recently used):
+        // hundreds of clauses over 120 vars each.
+        let fam = IncrementalFamily::new(120, 3, 5);
+        let huge: Vec<ProblemRef> = (0..2)
+            .map(|_| svc.solve(svc.root(), &fam.base().clauses).unwrap().problem)
+            .collect();
+        let huge_pair = svc.stats().resident_bytes - root_cost;
+        // Then many tiny snapshots: one unit clause each.
+        let tiny: Vec<ProblemRef> = (1..=8i64)
+            .map(|v| svc.solve(svc.root(), &[lits(&[v])]).unwrap().problem)
+            .collect();
+        let full_cost = svc.stats().resident_bytes;
+        assert!(
+            huge_pair / 2 > (full_cost - root_cost - huge_pair),
+            "one huge snapshot outweighs all eight tiny ones combined"
+        );
+
+        // Budget: the root and every tiny snapshot fit; the huge pair
+        // does not. A count cap would need to drop to < 9 snapshots to
+        // evict anything here — the byte budget evicts exactly the two
+        // huge ones (also the LRU-oldest) and nothing else.
+        let budget = full_cost - huge_pair;
+        svc.set_snapshot_budget(Some(budget));
+        let st = svc.stats();
+        assert_eq!(st.evictions, 2, "exactly the huge pair evicted");
+        assert!(st.resident_bytes <= budget, "budget respected");
+        assert!(
+            huge.iter().all(|&r| svc.is_resident(r) == Some(false)),
+            "both huge snapshots evicted"
+        );
+        assert!(
+            tiny.iter().all(|&r| svc.is_resident(r) == Some(true)),
+            "every tiny snapshot still resident"
+        );
+        assert_eq!(st.resident_snapshots, 9, "root + 8 tiny");
+
+        // Evicted huge problems still answer by replay (which may evict
+        // tiny LRU victims to make room for the re-derived snapshot).
+        let reply = svc.solve(huge[0], &[]).unwrap();
+        assert_eq!(reply.result, svc.result_of(huge[0]).unwrap());
+        assert!(reply.rederived);
+        assert!(svc.stats().resident_bytes <= budget + huge_pair);
+    }
+
+    /// The budget tracks releases and re-derivations without drifting.
+    #[test]
+    fn byte_budget_accounting_survives_release_and_rederive() {
+        let mut svc = SolverService::new();
+        let a = svc.solve(svc.root(), &[lits(&[1, 2])]).unwrap();
+        let b = svc.solve(a.problem, &[lits(&[3])]).unwrap();
+        let before = svc.stats().resident_bytes;
+        assert!(before > 0);
+        // Evict b via a 1-snapshot... use a tiny budget instead: only
+        // pinned root survives.
+        svc.set_snapshot_budget(Some(1));
+        let st = svc.stats();
+        assert_eq!(st.resident_snapshots, 1, "only the pinned root left");
+        assert!(st.resident_bytes < before);
+        // Re-derivation restores the cost, then release drops it again.
+        svc.set_snapshot_budget(None);
+        let b2 = svc.solve(b.problem, &[]).unwrap();
+        assert!(b2.rederived);
+        let mid = svc.stats().resident_bytes;
+        assert!(mid > st.resident_bytes);
+        svc.release(b.problem);
+        svc.release(a.problem);
+        assert!(svc.stats().resident_bytes < mid);
     }
 
     #[test]

@@ -148,6 +148,35 @@ impl Solver {
         self.clauses.len()
     }
 
+    /// Approximate heap footprint of this solver snapshot, in bytes:
+    /// the clause arena (problem + learnt clauses) plus the per-variable
+    /// assignment/heuristic state and per-literal watch lists. Used by
+    /// the service's byte-cost eviction budget; it deliberately counts
+    /// capacity-independent payload (`len`, not `capacity`) so the
+    /// estimate is stable across allocator behaviour.
+    pub fn footprint_bytes(&self) -> usize {
+        let arena = self.arena.len() * std::mem::size_of::<u32>();
+        let clause_index = (self.clauses.len() + self.learnts.len()) * std::mem::size_of::<u32>()
+            + self.learnt_act.len() * std::mem::size_of::<f64>();
+        // Per variable: assigns + level + reason + activity + polarity +
+        // seen + model + two watch-list headers + heap slot.
+        let per_var = std::mem::size_of::<Lbool>()
+            + std::mem::size_of::<u32>() * 2
+            + std::mem::size_of::<f64>()
+            + 2
+            + std::mem::size_of::<Lbool>()
+            + 2 * std::mem::size_of::<Vec<Watcher>>()
+            + std::mem::size_of::<u32>();
+        let vars = self.assigns.len() * per_var;
+        let watchers: usize = self
+            .watches
+            .iter()
+            .map(|w| w.len() * std::mem::size_of::<Watcher>())
+            .sum();
+        let trail = self.trail.len() * std::mem::size_of::<Lit>();
+        std::mem::size_of::<Solver>() + arena + clause_index + vars + watchers + trail
+    }
+
     /// Run counters.
     pub fn stats(&self) -> SolverStats {
         let mut s = self.stats;

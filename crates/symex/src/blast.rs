@@ -2,11 +2,18 @@
 //!
 //! Path feasibility and test-case generation both reduce to one
 //! question — "is this conjunction of 1-bit expressions satisfiable, and
-//! if so, what are the input bytes?" — answered by `lwsnap-solver`.
+//! if so, what are the input bytes?" — answered either by a local
+//! `lwsnap-solver` instance ([`check_path`]) or by any
+//! [`SolverBackend`] — in-process sharded service, worker pool, or a
+//! remote `lwsnapd` over the pipelined wire protocol
+//! ([`check_path_on`]). Both routes produce bit-identical verdicts and
+//! witnesses; see [`check_path_on`] for how that determinism is pinned.
 
 use std::collections::HashMap;
+use std::io;
 
-use lwsnap_solver::{Bv, CLit, Circuit, SolveResult, Solver};
+use lwsnap_service::{ProblemId, SolverBackend};
+use lwsnap_solver::{Bv, CLit, Circuit, Cnf, Lit, SolveResult, Solver};
 
 use crate::expr::{BinOp, CmpOp, Expr, ExprId, ExprPool};
 
@@ -132,19 +139,33 @@ impl<'p> Blaster<'p> {
         self.circuit.assert_true(lit);
     }
 
-    /// Solves the accumulated assertions.
-    pub fn solve(&self) -> Feasibility {
-        let mut solver: Solver = self.circuit.to_cnf().to_solver();
-        match solver.solve() {
-            SolveResult::Unsat => Feasibility::Unsat,
-            SolveResult::Sat => {
-                let model = solver.model();
+    /// The accumulated assertions as a CNF formula (the payload a
+    /// [`SolverBackend`] query ships).
+    pub fn cnf(&self) -> Cnf {
+        self.circuit.to_cnf()
+    }
+
+    /// Maps a solver model (or UNSAT, `None`) back to a feasibility
+    /// verdict with concrete input bytes.
+    pub fn feasibility_from_model(&self, model: Option<&[bool]>) -> Feasibility {
+        match model {
+            None => Feasibility::Unsat,
+            Some(model) => {
                 let mut inputs = HashMap::new();
                 for (&id, bv) in &self.inputs {
-                    inputs.insert(id, Circuit::bv_value(bv, &model) as u8);
+                    inputs.insert(id, Circuit::bv_value(bv, model) as u8);
                 }
                 Feasibility::Sat(inputs)
             }
+        }
+    }
+
+    /// Solves the accumulated assertions with a local solver.
+    pub fn solve(&self) -> Feasibility {
+        let mut solver: Solver = self.cnf().to_solver();
+        match solver.solve() {
+            SolveResult::Unsat => Feasibility::Unsat,
+            SolveResult::Sat => self.feasibility_from_model(Some(&solver.model())),
         }
     }
 }
@@ -157,6 +178,52 @@ pub fn check_path(pool: &ExprPool, constraints: &[(ExprId, bool)]) -> Feasibilit
         blaster.assert_cond(cond, polarity);
     }
     blaster.solve()
+}
+
+/// [`check_path`] routed through a [`SolverBackend`]: the CNF is
+/// submitted as one incremental solve against `root` (the caller's
+/// session root on that backend) and the transient problem is released
+/// after the verdict.
+///
+/// ## Determinism
+///
+/// The verdict *and the witness bytes* are bit-identical to the local
+/// [`check_path`]: the first submitted clause is the tautology
+/// `(v_max ∨ ¬v_max)`, which the solver drops semantically but which
+/// forces it to allocate all `num_vars` variables up front — the same
+/// allocation order [`Cnf::to_solver`] produces — so the deterministic
+/// search visits identical states either way. This is what lets
+/// [`crate::par_explore`] swap backends without perturbing its merged
+/// test-case report.
+///
+/// Transport failures surface as `Err`; in-process backends never
+/// fail.
+pub fn check_path_on(
+    backend: &dyn SolverBackend,
+    root: ProblemId,
+    pool: &ExprPool,
+    constraints: &[(ExprId, bool)],
+) -> io::Result<Feasibility> {
+    let mut blaster = Blaster::new(pool);
+    for &(cond, polarity) in constraints {
+        blaster.assert_cond(cond, polarity);
+    }
+    let cnf = blaster.cnf();
+    let mut clauses: Vec<Vec<Lit>> = Vec::with_capacity(cnf.clauses.len() + 1);
+    if cnf.num_vars > 0 {
+        let n = cnf.num_vars as i64;
+        clauses.push(vec![Lit::from_dimacs(n), Lit::from_dimacs(-n)]);
+    }
+    clauses.extend(cnf.clauses);
+    let reply = backend.solve(root, clauses)?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::NotFound,
+            "backend session root is dead or unknown",
+        )
+    })?;
+    let feasibility = blaster.feasibility_from_model(reply.model.as_deref());
+    backend.release(reply.problem)?;
+    Ok(feasibility)
 }
 
 #[cfg(test)]

@@ -39,7 +39,7 @@ pub mod machine;
 pub mod par;
 pub mod programs;
 
-pub use blast::{check_path, Blaster, Feasibility};
+pub use blast::{check_path, check_path_on, Blaster, Feasibility};
 pub use expr::{BinOp, CmpOp, Expr, ExprId, ExprPool, SharedPool, Width};
 pub use machine::{PathEnd, Shadow, SymExec, SymStats, TestCase, SYS_MAKE_SYMBOLIC};
-pub use par::{par_explore, par_explore_with, ParExploreResult};
+pub use par::{par_explore, par_explore_on, par_explore_with, ParExploreResult};

@@ -30,8 +30,9 @@ use lwsnap_core::{
 };
 use lwsnap_vm::{Instr, Opcode, INSTR_SIZE};
 
-use crate::blast::{check_path, Feasibility};
+use crate::blast::{check_path, check_path_on, Feasibility};
 use crate::expr::{BinOp, CmpOp, ExprId, SharedPool};
+use lwsnap_service::{ProblemId, SolverBackend};
 
 /// Syscall number for `make_symbolic(addr, len)`.
 pub const SYS_MAKE_SYMBOLIC: u64 = 1100;
@@ -127,6 +128,18 @@ pub struct SymStats {
     pub instructions: u64,
 }
 
+/// How feasibility queries reach a solver.
+enum QueryRoute {
+    /// A fresh local solver per query (zero-transport baseline).
+    Local,
+    /// Through a [`SolverBackend`] — the in-process sharded service,
+    /// a worker pool, or a remote `lwsnapd` over the pipelined wire.
+    Backend {
+        backend: Arc<dyn SolverBackend>,
+        root: ProblemId,
+    },
+}
+
 /// The symbolic executor (implements [`Guest`]).
 pub struct SymExec {
     /// The (append-only, shared) expression pool. A [`SharedPool`]
@@ -142,6 +155,8 @@ pub struct SymExec {
     pub stats: SymStats,
     /// Test cases generated from completed paths.
     pub cases: Vec<TestCase>,
+    /// Where feasibility queries are solved.
+    route: QueryRoute,
 }
 
 impl Default for SymExec {
@@ -179,6 +194,47 @@ impl SymExec {
             max_steps: 50_000_000,
             stats: SymStats::default(),
             cases: Vec::new(),
+            route: QueryRoute::Local,
+        }
+    }
+
+    /// Like [`SymExec::with_pool`], but feasibility queries are solved
+    /// through `backend` under the given session id instead of a local
+    /// per-query solver. Verdicts and witnesses are bit-identical to
+    /// the local route (see [`check_path_on`]); what changes is *where*
+    /// the solving happens — a shared in-process service, a worker
+    /// pool, or a remote daemon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend cannot resolve the session root (remote
+    /// transport failure). In-process backends are infallible.
+    pub fn with_backend(pool: SharedPool, backend: Arc<dyn SolverBackend>, session: u64) -> Self {
+        let root = backend
+            .session_root(session)
+            .expect("solver backend transport failure resolving session root");
+        let mut exec = Self::with_pool(pool);
+        exec.route = QueryRoute::Backend { backend, root };
+        exec
+    }
+
+    /// Checks the joint feasibility of `constraints` over the current
+    /// pool snapshot, via whichever route this executor was built with.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a backend transport failure (loudly, rather than
+    /// silently mispruning a path). In-process routes never fail.
+    fn check_constraints(&self, constraints: &[(ExprId, bool)]) -> Feasibility {
+        // Snapshot, then solve lock-free: holding the read lock across
+        // the SAT solve would stall every other worker's interning.
+        let snapshot = self.pool.snapshot();
+        match &self.route {
+            QueryRoute::Local => check_path(&snapshot, constraints),
+            QueryRoute::Backend { backend, root } => {
+                check_path_on(backend.as_ref(), *root, &snapshot, constraints)
+                    .unwrap_or_else(|e| panic!("solver backend transport failure: {e}"))
+            }
         }
     }
 
@@ -296,9 +352,7 @@ impl SymExec {
     /// Finishes a path: solve its constraints and record a test case.
     fn finish_path(&mut self, st: &GuestState, shadow: &Shadow, end: PathEnd) {
         self.stats.solver_checks += 1;
-        // Snapshot, then solve lock-free: holding the read lock across
-        // the SAT solve would stall every other worker's interning.
-        match check_path(&self.pool.snapshot(), &shadow.constraints) {
+        match self.check_constraints(&shadow.constraints) {
             Feasibility::Sat(model) => {
                 let mut inputs = vec![0u8; shadow.n_inputs as usize];
                 for (id, byte) in model {
@@ -370,8 +424,7 @@ impl Guest for SymExec {
             let taken = st.regs.get(Reg::Rax) == 1;
             shadow.constraints.push((p.cond, taken));
             self.stats.solver_checks += 1;
-            // Snapshot, then solve lock-free (see `finish_path`).
-            if check_path(&self.pool.snapshot(), &shadow.constraints) == Feasibility::Unsat {
+            if self.check_constraints(&shadow.constraints) == Feasibility::Unsat {
                 self.stats.infeasible_pruned += 1;
                 Self::save_shadow(st, shadow);
                 return Exit::Fail;

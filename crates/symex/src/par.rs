@@ -42,9 +42,11 @@
 //!     .any(|c| matches!(c.end, PathEnd::Fault(_)) && c.inputs == [15]));
 //! ```
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use lwsnap_core::{Exit, Guest, GuestState, ParallelConfig, ParallelEngine, ParallelRunResult};
+use lwsnap_service::{ServiceConfig, ShardedService, SolverBackend};
 
 use crate::expr::SharedPool;
 use crate::machine::{SymExec, SymStats, TestCase};
@@ -106,18 +108,47 @@ impl Drop for ParWorker {
 
 /// Explores every feasible path of the program booted into `root` on
 /// `workers` threads, merging per-path verdicts. See the module docs.
+///
+/// Feasibility queries flow through the [`SolverBackend`] trait — by
+/// default an in-process [`ShardedService`] sized so concurrent
+/// workers' queries rarely share a shard lock. Swap the backend with
+/// [`par_explore_on`] to solve on a worker pool or a remote `lwsnapd`
+/// without touching the driver.
 pub fn par_explore(root: GuestState, workers: usize) -> ParExploreResult {
     par_explore_with(ParallelConfig::new(workers), root)
 }
 
 /// [`par_explore`] with explicit engine limits / fault policy.
 pub fn par_explore_with(config: ParallelConfig, root: GuestState) -> ParExploreResult {
+    // One in-process backend shared by all workers; 2× shards so two
+    // workers hashing onto the same shard stays the exception.
+    let backend = Arc::new(ShardedService::new(ServiceConfig::new(config.workers * 2)));
+    par_explore_on(config, root, backend)
+}
+
+/// [`par_explore_with`] against an arbitrary [`SolverBackend`]: every
+/// worker's feasibility queries are solved by `backend` (each worker
+/// under its own session id). The merged verdicts are bit-identical
+/// across backends — see [`crate::blast::check_path_on`] — so this is
+/// purely a deployment knob: in-process for latency, a pool for
+/// parallelism beyond the exploration workers, a remote daemon to move
+/// constraint solving off-box entirely (the paper's solver-service
+/// vision closing the loop).
+pub fn par_explore_on(
+    config: ParallelConfig,
+    root: GuestState,
+    backend: Arc<dyn SolverBackend>,
+) -> ParExploreResult {
     let pool = SharedPool::new();
     let sink: Arc<Mutex<Merged>> = Arc::default();
+    let next_session = AtomicU64::new(0);
     let run = ParallelEngine::with_config(config).run(
-        || ParWorker {
-            exec: SymExec::with_pool(pool.clone()),
-            sink: Arc::clone(&sink),
+        || {
+            let session = next_session.fetch_add(1, Ordering::Relaxed);
+            ParWorker {
+                exec: SymExec::with_backend(pool.clone(), Arc::clone(&backend), session),
+                sink: Arc::clone(&sink),
+            }
         },
         root,
     );
@@ -195,6 +226,44 @@ mod tests {
             .collect();
         assert_eq!(accepting.len(), 1);
         assert_eq!(accepting[0].inputs, password);
+    }
+
+    /// The driver is written once against [`SolverBackend`]: the same
+    /// exploration over a worker-pool backend and over a **remote**
+    /// `lwsnapd` (pipelined TCP) yields the exact verdicts of the
+    /// sequential local run.
+    #[test]
+    fn par_explore_is_backend_agnostic() {
+        use lwsnap_service::{PipelinedClient, Server, WorkerPool};
+
+        let src = branch_tree_source(4);
+        let (seq_cases, _) = sequential_cases(&src);
+        assert!(!seq_cases.is_empty());
+
+        // Worker-pool backend.
+        let service = Arc::new(ShardedService::new(ServiceConfig::new(4)));
+        let pool = WorkerPool::new(Arc::clone(&service), 2);
+        let prog = assemble_source(&src).unwrap();
+        let report = par_explore_on(
+            ParallelConfig::new(2),
+            prog.boot().unwrap(),
+            Arc::new(pool.client()),
+        );
+        assert_eq!(report.cases, seq_cases, "pool backend diverged");
+        pool.shutdown();
+
+        // Remote backend: symbolic execution whose feasibility queries
+        // travel the pipelined wire to an lwsnapd over loopback.
+        let server = Server::start("127.0.0.1:0", ServiceConfig::new(4), 2).unwrap();
+        let remote = Arc::new(PipelinedClient::connect(server.local_addr()).unwrap());
+        let prog = assemble_source(&src).unwrap();
+        let report = par_explore_on(ParallelConfig::new(2), prog.boot().unwrap(), remote);
+        assert_eq!(report.cases, seq_cases, "remote backend diverged");
+        assert!(
+            server.service().stats().total().queries >= report.stats.solver_checks,
+            "remote service actually served the checks"
+        );
+        server.shutdown();
     }
 
     #[test]

@@ -2,16 +2,26 @@
 //!
 //! Drives M concurrent client sessions over a shared problem tree and
 //! reports throughput, p50/p99 latency and the snapshot-economy
-//! counters, for three service flavours:
+//! counters, for five service flavours — the last four all running the
+//! SAME session loop against the `SolverBackend` trait:
 //!
 //! 1. the single-threaded `SolverService` baseline;
 //! 2. the sharded service with a worker pool (unbounded memory);
 //! 3. the same, with resident snapshots capped at 25% of the problem
-//!    tree — exercising LRU eviction and constraint-path re-derivation.
+//!    tree — exercising LRU eviction and constraint-path re-derivation;
+//! 4. a remote `lwsnapd` over loopback TCP, one connection per
+//!    session driven **serially** (submit, wait, repeat — a full
+//!    round trip per query; tagged frames, same as phase 5, so the
+//!    comparison isolates the wire discipline);
+//! 5. the same daemon, all sessions multiplexed on ONE **pipelined**
+//!    connection (out-of-order completions) — the epoll front end's
+//!    reason to exist. The legacy v1 blocking `TcpClient` path is
+//!    exercised by `service_pipeline` (bench) and the TCP
+//!    integration suite rather than here.
 //!
 //! Every SAT model returned in any phase is re-checked against the full
 //! constraint path of its problem, and the SAT/UNSAT verdict streams of
-//! all three phases are compared step for step; any mismatch exits
+//! all phases are compared step for step; any mismatch exits
 //! non-zero. That is the "deterministically verifiable under
 //! concurrency" property the paper's service sketch demands.
 //!
@@ -21,6 +31,7 @@
 //! ```
 
 use lwsnap_bench::service_workload::{RunOutcome, Workload};
+use lwsnap_service::{PipelinedClient, Server, ServiceConfig, SolverBackend, TcpClient};
 
 fn parse_flag(args: &[String], name: &str, default: usize) -> usize {
     args.iter()
@@ -104,16 +115,59 @@ fn main() {
         evicting_service.stats().hit_rate().unwrap_or(1.0) * 100.0,
     );
 
+    // Phases 4 & 5: the same closed loop over loopback TCP against the
+    // epoll front end — blocking one-connection-per-session vs all
+    // sessions pipelined on one connection.
+    let server =
+        Server::start("127.0.0.1:0", ServiceConfig::new(shards), workers).expect("bind loopback");
+    let addr = server.local_addr();
+
+    let blocking = {
+        let clients: Vec<PipelinedClient> = (0..sessions)
+            .map(|_| PipelinedClient::connect(addr).expect("connect"))
+            .collect();
+        // Each session gets a dedicated connection driven one call at
+        // a time (submit + wait) — the per-query-round-trip baseline.
+        lwsnap_bench::service_workload::run_backend(&workload, |i, plan| {
+            let backend: &dyn SolverBackend = &clients[i];
+            let root = backend.session_root(plan.session).expect("transport");
+            let base = backend
+                .solve(root, workload.base.clone())
+                .expect("transport")
+                .expect("root is live")
+                .problem;
+            (backend, base)
+        })
+    };
+    report("TCP serial (conn/session)", &blocking);
+
+    let pipelined = {
+        let shared = PipelinedClient::connect(addr).expect("connect");
+        lwsnap_bench::service_workload::run_remote(&workload, &shared)
+    };
+    report("TCP pipelined (one conn)", &pipelined);
+    println!(
+        "    pipelining gain over serial TCP: {:.2}×",
+        pipelined.throughput() / blocking.throughput().max(1e-9),
+    );
+    TcpClient::connect(addr)
+        .and_then(|mut c| c.shutdown_server())
+        .expect("shutdown");
+    server.wait();
+
     // Cross-phase verification: identical verdict streams everywhere.
     let mut mismatches = 0usize;
     for (s, seq_session) in sequential.verdicts.iter().enumerate() {
-        if sharded.verdicts[s] != *seq_session {
-            eprintln!("VERDICT MISMATCH: session {s}, sharded vs sequential");
-            mismatches += 1;
-        }
-        if evicting.verdicts[s] != *seq_session {
-            eprintln!("VERDICT MISMATCH: session {s}, evicting vs sequential");
-            mismatches += 1;
+        for (phase, outcome) in [
+            ("sharded", &sharded),
+            ("evicting", &evicting),
+            ("tcp-serial", &blocking),
+            ("tcp-pipelined", &pipelined),
+        ] {
+            if outcome.verdicts[s] != *seq_session {
+                eprintln!("VERDICT MISMATCH: session {s}, {phase} vs sequential");
+                mismatches += 1;
+            }
         }
     }
     if mismatches > 0 {
@@ -123,7 +177,7 @@ fn main() {
     let speedup = evicting.throughput().max(sharded.throughput()) / sequential.throughput();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "\nall {} queries × 3 phases verified: identical verdicts, every model re-checked \
+        "\nall {} queries × 5 phases verified: identical verdicts, every model re-checked \
          against its constraint path ({:.2}× best sharded speedup over sequential on \
          {cores} core{})",
         workload.total_queries(),

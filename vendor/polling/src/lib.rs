@@ -1,0 +1,407 @@
+//! Vendored offline shim for the `polling` crate (2.x API surface).
+//!
+//! The build environment for this workspace has no access to crates.io,
+//! so this crate wraps exactly the readiness-notification surface the
+//! `lwsnap-service` reactor uses: a [`Poller`] over Linux `epoll(7)`
+//! with an `eventfd(2)`-based [`Poller::notify`] wakeup. It is NOT a
+//! general-purpose polling library — do not grow it beyond what the
+//! workspace needs (see vendor/README.md).
+//!
+//! ## Semantics (matching `polling` 2.x)
+//!
+//! * Sources are registered in **oneshot** mode (`EPOLLONESHOT`):
+//!   after an event for a key is delivered, interest in that source is
+//!   disabled until re-armed with [`Poller::modify`].
+//! * [`Poller::notify`] wakes a concurrent or future [`Poller::wait`];
+//!   notifications coalesce and are consumed by the wakeup.
+//! * Error/hangup conditions are surfaced as both `readable` and
+//!   `writable` so the caller observes them through its next I/O call,
+//!   exactly like the real crate.
+//!
+//! The FFI declarations live here (not in the vendored `libc` shim,
+//! which is scoped to `lwsnap-osnative`'s syscalls); layout tests below
+//! pin the packed `epoll_event` ABI that x86-64 Linux requires.
+
+#![cfg(all(target_os = "linux", target_pointer_width = "64"))]
+#![allow(non_camel_case_types)]
+
+use std::io;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Raw epoll / eventfd FFI (x86-64 Linux, glibc-compatible).
+// ---------------------------------------------------------------------
+
+type c_int = i32;
+type c_uint = u32;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLONESHOT: u32 = 1 << 30;
+
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// `struct epoll_event` — packed on x86-64 (12 bytes), per `epoll_ctl(2)`.
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct epoll_event {
+    events: u32,
+    u64: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut epoll_event, maxevents: c_int, timeout: c_int)
+        -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------------
+
+/// Interest in (or occurrence of) readiness events on a source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The key passed to [`Poller::add`] / [`Poller::modify`].
+    pub key: usize,
+    /// Readable readiness.
+    pub readable: bool,
+    /// Writable readiness.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in read readiness only.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in write readiness only.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Interest in both read and write readiness.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// No interest (the source stays registered but silent until
+    /// re-armed with [`Poller::modify`]).
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+
+    fn to_epoll(self) -> u32 {
+        let mut ev = EPOLLONESHOT | EPOLLRDHUP;
+        if self.readable {
+            ev |= EPOLLIN;
+        }
+        if self.writable {
+            ev |= EPOLLOUT;
+        }
+        ev
+    }
+}
+
+/// The key the internal notify eventfd is registered under; never
+/// surfaced to callers (matches the real crate's reserved `usize::MAX`).
+const NOTIFY_KEY: usize = usize::MAX;
+
+/// A readiness poller over epoll, with a `notify` wakeup channel.
+pub struct Poller {
+    epfd: RawFd,
+    notify_fd: RawFd,
+}
+
+// The fds are plain kernel handles; the epoll set is thread-safe.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+impl Poller {
+    /// Creates a poller with its notify channel armed.
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: plain syscalls; fds are owned by the Poller and closed
+        // in Drop.
+        unsafe {
+            let epfd = cvt(epoll_create1(EPOLL_CLOEXEC))?;
+            let notify_fd = match cvt(eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)) {
+                Ok(fd) => fd,
+                Err(e) => {
+                    close(epfd);
+                    return Err(e);
+                }
+            };
+            // Level-triggered, persistent interest: wakeups must never be
+            // lost to a missing re-arm.
+            let mut ev = epoll_event {
+                events: EPOLLIN,
+                u64: NOTIFY_KEY as u64,
+            };
+            if let Err(e) = cvt(epoll_ctl(epfd, EPOLL_CTL_ADD, notify_fd, &mut ev)) {
+                close(notify_fd);
+                close(epfd);
+                return Err(e);
+            }
+            Ok(Poller { epfd, notify_fd })
+        }
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, interest: Option<Event>) -> io::Result<()> {
+        let mut ev = interest.map(|i| epoll_event {
+            events: i.to_epoll(),
+            u64: i.key as u64,
+        });
+        let ptr = ev
+            .as_mut()
+            .map_or(std::ptr::null_mut(), |e| e as *mut epoll_event);
+        // SAFETY: fd is a live descriptor supplied by the caller via
+        // AsRawFd; epoll copies the event struct before returning.
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, ptr) })?;
+        Ok(())
+    }
+
+    /// Registers a source with an initial (oneshot) interest.
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, source.as_raw_fd(), Some(interest))
+    }
+
+    /// Re-arms a registered source with a new (oneshot) interest.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, source.as_raw_fd(), Some(interest))
+    }
+
+    /// Deregisters a source.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, source.as_raw_fd(), None)
+    }
+
+    /// Waits for events, appending them to `events`; returns how many
+    /// arrived. `None` blocks until an event or a [`Poller::notify`];
+    /// `Some(t)` bounds the wait. A notification wakes the call and is
+    /// consumed without surfacing an event.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            // Round up so tiny timeouts still sleep, matching polling.
+            Some(t) => t.as_millis().min(i32::MAX as u128) as c_int,
+        };
+        let mut buf = [epoll_event { events: 0, u64: 0 }; 64];
+        // SAFETY: buf outlives the call; the kernel writes at most
+        // `buf.len()` entries.
+        let n = loop {
+            let ret =
+                unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout_ms) };
+            match cvt(ret) {
+                Ok(n) => break n as usize,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        let mut delivered = 0;
+        for ev in &buf[..n] {
+            let key = ev.u64 as usize;
+            if key == NOTIFY_KEY {
+                // Drain the eventfd counter so the next notify re-fires.
+                let mut scratch = [0u8; 8];
+                // SAFETY: 8-byte read into a stack buffer; EAGAIN (already
+                // drained by a racing wait) is fine.
+                unsafe {
+                    read(self.notify_fd, scratch.as_mut_ptr(), scratch.len());
+                }
+                continue;
+            }
+            let err = ev.events & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0;
+            events.push(Event {
+                key,
+                readable: ev.events & EPOLLIN != 0 || err,
+                writable: ev.events & EPOLLOUT != 0 || err,
+            });
+            delivered += 1;
+        }
+        Ok(delivered)
+    }
+
+    /// Wakes a concurrent or future [`Poller::wait`]. Notifications
+    /// coalesce; this never blocks.
+    pub fn notify(&self) -> io::Result<()> {
+        let one = 1u64.to_ne_bytes();
+        // SAFETY: 8-byte write to an owned eventfd; EAGAIN means the
+        // counter is saturated, which still wakes the waiter.
+        let ret = unsafe { write(self.notify_fd, one.as_ptr(), one.len()) };
+        if ret < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() != io::ErrorKind::WouldBlock {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: both fds are owned by this Poller and closed once.
+        unsafe {
+            close(self.notify_fd);
+            close(self.epfd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn epoll_event_layout_is_packed() {
+        // x86-64 Linux packs epoll_event to 12 bytes (no padding before
+        // the u64); getting this wrong corrupts every delivered key.
+        assert_eq!(std::mem::size_of::<epoll_event>(), 12);
+    }
+
+    #[test]
+    fn notify_wakes_wait() {
+        let poller = Poller::new().unwrap();
+        poller.notify().unwrap();
+        let mut events = Vec::new();
+        // The pending notification must wake an infinite wait without
+        // surfacing an event.
+        let n = poller.wait(&mut events, None).unwrap();
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+        // Consumed: the next bounded wait times out empty.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn notify_from_another_thread_wakes_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let p2 = std::sync::Arc::clone(&poller);
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            p2.notify().unwrap();
+        });
+        let mut events = Vec::new();
+        poller.wait(&mut events, None).unwrap();
+        waker.join().unwrap();
+    }
+
+    #[test]
+    fn oneshot_readability_roundtrip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&server, Event::readable(7)).unwrap();
+
+        client.write_all(b"ping").unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].key, 7);
+        assert!(events[0].readable);
+
+        // Oneshot: without a re-arm, more data does not re-fire.
+        let mut buf = [0u8; 8];
+        let mut srv = &server;
+        assert_eq!(srv.read(&mut buf).unwrap(), 4);
+        client.write_all(b"pong").unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(25)))
+            .unwrap();
+        assert!(events.is_empty(), "oneshot interest must not re-fire");
+
+        // Re-armed interest fires for the buffered bytes.
+        poller.modify(&server, Event::readable(7)).unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        poller.delete(&server).unwrap();
+    }
+
+    #[test]
+    fn writable_interest_fires_and_none_is_silent() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (_server, _) = listener.accept().unwrap();
+        client.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        // A fresh socket's send buffer is empty, so writable fires.
+        poller.add(&client, Event::writable(3)).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].writable);
+
+        // Event::none parks the source without deregistering it.
+        poller.modify(&client, Event::none(3)).unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(25)))
+            .unwrap();
+        assert!(events.is_empty());
+        poller.modify(&client, Event::writable(3)).unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+    }
+}
