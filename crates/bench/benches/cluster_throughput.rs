@@ -1,0 +1,51 @@
+//! Cluster throughput: the same multi-session closed-loop workload
+//! (see `lwsnap_bench::service_workload`) against a 1-node vs a 3-node
+//! in-process `lwsnapd` cluster, each node a full stack (own sharded
+//! service, worker pool and epoll reactor) reached through the
+//! consistent-hash `ClusterBackend`.
+//!
+//! Expected shape: on real multi-core hardware the 3-node cluster
+//! approaches 3× the single node once sessions outnumber nodes (the
+//! ring partitions sessions, so nodes share *nothing*); on a 1-core CI
+//! box the node count mostly measures reactor/connection overhead, so
+//! treat the 1-node run as the baseline and the 3-node delta as the
+//! cost of distribution. The per-session serial `PipelinedClient` run
+//! against a single plain server is included as the no-ring reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lwsnap_bench::service_workload::{run_remote, Workload};
+use lwsnap_service::{Cluster, PipelinedClient, Server, ServiceConfig};
+
+fn bench_cluster_throughput(c: &mut Criterion) {
+    let sessions = 8;
+    let queries = 6;
+    let workload = Workload::build(sessions, queries, 50, 0xc1a5);
+    let total = workload.total_queries() as u64;
+    let workers = 2;
+
+    let mut group = c.benchmark_group("cluster_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total));
+
+    // No-ring reference: one plain server, one pipelined connection.
+    let server = Server::start("127.0.0.1:0", ServiceConfig::new(8), workers).expect("bind");
+    group.bench_function("single_server", |b| {
+        let client = PipelinedClient::connect(server.local_addr()).expect("connect");
+        b.iter(|| std::hint::black_box(run_remote(&workload, &client).verdicts))
+    });
+    drop(server);
+
+    for nodes in [1usize, 3] {
+        let cluster =
+            Cluster::start_local(nodes, ServiceConfig::new(8), workers).expect("start cluster");
+        group.bench_with_input(BenchmarkId::new("cluster", nodes), &nodes, |b, _| {
+            let backend = cluster.connect().expect("connect cluster");
+            b.iter(|| std::hint::black_box(run_remote(&workload, &backend).verdicts))
+        });
+        cluster.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_throughput);
+criterion_main!(benches);

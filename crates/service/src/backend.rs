@@ -44,6 +44,15 @@ pub(crate) enum TicketInner {
     Pending(mpsc::Receiver<Option<SolveReply>>),
     /// The reply arrives on the wire under this correlation tag.
     Tagged(u64),
+    /// The reply arrives on cluster node `node`'s connection under
+    /// `tag`. Tag spaces are per-connection, so `(node, tag)` is the
+    /// cluster-unique correlation key.
+    Cluster {
+        /// The node whose connection carries the reply.
+        node: crate::router::NodeId,
+        /// The correlation tag on that connection.
+        tag: u64,
+    },
 }
 
 impl std::fmt::Debug for Ticket {
@@ -52,6 +61,7 @@ impl std::fmt::Debug for Ticket {
             TicketInner::Ready(_) => write!(f, "Ticket(ready)"),
             TicketInner::Pending(_) => write!(f, "Ticket(pending)"),
             TicketInner::Tagged(tag) => write!(f, "Ticket(tag={tag})"),
+            TicketInner::Cluster { node, tag } => write!(f, "Ticket(node={node}, tag={tag})"),
         }
     }
 }
@@ -76,6 +86,19 @@ pub trait SolverBackend: Send + Sync {
 
     /// Aggregated service statistics.
     fn stats(&self) -> io::Result<StatsSummary>;
+
+    /// Statistics with the **node dimension** kept: one `(node id,
+    /// summary)` entry per cluster node, so callers can see per-node
+    /// hit/rederive/evict counts instead of a silently summed blur.
+    /// Single-node backends answer one entry; [`crate::ClusterBackend`]
+    /// answers one per member node. The default labels the single
+    /// entry node 0 — backends that can learn their real node id
+    /// override it (all the in-tree impls do).
+    fn node_stats(&self) -> io::Result<crate::stats::FleetStats> {
+        Ok(crate::stats::FleetStats {
+            nodes: vec![(0, self.stats()?)],
+        })
+    }
 
     /// Blocking convenience: submit then wait.
     fn solve(&self, parent: ProblemId, clauses: Vec<Vec<Lit>>) -> io::Result<Option<SolveReply>> {
@@ -132,6 +155,12 @@ impl SolverBackend for ShardedService {
     fn stats(&self) -> io::Result<StatsSummary> {
         Ok((&ShardedService::stats(self)).into())
     }
+
+    fn node_stats(&self) -> io::Result<crate::stats::FleetStats> {
+        Ok(crate::stats::FleetStats {
+            nodes: vec![(self.node_id(), SolverBackend::stats(self)?)],
+        })
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -167,6 +196,12 @@ impl SolverBackend for PoolClient {
         Ok((&self.service().stats()).into())
     }
 
+    fn node_stats(&self) -> io::Result<crate::stats::FleetStats> {
+        Ok(crate::stats::FleetStats {
+            nodes: vec![(self.service().node_id(), self.stats()?)],
+        })
+    }
+
     /// One injector operation for the whole batch (single atomic tail
     /// swap), then in-order waits.
     fn solve_batch(
@@ -196,6 +231,12 @@ impl SolverBackend for WorkerPool {
 
     fn stats(&self) -> io::Result<StatsSummary> {
         Ok((&self.service().stats()).into())
+    }
+
+    fn node_stats(&self) -> io::Result<crate::stats::FleetStats> {
+        Ok(crate::stats::FleetStats {
+            nodes: vec![(self.service().node_id(), SolverBackend::stats(self)?)],
+        })
     }
 
     fn solve_batch(

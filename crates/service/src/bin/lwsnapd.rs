@@ -2,7 +2,7 @@
 //!
 //! ```sh
 //! lwsnapd [--addr 127.0.0.1:7557] [--shards N] [--workers M] \
-//!         [--capacity K] [--budget BYTES]
+//!         [--capacity K] [--budget BYTES] [--node-id ID]
 //! ```
 //!
 //! Serves the `lwsnap-service` wire protocol (legacy in-order frames
@@ -12,19 +12,33 @@
 //! bounds the resident solver snapshots *per shard* by count,
 //! `--budget` by byte cost (clause + assignment footprint); evicted
 //! problems are re-derived transparently by constraint replay.
+//!
+//! ## Cluster mode
+//!
+//! `--node-id ID` makes this daemon node `ID` of a cluster: every
+//! problem id it mints carries the node id, and ids routed to it that
+//! name a *different* node are rejected at decode time with a typed
+//! `WrongNode` error instead of aliasing into a dead reference. Stand
+//! up one daemon per node (distinct `--node-id`s, any addresses) and
+//! point a `ClusterBackend` at the full `(id, addr)` map — the
+//! client-side consistent-hash ring does the rest; nodes never talk to
+//! each other (sessions are partitioned, snapshots never cross the
+//! wire).
 
 use lwsnap_service::{Server, ServiceConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: lwsnapd [--addr HOST:PORT] [--shards N] [--workers M] \
-         [--capacity K] [--budget BYTES]\n\
+         [--capacity K] [--budget BYTES] [--node-id ID]\n\
          \n\
          --addr      listen address (default 127.0.0.1:7557)\n\
          --shards    independently locked problem-tree shards (default 8)\n\
          --workers   solver worker threads (default: available parallelism)\n\
          --capacity  max resident snapshots per shard (default: unbounded)\n\
-         --budget    max resident snapshot bytes per shard (default: unbounded)"
+         --budget    max resident snapshot bytes per shard (default: unbounded)\n\
+         --node-id   cluster node id stamped into problem ids (default 0);\n\
+         \u{20}           run one daemon per id and give a ClusterBackend the map"
     );
     std::process::exit(2);
 }
@@ -35,6 +49,7 @@ fn main() {
     let mut workers = std::thread::available_parallelism().map_or(4, |n| n.get());
     let mut capacity: Option<usize> = None;
     let mut budget: Option<usize> = None;
+    let mut node_id: u16 = 0;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -52,12 +67,13 @@ fn main() {
                 capacity = Some(value("--capacity").parse().unwrap_or_else(|_| usage()))
             }
             "--budget" => budget = Some(value("--budget").parse().unwrap_or_else(|_| usage())),
+            "--node-id" => node_id = value("--node-id").parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
 
-    let mut config = ServiceConfig::new(shards);
+    let mut config = ServiceConfig::new(shards).with_node_id(node_id);
     config.snapshot_capacity = capacity;
     config.snapshot_budget_bytes = budget;
     let server = match Server::start(&addr, config, workers) {
@@ -68,7 +84,8 @@ fn main() {
         }
     };
     println!(
-        "lwsnapd listening on {} ({} shards, {} workers, capacity {})",
+        "lwsnapd node {} listening on {} ({} shards, {} workers, capacity {})",
+        node_id,
         server.local_addr(),
         shards,
         workers,

@@ -1,15 +1,18 @@
 //! Wire-protocol clients: the blocking one-call-at-a-time
-//! [`TcpClient`] and the [`PipelinedClient`] that keeps many tagged
-//! requests in flight on one connection.
+//! [`TcpClient`], the [`PipelinedClient`] that keeps many tagged
+//! requests in flight on one connection, and the [`ClusterBackend`]
+//! that spreads sessions over N pipelined connections — one per
+//! cluster node — through the consistent-hash [`crate::router::Ring`].
 //!
-//! Both speak the same `lwsnapd` protocol; the pipelined client uses
-//! v2 tagged frames ([`crate::protocol::TAGGED`]) so the server may
-//! complete its requests out of order, and implements
-//! [`crate::SolverBackend`] so drivers written against the trait can
-//! run remotely unchanged.
+//! All of them speak the same `lwsnapd` protocol; the pipelined client
+//! uses v2 tagged frames ([`crate::protocol::TAGGED`]) so the server
+//! may complete its requests out of order, and both it and the cluster
+//! backend implement [`crate::SolverBackend`] so drivers written
+//! against the trait can run remotely — on one node or on a whole
+//! cluster — unchanged.
 
 use std::collections::{HashMap, HashSet};
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, TryLockError};
@@ -19,10 +22,12 @@ use lwsnap_solver::{Lit, SolveResult};
 
 use crate::backend::{foreign_ticket, SolverBackend, Ticket, TicketInner};
 use crate::protocol::{
-    lits_to_clauses, read_any_frame, read_frame, write_frame, write_tagged_frame, ProtoError,
-    Request, Response, StatsSummary,
+    lits_to_clauses, put_tagged_frame, read_any_frame, read_frame, write_frame, write_tagged_frame,
+    ProtoError, Request, Response, StatsSummary,
 };
+use crate::router::{NodeId, Ring};
 use crate::sharded::{ProblemId, SolveReply};
+use crate::stats::FleetStats;
 
 /// Typed payload of the error a client call returns when the server
 /// closed the connection **cleanly between frames** (daemon shutdown,
@@ -207,7 +212,15 @@ impl PipelinedClient {
         stream.set_nodelay(true)?;
         Ok(PipelinedClient {
             reader: Mutex::new(BufReader::new(stream.try_clone()?)),
-            writer: Mutex::new(BufWriter::new(stream.try_clone()?)),
+            // The writer buffer IS the cork window: sized to the
+            // server's backpressure high-water mark so a corked batch
+            // ([`PipelinedClient::submit_batch`]) really does reach the
+            // socket in HIGH_WATER-sized writes — a default 8 KiB
+            // BufWriter would spill long before the window closed.
+            writer: Mutex::new(BufWriter::with_capacity(
+                crate::net::HIGH_WATER,
+                stream.try_clone()?,
+            )),
             stream,
             state: Mutex::new(PipeState {
                 done: HashMap::new(),
@@ -232,6 +245,35 @@ impl PipelinedClient {
         let mut writer = self.writer.lock().unwrap();
         write_tagged_frame(&mut *writer, tag, &request.encode())?;
         Ok(tag)
+    }
+
+    /// Writes a whole window of tagged requests **corked**: frames
+    /// accumulate in the buffered writer and the socket is flushed once
+    /// per window (or whenever the buffered bytes cross the server's
+    /// backpressure high-water mark, [`crate::net::HIGH_WATER`] —
+    /// matching the bound the reactor applies on its side) instead of
+    /// once per submit. Returns the correlation tags in request order.
+    ///
+    /// This is what makes [`SolverBackend::solve_batch`] on a pipelined
+    /// connection cost one syscall per window: submitting k requests
+    /// uncorked is k `write(2)`s; corked it is ⌈bytes / high-water⌉.
+    pub fn submit_batch(&self, requests: &[Request]) -> io::Result<Vec<u64>> {
+        let mut writer = self.writer.lock().unwrap();
+        let mut tags = Vec::with_capacity(requests.len());
+        let mut since_flush = 0usize;
+        for request in requests {
+            let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
+            let payload = request.encode();
+            put_tagged_frame(&mut *writer, tag, &payload)?;
+            tags.push(tag);
+            since_flush += payload.len() + 12;
+            if since_flush >= crate::net::HIGH_WATER {
+                writer.flush()?;
+                since_flush = 0;
+            }
+        }
+        writer.flush()?;
+        Ok(tags)
     }
 
     /// Submits a request whose response should be discarded on arrival
@@ -348,30 +390,7 @@ impl SolverBackend for PipelinedClient {
         let TicketInner::Tagged(tag) = ticket.0 else {
             return Err(foreign_ticket());
         };
-        match self.wait_response(tag)? {
-            Response::Solved {
-                problem,
-                sat,
-                rederived,
-                conflicts,
-                model,
-            } => Ok(Some(SolveReply {
-                problem: ProblemId::from_wire(problem),
-                result: if sat {
-                    SolveResult::Sat
-                } else {
-                    SolveResult::Unsat
-                },
-                model,
-                conflicts,
-                rederived,
-            })),
-            // Dead/unknown references answer None, like the in-process
-            // backends (the server's message is not worth a transport
-            // error).
-            Response::Error(_) => Ok(None),
-            other => Err(unexpected(other)),
-        }
+        solved_reply(self.wait_response(tag)?)
     }
 
     fn release(&self, id: ProblemId) -> io::Result<()> {
@@ -385,5 +404,343 @@ impl SolverBackend for PipelinedClient {
             Response::Stats(s) => Ok(s),
             other => Err(unexpected(other)),
         }
+    }
+
+    /// The daemon's node id rides in every id it mints, so a read-only
+    /// root lookup labels the stats with the REAL node id (the trait
+    /// default would hardcode 0, misattributing a `--node-id 2`
+    /// daemon's counters).
+    fn node_stats(&self) -> io::Result<FleetStats> {
+        let node = SolverBackend::session_root(self, 0)?.node();
+        Ok(FleetStats {
+            nodes: vec![(node, SolverBackend::stats(self)?)],
+        })
+    }
+
+    /// One corked window: all frames written under one writer lock,
+    /// the socket flushed once (see [`PipelinedClient::submit_batch`]),
+    /// replies redeemed in request order.
+    fn solve_batch(
+        &self,
+        requests: Vec<(ProblemId, Vec<Vec<Lit>>)>,
+    ) -> io::Result<Vec<Option<SolveReply>>> {
+        let window: Vec<Request> = requests
+            .into_iter()
+            .map(|(parent, clauses)| Request::Solve {
+                parent: parent.to_wire(),
+                clauses: lits_to_clauses(&clauses),
+            })
+            .collect();
+        self.submit_batch(&window)?
+            .into_iter()
+            .map(|tag| solved_reply(self.wait_response(tag)?))
+            .collect()
+    }
+}
+
+/// Maps a solve response to the trait's reply contract: `Solved`
+/// decodes, a server-side `Error` (dead/unknown reference) is the
+/// `Ok(None)` answer in-process backends give, anything else is a
+/// protocol violation.
+fn solved_reply(response: Response) -> io::Result<Option<SolveReply>> {
+    match response {
+        Response::Solved {
+            problem,
+            sat,
+            rederived,
+            conflicts,
+            model,
+        } => Ok(Some(SolveReply {
+            problem: ProblemId::from_wire(problem),
+            result: if sat {
+                SolveResult::Sat
+            } else {
+                SolveResult::Unsat
+            },
+            model,
+            conflicts,
+            rederived,
+        })),
+        Response::Error(_) => Ok(None),
+        other => Err(unexpected(other)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The cluster backend.
+// ---------------------------------------------------------------------
+
+/// Typed payload identifying *which cluster node* an error came from.
+/// Every transport failure a [`ClusterBackend`] surfaces wraps the
+/// underlying error in one of these, so a caller can tell "node 2
+/// died" from "the cluster is misconfigured" without string matching:
+///
+/// ```
+/// # use lwsnap_service::NodeError;
+/// fn failed_node(e: &std::io::Error) -> Option<u16> {
+///     e.get_ref()?.downcast_ref::<NodeError>().map(|n| n.node)
+/// }
+/// ```
+#[derive(Debug)]
+pub struct NodeError {
+    /// The node the failed operation was routed to.
+    pub node: NodeId,
+    /// The underlying failure, rendered (io::Error is not Clone).
+    pub message: String,
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cluster node {}: {}", self.node, self.message)
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+/// Wraps a node-local failure, preserving its `ErrorKind`.
+fn node_error(node: NodeId, e: io::Error) -> io::Error {
+    io::Error::new(
+        e.kind(),
+        NodeError {
+            node,
+            message: e.to_string(),
+        },
+    )
+}
+
+/// "The id names a node this cluster does not have."
+fn unknown_node(node: NodeId) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidInput,
+        NodeError {
+            node,
+            message: "not a member of this cluster".into(),
+        },
+    )
+}
+
+/// One member node: its id and the pipelined connection to it.
+struct ClusterNode {
+    id: NodeId,
+    client: PipelinedClient,
+}
+
+/// The multi-node [`SolverBackend`]: N [`PipelinedClient`]s — one per
+/// `lwsnapd` node — behind the consistent-hash [`Ring`].
+///
+/// * **Routing** — session roots go to the ring-chosen node
+///   ([`Ring::node_for`]); every subsequent request self-routes by the
+///   node id stamped inside its [`ProblemId`], so a session's whole
+///   problem tree stays on one node (snapshots never cross the wire).
+/// * **Tag spaces** — correlation tags are per-connection, so the N
+///   nodes' tag spaces are disjoint by construction; a ticket carries
+///   `(node, tag)` and completions merge through the same
+///   ticket/wait machinery as a single connection.
+/// * **Stats** — [`SolverBackend::stats`] sums the nodes;
+///   [`SolverBackend::node_stats`] keeps the per-node split.
+/// * **Failure** — a dead or misbehaving node surfaces as a typed
+///   [`NodeError`] naming it; sessions on other nodes are unaffected,
+///   and [`ClusterBackend::shutdown`] still drains the survivors
+///   gracefully.
+pub struct ClusterBackend {
+    /// Member nodes, sorted by id (binary-searchable).
+    nodes: Vec<ClusterNode>,
+    ring: Ring,
+}
+
+impl ClusterBackend {
+    /// Connects to every node of the cluster map `addrs` (`(node id,
+    /// address)` pairs; duplicate ids are an error), ring seed 0.
+    pub fn connect<A: ToSocketAddrs>(addrs: &[(NodeId, A)]) -> io::Result<ClusterBackend> {
+        ClusterBackend::connect_seeded(addrs, 0)
+    }
+
+    /// [`ClusterBackend::connect`] with an explicit ring seed — every
+    /// client of one cluster must use the same seed, or their session
+    /// placements disagree.
+    pub fn connect_seeded<A: ToSocketAddrs>(
+        addrs: &[(NodeId, A)],
+        seed: u64,
+    ) -> io::Result<ClusterBackend> {
+        let mut nodes = Vec::with_capacity(addrs.len());
+        for (id, addr) in addrs {
+            let client = PipelinedClient::connect(addr).map_err(|e| node_error(*id, e))?;
+            nodes.push(ClusterNode { id: *id, client });
+        }
+        nodes.sort_by_key(|n| n.id);
+        if nodes.windows(2).any(|w| w[0].id == w[1].id) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "duplicate node id in cluster map",
+            ));
+        }
+        let ring = Ring::new(nodes.iter().map(|n| n.id), seed);
+        Ok(ClusterBackend { nodes, ring })
+    }
+
+    /// Number of member nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The member node ids, sorted.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.iter().map(|n| n.id).collect()
+    }
+
+    /// The routing ring (e.g. to predict placements in tests).
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// The connection that owns `node`, or the typed unknown-node error.
+    fn node(&self, node: NodeId) -> io::Result<&ClusterNode> {
+        self.nodes
+            .binary_search_by_key(&node, |n| n.id)
+            .map(|at| &self.nodes[at])
+            .map_err(|_| unknown_node(node))
+    }
+
+    /// Gracefully drains the whole cluster: each node is sent a
+    /// `Shutdown` (the daemon finishes in-flight solves and flushes
+    /// every reply before exiting) and its final stats snapshot is
+    /// collected. Per-node results, so one dead node never masks the
+    /// survivors' clean drain.
+    pub fn shutdown(&self) -> Vec<(NodeId, io::Result<StatsSummary>)> {
+        self.nodes
+            .iter()
+            .map(|n| {
+                let result = n.client.shutdown_server().map_err(|e| node_error(n.id, e));
+                (n.id, result)
+            })
+            .collect()
+    }
+}
+
+impl SolverBackend for ClusterBackend {
+    /// The ring places the session on a node; that node's Fibonacci
+    /// shard hash places it inside the node. The returned id must carry
+    /// the node id the ring chose — a mismatch means the server was
+    /// started with the wrong `--node-id` and is caught here, not after
+    /// a session's tree has landed on the wrong node.
+    fn session_root(&self, session: u64) -> io::Result<ProblemId> {
+        let node = self
+            .ring
+            .node_for(session)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "cluster has no nodes"))?;
+        let member = self.node(node)?;
+        let root = member
+            .client
+            .session_root(session)
+            .map_err(|e| node_error(node, e))?;
+        if root.node() != node {
+            return Err(node_error(
+                node,
+                ProtoError::WrongNode {
+                    got: root.node() as u64,
+                    expected: node as u64,
+                }
+                .into(),
+            ));
+        }
+        Ok(root)
+    }
+
+    fn submit(&self, parent: ProblemId, clauses: Vec<Vec<Lit>>) -> io::Result<Ticket> {
+        let member = self.node(parent.node())?;
+        let tag = member
+            .client
+            .submit_request(&Request::Solve {
+                parent: parent.to_wire(),
+                clauses: lits_to_clauses(&clauses),
+            })
+            .map_err(|e| node_error(member.id, e))?;
+        Ok(Ticket(TicketInner::Cluster {
+            node: member.id,
+            tag,
+        }))
+    }
+
+    fn wait(&self, ticket: Ticket) -> io::Result<Option<SolveReply>> {
+        let TicketInner::Cluster { node, tag } = ticket.0 else {
+            return Err(foreign_ticket());
+        };
+        let member = self.node(node)?;
+        let response = member
+            .client
+            .wait_response(tag)
+            .map_err(|e| node_error(node, e))?;
+        solved_reply(response).map_err(|e| node_error(node, e))
+    }
+
+    fn release(&self, id: ProblemId) -> io::Result<()> {
+        let member = self.node(id.node())?;
+        member
+            .client
+            .release(id)
+            .map_err(|e| node_error(member.id, e))
+    }
+
+    fn stats(&self) -> io::Result<StatsSummary> {
+        Ok(self.node_stats()?.total())
+    }
+
+    fn node_stats(&self) -> io::Result<FleetStats> {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let summary = n.client.stats().map_err(|e| node_error(n.id, e))?;
+                Ok((n.id, summary))
+            })
+            .collect::<io::Result<_>>()?;
+        Ok(FleetStats { nodes })
+    }
+
+    /// Corked per node: the batch is split by owning node (order
+    /// preserved within each node's window), each node's window is
+    /// written with one flush ([`PipelinedClient::submit_batch`]), and
+    /// replies are redeemed in the original request order.
+    fn solve_batch(
+        &self,
+        requests: Vec<(ProblemId, Vec<Vec<Lit>>)>,
+    ) -> io::Result<Vec<Option<SolveReply>>> {
+        // Split into per-node windows, remembering each request's
+        // original position.
+        let mut windows: Vec<(NodeId, Vec<usize>, Vec<Request>)> = Vec::new();
+        for (pos, (parent, clauses)) in requests.iter().enumerate() {
+            let node = parent.node();
+            self.node(node)?; // unknown nodes fail before any write
+            let request = Request::Solve {
+                parent: parent.to_wire(),
+                clauses: lits_to_clauses(clauses),
+            };
+            match windows.iter_mut().find(|(n, ..)| *n == node) {
+                Some((_, positions, window)) => {
+                    positions.push(pos);
+                    window.push(request);
+                }
+                None => windows.push((node, vec![pos], vec![request])),
+            }
+        }
+        // Submit every node's window corked, then wait in request order.
+        let mut tickets: Vec<Option<(NodeId, u64)>> = vec![None; requests.len()];
+        for (node, positions, window) in &windows {
+            let member = self.node(*node)?;
+            let tags = member
+                .client
+                .submit_batch(window)
+                .map_err(|e| node_error(*node, e))?;
+            for (&pos, tag) in positions.iter().zip(tags) {
+                tickets[pos] = Some((*node, tag));
+            }
+        }
+        tickets
+            .into_iter()
+            .map(|slot| {
+                let (node, tag) = slot.expect("every request was submitted");
+                self.wait(Ticket(TicketInner::Cluster { node, tag }))
+            })
+            .collect()
     }
 }

@@ -17,7 +17,11 @@
 //!   one problem tree, snapshots, eviction (by count and/or byte
 //!   budget), replay.
 //! * [`sharded::ShardedService`] — N shards behind one façade;
-//!   [`sharded::ProblemId`] routes a reference to its shard.
+//!   [`sharded::ProblemId`] routes a reference to its node and shard
+//!   (the id is placement-aware: node ⋅ shard ⋅ local).
+//! * [`router`] — cluster placement: the consistent-hash [`Ring`]
+//!   (seeded rendezvous) mapping session roots to nodes, with exact
+//!   minimal-disruption rebalancing.
 //! * [`pool::WorkerPool`] — M worker threads pulling solve jobs from a
 //!   shared [`lwsnap_core::workqueue::Injector`]; clients submit one job
 //!   or a whole batch under one lock acquisition.
@@ -34,9 +38,10 @@
 //!   (vendored [`polling`] shim) multiplexing every connection, with
 //!   per-connection write backpressure and graceful shutdown; the
 //!   `lwsnapd` binary serves it.
-//! * [`client`] — [`TcpClient`] (blocking, v1) and [`PipelinedClient`]
-//!   (send-many/await-many, v2) — the latter is the remote
-//!   [`SolverBackend`].
+//! * [`client`] — [`TcpClient`] (blocking, v1), [`PipelinedClient`]
+//!   (send-many/await-many, v2) and [`ClusterBackend`] (N pipelined
+//!   connections behind the ring) — the latter two are the remote
+//!   [`SolverBackend`]s, for one node and for a whole cluster.
 //! * [`stats`] — per-shard and per-worker counters aggregated into one
 //!   cluster view.
 //!
@@ -65,13 +70,15 @@ pub mod client;
 pub mod net;
 pub mod pool;
 pub mod protocol;
+pub mod router;
 pub mod sharded;
 pub mod stats;
 
 pub use backend::{SolverBackend, Ticket};
-pub use client::{Disconnected, PipelinedClient, TcpClient};
-pub use net::Server;
+pub use client::{ClusterBackend, Disconnected, NodeError, PipelinedClient, TcpClient};
+pub use net::{Cluster, Server};
 pub use pool::{PoolClient, WorkerPool};
 pub use protocol::{Request, Response, StatsSummary};
+pub use router::{NodeId, Placement, Ring};
 pub use sharded::{ProblemId, ServiceConfig, ShardedService, SolveReply};
-pub use stats::{ClusterStats, WorkerStats};
+pub use stats::{ClusterStats, FleetStats, WorkerStats};

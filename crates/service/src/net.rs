@@ -46,8 +46,11 @@ use crate::protocol::{self, clauses_to_lits, Request, Response, TAGGED};
 use crate::sharded::{ProblemId, ServiceConfig, ShardedService, SolveReply};
 use crate::stats::WorkerStats;
 
-/// Stop reading a connection whose unflushed output exceeds this.
-const HIGH_WATER: usize = 1 << 20;
+/// Stop reading a connection whose unflushed output exceeds this. Also
+/// the flush window for client-side corked batch writes
+/// ([`crate::PipelinedClient::submit_batch`]), so both directions of
+/// the wire share one backpressure bound.
+pub(crate) const HIGH_WATER: usize = 1 << 20;
 /// Resume reading once the unflushed output falls below this.
 const LOW_WATER: usize = HIGH_WATER / 4;
 /// Stop reading a connection with this many unanswered solves.
@@ -571,13 +574,14 @@ impl Reactor {
             }
         };
         let num_shards = self.service.num_shards();
+        let node = self.service.node_id();
         match request {
             Request::Root { session } => {
                 let problem = self.service.session_root(session).to_wire();
                 self.complete_inline(idx, slot, Response::Root { problem });
             }
             Request::Release { problem } => {
-                let response = match ProblemId::from_wire_checked(problem, num_shards) {
+                let response = match ProblemId::from_wire_checked(problem, node, num_shards) {
                     Ok(id) => {
                         self.service.release(id);
                         Response::Released
@@ -597,7 +601,7 @@ impl Reactor {
                 self.draining = true;
             }
             Request::Solve { parent, clauses } => {
-                let parent = match ProblemId::from_wire_checked(parent, num_shards) {
+                let parent = match ProblemId::from_wire_checked(parent, node, num_shards) {
                     Ok(id) => id,
                     Err(e) => {
                         self.complete_inline(idx, slot, Response::Error(e.to_string()));
@@ -660,6 +664,91 @@ impl Reactor {
             if self.poller.modify(&conn.stream, interest).is_err() {
                 self.drop_conn(idx);
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The in-process cluster harness.
+// ---------------------------------------------------------------------
+
+/// N `lwsnapd`-equivalent [`Server`]s in one process — the cluster-mode
+/// test/bench harness. Each node is a full stack (own
+/// [`ShardedService`] stamped with its node id, own worker pool, own
+/// epoll reactor, own loopback port); only the process is shared, so a
+/// [`crate::ClusterBackend`] connected to it exercises exactly the
+/// cross-node paths a real deployment would, minus the speed of light.
+///
+/// ```no_run
+/// # use lwsnap_service::{Cluster, ServiceConfig, SolverBackend};
+/// # fn main() -> std::io::Result<()> {
+/// let cluster = Cluster::start_local(3, ServiceConfig::new(4), 2)?;
+/// let backend = cluster.connect()?;
+/// let root = backend.session_root(42)?; // lands on ring-chosen node
+/// # Ok(()) }
+/// ```
+pub struct Cluster {
+    /// `None` marks a killed node (its slot keeps later indices stable).
+    servers: Vec<Option<Server>>,
+}
+
+impl Cluster {
+    /// Stands up `nodes` single-node servers on ephemeral loopback
+    /// ports, node ids `0..nodes`, each a fresh [`ShardedService`] from
+    /// `config` (the `node_id` field is overwritten per node) with a
+    /// `workers`-thread pool.
+    pub fn start_local(nodes: usize, config: ServiceConfig, workers: usize) -> io::Result<Cluster> {
+        let servers = (0..nodes.max(1) as u16)
+            .map(|node| {
+                let config = config.clone().with_node_id(node);
+                Server::start("127.0.0.1:0", config, workers).map(Some)
+            })
+            .collect::<io::Result<_>>()?;
+        Ok(Cluster { servers })
+    }
+
+    /// The live nodes' `(node id, address)` pairs — the cluster map a
+    /// [`crate::ClusterBackend`] connects from.
+    pub fn addrs(&self) -> Vec<(u16, SocketAddr)> {
+        self.servers
+            .iter()
+            .enumerate()
+            .filter_map(|(node, s)| Some((node as u16, s.as_ref()?.local_addr())))
+            .collect()
+    }
+
+    /// Connects a [`crate::ClusterBackend`] to every live node.
+    pub fn connect(&self) -> io::Result<crate::ClusterBackend> {
+        crate::ClusterBackend::connect(&self.addrs())
+    }
+
+    /// The service instance behind node `node` (for stats assertions).
+    pub fn service(&self, node: u16) -> Option<&Arc<ShardedService>> {
+        self.servers
+            .get(node as usize)?
+            .as_ref()
+            .map(Server::service)
+    }
+
+    /// Number of live (unkilled) nodes.
+    pub fn live_nodes(&self) -> usize {
+        self.servers.iter().flatten().count()
+    }
+
+    /// Hard-kills one node (prompt reactor exit, connections dropped) —
+    /// the failure-injection hook: clients with requests in flight on
+    /// that node observe a connection error, other nodes are untouched.
+    pub fn kill_node(&mut self, node: u16) {
+        if let Some(server) = self.servers.get_mut(node as usize).and_then(Option::take) {
+            server.shutdown();
+        }
+    }
+
+    /// Shuts every remaining node down (prompt, in-flight solves
+    /// finish).
+    pub fn shutdown(mut self) {
+        for server in self.servers.iter_mut().filter_map(Option::take) {
+            server.shutdown();
         }
     }
 }

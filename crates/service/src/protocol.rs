@@ -51,6 +51,14 @@ pub enum ProtoError {
     ZeroLiteral,
     /// A wire problem id named a shard the service does not have.
     BadShard(u64),
+    /// A wire problem id was routed to the wrong cluster node (stale
+    /// cluster map, or a router bug).
+    WrongNode {
+        /// The node id the problem id names.
+        got: u64,
+        /// The node id of the service that received it.
+        expected: u64,
+    },
 }
 
 impl std::fmt::Display for ProtoError {
@@ -62,6 +70,12 @@ impl std::fmt::Display for ProtoError {
             ProtoError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
             ProtoError::ZeroLiteral => write!(f, "zero literal in clause"),
             ProtoError::BadShard(s) => write!(f, "shard index {s} out of range"),
+            ProtoError::WrongNode { got, expected } => {
+                write!(
+                    f,
+                    "problem id routed to node {got}, this is node {expected}"
+                )
+            }
         }
     }
 }
@@ -126,6 +140,26 @@ pub struct StatsSummary {
     pub total_conflicts: u64,
 }
 
+impl StatsSummary {
+    /// Folds another node's summary into this one (counter-wise sum;
+    /// `shards` adds too, giving the cluster-total shard count). The
+    /// lossy step cross-node aggregation takes — keep
+    /// [`crate::stats::FleetStats`] around when per-node attribution
+    /// matters.
+    pub fn absorb(&mut self, other: &StatsSummary) {
+        self.shards += other.shards;
+        self.queries += other.queries;
+        self.live_problems += other.live_problems;
+        self.resident_snapshots += other.resident_snapshots;
+        self.snapshot_hits += other.snapshot_hits;
+        self.rederivations += other.rederivations;
+        self.replayed_clauses += other.replayed_clauses;
+        self.rederive_conflicts += other.rederive_conflicts;
+        self.evictions += other.evictions;
+        self.total_conflicts += other.total_conflicts;
+    }
+}
+
 /// A server response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -187,11 +221,19 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 /// Writes one v2 tagged frame: header bit 31 set, payload prefixed with
 /// the little-endian correlation tag.
 pub fn write_tagged_frame(w: &mut impl Write, tag: u64, payload: &[u8]) -> io::Result<()> {
+    put_tagged_frame(w, tag, payload)?;
+    w.flush()
+}
+
+/// Writes one v2 tagged frame **without flushing** — the corked form
+/// batching clients use to put a whole window of frames on a buffered
+/// writer and flush the socket once (see
+/// [`crate::PipelinedClient::submit_batch`]).
+pub fn put_tagged_frame(w: &mut impl Write, tag: u64, payload: &[u8]) -> io::Result<()> {
     let len = check_len(payload.len().saturating_add(8))?;
     w.write_all(&(len | TAGGED).to_le_bytes())?;
     w.write_all(&tag.to_le_bytes())?;
-    w.write_all(payload)?;
-    w.flush()
+    w.write_all(payload)
 }
 
 /// Reads exactly `buf.len()` bytes. `Ok(false)` if the stream ended

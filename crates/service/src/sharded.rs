@@ -6,11 +6,20 @@
 //! its shard by construction (a child forks its parent's snapshot), so
 //! routing is a pure function of the id — no cross-shard coordination,
 //! no global lock.
+//!
+//! Since the cluster refactor the id is **placement-aware**: it names
+//! the owning *node* (a `lwsnapd` instance, [`crate::router::NodeId`])
+//! as well as the shard inside it, so a reference minted anywhere in a
+//! cluster routes back to its home node without any lookup table — the
+//! id *is* the route. A single-process deployment is simply the
+//! degenerate node-0 cluster; every pre-cluster wire id decodes
+//! unchanged (node 0).
 
 use std::sync::Mutex;
 
 use lwsnap_solver::{Lit, ProblemRef, ServiceStats, SolveResult, SolverService};
 
+use crate::router::NodeId;
 use crate::stats::ClusterStats;
 
 /// Configuration for a [`ShardedService`].
@@ -29,16 +38,30 @@ pub struct ServiceConfig {
     /// before many tiny ones. Composes with `snapshot_capacity`;
     /// whichever limit is exceeded first triggers eviction.
     pub snapshot_budget_bytes: Option<usize>,
+    /// This instance's cluster node id (stamped into every
+    /// [`ProblemId`] it mints; `0` for single-node deployments). Ids
+    /// carrying a different node id are foreign — the wire front end
+    /// rejects them with a typed error, the in-process API answers
+    /// `None`.
+    pub node_id: NodeId,
 }
 
 impl ServiceConfig {
-    /// A config with `shards` shards and no memory bound.
+    /// A config with `shards` shards (clamped to `1..=u16::MAX`), no
+    /// memory bound, node id 0.
     pub fn new(shards: usize) -> Self {
         ServiceConfig {
-            shards: shards.max(1),
+            shards: shards.clamp(1, u16::MAX as usize),
             snapshot_capacity: None,
             snapshot_budget_bytes: None,
+            node_id: 0,
         }
+    }
+
+    /// Sets the cluster node id.
+    pub fn with_node_id(mut self, node: NodeId) -> Self {
+        self.node_id = node;
+        self
     }
 
     /// Sets the per-shard resident-snapshot bound.
@@ -54,16 +77,35 @@ impl ServiceConfig {
     }
 }
 
-/// A service-wide problem reference: shard index plus the in-shard
-/// [`ProblemRef`]. Packs into a `u64` for the wire protocol.
+/// A cluster-wide problem reference — the **placement-aware id**: the
+/// owning node, the shard inside it, and the in-shard [`ProblemRef`].
+/// Packs into a `u64` for the wire protocol (node ⋅ shard ⋅ local as
+/// 16 ⋅ 16 ⋅ 32 bits), so a reference is its own route: no directory
+/// lookup ever stands between an id and the snapshot it names.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ProblemId {
-    shard: u32,
+    node: NodeId,
+    shard: u16,
     local: u32,
 }
 
 impl ProblemId {
-    /// The shard this problem lives in.
+    pub(crate) fn new(node: NodeId, shard: usize, local: u32) -> ProblemId {
+        ProblemId {
+            node,
+            shard: shard as u16,
+            local,
+        }
+    }
+
+    /// The cluster node this problem lives on (0 for single-node
+    /// deployments).
+    #[inline]
+    pub fn node(self) -> NodeId {
+        self.node
+    }
+
+    /// The shard this problem lives in (within its node).
     #[inline]
     pub fn shard(self) -> usize {
         self.shard as usize
@@ -75,37 +117,49 @@ impl ProblemId {
         ProblemRef::from_index(self.local)
     }
 
-    /// Packs the id for the wire (`shard` in the high 32 bits).
+    /// Packs the id for the wire: `node` in bits 48..64, `shard` in
+    /// bits 32..48, `local` in the low 32. Node-0 ids are bit-identical
+    /// to the pre-cluster `(shard << 32) | local` packing.
     #[inline]
     pub fn to_wire(self) -> u64 {
-        (self.shard as u64) << 32 | self.local as u64
+        (self.node as u64) << 48 | (self.shard as u64) << 32 | self.local as u64
     }
 
-    /// Unpacks a wire id **without validation** — the shard index may
-    /// name a shard the service does not have (such ids answer `None`
+    /// Unpacks a wire id **without validation** — the node or shard may
+    /// name a home the service does not have (such ids answer `None`
     /// on use). Transport front ends should prefer
     /// [`ProblemId::from_wire_checked`], which rejects malformed ids at
     /// decode time with a typed error.
     #[inline]
     pub fn from_wire(wire: u64) -> ProblemId {
         ProblemId {
-            shard: (wire >> 32) as u32,
+            node: (wire >> 48) as u16,
+            shard: (wire >> 32) as u16,
             local: wire as u32,
         }
     }
 
-    /// Unpacks a wire id, validating the shard index against the
-    /// service's shard count. A shard index at or beyond `num_shards`
-    /// is a decode error ([`crate::protocol::ProtoError::BadShard`]),
-    /// not a silently-dead reference — so corrupt or cross-cluster ids
-    /// are surfaced to the client instead of aliasing into "unknown
-    /// problem" answers.
+    /// Unpacks a wire id, validating the placement against the serving
+    /// node: an id routed to the wrong node is a decode error
+    /// ([`crate::protocol::ProtoError::WrongNode`] — the consistent-hash
+    /// router sent it to the wrong place, or the cluster map is stale),
+    /// and a shard index at or beyond `num_shards` is
+    /// [`crate::protocol::ProtoError::BadShard`]. Neither aliases into a
+    /// silently-dead reference: corrupt or misrouted ids surface to the
+    /// client as typed errors.
     #[inline]
     pub fn from_wire_checked(
         wire: u64,
+        node: NodeId,
         num_shards: usize,
     ) -> Result<ProblemId, crate::protocol::ProtoError> {
         let id = ProblemId::from_wire(wire);
+        if id.node() != node {
+            return Err(crate::protocol::ProtoError::WrongNode {
+                got: id.node() as u64,
+                expected: node as u64,
+            });
+        }
         if id.shard() >= num_shards {
             return Err(crate::protocol::ProtoError::BadShard(id.shard() as u64));
         }
@@ -135,14 +189,18 @@ pub struct SolveReply {
 /// clients) may call into it concurrently. Only the target shard is
 /// locked, for exactly the duration of one request.
 pub struct ShardedService {
+    node: NodeId,
     shards: Vec<Mutex<SolverService>>,
 }
 
 impl ShardedService {
     /// Builds the service: `config.shards` empty shards, each containing
     /// its root problem, each bounded by `config.snapshot_capacity`.
+    /// The shard count is clamped to `1..=u16::MAX` — the id's shard
+    /// field is 16 bits, and an unclamped count (the `shards` field is
+    /// public) would silently alias ids across shards on truncation.
     pub fn new(config: ServiceConfig) -> Self {
-        let shards = (0..config.shards.max(1))
+        let shards = (0..config.shards.clamp(1, u16::MAX as usize))
             .map(|_| {
                 let mut svc = SolverService::new();
                 svc.set_snapshot_capacity(config.snapshot_capacity);
@@ -150,7 +208,10 @@ impl ShardedService {
                 Mutex::new(svc)
             })
             .collect();
-        ShardedService { shards }
+        ShardedService {
+            node: config.node_id,
+            shards,
+        }
     }
 
     /// Number of shards.
@@ -158,27 +219,33 @@ impl ShardedService {
         self.shards.len()
     }
 
+    /// This instance's cluster node id (stamped into every id it mints).
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
     /// The root problem of shard `shard` (empty, trivially SAT).
     pub fn root(&self, shard: usize) -> Option<ProblemId> {
-        (shard < self.shards.len()).then_some(ProblemId {
-            shard: shard as u32,
-            local: 0,
-        })
+        (shard < self.shards.len()).then_some(ProblemId::new(self.node, shard, 0))
     }
 
     /// The root a new client session should branch from: sessions are
-    /// hashed across shards (Fibonacci hashing) so concurrent sessions
-    /// spread out and unrelated trees never share a lock.
+    /// hashed across shards (Fibonacci hashing, shared with
+    /// [`crate::router::session_shard`] so client-side placement
+    /// agrees) — concurrent sessions spread out and unrelated trees
+    /// never share a lock.
     pub fn session_root(&self, session: u64) -> ProblemId {
-        let hash = session.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        let shard = (hash >> 32) as usize % self.shards.len();
-        ProblemId {
-            shard: shard as u32,
-            local: 0,
-        }
+        let shard = crate::router::session_shard(session, self.shards.len());
+        ProblemId::new(self.node, shard, 0)
     }
 
+    /// Resolves an id to its shard: `None` for a foreign node's id or
+    /// an out-of-range shard (dead-reference semantics — the wire front
+    /// end rejects both *before* this point, with typed errors).
     fn shard(&self, id: ProblemId) -> Option<&Mutex<SolverService>> {
+        if id.node() != self.node {
+            return None;
+        }
         self.shards.get(id.shard())
     }
 
@@ -188,10 +255,7 @@ impl ShardedService {
         let mut shard = self.shard(parent)?.lock().unwrap();
         let reply = shard.solve(parent.local(), added)?;
         Some(SolveReply {
-            problem: ProblemId {
-                shard: parent.shard,
-                local: reply.problem.index(),
-            },
+            problem: ProblemId::new(self.node, parent.shard(), reply.problem.index()),
             result: reply.result,
             model: reply.model,
             conflicts: reply.conflicts,
@@ -249,13 +313,32 @@ mod tests {
 
     #[test]
     fn wire_roundtrip() {
-        let id = ProblemId {
-            shard: 7,
-            local: 123,
-        };
+        let id = ProblemId::new(0, 7, 123);
         assert_eq!(ProblemId::from_wire(id.to_wire()), id);
+        assert_eq!(id.node(), 0);
         assert_eq!(id.shard(), 7);
         assert_eq!(id.local(), ProblemRef::from_index(123));
+        // Node-0 packing is bit-identical to the pre-cluster format.
+        assert_eq!(id.to_wire(), 7u64 << 32 | 123);
+        // A cluster-placed id round-trips all three coordinates.
+        let placed = ProblemId::new(5, 3, 9);
+        assert_eq!(placed.to_wire(), 5u64 << 48 | 3u64 << 32 | 9);
+        assert_eq!(ProblemId::from_wire(placed.to_wire()), placed);
+        assert_eq!(placed.node(), 5);
+    }
+
+    #[test]
+    fn service_stamps_its_node_id() {
+        let svc = ShardedService::new(ServiceConfig::new(2).with_node_id(3));
+        assert_eq!(svc.node_id(), 3);
+        let root = svc.session_root(11);
+        assert_eq!(root.node(), 3);
+        let reply = svc.solve(root, &[lits(&[1])]).unwrap();
+        assert_eq!(reply.problem.node(), 3, "children inherit the node");
+        // A foreign node's id is a dead reference in-process.
+        let foreign = ProblemId::new(4, root.shard(), 0);
+        assert!(svc.solve(foreign, &[lits(&[1])]).is_none());
+        assert_eq!(svc.result_of(foreign), None);
     }
 
     #[test]
@@ -296,25 +379,44 @@ mod tests {
     }
 
     #[test]
-    fn checked_wire_decode_rejects_bad_shards() {
+    fn checked_wire_decode_rejects_bad_shards_and_wrong_nodes() {
         use crate::protocol::ProtoError;
         let svc = ShardedService::new(ServiceConfig::new(4));
         // In-range ids decode to themselves.
-        let good = ProblemId { shard: 3, local: 9 };
+        let good = ProblemId::new(0, 3, 9);
         assert_eq!(
-            ProblemId::from_wire_checked(good.to_wire(), svc.num_shards()),
+            ProblemId::from_wire_checked(good.to_wire(), svc.node_id(), svc.num_shards()),
             Ok(good)
         );
         // Out-of-range shard indices are decode errors, not silently
         // dead references.
         let bad = (4u64 << 32) | 1;
         assert_eq!(
-            ProblemId::from_wire_checked(bad, svc.num_shards()),
+            ProblemId::from_wire_checked(bad, 0, svc.num_shards()),
             Err(ProtoError::BadShard(4))
         );
+        // An id routed to the wrong node is the typed routing error —
+        // checked BEFORE the shard, since a foreign node's shard layout
+        // is unknowable here.
+        let foreign = ProblemId::new(2, 1, 5).to_wire();
         assert_eq!(
-            ProblemId::from_wire_checked(u64::MAX, svc.num_shards()),
-            Err(ProtoError::BadShard(u32::MAX as u64))
+            ProblemId::from_wire_checked(foreign, 0, svc.num_shards()),
+            Err(ProtoError::WrongNode {
+                got: 2,
+                expected: 0
+            })
+        );
+        assert_eq!(
+            ProblemId::from_wire_checked(u64::MAX, 0, svc.num_shards()),
+            Err(ProtoError::WrongNode {
+                got: u16::MAX as u64,
+                expected: 0
+            })
+        );
+        // The same garbage id is a shard error on the node it names.
+        assert_eq!(
+            ProblemId::from_wire_checked(u64::MAX, u16::MAX, svc.num_shards()),
+            Err(ProtoError::BadShard(u16::MAX as u64))
         );
     }
 

@@ -4,6 +4,9 @@ use std::time::Duration;
 
 use lwsnap_solver::ServiceStats;
 
+use crate::protocol::StatsSummary;
+use crate::router::NodeId;
+
 /// Counters for one worker thread of a [`crate::pool::WorkerPool`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WorkerStats {
@@ -46,6 +49,36 @@ impl ClusterStats {
         let total = self.total();
         let lookups = total.snapshot_hits + total.rederivations;
         (lookups > 0).then(|| total.snapshot_hits as f64 / lookups as f64)
+    }
+}
+
+/// Cross-node statistics with the node dimension kept: one
+/// [`StatsSummary`] per cluster node, in node-id order. The fleet-level
+/// analogue of [`ClusterStats`] (which keeps the *shard* dimension
+/// inside one node) — summing happens only on demand, in [`total`],
+/// so per-node hit/rederive/evict attribution is never silently lost.
+///
+/// [`total`]: FleetStats::total
+#[derive(Debug, Clone, Default)]
+pub struct FleetStats {
+    /// Per-node summaries: `(node id, that node's aggregate)`.
+    pub nodes: Vec<(NodeId, StatsSummary)>,
+}
+
+impl FleetStats {
+    /// Sums the per-node summaries into one cluster-wide aggregate
+    /// (`shards` becomes the cluster-total shard count).
+    pub fn total(&self) -> StatsSummary {
+        let mut total = StatsSummary::default();
+        for (_, summary) in &self.nodes {
+            total.absorb(summary);
+        }
+        total
+    }
+
+    /// The summary of one node, if it is a member.
+    pub fn node(&self, node: NodeId) -> Option<&StatsSummary> {
+        self.nodes.iter().find(|(n, _)| *n == node).map(|(_, s)| s)
     }
 }
 
@@ -95,6 +128,35 @@ mod tests {
         assert_eq!(total.evictions, 2);
         assert_eq!(total.live_problems, 10);
         assert_eq!(cluster.hit_rate(), Some(7.0 / 8.0));
+    }
+
+    #[test]
+    fn fleet_totals_keep_and_sum_the_node_dimension() {
+        let a = StatsSummary {
+            shards: 4,
+            queries: 10,
+            snapshot_hits: 9,
+            rederivations: 1,
+            evictions: 2,
+            ..Default::default()
+        };
+        let b = StatsSummary {
+            shards: 4,
+            queries: 6,
+            snapshot_hits: 6,
+            ..Default::default()
+        };
+        let fleet = FleetStats {
+            nodes: vec![(0, a), (2, b)],
+        };
+        let total = fleet.total();
+        assert_eq!(total.shards, 8, "cluster-total shard count");
+        assert_eq!(total.queries, 16);
+        assert_eq!(total.snapshot_hits, 15);
+        // Per-node attribution survives: node 0 owns all the evictions.
+        assert_eq!(fleet.node(0).unwrap().evictions, 2);
+        assert_eq!(fleet.node(2).unwrap().evictions, 0);
+        assert_eq!(fleet.node(1), None);
     }
 
     #[test]

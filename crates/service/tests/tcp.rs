@@ -100,14 +100,23 @@ fn tcp_surfaces_dead_references_and_eviction() {
     assert!(stats.replayed_clauses > 0);
 
     // A wire id naming a shard the service does not have is a decode
-    // error (satellite: no silent acceptance of arbitrary u64s) ...
-    let err = client.release(0xdead_beef_0000_0001).unwrap_err();
+    // error (satellite: no silent acceptance of arbitrary u64s); one
+    // naming a different cluster NODE is the typed routing error ...
+    let bad_shard = 0xbeefu64 << 32 | 1; // node 0, shard 0xbeef
+    let err = client.release(bad_shard).unwrap_err();
     assert!(
         err.to_string().contains("shard index"),
         "expected BadShard, got: {err}"
     );
-    let err = client.solve(0xdead_beef_0000_0001, &[vec![1]]).unwrap_err();
+    let err = client.solve(bad_shard, &[vec![1]]).unwrap_err();
     assert!(err.to_string().contains("shard index"));
+    let err = client.release(0xdead_beef_0000_0001).unwrap_err();
+    assert!(
+        err.to_string().contains("routed to node 57005"),
+        "expected WrongNode, got: {err}"
+    );
+    let err = client.solve(0xdead_beef_0000_0001, &[vec![1]]).unwrap_err();
+    assert!(err.to_string().contains("this is node 0"));
     // ... while releasing an in-range-but-dead id stays harmless and
     // idempotent.
     client.release((1u64 << 32) | 0xbeef).unwrap();
@@ -225,6 +234,42 @@ fn overdriven_pipeline_is_throttled_not_dropped() {
         assert_eq!(reply.result, lwsnap_solver::SolveResult::Sat);
     }
     assert_eq!(client.stats().unwrap().queries, BURST as u64);
+    client.shutdown_server().unwrap();
+    server.wait();
+}
+
+/// Satellite: `solve_batch` on a pipelined connection corks the whole
+/// window — all frames written under one writer lock, one flush — and
+/// still answers in request order with correct per-request replies.
+#[test]
+fn corked_batch_answers_in_request_order() {
+    let server = Server::start("127.0.0.1:0", ServiceConfig::new(8), 4).unwrap();
+    let client = PipelinedClient::connect(server.local_addr()).unwrap();
+    let root = client.session_root(9).unwrap();
+    let lits = |v: i64| vec![vec![lwsnap_solver::Lit::from_dimacs(v)]];
+    let requests: Vec<_> = (1..=32i64).map(|v| (root, lits(v))).collect();
+    let replies = SolverBackend::solve_batch(&client, requests).unwrap();
+    assert_eq!(replies.len(), 32);
+    for (i, reply) in replies.iter().enumerate() {
+        let reply = reply.as_ref().expect("live root");
+        assert_eq!(reply.result, lwsnap_solver::SolveResult::Sat);
+        assert!(
+            reply.model.as_ref().unwrap()[i],
+            "reply {i} answers v{}",
+            i + 1
+        );
+    }
+    // A dead reference inside a corked window answers None in place.
+    let dead = replies[0].as_ref().unwrap().problem;
+    client.release(dead).unwrap();
+    let mixed = SolverBackend::solve_batch(
+        &client,
+        vec![(root, lits(40)), (dead, lits(41)), (root, lits(42))],
+    )
+    .unwrap();
+    assert!(mixed[0].is_some());
+    assert!(mixed[1].is_none(), "dead reference answers None in order");
+    assert!(mixed[2].is_some());
     client.shutdown_server().unwrap();
     server.wait();
 }

@@ -266,6 +266,35 @@ mod tests {
         server.shutdown();
     }
 
+    /// The cluster is just another backend: the same exploration with
+    /// feasibility queries consistent-hashed over a 3-node in-process
+    /// `lwsnapd` cluster yields the exact sequential verdicts, with
+    /// every node actually serving traffic.
+    #[test]
+    fn par_explore_runs_unmodified_over_a_cluster() {
+        use lwsnap_service::Cluster;
+
+        let src = branch_tree_source(4);
+        let (seq_cases, _) = sequential_cases(&src);
+        assert!(!seq_cases.is_empty());
+
+        let cluster = Cluster::start_local(3, ServiceConfig::new(4), 2).unwrap();
+        let backend = Arc::new(cluster.connect().unwrap());
+        let prog = assemble_source(&src).unwrap();
+        let report = par_explore_on(
+            ParallelConfig::new(3),
+            prog.boot().unwrap(),
+            backend.clone(),
+        );
+        assert_eq!(report.cases, seq_cases, "cluster backend diverged");
+        let fleet = lwsnap_service::SolverBackend::node_stats(&*backend).unwrap();
+        assert!(
+            fleet.total().queries >= report.stats.solver_checks,
+            "cluster actually served the checks"
+        );
+        cluster.shutdown();
+    }
+
     #[test]
     fn workers_share_one_pool() {
         let prog = assemble_source(&branch_tree_source(4)).unwrap();

@@ -2,7 +2,7 @@
 //!
 //! Drives M concurrent client sessions over a shared problem tree and
 //! reports throughput, p50/p99 latency and the snapshot-economy
-//! counters, for five service flavours — the last four all running the
+//! counters, for six service flavours — the last five all running the
 //! SAME session loop against the `SolverBackend` trait:
 //!
 //! 1. the single-threaded `SolverService` baseline;
@@ -17,21 +17,27 @@
 //!    connection (out-of-order completions) — the epoll front end's
 //!    reason to exist. The legacy v1 blocking `TcpClient` path is
 //!    exercised by `service_pipeline` (bench) and the TCP
-//!    integration suite rather than here.
+//!    integration suite rather than here;
+//! 6. a **3-node in-process cluster** behind the consistent-hash ring
+//!    (`ClusterBackend` over one pipelined connection per node) —
+//!    sessions partitioned across nodes, per-node hit/rederive/evict
+//!    counters reported individually instead of silently summed.
 //!
 //! Every SAT model returned in any phase is re-checked against the full
 //! constraint path of its problem, and the SAT/UNSAT verdict streams of
 //! all phases are compared step for step; any mismatch exits
 //! non-zero. That is the "deterministically verifiable under
-//! concurrency" property the paper's service sketch demands.
+//! concurrency" property the paper's service sketch demands — now
+//! across machine boundaries too.
 //!
 //! ```sh
 //! cargo run --release --example service_loadgen -- \
-//!     [--sessions M] [--queries Q] [--vars V] [--shards S] [--workers W] [--smoke]
+//!     [--sessions M] [--queries Q] [--vars V] [--shards S] [--workers W] \
+//!     [--nodes N] [--smoke]
 //! ```
 
 use lwsnap_bench::service_workload::{RunOutcome, Workload};
-use lwsnap_service::{PipelinedClient, Server, ServiceConfig, SolverBackend, TcpClient};
+use lwsnap_service::{Cluster, PipelinedClient, Server, ServiceConfig, SolverBackend, TcpClient};
 
 fn parse_flag(args: &[String], name: &str, default: usize) -> usize {
     args.iter()
@@ -65,7 +71,8 @@ fn main() {
         "--workers",
         std::thread::available_parallelism().map_or(4, |n| n.get()),
     );
-    assert!(sessions >= 1 && queries >= 1);
+    let nodes = parse_flag(&args, "--nodes", 3);
+    assert!(sessions >= 1 && queries >= 1 && nodes >= 1);
 
     println!(
         "workload: {sessions} sessions × {queries} queries, 3-SAT base over {vars} vars, \
@@ -155,6 +162,28 @@ fn main() {
         .expect("shutdown");
     server.wait();
 
+    // Phase 6: the same closed loop over an in-process CLUSTER — one
+    // lwsnapd-equivalent node per node id, sessions partitioned by the
+    // consistent-hash ring, one pipelined connection per node.
+    let cluster =
+        Cluster::start_local(nodes, ServiceConfig::new(shards), workers).expect("start cluster");
+    let cluster_backend = cluster.connect().expect("connect cluster");
+    let clustered = lwsnap_bench::service_workload::run_remote(&workload, &cluster_backend);
+    report(&format!("cluster ({nodes} nodes, 1 ring)"), &clustered);
+    // Per-node accounting: the node dimension is kept, not summed away.
+    let fleet = cluster_backend.node_stats().expect("node stats");
+    for (node, s) in &fleet.nodes {
+        println!(
+            "    node {node}: {} queries, {} hits, {} rederivations, {} evictions, \
+             {} live problems over {} shards",
+            s.queries, s.snapshot_hits, s.rederivations, s.evictions, s.live_problems, s.shards,
+        );
+    }
+    for (node, result) in cluster_backend.shutdown() {
+        result.unwrap_or_else(|e| panic!("node {node} failed to drain: {e}"));
+    }
+    cluster.shutdown();
+
     // Cross-phase verification: identical verdict streams everywhere.
     let mut mismatches = 0usize;
     for (s, seq_session) in sequential.verdicts.iter().enumerate() {
@@ -163,6 +192,7 @@ fn main() {
             ("evicting", &evicting),
             ("tcp-serial", &blocking),
             ("tcp-pipelined", &pipelined),
+            ("cluster", &clustered),
         ] {
             if outcome.verdicts[s] != *seq_session {
                 eprintln!("VERDICT MISMATCH: session {s}, {phase} vs sequential");
@@ -177,7 +207,7 @@ fn main() {
     let speedup = evicting.throughput().max(sharded.throughput()) / sequential.throughput();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "\nall {} queries × 5 phases verified: identical verdicts, every model re-checked \
+        "\nall {} queries × 6 phases verified: identical verdicts, every model re-checked \
          against its constraint path ({:.2}× best sharded speedup over sequential on \
          {cores} core{})",
         workload.total_queries(),

@@ -21,7 +21,12 @@
 //! the `BENCH_JSON_DIR` environment variable names a directory, a full
 //! (non-`--test`) run writes `BENCH_<bench-name>.json` there with
 //! min/median/mean/stddev nanoseconds per benchmark, so successive PRs
-//! accumulate a comparable perf trajectory.
+//! accumulate a comparable perf trajectory. And when
+//! `BENCH_BASELINE_DIR` names a directory holding a *prior* run's
+//! `BENCH_*.json` files (e.g. a downloaded CI artifact), the run ends
+//! by diffing itself against that baseline, printing a per-benchmark
+//! median delta — the in-harness cross-run comparison real Criterion
+//! does with `--baseline`.
 
 #![forbid(unsafe_code)]
 
@@ -227,6 +232,52 @@ impl Criterion {
             Err(err) => eprintln!("bench report write failed ({}): {err}", path.display()),
         }
     }
+
+    /// Diffs this run against a prior run's `BENCH_<bench-name>.json`
+    /// in `$BENCH_BASELINE_DIR` (if both exist), printing one
+    /// median-delta line per benchmark. New benchmarks (absent from the
+    /// baseline) and vanished ones are called out rather than silently
+    /// skipped. A no-op when the env var is unset, in `--test` mode
+    /// (nothing measured), or when the baseline file is missing.
+    pub fn compare_with_baseline(&self) {
+        let Ok(dir) = std::env::var("BENCH_BASELINE_DIR") else {
+            return;
+        };
+        if self.records.is_empty() {
+            return;
+        }
+        let name = bench_binary_name();
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(json) => parse_json_report(&json),
+            Err(err) => {
+                println!("bench baseline: none at {} ({err})", path.display());
+                return;
+            }
+        };
+        println!("baseline deltas vs {}:", path.display());
+        for rec in &self.records {
+            let now = rec.stats.median;
+            match baseline.iter().find(|(n, _)| n == &rec.name) {
+                Some(&(_, then_ns)) if then_ns > 0 => {
+                    let then = Duration::from_nanos(then_ns.min(u64::MAX as u128) as u64);
+                    let delta =
+                        (now.as_secs_f64() - then.as_secs_f64()) / then.as_secs_f64() * 100.0;
+                    println!(
+                        "{:<60} {now:>12.2?} vs {then:>12.2?} ({delta:+.1}%)",
+                        rec.name
+                    );
+                }
+                Some(_) => println!("{:<60} baseline median was zero", rec.name),
+                None => println!("{:<60} NEW (not in baseline)", rec.name),
+            }
+        }
+        for (name, _) in &baseline {
+            if !self.records.iter().any(|r| &r.name == name) {
+                println!("{name:<60} VANISHED (in baseline, not in this run)");
+            }
+        }
+    }
 }
 
 /// The bench binary's logical name: `argv[0]`'s file stem minus cargo's
@@ -279,6 +330,66 @@ fn render_json_report(bench: &str, records: &[BenchRecord]) -> String {
         );
     }
     out.push_str("]}\n");
+    out
+}
+
+/// Undoes [`escape_json`] (the only escapes the writer emits).
+fn unescape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            if let Some(next) = chars.next() {
+                out.push(next);
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Parses a report written by [`render_json_report`] back into
+/// `(benchmark name, median nanoseconds)` pairs. A scanner for exactly
+/// the shim's own fixed output shape — not a general JSON parser (the
+/// workspace builds offline, without serde); unknown or malformed
+/// entries are skipped rather than erroring, so a baseline from an
+/// older shim version degrades to "NEW" lines instead of a crash.
+fn parse_json_report(json: &str) -> Vec<(String, u128)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find("\"name\":\"") {
+        rest = &rest[at + 8..];
+        // The name ends at the first unescaped quote.
+        let mut end = None;
+        let bytes = rest.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        let Some(end) = end else { break };
+        let name = unescape_json(&rest[..end]);
+        rest = &rest[end + 1..];
+        // The median belongs to this entry: it must appear before the
+        // next entry's name key.
+        let scope = rest.find("\"name\":\"").unwrap_or(rest.len());
+        if let Some(m) = rest[..scope].find("\"median_ns\":") {
+            let digits: String = rest[m + 12..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            if let Ok(median) = digits.parse::<u128>() {
+                out.push((name, median));
+            }
+        }
+    }
     out
 }
 
@@ -472,7 +583,8 @@ macro_rules! criterion_group {
 }
 
 /// Declares the bench `main` running one or more groups, then emitting
-/// the machine-readable report (see [`Criterion::write_json_report`]).
+/// the machine-readable report (see [`Criterion::write_json_report`])
+/// and the baseline diff (see [`Criterion::compare_with_baseline`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
@@ -480,6 +592,7 @@ macro_rules! criterion_main {
             let mut criterion = $crate::Criterion::from_args();
             $( $group(&mut criterion); )+
             criterion.write_json_report();
+            criterion.compare_with_baseline();
         }
     };
 }
@@ -550,6 +663,33 @@ mod tests {
         assert!(json.contains("\"iters_per_sample\":7"));
         assert!(json.contains("\\\"quoted\\\""), "names are JSON-escaped");
         assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn baseline_parser_roundtrips_the_writer() {
+        let ms = Duration::from_millis;
+        let records = vec![
+            BenchRecord {
+                name: "g/cluster/3".into(),
+                stats: summarize(&[ms(10), ms(20), ms(30)], 7),
+            },
+            BenchRecord {
+                name: "g/\"quoted\"/1".into(),
+                stats: summarize(&[ms(5)], 1),
+            },
+        ];
+        let json = render_json_report("cluster_throughput", &records);
+        let parsed = parse_json_report(&json);
+        assert_eq!(
+            parsed,
+            vec![
+                ("g/cluster/3".to_owned(), 20_000_000u128),
+                ("g/\"quoted\"/1".to_owned(), 5_000_000u128),
+            ]
+        );
+        // Garbage degrades to an empty baseline, not a crash.
+        assert_eq!(parse_json_report("{not json"), vec![]);
+        assert_eq!(parse_json_report("{\"name\":\"trunc"), vec![]);
     }
 
     #[test]
