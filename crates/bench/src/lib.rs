@@ -204,12 +204,33 @@ pub mod service_workload {
         plan: &SessionPlan,
         base: ProblemId,
     ) -> (Vec<SolveResult>, Vec<Duration>, u64) {
+        session_loop(backend, workload, plan, base, None)
+    }
+
+    /// [`run_session`], optionally pausing twice at one step boundary
+    /// (the chaos hook: all sessions rendezvous, the controller acts,
+    /// all sessions resume — so membership changes happen with no
+    /// request in flight, keeping the closed loop closed).
+    fn session_loop(
+        backend: &dyn SolverBackend,
+        workload: &Workload,
+        plan: &SessionPlan,
+        base: ProblemId,
+        pause: Option<(usize, &std::sync::Barrier)>,
+    ) -> (Vec<SolveResult>, Vec<Duration>, u64) {
+        let pause = pause.map(|(at, barrier)| (at.min(plan.steps.len()), barrier));
         let stacks = workload.stacks(plan);
         let mut nodes = vec![base];
         let mut verdicts = Vec::with_capacity(plan.steps.len());
         let mut latencies = Vec::with_capacity(plan.steps.len());
         let mut verified = 0u64;
         for (k, step) in plan.steps.iter().enumerate() {
+            if let Some((at, barrier)) = pause {
+                if k == at {
+                    barrier.wait();
+                    barrier.wait();
+                }
+            }
             let t0 = Instant::now();
             let reply = backend
                 .solve(nodes[step.parent], step.clauses.clone())
@@ -226,6 +247,12 @@ pub mod service_workload {
             }
             nodes.push(reply.problem);
             verdicts.push(reply.result);
+        }
+        if let Some((at, barrier)) = pause {
+            if at == plan.steps.len() {
+                barrier.wait();
+                barrier.wait();
+            }
         }
         (verdicts, latencies, verified)
     }
@@ -348,5 +375,86 @@ pub mod service_workload {
                 .problem;
             (backend, base)
         })
+    }
+
+    /// [`run_remote`] with a chaos hook: every session pauses at step
+    /// `midpoint_step`, the `midpoint` closure runs (kill a node, join
+    /// a node, …) with NO request in flight, and the sessions resume —
+    /// their very next solves are the ones that discover the change.
+    /// Verdicts and witnesses must still come out bit-identical to an
+    /// undisturbed run; the wall clock includes the pause and is not
+    /// comparable to [`run_remote`]'s.
+    ///
+    /// # Panics
+    ///
+    /// See [`run_session`]; additionally if the midpoint controller
+    /// panics.
+    pub fn run_remote_with_midpoint(
+        workload: &Workload,
+        backend: &dyn SolverBackend,
+        midpoint_step: usize,
+        midpoint: impl FnOnce() + Send,
+    ) -> RunOutcome {
+        let started = Instant::now();
+        let barrier = std::sync::Barrier::new(workload.sessions.len() + 1);
+        let mut outcomes: Vec<(usize, Vec<SolveResult>, Vec<Duration>, u64)> =
+            std::thread::scope(|scope| {
+                let controller = {
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        midpoint();
+                        barrier.wait();
+                    })
+                };
+                let handles: Vec<_> = workload
+                    .sessions
+                    .iter()
+                    .enumerate()
+                    .map(|(i, plan)| {
+                        let barrier = &barrier;
+                        scope.spawn(move || {
+                            let root = backend
+                                .session_root(plan.session)
+                                .expect("backend transport failure");
+                            let base = backend
+                                .solve(root, workload.base.clone())
+                                .expect("backend transport failure")
+                                .expect("root is live")
+                                .problem;
+                            let (v, l, n) = session_loop(
+                                backend,
+                                workload,
+                                plan,
+                                base,
+                                Some((midpoint_step, barrier)),
+                            );
+                            (i, v, l, n)
+                        })
+                    })
+                    .collect();
+                let outcomes = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("session thread panicked"))
+                    .collect();
+                controller.join().expect("midpoint controller panicked");
+                outcomes
+            });
+        let wall = started.elapsed();
+        outcomes.sort_by_key(|(i, ..)| *i);
+        let mut verdicts = Vec::with_capacity(outcomes.len());
+        let mut latencies = Vec::new();
+        let mut verified = 0;
+        for (_, v, l, n) in outcomes {
+            verdicts.push(v);
+            latencies.extend(l);
+            verified += n;
+        }
+        RunOutcome {
+            verdicts,
+            wall,
+            latencies,
+            verified_models: verified,
+        }
     }
 }

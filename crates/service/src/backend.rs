@@ -46,12 +46,23 @@ pub(crate) enum TicketInner {
     Tagged(u64),
     /// The reply arrives on cluster node `node`'s connection under
     /// `tag`. Tag spaces are per-connection, so `(node, tag)` is the
-    /// cluster-unique correlation key.
+    /// cluster-unique correlation key. The ticket also carries enough
+    /// of the request to RE-ISSUE it after a failover: if `node` dies
+    /// before answering, [`crate::ClusterBackend`] promotes the
+    /// session's replica and retries `parent ∧ clauses` on the new
+    /// home instead of surfacing the node error.
     Cluster {
         /// The node whose connection carries the reply.
         node: crate::router::NodeId,
         /// The correlation tag on that connection.
         tag: u64,
+        /// The session the solve belongs to (`None` = untracked parent;
+        /// no replica exists, so no failover retry either).
+        session: Option<u64>,
+        /// The parent's wire id as submitted (pre-failover coordinates).
+        parent: u64,
+        /// The incremental constraint, wire form.
+        clauses: Vec<Vec<i64>>,
     },
 }
 
@@ -61,7 +72,7 @@ impl std::fmt::Debug for Ticket {
             TicketInner::Ready(_) => write!(f, "Ticket(ready)"),
             TicketInner::Pending(_) => write!(f, "Ticket(pending)"),
             TicketInner::Tagged(tag) => write!(f, "Ticket(tag={tag})"),
-            TicketInner::Cluster { node, tag } => write!(f, "Ticket(node={node}, tag={tag})"),
+            TicketInner::Cluster { node, tag, .. } => write!(f, "Ticket(node={node}, tag={tag})"),
         }
     }
 }

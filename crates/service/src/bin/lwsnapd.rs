@@ -93,7 +93,9 @@ fn main() {
     );
 
     let service = server.service().clone();
+    let replicas = server.replicas().clone();
     let worker_stats = server.wait();
+    let (replica_bytes, replica_promotions, failovers) = replicas.counters();
 
     let total = service.stats().total();
     println!(
@@ -107,6 +109,10 @@ fn main() {
         total.rederive_conflicts,
         total.evictions,
         total.live_problems,
+    );
+    println!(
+        "replication: {replica_bytes} replica bytes held, {replica_promotions} promotions \
+         across {failovers} failovers served",
     );
     for (i, w) in worker_stats.iter().enumerate() {
         println!("worker {i}: {} jobs, {:.3?} busy", w.jobs, w.busy);

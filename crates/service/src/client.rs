@@ -15,7 +15,7 @@ use std::collections::{HashMap, HashSet};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, TryLockError};
+use std::sync::{Arc, Condvar, Mutex, RwLock, TryLockError};
 use std::time::Duration;
 
 use lwsnap_solver::{Lit, SolveResult};
@@ -154,6 +154,7 @@ fn unexpected(response: Response) -> io::Error {
             Response::Released => 3,
             Response::Stats(_) => 4,
             Response::Error(_) => 5,
+            Response::Promoted { .. } => 6,
         }),
     )
 }
@@ -525,6 +526,78 @@ struct ClusterNode {
     client: PipelinedClient,
 }
 
+/// Whether an error means the node itself is gone (dead, partitioned,
+/// or hung past its read timeout) — the failover trigger — as opposed
+/// to a protocol-level complaint from a live node.
+fn is_node_death(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+    )
+}
+
+/// One recorded derivation of a tracked session: `problem` was derived
+/// from `parent` (current-coordinate wire ids) by adding `clauses`.
+/// The client-side copy of the path log — the source of truth for
+/// (re-)shipping replicas after membership changes.
+struct LogEntry {
+    problem: u64,
+    parent: u64,
+    clauses: Vec<Vec<i64>>,
+}
+
+/// Where one tracked session lives.
+struct SessionState {
+    /// The node serving the session right now.
+    home: NodeId,
+    /// The node holding the session's replica (`None`: nowhere to
+    /// replicate — a 1-node cluster, or every candidate died).
+    replica: Option<NodeId>,
+    /// The session root's wire id, in current coordinates.
+    root: u64,
+    /// The session's path log, in derivation order.
+    log: Vec<LogEntry>,
+}
+
+/// The mutable routing state behind a [`ClusterBackend`].
+struct ClusterState {
+    ring: Ring,
+    /// Tracked sessions by session id.
+    sessions: HashMap<u64, SessionState>,
+    /// Non-root problem wire id → owning session.
+    owner: HashMap<u64, u64>,
+    /// Root wire id → the session registered for it (sessions sharing
+    /// a `(node, shard)` placement share a root; the last registrant
+    /// owns attribution — their trees are interchangeable for replay).
+    roots: HashMap<u64, u64>,
+    /// Old wire id → promoted wire id, accumulated across failovers;
+    /// chase with [`resolve`] (chains form when a promoted node dies).
+    remap: HashMap<u64, u64>,
+    /// Read timeout applied to every connection (including ones added
+    /// later by [`ClusterBackend::add_node`]).
+    timeout: Option<Duration>,
+}
+
+/// Chases `id` through the failover remap (bounded — chains are as
+/// long as the failover count, cycles impossible by construction but
+/// cheap to guard).
+fn resolve(remap: &HashMap<u64, u64>, mut id: u64) -> u64 {
+    for _ in 0..64 {
+        match remap.get(&id) {
+            Some(&next) if next != id => id = next,
+            _ => break,
+        }
+    }
+    id
+}
+
 /// The multi-node [`SolverBackend`]: N [`PipelinedClient`]s — one per
 /// `lwsnapd` node — behind the consistent-hash [`Ring`].
 ///
@@ -536,16 +609,33 @@ struct ClusterNode {
 ///   nodes' tag spaces are disjoint by construction; a ticket carries
 ///   `(node, tag)` and completions merge through the same
 ///   ticket/wait machinery as a single connection.
+/// * **Replication** — after every successful solve of a tracked
+///   session, the derivation edge is shipped fire-and-forget to the
+///   session's ring successor ([`Ring::successor_for`]), which records
+///   it passively ([`crate::ReplicaStore`]). Nodes never talk to each
+///   other; the client, as the only holder of the session's solve
+///   stream, is the replication fan-out point.
+/// * **Failover** — when a node dies mid-session, the backend promotes
+///   each affected session on its replica (the successor replays the
+///   path log — bit-identical verdicts and models, because the solver
+///   is deterministic in the clause path), installs an id remap, picks
+///   a fresh replica, re-ships the log, and **transparently retries**
+///   the interrupted solve. Only sessions with no replica (1-node
+///   clusters, double failures) still surface the typed [`NodeError`].
+/// * **Membership** — [`ClusterBackend::add_node`] joins a node
+///   mid-run; [`ClusterBackend::remove_node`] drains one gracefully
+///   (sessions promoted onto their replicas — which the rendezvous
+///   successor property guarantees are the ring's own post-removal
+///   owners — before the daemon is shut down).
 /// * **Stats** — [`SolverBackend::stats`] sums the nodes;
-///   [`SolverBackend::node_stats`] keeps the per-node split.
-/// * **Failure** — a dead or misbehaving node surfaces as a typed
-///   [`NodeError`] naming it; sessions on other nodes are unaffected,
-///   and [`ClusterBackend::shutdown`] still drains the survivors
-///   gracefully.
+///   [`SolverBackend::node_stats`] keeps the per-node split, including
+///   the `failovers` / `replica_promotions` / `replica_bytes` counters.
 pub struct ClusterBackend {
-    /// Member nodes, sorted by id (binary-searchable).
-    nodes: Vec<ClusterNode>,
-    ring: Ring,
+    /// Member nodes, sorted by id (binary-searchable). `Arc` so a
+    /// connection can be used after the lock is dropped — waits must
+    /// not serialize behind membership changes.
+    nodes: RwLock<Vec<Arc<ClusterNode>>>,
+    state: Mutex<ClusterState>,
 }
 
 impl ClusterBackend {
@@ -565,7 +655,7 @@ impl ClusterBackend {
         let mut nodes = Vec::with_capacity(addrs.len());
         for (id, addr) in addrs {
             let client = PipelinedClient::connect(addr).map_err(|e| node_error(*id, e))?;
-            nodes.push(ClusterNode { id: *id, client });
+            nodes.push(Arc::new(ClusterNode { id: *id, client }));
         }
         nodes.sort_by_key(|n| n.id);
         if nodes.windows(2).any(|w| w[0].id == w[1].id) {
@@ -575,39 +665,325 @@ impl ClusterBackend {
             ));
         }
         let ring = Ring::new(nodes.iter().map(|n| n.id), seed);
-        Ok(ClusterBackend { nodes, ring })
+        Ok(ClusterBackend {
+            nodes: RwLock::new(nodes),
+            state: Mutex::new(ClusterState {
+                ring,
+                sessions: HashMap::new(),
+                owner: HashMap::new(),
+                roots: HashMap::new(),
+                remap: HashMap::new(),
+                timeout: None,
+            }),
+        })
     }
 
     /// Number of member nodes.
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.nodes.read().unwrap().len()
     }
 
     /// The member node ids, sorted.
     pub fn node_ids(&self) -> Vec<NodeId> {
-        self.nodes.iter().map(|n| n.id).collect()
+        self.nodes.read().unwrap().iter().map(|n| n.id).collect()
     }
 
-    /// The routing ring (e.g. to predict placements in tests).
-    pub fn ring(&self) -> &Ring {
-        &self.ring
+    /// A snapshot of the routing ring (e.g. to predict placements in
+    /// tests). A *copy* — the live ring shrinks and grows with
+    /// failovers and membership changes.
+    pub fn ring(&self) -> Ring {
+        self.state.lock().unwrap().ring.clone()
+    }
+
+    /// Bounds how long any wait on any node connection may block
+    /// (`None` = forever), now and for nodes added later. A node that
+    /// exceeds it is treated as DEAD — its sessions fail over — so set
+    /// it comfortably above the slowest expected solve.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.state.lock().unwrap().timeout = timeout;
+        for n in self.nodes.read().unwrap().iter() {
+            n.client.set_read_timeout(timeout)?;
+        }
+        Ok(())
     }
 
     /// The connection that owns `node`, or the typed unknown-node error.
-    fn node(&self, node: NodeId) -> io::Result<&ClusterNode> {
-        self.nodes
+    fn node(&self, node: NodeId) -> io::Result<Arc<ClusterNode>> {
+        self.node_opt(node).ok_or_else(|| unknown_node(node))
+    }
+
+    fn node_opt(&self, node: NodeId) -> Option<Arc<ClusterNode>> {
+        let nodes = self.nodes.read().unwrap();
+        nodes
             .binary_search_by_key(&node, |n| n.id)
-            .map(|at| &self.nodes[at])
-            .map_err(|_| unknown_node(node))
+            .ok()
+            .map(|at| Arc::clone(&nodes[at]))
+    }
+
+    /// Joins a NEW node to the cluster map and the ring mid-run.
+    /// Existing sessions stay where they are (rendezvous addition only
+    /// *steals* keys, and tracked sessions route by their recorded
+    /// home); new sessions and future replica picks may land on it.
+    pub fn add_node<A: ToSocketAddrs>(&self, id: NodeId, addr: A) -> io::Result<()> {
+        let client = PipelinedClient::connect(addr).map_err(|e| node_error(id, e))?;
+        let mut st = self.state.lock().unwrap();
+        client
+            .set_read_timeout(st.timeout)
+            .map_err(|e| node_error(id, e))?;
+        let mut nodes = self.nodes.write().unwrap();
+        match nodes.binary_search_by_key(&id, |n| n.id) {
+            Ok(_) => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "duplicate node id in cluster map",
+            )),
+            Err(at) => {
+                nodes.insert(at, Arc::new(ClusterNode { id, client }));
+                st.ring.add_node(id);
+                Ok(())
+            }
+        }
+    }
+
+    /// Planned membership change: drains `node` out of the cluster.
+    /// Its sessions are promoted onto their replicas first (path-log
+    /// replay — and the rendezvous successor property means the replica
+    /// IS the shrunk ring's owner for each key), then the daemon is
+    /// sent a graceful `Shutdown` and its final stats are returned.
+    /// Callers should quiesce their own in-flight solves on the node
+    /// first; later requests against old ids are remapped transparently.
+    pub fn remove_node(&self, node: NodeId) -> io::Result<StatsSummary> {
+        let member = self.node(node)?;
+        {
+            let mut st = self.state.lock().unwrap();
+            if st.ring.remove_node(node) {
+                self.migrate_locked(&mut st, node);
+            }
+        }
+        let stats = member
+            .client
+            .shutdown_server()
+            .map_err(|e| node_error(node, e))?;
+        let mut nodes = self.nodes.write().unwrap();
+        if let Ok(at) = nodes.binary_search_by_key(&node, |n| n.id) {
+            nodes.remove(at);
+        }
+        Ok(stats)
+    }
+
+    /// Unplanned membership change: `dead` stopped answering. Removes
+    /// it from the map and the ring, then migrates its sessions onto
+    /// their replicas. Idempotent — concurrent failures of the same
+    /// node collapse into one migration.
+    fn failover(&self, dead: NodeId) {
+        let mut st = self.state.lock().unwrap();
+        if !st.ring.remove_node(dead) {
+            return; // already handled (or never a member)
+        }
+        {
+            let mut nodes = self.nodes.write().unwrap();
+            if let Ok(at) = nodes.binary_search_by_key(&dead, |n| n.id) {
+                nodes.remove(at);
+            }
+        }
+        self.migrate_locked(&mut st, dead);
+    }
+
+    /// Moves every session touching `leaving` (as home: promote on the
+    /// replica; as replica: pick a new one) — `leaving` is already out
+    /// of `st.ring`. Sessions that cannot be saved (no replica, or the
+    /// replica is unreachable too) keep their dead home and surface
+    /// typed [`NodeError`]s on use.
+    fn migrate_locked(&self, st: &mut ClusterState, leaving: NodeId) {
+        let session_ids: Vec<u64> = st.sessions.keys().copied().collect();
+        for session in session_ids {
+            let (home, replica) = {
+                let s = &st.sessions[&session];
+                (s.home, s.replica)
+            };
+            if home == leaving {
+                self.promote_session(st, session, leaving);
+            } else if replica == Some(leaving) {
+                // Home is fine; the replica died. Re-pick and re-ship.
+                let new_replica = st.ring.ranked(session).into_iter().find(|&n| n != home);
+                let sess = st.sessions.get_mut(&session).unwrap();
+                sess.replica = new_replica;
+                self.ship_log(st, session);
+            }
+        }
+    }
+
+    /// Fails one session over onto its replica: promote by path replay,
+    /// install the id remap, rewrite the log into new coordinates,
+    /// re-pick a replica and re-ship the log to it.
+    fn promote_session(&self, st: &mut ClusterState, session: u64, leaving: NodeId) {
+        let (replica, problems, old_root) = {
+            let s = &st.sessions[&session];
+            (
+                s.replica,
+                s.log.iter().map(|e| e.problem).collect::<Vec<u64>>(),
+                s.root,
+            )
+        };
+        let target = replica.and_then(|r| self.node_opt(r));
+        let Some(member) = target else {
+            // Unrecoverable: no replica, or its connection is gone too.
+            st.sessions.get_mut(&session).unwrap().replica = None;
+            return;
+        };
+        let new_home = member.id;
+        let mapping = if problems.is_empty() {
+            Vec::new()
+        } else {
+            match member.client.call(&Request::Promote { session, problems }) {
+                Ok(Response::Promoted { mapping }) => mapping,
+                _ => {
+                    // The replica died mid-promotion (or answered
+                    // garbage): the session is unrecoverable.
+                    st.sessions.get_mut(&session).unwrap().replica = None;
+                    return;
+                }
+            }
+        };
+        for &(old, new) in &mapping {
+            st.remap.insert(old, new);
+            if let Some(owning) = st.owner.remove(&old) {
+                st.owner.insert(new, owning);
+            }
+        }
+        // The session root re-roots at the same shard on the new home
+        // (roots are local index 0 — every node's fresh root solver is
+        // identical, which is what makes replay exact). Only the
+        // attribution owner of a shared root installs its remap.
+        let new_root = (new_home as u64) << 48 | (old_root & 0x0000_ffff_ffff_ffff);
+        if st.roots.get(&old_root) == Some(&session) {
+            st.remap.insert(old_root, new_root);
+        }
+        st.roots.insert(new_root, session);
+        {
+            let sess = st.sessions.get_mut(&session).unwrap();
+            sess.home = new_home;
+            sess.root = new_root;
+            for e in &mut sess.log {
+                e.problem = resolve(&st.remap, e.problem);
+                e.parent = resolve(&st.remap, e.parent);
+            }
+            sess.replica = st.ring.ranked(session).into_iter().find(|&n| n != new_home);
+        }
+        let _ = leaving;
+        self.ship_log(st, session);
+    }
+
+    /// Re-ships a session's whole path log to its current replica
+    /// (fire-and-forget; a send failure means the replica is dying and
+    /// will be handled by its own failover).
+    fn ship_log(&self, st: &ClusterState, session: u64) {
+        let sess = &st.sessions[&session];
+        let Some(member) = sess.replica.and_then(|r| self.node_opt(r)) else {
+            return;
+        };
+        for e in &sess.log {
+            let _ = member.client.submit_forgotten(&Request::Replicate {
+                session,
+                problem: e.problem,
+                parent: e.parent,
+                clauses: e.clauses.clone(),
+            });
+        }
+    }
+
+    /// Records a successful solve of a tracked session into the path
+    /// log and streams the edge to the session's replica.
+    fn record(&self, session: u64, problem: u64, parent: u64, clauses: &[Vec<i64>]) {
+        let replica = {
+            let mut st = self.state.lock().unwrap();
+            let Some(sess) = st.sessions.get_mut(&session) else {
+                return;
+            };
+            // A reply that raced a failover carries stale (dead-node)
+            // coordinates; logging it would poison the replayable log.
+            if ProblemId::from_wire(problem).node() != sess.home {
+                return;
+            }
+            sess.log.push(LogEntry {
+                problem,
+                parent,
+                clauses: clauses.to_vec(),
+            });
+            let replica = sess.replica;
+            st.owner.insert(problem, session);
+            replica
+        };
+        if let Some(member) = replica.and_then(|r| self.node_opt(r)) {
+            let request = Request::Replicate {
+                session,
+                problem,
+                parent,
+                clauses: clauses.to_vec(),
+            };
+            if member.client.submit_forgotten(&request).is_err() {
+                // The replica's connection is dead: migrate everything
+                // that depends on it now rather than at the next read.
+                self.failover(member.id);
+            }
+        }
+    }
+
+    /// Resolves a parent id through the failover remap and attributes
+    /// it to its session (`None`: an untracked id — no replica, no
+    /// failover retry).
+    fn locate(&self, parent: u64) -> (u64, Option<u64>) {
+        let st = self.state.lock().unwrap();
+        let resolved = resolve(&st.remap, parent);
+        let session = st.owner.get(&resolved).copied().or_else(|| {
+            // Roots have local index 0; attribution goes through the
+            // shared-root registry.
+            (resolved as u32 == 0)
+                .then(|| st.roots.get(&resolved).copied())
+                .flatten()
+        });
+        (resolved, session)
+    }
+
+    /// Submits `parent ∧ clauses` to the parent's current home,
+    /// failing over (and re-resolving) if that home is dead.
+    fn cluster_submit(&self, parent: u64, clauses: Vec<Vec<i64>>) -> io::Result<Ticket> {
+        let mut attempts = self.num_nodes() + 2;
+        loop {
+            let (resolved, session) = self.locate(parent);
+            let home = ProblemId::from_wire(resolved).node();
+            let member = self.node(home)?;
+            let request = Request::Solve {
+                parent: resolved,
+                clauses: clauses.clone(),
+            };
+            match member.client.submit_request(&request) {
+                Ok(tag) => {
+                    return Ok(Ticket(TicketInner::Cluster {
+                        node: home,
+                        tag,
+                        session,
+                        parent: resolved,
+                        clauses,
+                    }))
+                }
+                Err(e) if is_node_death(&e) && session.is_some() && attempts > 0 => {
+                    attempts -= 1;
+                    self.failover(home);
+                }
+                Err(e) => return Err(node_error(home, e)),
+            }
+        }
     }
 
     /// Gracefully drains the whole cluster: each node is sent a
     /// `Shutdown` (the daemon finishes in-flight solves and flushes
     /// every reply before exiting) and its final stats snapshot is
     /// collected. Per-node results, so one dead node never masks the
-    /// survivors' clean drain.
+    /// survivors' clean drain. Nodes already failed over are not
+    /// listed — they are no longer members.
     pub fn shutdown(&self) -> Vec<(NodeId, io::Result<StatsSummary>)> {
-        self.nodes
+        let nodes: Vec<Arc<ClusterNode>> = self.nodes.read().unwrap().to_vec();
+        nodes
             .iter()
             .map(|n| {
                 let result = n.client.shutdown_server().map_err(|e| node_error(n.id, e));
@@ -622,63 +998,115 @@ impl SolverBackend for ClusterBackend {
     /// shard hash places it inside the node. The returned id must carry
     /// the node id the ring chose — a mismatch means the server was
     /// started with the wrong `--node-id` and is caught here, not after
-    /// a session's tree has landed on the wrong node.
+    /// a session's tree has landed on the wrong node. The session's
+    /// replica target (its ring successor) is fixed here too.
     fn session_root(&self, session: u64) -> io::Result<ProblemId> {
-        let node = self
-            .ring
-            .node_for(session)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "cluster has no nodes"))?;
-        let member = self.node(node)?;
-        let root = member
-            .client
-            .session_root(session)
-            .map_err(|e| node_error(node, e))?;
-        if root.node() != node {
-            return Err(node_error(
-                node,
-                ProtoError::WrongNode {
-                    got: root.node() as u64,
-                    expected: node as u64,
+        let mut attempts = self.num_nodes() + 2;
+        loop {
+            let home = {
+                let st = self.state.lock().unwrap();
+                match st.sessions.get(&session) {
+                    Some(s) => s.home,
+                    None => st.ring.node_for(session).ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::NotConnected, "cluster has no nodes")
+                    })?,
                 }
-                .into(),
-            ));
+            };
+            let member = self.node(home)?;
+            match member.client.session_root(session) {
+                Ok(root) => {
+                    if root.node() != home {
+                        return Err(node_error(
+                            home,
+                            ProtoError::WrongNode {
+                                got: root.node() as u64,
+                                expected: home as u64,
+                            }
+                            .into(),
+                        ));
+                    }
+                    let mut st = self.state.lock().unwrap();
+                    let replica = st.ring.ranked(session).into_iter().find(|&n| n != home);
+                    st.sessions.entry(session).or_insert(SessionState {
+                        home,
+                        replica,
+                        root: root.to_wire(),
+                        log: Vec::new(),
+                    });
+                    st.roots.insert(root.to_wire(), session);
+                    return Ok(root);
+                }
+                Err(e) if is_node_death(&e) && attempts > 0 => {
+                    attempts -= 1;
+                    self.failover(home);
+                }
+                Err(e) => return Err(node_error(home, e)),
+            }
         }
-        Ok(root)
     }
 
     fn submit(&self, parent: ProblemId, clauses: Vec<Vec<Lit>>) -> io::Result<Ticket> {
-        let member = self.node(parent.node())?;
-        let tag = member
-            .client
-            .submit_request(&Request::Solve {
-                parent: parent.to_wire(),
-                clauses: lits_to_clauses(&clauses),
-            })
-            .map_err(|e| node_error(member.id, e))?;
-        Ok(Ticket(TicketInner::Cluster {
-            node: member.id,
-            tag,
-        }))
+        self.cluster_submit(parent.to_wire(), lits_to_clauses(&clauses))
     }
 
+    /// Redeems a cluster ticket. If the ticket's node died before
+    /// answering, the session is failed over (replica promoted by path
+    /// replay) and the solve is **re-issued transparently** on the new
+    /// home — the caller sees the same deterministic reply it would
+    /// have gotten, minus one node.
     fn wait(&self, ticket: Ticket) -> io::Result<Option<SolveReply>> {
-        let TicketInner::Cluster { node, tag } = ticket.0 else {
+        let TicketInner::Cluster {
+            node,
+            tag,
+            session,
+            parent,
+            clauses,
+        } = ticket.0
+        else {
             return Err(foreign_ticket());
         };
-        let member = self.node(node)?;
-        let response = member
-            .client
-            .wait_response(tag)
-            .map_err(|e| node_error(node, e))?;
-        solved_reply(response).map_err(|e| node_error(node, e))
+        let outcome = match self.node_opt(node) {
+            Some(member) => member.client.wait_response(tag),
+            // A concurrent failover already removed the node; treat the
+            // ticket as lost in the crash and go straight to the retry.
+            None => Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "node failed over while the request was in flight",
+            )),
+        };
+        match outcome {
+            Ok(response) => {
+                let reply = solved_reply(response).map_err(|e| node_error(node, e))?;
+                if let (Some(session), Some(r)) = (session, reply.as_ref()) {
+                    self.record(session, r.problem.to_wire(), parent, &clauses);
+                }
+                Ok(reply)
+            }
+            Err(e) if is_node_death(&e) => {
+                self.failover(node);
+                // The remap now covers the parent iff the session was
+                // recoverable; an unrecoverable one fails typed below.
+                let retry = self.cluster_submit(parent, clauses)?;
+                self.wait(retry)
+            }
+            Err(e) => Err(node_error(node, e)),
+        }
     }
 
     fn release(&self, id: ProblemId) -> io::Result<()> {
-        let member = self.node(id.node())?;
-        member
-            .client
-            .release(id)
-            .map_err(|e| node_error(member.id, e))
+        let (resolved, _) = self.locate(id.to_wire());
+        // Releasing something whose home is gone is a no-op, not an
+        // error: the snapshot died with the node.
+        let Some(member) = self.node_opt(ProblemId::from_wire(resolved).node()) else {
+            return Ok(());
+        };
+        match member.client.release(ProblemId::from_wire(resolved)) {
+            Err(e) if is_node_death(&e) => {
+                self.failover(member.id);
+                Ok(())
+            }
+            other => other.map_err(|e| node_error(member.id, e)),
+        }
     }
 
     fn stats(&self) -> io::Result<StatsSummary> {
@@ -686,8 +1114,8 @@ impl SolverBackend for ClusterBackend {
     }
 
     fn node_stats(&self) -> io::Result<FleetStats> {
-        let nodes = self
-            .nodes
+        let members: Vec<Arc<ClusterNode>> = self.nodes.read().unwrap().to_vec();
+        let nodes = members
             .iter()
             .map(|n| {
                 let summary = n.client.stats().map_err(|e| node_error(n.id, e))?;
@@ -700,20 +1128,29 @@ impl SolverBackend for ClusterBackend {
     /// Corked per node: the batch is split by owning node (order
     /// preserved within each node's window), each node's window is
     /// written with one flush ([`PipelinedClient::submit_batch`]), and
-    /// replies are redeemed in the original request order.
+    /// replies are redeemed in the original request order. A window
+    /// whose node dies falls back to per-request submission through
+    /// the failover path.
     fn solve_batch(
         &self,
         requests: Vec<(ProblemId, Vec<Vec<Lit>>)>,
     ) -> io::Result<Vec<Option<SolveReply>>> {
-        // Split into per-node windows, remembering each request's
-        // original position.
+        // Resolve and attribute every request, then split into
+        // per-node windows remembering original positions.
+        let resolved: Vec<(u64, Option<u64>, Vec<Vec<i64>>)> = requests
+            .iter()
+            .map(|(parent, clauses)| {
+                let (wire, session) = self.locate(parent.to_wire());
+                (wire, session, lits_to_clauses(clauses))
+            })
+            .collect();
         let mut windows: Vec<(NodeId, Vec<usize>, Vec<Request>)> = Vec::new();
-        for (pos, (parent, clauses)) in requests.iter().enumerate() {
-            let node = parent.node();
+        for (pos, (wire, _, clauses)) in resolved.iter().enumerate() {
+            let node = ProblemId::from_wire(*wire).node();
             self.node(node)?; // unknown nodes fail before any write
             let request = Request::Solve {
-                parent: parent.to_wire(),
-                clauses: lits_to_clauses(clauses),
+                parent: *wire,
+                clauses: clauses.clone(),
             };
             match windows.iter_mut().find(|(n, ..)| *n == node) {
                 Some((_, positions, window)) => {
@@ -724,23 +1161,38 @@ impl SolverBackend for ClusterBackend {
             }
         }
         // Submit every node's window corked, then wait in request order.
-        let mut tickets: Vec<Option<(NodeId, u64)>> = vec![None; requests.len()];
-        for (node, positions, window) in &windows {
-            let member = self.node(*node)?;
-            let tags = member
-                .client
-                .submit_batch(window)
-                .map_err(|e| node_error(*node, e))?;
-            for (&pos, tag) in positions.iter().zip(tags) {
-                tickets[pos] = Some((*node, tag));
+        let mut tickets: Vec<Option<Ticket>> = Vec::with_capacity(resolved.len());
+        tickets.resize_with(resolved.len(), || None);
+        for (node, positions, window) in windows {
+            let member = self.node(node)?;
+            match member.client.submit_batch(&window) {
+                Ok(tags) => {
+                    for (&pos, tag) in positions.iter().zip(tags) {
+                        let (wire, session, clauses) = &resolved[pos];
+                        tickets[pos] = Some(Ticket(TicketInner::Cluster {
+                            node,
+                            tag,
+                            session: *session,
+                            parent: *wire,
+                            clauses: clauses.clone(),
+                        }));
+                    }
+                }
+                Err(e) if is_node_death(&e) => {
+                    // The whole window is lost; re-route each request
+                    // individually through the failover machinery.
+                    self.failover(node);
+                    for &pos in &positions {
+                        let (wire, _, clauses) = &resolved[pos];
+                        tickets[pos] = Some(self.cluster_submit(*wire, clauses.clone())?);
+                    }
+                }
+                Err(e) => return Err(node_error(node, e)),
             }
         }
         tickets
             .into_iter()
-            .map(|slot| {
-                let (node, tag) = slot.expect("every request was submitted");
-                self.wait(Ticket(TicketInner::Cluster { node, tag }))
-            })
+            .map(|slot| self.wait(slot.expect("every request was submitted")))
             .collect()
     }
 }

@@ -34,6 +34,9 @@
 //!   connection: legacy in-order v1 and tagged v2, whose correlation
 //!   tags let one connection pipeline many in-flight solves with
 //!   out-of-order completions.
+//! * [`replica`] — the passive replica store: path logs shipped to a
+//!   session's ring successor, promoted by bit-identical replay when
+//!   the home node dies or drains out.
 //! * [`net`] — the non-blocking front end: one epoll reactor thread
 //!   (vendored [`polling`] shim) multiplexing every connection, with
 //!   per-connection write backpressure and graceful shutdown; the
@@ -70,6 +73,7 @@ pub mod client;
 pub mod net;
 pub mod pool;
 pub mod protocol;
+pub mod replica;
 pub mod router;
 pub mod sharded;
 pub mod stats;
@@ -79,6 +83,7 @@ pub use client::{ClusterBackend, Disconnected, NodeError, PipelinedClient, TcpCl
 pub use net::{Cluster, Server};
 pub use pool::{PoolClient, WorkerPool};
 pub use protocol::{Request, Response, StatsSummary};
+pub use replica::ReplicaStore;
 pub use router::{NodeId, Placement, Ring};
 pub use sharded::{ProblemId, ServiceConfig, ShardedService, SolveReply};
 pub use stats::{ClusterStats, FleetStats, WorkerStats};

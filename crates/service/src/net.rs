@@ -42,7 +42,8 @@ use std::thread::JoinHandle;
 use polling::{Event, Poller};
 
 use crate::pool::{PoolClient, WorkerPool};
-use crate::protocol::{self, clauses_to_lits, Request, Response, TAGGED};
+use crate::protocol::{self, clauses_to_lits, Request, Response, StatsSummary, TAGGED};
+use crate::replica::ReplicaStore;
 use crate::sharded::{ProblemId, ServiceConfig, ShardedService, SolveReply};
 use crate::stats::WorkerStats;
 
@@ -65,6 +66,7 @@ const DRAIN_GRACE: std::time::Duration = std::time::Duration::from_secs(5);
 pub struct Server {
     addr: SocketAddr,
     service: Arc<ShardedService>,
+    replicas: Arc<ReplicaStore>,
     poller: Arc<Poller>,
     hard_stop: Arc<AtomicBool>,
     reactor: Option<JoinHandle<()>>,
@@ -89,11 +91,13 @@ impl Server {
         poller.add(&listener, Event::readable(KEY_LISTENER))?;
         let pool = WorkerPool::new(Arc::clone(&service), workers);
         let hard_stop = Arc::new(AtomicBool::new(false));
+        let replicas = Arc::new(ReplicaStore::new());
         let reactor = {
             let mut reactor = Reactor {
                 listener,
                 poller: Arc::clone(&poller),
                 service: Arc::clone(&service),
+                replicas: Arc::clone(&replicas),
                 pool: pool.client(),
                 completions: Arc::new(Mutex::new(Vec::new())),
                 hard_stop: Arc::clone(&hard_stop),
@@ -109,6 +113,7 @@ impl Server {
         Ok(Server {
             addr,
             service,
+            replicas,
             poller,
             hard_stop,
             reactor: Some(reactor),
@@ -124,6 +129,12 @@ impl Server {
     /// The service behind the server.
     pub fn service(&self) -> &Arc<ShardedService> {
         &self.service
+    }
+
+    /// The passive replica store behind the server (path logs shipped
+    /// here by sessions homed on other nodes).
+    pub fn replicas(&self) -> &Arc<ReplicaStore> {
+        &self.replicas
     }
 
     /// Blocks until a client sends [`Request::Shutdown`] and the
@@ -246,6 +257,7 @@ struct Reactor {
     listener: TcpListener,
     poller: Arc<Poller>,
     service: Arc<ShardedService>,
+    replicas: Arc<ReplicaStore>,
     pool: PoolClient,
     completions: Arc<Mutex<Vec<Completion>>>,
     hard_stop: Arc<AtomicBool>,
@@ -591,14 +603,33 @@ impl Reactor {
                 self.complete_inline(idx, slot, response);
             }
             Request::Stats => {
-                let response = Response::Stats((&self.service.stats()).into());
+                let response = Response::Stats(self.stats_summary());
                 self.complete_inline(idx, slot, response);
             }
             Request::Shutdown => {
                 // Ack with the final stats, then drain gracefully.
-                let response = Response::Stats((&self.service.stats()).into());
+                let response = Response::Stats(self.stats_summary());
                 self.complete_inline(idx, slot, response);
                 self.draining = true;
+            }
+            Request::Replicate {
+                session,
+                problem,
+                parent,
+                clauses,
+            } => {
+                // Passive: record the edge, solve nothing. Clients send
+                // these fire-and-forget; the ack is discarded on
+                // arrival but keeps their tag bookkeeping clean.
+                self.replicas.record(session, problem, parent, clauses);
+                self.complete_inline(idx, slot, Response::Released);
+            }
+            Request::Promote { session, problems } => {
+                // Failover/drain replay: rare and latency-insensitive
+                // next to a node death, so it runs inline on the
+                // reactor rather than complicating the pool path.
+                let mapping = self.replicas.promote(&self.service, session, &problems);
+                self.complete_inline(idx, slot, Response::Promoted { mapping });
             }
             Request::Solve { parent, clauses } => {
                 let parent = match ProblemId::from_wire_checked(parent, node, num_shards) {
@@ -628,6 +659,18 @@ impl Reactor {
                     });
             }
         }
+    }
+
+    /// The node's stats summary with the replica-store counters
+    /// overlaid (the [`crate::stats::ClusterStats`] conversion cannot
+    /// know them — they live beside the service, not inside it).
+    fn stats_summary(&self) -> StatsSummary {
+        let mut summary: StatsSummary = (&self.service.stats()).into();
+        let (bytes, promotions, failovers) = self.replicas.counters();
+        summary.replica_bytes = bytes;
+        summary.replica_promotions = promotions;
+        summary.failovers = failovers;
+        summary
     }
 
     fn complete_inline(&mut self, idx: usize, slot: Slot, response: Response) {
@@ -717,9 +760,30 @@ impl Cluster {
             .collect()
     }
 
-    /// Connects a [`crate::ClusterBackend`] to every live node.
+    /// Connects a [`crate::ClusterBackend`] to every live node, with a
+    /// generous default read timeout so a test or bench waiting on a
+    /// node that dies silently (no FIN — a partition, a hung reactor)
+    /// fails in bounded time instead of hanging the build forever.
     pub fn connect(&self) -> io::Result<crate::ClusterBackend> {
-        crate::ClusterBackend::connect(&self.addrs())
+        let backend = crate::ClusterBackend::connect(&self.addrs())?;
+        backend.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+        Ok(backend)
+    }
+
+    /// Starts a NEW node mid-run — the membership-growth hook — on the
+    /// next free node id, with its own fresh service. Returns the `(node
+    /// id, address)` pair to hand to
+    /// [`crate::ClusterBackend::add_node`].
+    pub fn add_node(
+        &mut self,
+        config: ServiceConfig,
+        workers: usize,
+    ) -> io::Result<(u16, SocketAddr)> {
+        let node = self.servers.len() as u16;
+        let server = Server::start("127.0.0.1:0", config.with_node_id(node), workers)?;
+        let addr = server.local_addr();
+        self.servers.push(Some(server));
+        Ok((node, addr))
     }
 
     /// The service instance behind node `node` (for stats assertions).

@@ -113,6 +113,33 @@ pub enum Request {
     Stats,
     /// Ask the daemon to shut down (connection close follows).
     Shutdown,
+    /// Ship one edge of a session's constraint path log to its ring
+    /// successor: "on the session's home node, `problem` was derived
+    /// from `parent` by adding `clauses`". The receiving node records
+    /// the edge in its passive replica store ([`crate::ReplicaStore`])
+    /// without solving anything; clients send these fire-and-forget
+    /// after each successful solve. Acked with [`Response::Released`].
+    Replicate {
+        /// The session whose path log this edge extends.
+        session: u64,
+        /// Wire id of the derived problem (on its HOME node).
+        problem: u64,
+        /// Wire id of the parent it was derived from.
+        parent: u64,
+        /// The incremental constraint, DIMACS literals.
+        clauses: Vec<Vec<i64>>,
+    },
+    /// Promote the replica of `session`: replay the recorded constraint
+    /// paths of `problems` onto this node's own problem tree (the home
+    /// node died, or is draining out). Answered with
+    /// [`Response::Promoted`] mapping each old wire id to its promoted
+    /// local id.
+    Promote {
+        /// The session being failed over onto this node.
+        session: u64,
+        /// The home-node wire ids to materialize here, oldest first.
+        problems: Vec<u64>,
+    },
 }
 
 /// Aggregated counters carried by [`Response::Stats`].
@@ -138,6 +165,12 @@ pub struct StatsSummary {
     pub evictions: u64,
     /// Conflicts across all queries.
     pub total_conflicts: u64,
+    /// Promote requests served (sessions failed over ONTO this node).
+    pub failovers: u64,
+    /// Problems materialized by replica-promotion replay.
+    pub replica_promotions: u64,
+    /// Payload bytes held in the passive replica store.
+    pub replica_bytes: u64,
 }
 
 impl StatsSummary {
@@ -157,6 +190,9 @@ impl StatsSummary {
         self.rederive_conflicts += other.rederive_conflicts;
         self.evictions += other.evictions;
         self.total_conflicts += other.total_conflicts;
+        self.failovers += other.failovers;
+        self.replica_promotions += other.replica_promotions;
+        self.replica_bytes += other.replica_bytes;
     }
 }
 
@@ -187,6 +223,13 @@ pub enum Response {
     Stats(StatsSummary),
     /// The request could not be served (dead reference, bad shard, ...).
     Error(String),
+    /// Reply to [`Request::Promote`]: `(old home-node wire id, promoted
+    /// wire id on this node)` for every problem whose path could be
+    /// replayed (problems with no recorded path are omitted).
+    Promoted {
+        /// Old-to-new wire id pairs, in the request's problem order.
+        mapping: Vec<(u64, u64)>,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -484,6 +527,26 @@ impl Request {
             }
             Request::Stats => out.push(4),
             Request::Shutdown => out.push(5),
+            Request::Replicate {
+                session,
+                problem,
+                parent,
+                clauses,
+            } => {
+                out.push(6);
+                put_u64(&mut out, *session);
+                put_u64(&mut out, *problem);
+                put_u64(&mut out, *parent);
+                encode_clauses(&mut out, clauses);
+            }
+            Request::Promote { session, problems } => {
+                out.push(7);
+                put_u64(&mut out, *session);
+                put_u32(&mut out, problems.len() as u32);
+                for &p in problems {
+                    put_u64(&mut out, p);
+                }
+            }
         }
         out
     }
@@ -500,6 +563,19 @@ impl Request {
             3 => Request::Release { problem: d.u64()? },
             4 => Request::Stats,
             5 => Request::Shutdown,
+            6 => Request::Replicate {
+                session: d.u64()?,
+                problem: d.u64()?,
+                parent: d.u64()?,
+                clauses: decode_clauses(&mut d)?,
+            },
+            7 => Request::Promote {
+                session: d.u64()?,
+                problems: {
+                    let n = d.count(8)?;
+                    (0..n).map(|_| d.u64()).collect::<Result<_, _>>()?
+                },
+            },
             t => return Err(ProtoError::BadTag(t)),
         };
         d.finish()?;
@@ -544,6 +620,9 @@ impl Response {
                     s.rederive_conflicts,
                     s.evictions,
                     s.total_conflicts,
+                    s.failovers,
+                    s.replica_promotions,
+                    s.replica_bytes,
                 ] {
                     put_u64(&mut out, v);
                 }
@@ -552,6 +631,14 @@ impl Response {
                 out.push(5);
                 put_u32(&mut out, msg.len() as u32);
                 out.extend_from_slice(msg.as_bytes());
+            }
+            Response::Promoted { mapping } => {
+                out.push(6);
+                put_u32(&mut out, mapping.len() as u32);
+                for &(old, new) in mapping {
+                    put_u64(&mut out, old);
+                    put_u64(&mut out, new);
+                }
             }
         }
         out
@@ -581,6 +668,9 @@ impl Response {
                 rederive_conflicts: d.u64()?,
                 evictions: d.u64()?,
                 total_conflicts: d.u64()?,
+                failovers: d.u64()?,
+                replica_promotions: d.u64()?,
+                replica_bytes: d.u64()?,
             }),
             5 => {
                 let len = d.count(1)?;
@@ -591,6 +681,14 @@ impl Response {
                         .to_owned(),
                 )
             }
+            6 => Response::Promoted {
+                mapping: {
+                    let n = d.count(16)?;
+                    (0..n)
+                        .map(|_| Ok((d.u64()?, d.u64()?)))
+                        .collect::<Result<_, ProtoError>>()?
+                },
+            },
             t => return Err(ProtoError::BadTag(t)),
         };
         d.finish()?;
@@ -638,6 +736,20 @@ mod tests {
         roundtrip_request(Request::Release { problem: 12 });
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Replicate {
+            session: 42,
+            problem: 1 << 48 | 7 << 32 | 3,
+            parent: 1 << 48 | 7 << 32,
+            clauses: vec![vec![1, -2], vec![3]],
+        });
+        roundtrip_request(Request::Promote {
+            session: 42,
+            problems: vec![1 << 48 | 3, 1 << 48 | 4, u64::MAX],
+        });
+        roundtrip_request(Request::Promote {
+            session: 0,
+            problems: vec![],
+        });
     }
 
     #[test]
@@ -671,8 +783,38 @@ mod tests {
             rederive_conflicts: 21,
             evictions: 38,
             total_conflicts: 1234,
+            failovers: 2,
+            replica_promotions: 9,
+            replica_bytes: 4096,
         }));
         roundtrip_response(Response::Error("dead reference".into()));
+        roundtrip_response(Response::Promoted {
+            mapping: vec![(1 << 48 | 3, 2 << 48 | 11), (7, 8)],
+        });
+        roundtrip_response(Response::Promoted { mapping: vec![] });
+    }
+
+    #[test]
+    fn stats_absorb_sums_replication_counters() {
+        let mut a = StatsSummary {
+            shards: 2,
+            failovers: 1,
+            replica_promotions: 3,
+            replica_bytes: 100,
+            ..Default::default()
+        };
+        let b = StatsSummary {
+            shards: 2,
+            failovers: 2,
+            replica_promotions: 5,
+            replica_bytes: 50,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.shards, 4);
+        assert_eq!(a.failovers, 3);
+        assert_eq!(a.replica_promotions, 8);
+        assert_eq!(a.replica_bytes, 150);
     }
 
     #[test]

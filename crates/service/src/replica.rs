@@ -1,0 +1,239 @@
+//! The passive replica store: each node's copy of the constraint path
+//! logs shipped to it by sessions homed elsewhere on the ring.
+//!
+//! Replication rides on the same observation that powers in-node
+//! eviction: a solver snapshot is a **pure function of the clause path
+//! from its root**. So the replica of a session is not a snapshot copy
+//! — it is the session's path log, a set of `(problem, parent,
+//! clauses)` edges, recorded here as bytes and solved by nobody until
+//! the moment it is needed. Recording an edge costs a hash-map insert;
+//! the solving cost of replication is deferred entirely to failover,
+//! which is the rare path.
+//!
+//! On failover (or a planned drain) the client sends
+//! [`crate::Request::Promote`]; [`ReplicaStore::promote`] then walks
+//! each requested problem's parent chain back to a session root (local
+//! index 0 — every node's fresh root solver is identical) or to an
+//! already-promoted ancestor, and replays the edges downward through
+//! the node's own [`ShardedService`]. Because the solver is
+//! deterministic in the clause path, the promoted problems answer
+//! **bit-identical verdicts and models** to the originals — the
+//! property `tests/replication.rs` proptests.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::protocol::clauses_to_lits;
+use crate::sharded::{ProblemId, ShardedService};
+
+/// One recorded derivation edge of a session's path log.
+struct Edge {
+    /// Wire id (home-node coordinates) of the parent problem.
+    parent: u64,
+    /// The incremental constraint, DIMACS literals.
+    clauses: Vec<Vec<i64>>,
+}
+
+impl Edge {
+    /// Approximate payload footprint, for the `replica_bytes` counter.
+    fn bytes(&self) -> u64 {
+        16 + self
+            .clauses
+            .iter()
+            .map(|c| 4 + 8 * c.len() as u64)
+            .sum::<u64>()
+    }
+}
+
+#[derive(Default)]
+struct StoreInner {
+    /// Path-log edges per replicated session, keyed by the derived
+    /// problem's home-node wire id.
+    sessions: HashMap<u64, HashMap<u64, Edge>>,
+    /// Memo of already-replayed problems: old wire id → promoted wire
+    /// id on THIS node. Shared across sessions (home-node wire ids are
+    /// globally unique: the node id is packed into them), so chains
+    /// promoted piecemeal replay each edge once.
+    promoted: HashMap<u64, u64>,
+    /// Counters surfaced through [`crate::StatsSummary`].
+    bytes: u64,
+    promotions: u64,
+    failovers: u64,
+}
+
+/// Per-node passive replica store; see the module docs. All methods
+/// take `&self` (one internal mutex) — the reactor records and promotes
+/// inline, while tests may poke at it from the host thread.
+#[derive(Default)]
+pub struct ReplicaStore {
+    inner: Mutex<StoreInner>,
+}
+
+/// Replication counters: `(replica_bytes, replica_promotions,
+/// failovers)`.
+pub type ReplicaCounters = (u64, u64, u64);
+
+impl ReplicaStore {
+    /// An empty store.
+    pub fn new() -> ReplicaStore {
+        ReplicaStore::default()
+    }
+
+    /// Records one path-log edge: on `session`'s home node, `problem`
+    /// was derived from `parent` by adding `clauses`. Idempotent per
+    /// problem id (re-records replace, byte count adjusted).
+    pub fn record(&self, session: u64, problem: u64, parent: u64, clauses: Vec<Vec<i64>>) {
+        let mut inner = self.inner.lock().unwrap();
+        let edge = Edge { parent, clauses };
+        inner.bytes += edge.bytes();
+        if let Some(old) = inner
+            .sessions
+            .entry(session)
+            .or_default()
+            .insert(problem, edge)
+        {
+            inner.bytes -= old.bytes();
+        }
+    }
+
+    /// Number of edges recorded for `session`.
+    pub fn session_edges(&self, session: u64) -> usize {
+        self.inner
+            .lock()
+            .unwrap()
+            .sessions
+            .get(&session)
+            .map_or(0, HashMap::len)
+    }
+
+    /// Current `(replica_bytes, replica_promotions, failovers)`.
+    pub fn counters(&self) -> ReplicaCounters {
+        let inner = self.inner.lock().unwrap();
+        (inner.bytes, inner.promotions, inner.failovers)
+    }
+
+    /// Promotes `session`'s replica onto `service` (this node's own
+    /// tree): every problem in `problems` whose recorded path can be
+    /// walked back to a session root or an already-promoted ancestor is
+    /// replayed, and `(old wire id, promoted wire id)` pairs are
+    /// returned in request order. Problems with no recorded path (or a
+    /// broken chain) are silently omitted — the client treats them as
+    /// unrecoverable.
+    pub fn promote(
+        &self,
+        service: &ShardedService,
+        session: u64,
+        problems: &[u64],
+    ) -> Vec<(u64, u64)> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.failovers += 1;
+        let mut mapping = Vec::with_capacity(problems.len());
+        for &problem in problems {
+            if let Some(new) = promote_one(&mut inner, service, session, problem) {
+                mapping.push((problem, new));
+            }
+        }
+        mapping
+    }
+}
+
+/// Replays one problem's path onto `service`, memoizing every edge.
+fn promote_one(
+    inner: &mut StoreInner,
+    service: &ShardedService,
+    session: u64,
+    problem: u64,
+) -> Option<u64> {
+    // Walk up to a promoted ancestor or a root, collecting the
+    // unreplayed suffix of the chain.
+    let mut chain: Vec<u64> = Vec::new();
+    let mut cur = problem;
+    let base = loop {
+        if let Some(&new) = inner.promoted.get(&cur) {
+            break new;
+        }
+        if cur as u32 == 0 {
+            // A session root: local index 0. Every node's fresh root
+            // solver is identical, so this node's root at the same
+            // shard index is the bit-identical replay base.
+            let shard = (cur >> 32) as u16 as usize % service.num_shards();
+            break service.root(shard)?.to_wire();
+        }
+        let edge = inner.sessions.get(&session)?.get(&cur)?;
+        chain.push(cur);
+        cur = edge.parent;
+    };
+    // Replay downward, oldest edge first.
+    let mut parent = base;
+    for &old in chain.iter().rev() {
+        let edge = inner.sessions.get(&session)?.get(&old)?;
+        let lits = clauses_to_lits(&edge.clauses);
+        let reply = service.solve(ProblemId::from_wire(parent), &lits)?;
+        let new = reply.problem.to_wire();
+        inner.promoted.insert(old, new);
+        inner.promotions += 1;
+        parent = new;
+    }
+    Some(parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharded::ServiceConfig;
+    use lwsnap_solver::SolveResult;
+
+    fn wire(node: u16, shard: u16, local: u32) -> u64 {
+        (node as u64) << 48 | (shard as u64) << 32 | local as u64
+    }
+
+    #[test]
+    fn unknown_problems_are_omitted_not_errors() {
+        let store = ReplicaStore::new();
+        let svc = ShardedService::new(ServiceConfig::new(2).with_node_id(1));
+        assert_eq!(store.promote(&svc, 7, &[wire(0, 0, 5)]), vec![]);
+        let (_, promotions, failovers) = store.counters();
+        assert_eq!((promotions, failovers), (0, 1));
+    }
+
+    #[test]
+    fn shared_prefixes_replay_once() {
+        let store = ReplicaStore::new();
+        // Home node 0's tree: root → a (x1) → {b (x2), c (¬x2)}.
+        let (root, a, b, c) = (wire(0, 1, 0), wire(0, 1, 1), wire(0, 1, 2), wire(0, 1, 3));
+        store.record(9, a, root, vec![vec![1]]);
+        store.record(9, b, a, vec![vec![2]]);
+        store.record(9, c, a, vec![vec![-2]]);
+        let svc = ShardedService::new(ServiceConfig::new(2).with_node_id(1));
+        let mapping = store.promote(&svc, 9, &[a, b, c]);
+        assert_eq!(mapping.len(), 3);
+        let (_, promotions, _) = store.counters();
+        assert_eq!(promotions, 3, "edge `a` replayed once, not three times");
+        for (old, new) in &mapping {
+            assert_eq!(ProblemId::from_wire(*new).node(), 1);
+            assert_ne!(old, new);
+            assert_eq!(
+                svc.result_of(ProblemId::from_wire(*new)),
+                Some(SolveResult::Sat)
+            );
+        }
+        // b and c really diverge on the replica too.
+        let (_, b2) = mapping[1];
+        let sat = svc
+            .solve(ProblemId::from_wire(b2), &clauses_to_lits(&[vec![2]]))
+            .unwrap();
+        assert_eq!(sat.result, SolveResult::Sat);
+    }
+
+    #[test]
+    fn byte_counter_tracks_recorded_payload_size() {
+        let store = ReplicaStore::new();
+        store.record(1, wire(0, 0, 1), wire(0, 0, 0), vec![vec![1, -2]]);
+        let (bytes, ..) = store.counters();
+        assert!(bytes > 0);
+        // Re-recording the same problem replaces, not accumulates.
+        store.record(1, wire(0, 0, 1), wire(0, 0, 0), vec![vec![1, -2]]);
+        assert_eq!(store.counters().0, bytes);
+        assert_eq!(store.session_edges(1), 1);
+    }
+}

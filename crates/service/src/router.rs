@@ -129,6 +129,32 @@ impl Ring {
             .map(|(_, n)| n)
     }
 
+    /// Every member node ranked by descending rendezvous score for
+    /// `key`: `ranked(key)[0]` is [`Ring::node_for`], `ranked(key)[1]`
+    /// the successor, and so on — the node's full failover order.
+    pub fn ranked(&self, key: u64) -> Vec<NodeId> {
+        let mut scored: Vec<(u64, NodeId)> = self
+            .nodes
+            .iter()
+            .copied()
+            .map(|n| (self.score(n, key), n))
+            .collect();
+        // Descending score; ties (a 2⁻⁶⁴ event) toward the smaller id,
+        // matching `node_for`.
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored.into_iter().map(|(_, n)| n).collect()
+    }
+
+    /// The ring successor of `key`: the second-highest-scoring node —
+    /// which, by the rendezvous minimal-disruption property, is exactly
+    /// the node `key` would land on if its owner were removed. That
+    /// identity is what makes the successor the right replica target:
+    /// after a failover OR a planned drain of the owner, the ring's new
+    /// answer for `key` is the node already holding its replica.
+    pub fn successor_for(&self, key: u64) -> Option<NodeId> {
+        self.ranked(key).get(1).copied()
+    }
+
     /// Full placement of a session root: ring-chosen node, then the
     /// node-local Fibonacci shard over `shards_per_node`.
     pub fn place(&self, session: u64, shards_per_node: usize) -> Option<Placement> {
@@ -260,6 +286,35 @@ mod tests {
                 prop_assert!(
                     after == before || after == newcomer,
                     "key {} hopped between old nodes", key
+                );
+            }
+        }
+
+        /// The successor IS the post-removal owner: for every key, the
+        /// second-ranked node equals `node_for` on the ring with the
+        /// owner removed. This identity is what lets failover promote
+        /// a session on its replica and have the shrunk ring agree.
+        #[test]
+        fn successor_equals_owner_after_removal(
+            nodes in proptest::collection::vec(any::<u16>(), 2..9),
+            seed in any::<u64>(),
+            keys in proptest::collection::vec(any::<u64>(), 1..64),
+        ) {
+            let ring = Ring::new(nodes.iter().copied(), seed);
+            if ring.len() < 2 {
+                return;
+            }
+            for &key in &keys {
+                let owner = ring.node_for(key).unwrap();
+                let ranked = ring.ranked(key);
+                prop_assert_eq!(ranked[0], owner);
+                prop_assert_eq!(ranked.len(), ring.len());
+                let mut shrunk = ring.clone();
+                shrunk.remove_node(owner);
+                prop_assert_eq!(
+                    ring.successor_for(key),
+                    shrunk.node_for(key),
+                    "successor disagrees with the shrunk ring for key {}", key
                 );
             }
         }

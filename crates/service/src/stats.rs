@@ -96,6 +96,11 @@ impl From<&ClusterStats> for crate::protocol::StatsSummary {
             rederive_conflicts: t.rederive_conflicts,
             evictions: t.evictions,
             total_conflicts: t.total_conflicts,
+            // Replication counters live in the reactor's ReplicaStore,
+            // not in the shard stats; the server overlays them.
+            failovers: 0,
+            replica_promotions: 0,
+            replica_bytes: 0,
         }
     }
 }

@@ -139,10 +139,13 @@ fn corked_batches_span_nodes_and_answer_in_order() {
     cluster.shutdown();
 }
 
-/// Satellite: killing one node mid-session surfaces a typed per-node
-/// error (no hang), and the surviving nodes still serve and drain.
+/// Tentpole: killing one node mid-session is **transparent**. The
+/// session fails over onto its replica (the ring successor, which held
+/// its path log), the interrupted solve is retried there, and the
+/// answers — verdicts AND models — are the ones the dead node would
+/// have given. The survivor's stats show the promotion happened.
 #[test]
-fn node_failure_is_typed_and_contained() {
+fn node_failure_fails_over_transparently() {
     let mut cluster = Cluster::start_local(3, ServiceConfig::new(2), 2).unwrap();
     let backend = cluster.connect().unwrap();
 
@@ -153,40 +156,87 @@ fn node_failure_is_typed_and_contained() {
     let survivor_session = (0..64u64)
         .find(|&s| backend.ring().node_for(s) != Some(1))
         .expect("some session avoids node 1");
+    let replica = backend
+        .ring()
+        .successor_for(on_victim)
+        .expect("3-node ring has a successor");
 
     let victim_root = backend.session_root(on_victim).unwrap();
     let survivor_root = backend.session_root(survivor_session).unwrap();
     let p = backend.solve(victim_root, lits(&[1])).unwrap().unwrap();
+    assert_eq!(p.problem.node(), 1);
 
     // Kill node 1 with a request in flight *afterwards*: the submit may
-    // land in a dead socket or the wait may see the FIN — either way it
-    // must fail fast with the node named, not hang.
+    // land in a dead socket or the wait may see the FIN — either way
+    // the session must fail over and the solve must still answer.
     cluster.kill_node(1);
     assert_eq!(cluster.live_nodes(), 2);
-    let outcome = backend
+    let reply = backend
         .submit(p.problem, lits(&[2]))
-        .and_then(|t| backend.wait(t));
-    let err = outcome.expect_err("dead node must surface an error");
-    assert_eq!(failed_node(&err), Some(1), "typed per-node error: {err}");
+        .and_then(|t| backend.wait(t))
+        .expect("failover is transparent")
+        .expect("live chain after failover");
+    assert_eq!(reply.result, SolveResult::Sat);
+    assert_eq!(
+        reply.problem.node(),
+        replica,
+        "the session moved to its ring successor"
+    );
+    let model = reply.model.as_ref().expect("sat model");
+    assert!(
+        model[0] && model[1],
+        "replayed chain x1∧x2 answers its model"
+    );
+
+    // The chain keeps extending on the new home, and OLD ids keep
+    // working — the remap follows the whole subtree.
+    let deeper = backend.solve(reply.problem, lits(&[3])).unwrap().unwrap();
+    assert_eq!(deeper.problem.node(), replica);
+    let via_old_id = backend.solve(p.problem, lits(&[-3])).unwrap().unwrap();
+    assert_eq!(via_old_id.problem.node(), replica, "old ids remap");
+    assert!(!via_old_id.model.as_ref().unwrap()[2]);
 
     // Sessions on surviving nodes are untouched.
     let ok = backend.solve(survivor_root, lits(&[3])).unwrap().unwrap();
     assert_eq!(ok.result, SolveResult::Sat);
 
-    // Per-node drain: node 1 reports its failure, 0 and 2 drain clean.
+    // The promotion is visible in the new home's counters.
+    let fleet = backend.node_stats().unwrap();
+    let at_replica = fleet.node(replica).unwrap();
+    assert!(at_replica.failovers >= 1, "promote served");
+    assert!(at_replica.replica_promotions >= 1, "path replayed");
+    assert!(at_replica.replica_bytes > 0, "edges were recorded");
+
+    // Per-node drain: the dead node is no longer a member; the two
+    // survivors drain clean.
     let drained = backend.shutdown();
-    assert_eq!(drained.len(), 3);
+    assert_eq!(drained.len(), 2, "failed node left the member list");
     for (node, result) in drained {
-        match node {
-            1 => {
-                let e = result.expect_err("killed node cannot drain");
-                assert_eq!(failed_node(&e), Some(1));
-            }
-            _ => {
-                result.unwrap_or_else(|e| panic!("survivor {node} failed to drain: {e}"));
-            }
-        }
+        assert_ne!(node, 1);
+        result.unwrap_or_else(|e| panic!("survivor {node} failed to drain: {e}"));
     }
+    cluster.shutdown();
+}
+
+/// With nowhere to replicate (a 1-node cluster), node death still
+/// surfaces the typed per-node error — fast, no hang (the failed_node
+/// helper proves the NodeError payload survives the failover path).
+#[test]
+fn failover_without_a_replica_stays_a_typed_error() {
+    let mut cluster = Cluster::start_local(1, ServiceConfig::new(2), 1).unwrap();
+    let backend = cluster.connect().unwrap();
+    let root = backend.session_root(3).unwrap();
+    let p = backend.solve(root, lits(&[1])).unwrap().unwrap();
+
+    cluster.kill_node(0);
+    let err = backend
+        .submit(p.problem, lits(&[2]))
+        .and_then(|t| backend.wait(t))
+        .expect_err("no replica to fail over to");
+    assert_eq!(failed_node(&err), Some(0), "typed per-node error: {err}");
+    // And new sessions cannot be placed on an empty ring.
+    let err = backend.session_root(99).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::NotConnected);
     cluster.shutdown();
 }
 

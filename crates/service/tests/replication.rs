@@ -1,0 +1,253 @@
+//! Replication and self-healing membership, end to end: path logs
+//! stream to the ring successor, promotion by replay is lossless
+//! (proptested — bit-identical verdicts AND witnesses), planned drains
+//! migrate sessions before the node exits, joins serve new sessions,
+//! and a silent node can never hang a bounded client.
+
+use std::io::ErrorKind;
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use lwsnap_service::protocol::clauses_to_lits;
+use lwsnap_service::{
+    Cluster, ClusterBackend, ProblemId, ReplicaStore, ServiceConfig, ShardedService, SolverBackend,
+};
+use lwsnap_solver::Lit;
+
+fn lits(c: &[i64]) -> Vec<Vec<Lit>> {
+    vec![c.iter().map(|&v| Lit::from_dimacs(v)).collect()]
+}
+
+/// One generated derivation step: which earlier problem to extend
+/// (index modulo the problems so far) and the incremental constraint.
+fn steps_strategy() -> impl Strategy<Value = Vec<(usize, Vec<Vec<i64>>)>> {
+    let lit = (1i64..=6, any::<bool>()).prop_map(|(v, neg)| if neg { -v } else { v });
+    let clause = proptest::collection::vec(lit, 1..4);
+    let clauses = proptest::collection::vec(clause, 1..3);
+    proptest::collection::vec((0usize..32, clauses), 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole's correctness core, as a property: for ARBITRARY
+    /// path logs, promoting a replica by replay yields problems whose
+    /// verdicts and witness models are bit-identical to the originals
+    /// — including under further probe extensions on both sides.
+    #[test]
+    fn replica_promotion_is_lossless(
+        session in any::<u64>(),
+        steps in steps_strategy(),
+    ) {
+        let origin = ShardedService::new(ServiceConfig::new(2));
+        let replica = ShardedService::new(ServiceConfig::new(2).with_node_id(1));
+        let store = ReplicaStore::new();
+
+        // Grow an arbitrary derivation tree on the origin, recording
+        // every edge into the replica store — exactly what the cluster
+        // backend streams to the ring successor.
+        let root = origin.session_root(session);
+        let mut problems = vec![root];
+        for (pick, clauses) in &steps {
+            let parent = problems[pick % problems.len()];
+            let reply = origin
+                .solve(parent, &clauses_to_lits(clauses))
+                .expect("origin chain stays live");
+            store.record(
+                session,
+                reply.problem.to_wire(),
+                parent.to_wire(),
+                clauses.clone(),
+            );
+            problems.push(reply.problem);
+        }
+
+        // Promote EVERY derived problem onto the replica node.
+        let wires: Vec<u64> = problems[1..].iter().map(|p| p.to_wire()).collect();
+        let mapping = store.promote(&replica, session, &wires);
+        prop_assert_eq!(mapping.len(), wires.len(), "complete logs promote completely");
+
+        for &(old, new) in &mapping {
+            let old_id = ProblemId::from_wire(old);
+            let new_id = ProblemId::from_wire(new);
+            prop_assert_eq!(new_id.node(), 1, "promoted ids live on the replica");
+            prop_assert_eq!(
+                origin.result_of(old_id),
+                replica.result_of(new_id),
+                "verdicts split after promotion"
+            );
+            // Witnesses: probe both sides with the same extension; the
+            // solver is deterministic in the clause path, so models
+            // must agree bit for bit.
+            let probe = lits(&[7, -7]);
+            let lhs = origin.solve(old_id, &probe).expect("origin probe");
+            let rhs = replica.solve(new_id, &probe).expect("replica probe");
+            prop_assert_eq!(lhs.result, rhs.result, "probe verdicts split");
+            prop_assert_eq!(lhs.model, rhs.model, "probe witnesses split");
+        }
+    }
+}
+
+/// Every successful solve of a tracked session streams its derivation
+/// edge to the session's ring successor, where it sits as passive
+/// bytes (`replica_bytes`) — no failover, no promotions.
+#[test]
+fn path_logs_stream_to_the_ring_successor() {
+    let cluster = Cluster::start_local(3, ServiceConfig::new(2), 1).unwrap();
+    let backend = cluster.connect().unwrap();
+    let session = 7u64;
+    let home = backend.ring().node_for(session).unwrap();
+    let successor = backend.ring().successor_for(session).unwrap();
+    assert_ne!(home, successor);
+
+    let mut cur = backend.session_root(session).unwrap();
+    for v in 1..=4i64 {
+        cur = backend.solve(cur, lits(&[v])).unwrap().unwrap().problem;
+    }
+
+    // The stats request rides the same connections as the replicate
+    // frames, so in-order processing makes the counters visible.
+    let fleet = backend.node_stats().unwrap();
+    let at_successor = fleet.node(successor).unwrap();
+    assert!(at_successor.replica_bytes > 0, "successor holds the log");
+    assert_eq!(fleet.total().failovers, 0, "nothing failed over");
+    assert_eq!(fleet.total().replica_promotions, 0, "nothing replayed");
+    for (node, summary) in &fleet.nodes {
+        if *node != successor {
+            assert_eq!(summary.replica_bytes, 0, "only the successor records");
+        }
+    }
+    backend.shutdown();
+    cluster.shutdown();
+}
+
+/// Planned membership change: draining a node promotes its sessions
+/// onto their replicas FIRST (the rendezvous successor property makes
+/// the replica the shrunk ring's owner), then shuts the daemon down —
+/// and the continued chains answer bit-identically to an in-process
+/// mirror that never saw a membership change.
+#[test]
+fn planned_drain_replays_sessions_onto_survivors() {
+    let cluster = Cluster::start_local(3, ServiceConfig::new(2), 1).unwrap();
+    let backend = cluster.connect().unwrap();
+    let mirror = ShardedService::new(ServiceConfig::new(2));
+
+    // A handful of sessions across all nodes, a few steps deep.
+    let sessions: Vec<u64> = (0..8).collect();
+    let mut remote: Vec<ProblemId> = Vec::new();
+    let mut local: Vec<ProblemId> = Vec::new();
+    for &s in &sessions {
+        let mut r = backend.session_root(s).unwrap();
+        let mut l = mirror.session_root(s);
+        for step in 0..3i64 {
+            let v = (s as i64 + step) % 5 + 1;
+            r = backend.solve(r, lits(&[v])).unwrap().unwrap().problem;
+            l = mirror.solve(l, &lits(&[v])).unwrap().problem;
+        }
+        remote.push(r);
+        local.push(l);
+    }
+
+    // Drain the node that owns session 0.
+    let victim = backend.ring().node_for(sessions[0]).unwrap();
+    let final_stats = backend.remove_node(victim).unwrap();
+    assert_eq!(
+        final_stats.shards, 2,
+        "the drained daemon answered its stats"
+    );
+    assert_eq!(backend.num_nodes(), 2);
+    assert!(backend.ring().node_for(sessions[0]).unwrap() != victim);
+
+    // Every chain continues — via its OLD ids — and answers exactly
+    // what the mirror answers.
+    for (i, &s) in sessions.iter().enumerate() {
+        let v = (s as i64) % 5 + 1;
+        let r = backend.solve(remote[i], lits(&[-v])).unwrap().unwrap();
+        let l = mirror.solve(local[i], &lits(&[-v])).unwrap();
+        assert_eq!(r.result, l.result, "session {s} verdict split after drain");
+        assert_eq!(r.model, l.model, "session {s} witness split after drain");
+        assert_ne!(r.problem.node(), victim, "session {s} left the victim");
+    }
+
+    // The survivors' counters show the promotions happened.
+    let fleet = backend.node_stats().unwrap();
+    assert!(
+        fleet.total().failovers > 0,
+        "drain promoted via the replicas"
+    );
+    backend.shutdown();
+    cluster.shutdown();
+}
+
+/// Mid-run join: a node added to a live cluster starts serving new
+/// sessions the ring hands it, and existing sessions are undisturbed.
+#[test]
+fn mid_run_join_serves_new_sessions() {
+    let mut cluster = Cluster::start_local(2, ServiceConfig::new(2), 1).unwrap();
+    let backend = cluster.connect().unwrap();
+
+    let old_session = 1u64;
+    let mut chain = backend.session_root(old_session).unwrap();
+    chain = backend.solve(chain, lits(&[1])).unwrap().unwrap().problem;
+
+    let (id, addr) = cluster.add_node(ServiceConfig::new(2), 1).unwrap();
+    assert_eq!(id, 2);
+    backend.add_node(id, addr).unwrap();
+    assert_eq!(backend.num_nodes(), 3);
+
+    // Some new session lands on the joined node and solves there.
+    let newcomer = (0..256u64)
+        .find(|&s| backend.ring().node_for(s) == Some(id))
+        .expect("the ring hands the new node some sessions");
+    let root = backend.session_root(newcomer).unwrap();
+    assert_eq!(root.node(), id);
+    let reply = backend.solve(root, lits(&[2])).unwrap().unwrap();
+    assert_eq!(reply.problem.node(), id);
+
+    // The pre-join session keeps extending where it was.
+    let more = backend.solve(chain, lits(&[2])).unwrap().unwrap();
+    assert_ne!(
+        more.problem.node(),
+        id,
+        "tracked sessions do not move on join"
+    );
+
+    backend.shutdown();
+    cluster.shutdown();
+}
+
+/// Regression (satellite d): a node that accepts connections but never
+/// answers must not hang a bounded client forever. With a read
+/// timeout, the wait times out, the node is treated as dead, and the
+/// error is fast and typed — never a hang.
+#[test]
+fn waiting_on_a_silent_node_times_out() {
+    // A listener that accepts and then says nothing, ever.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let backend = ClusterBackend::connect(&[(0u16, addr)]).unwrap();
+    backend
+        .set_read_timeout(Some(Duration::from_millis(300)))
+        .unwrap();
+
+    let started = Instant::now();
+    let err = backend.session_root(5).unwrap_err();
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "bounded clients do not hang: took {:?}",
+        started.elapsed()
+    );
+    // The silent node was failed over out; with no members left the
+    // placement itself reports the empty ring.
+    assert!(
+        matches!(
+            err.kind(),
+            ErrorKind::NotConnected | ErrorKind::TimedOut | ErrorKind::WouldBlock
+        ),
+        "unexpected error: {err}"
+    );
+    assert_eq!(backend.num_nodes(), 0);
+    drop(listener);
+}

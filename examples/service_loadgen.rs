@@ -2,7 +2,7 @@
 //!
 //! Drives M concurrent client sessions over a shared problem tree and
 //! reports throughput, p50/p99 latency and the snapshot-economy
-//! counters, for six service flavours — the last five all running the
+//! counters, for seven service flavours — the last six all running the
 //! SAME session loop against the `SolverBackend` trait:
 //!
 //! 1. the single-threaded `SolverService` baseline;
@@ -21,7 +21,13 @@
 //! 6. a **3-node in-process cluster** behind the consistent-hash ring
 //!    (`ClusterBackend` over one pipelined connection per node) —
 //!    sessions partitioned across nodes, per-node hit/rederive/evict
-//!    counters reported individually instead of silently summed.
+//!    counters reported individually instead of silently summed;
+//! 7. the same cluster under **chaos**: halfway through the run every
+//!    session pauses, one node is KILLED (the one homing session 0)
+//!    and a fresh node joins, then the sessions resume — the killed
+//!    node's sessions fail over onto their ring-successor replicas by
+//!    path-log replay, and the verdict/witness streams must still be
+//!    bit-identical to the sequential baseline.
 //!
 //! Every SAT model returned in any phase is re-checked against the full
 //! constraint path of its problem, and the SAT/UNSAT verdict streams of
@@ -184,6 +190,51 @@ fn main() {
     }
     cluster.shutdown();
 
+    // Phase 7: the same cluster workload under CHAOS — at the halfway
+    // barrier (no request in flight), kill the node homing session 0
+    // and join a brand-new node; the resumed sessions discover the
+    // change on their next solves and fail over transparently.
+    let mut chaos_cluster =
+        Cluster::start_local(nodes, ServiceConfig::new(shards), workers).expect("start cluster");
+    let chaos_backend = chaos_cluster.connect().expect("connect cluster");
+    let victim = chaos_backend
+        .ring()
+        .node_for(workload.sessions[0].session)
+        .expect("ring places session 0");
+    let chaos = {
+        let cluster = &mut chaos_cluster;
+        let backend = &chaos_backend;
+        lwsnap_bench::service_workload::run_remote_with_midpoint(
+            &workload,
+            &chaos_backend,
+            queries / 2,
+            move || {
+                cluster.kill_node(victim);
+                let (id, addr) = cluster
+                    .add_node(ServiceConfig::new(shards), workers)
+                    .expect("join node");
+                backend.add_node(id, addr).expect("connect joined node");
+            },
+        )
+    };
+    report(&format!("cluster chaos (kill {victim}, +1)"), &chaos);
+    let fleet = chaos_backend.node_stats().expect("node stats");
+    let chaos_total = fleet.total();
+    for (node, s) in &fleet.nodes {
+        println!(
+            "    node {node}: {} queries, {} failovers, {} promotions, {} replica bytes",
+            s.queries, s.failovers, s.replica_promotions, s.replica_bytes,
+        );
+    }
+    assert!(
+        chaos_total.failovers > 0,
+        "chaos phase must actually exercise failover (victim {victim} homed no session?)"
+    );
+    for (node, result) in chaos_backend.shutdown() {
+        result.unwrap_or_else(|e| panic!("node {node} failed to drain: {e}"));
+    }
+    chaos_cluster.shutdown();
+
     // Cross-phase verification: identical verdict streams everywhere.
     let mut mismatches = 0usize;
     for (s, seq_session) in sequential.verdicts.iter().enumerate() {
@@ -193,6 +244,7 @@ fn main() {
             ("tcp-serial", &blocking),
             ("tcp-pipelined", &pipelined),
             ("cluster", &clustered),
+            ("cluster-chaos", &chaos),
         ] {
             if outcome.verdicts[s] != *seq_session {
                 eprintln!("VERDICT MISMATCH: session {s}, {phase} vs sequential");
@@ -207,7 +259,8 @@ fn main() {
     let speedup = evicting.throughput().max(sharded.throughput()) / sequential.throughput();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "\nall {} queries × 6 phases verified: identical verdicts, every model re-checked \
+        "\nall {} queries × 7 phases verified: identical verdicts (failover included), \
+         every model re-checked \
          against its constraint path ({:.2}× best sharded speedup over sequential on \
          {cores} core{})",
         workload.total_queries(),

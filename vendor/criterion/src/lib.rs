@@ -239,6 +239,12 @@ impl Criterion {
     /// baseline) and vanished ones are called out rather than silently
     /// skipped. A no-op when the env var is unset, in `--test` mode
     /// (nothing measured), or when the baseline file is missing.
+    ///
+    /// When `$BENCH_FAIL_THRESHOLD` is also set (a percentage, e.g.
+    /// `25`), this becomes a **regression gate**: after the full delta
+    /// table has been printed, the process exits non-zero if any
+    /// benchmark's median regressed past the threshold. The table is
+    /// always printed first — a failing gate never hides the numbers.
     pub fn compare_with_baseline(&self) {
         let Ok(dir) = std::env::var("BENCH_BASELINE_DIR") else {
             return;
@@ -277,7 +283,55 @@ impl Criterion {
                 println!("{name:<60} VANISHED (in baseline, not in this run)");
             }
         }
+        let Ok(raw) = std::env::var("BENCH_FAIL_THRESHOLD") else {
+            return;
+        };
+        let Ok(threshold) = raw.parse::<f64>() else {
+            eprintln!("BENCH_FAIL_THRESHOLD={raw:?} is not a number; gate skipped");
+            return;
+        };
+        let current: Vec<(String, u128)> = self
+            .records
+            .iter()
+            .map(|r| (r.name.clone(), r.stats.median.as_nanos()))
+            .collect();
+        let offenders = median_regressions(&current, &baseline, threshold);
+        if offenders.is_empty() {
+            println!("bench regression gate: OK (threshold {threshold}%)");
+        } else {
+            eprintln!(
+                "bench regression gate FAILED: {} benchmark(s) regressed past {threshold}%:",
+                offenders.len()
+            );
+            for (name, delta) in &offenders {
+                eprintln!("  {name}: {delta:+.1}%");
+            }
+            std::process::exit(1);
+        }
     }
+}
+
+/// Benchmarks whose median regressed (slowed down) by more than
+/// `threshold` percent versus the baseline, as `(name, delta%)` pairs.
+/// Benchmarks missing from either side — or with a zero baseline — are
+/// not regressions (the delta table calls them out separately); only a
+/// measured slowdown can fail the gate.
+pub fn median_regressions(
+    current: &[(String, u128)],
+    baseline: &[(String, u128)],
+    threshold: f64,
+) -> Vec<(String, f64)> {
+    current
+        .iter()
+        .filter_map(|(name, now_ns)| {
+            let &(_, then_ns) = baseline.iter().find(|(n, _)| n == name)?;
+            if then_ns == 0 {
+                return None;
+            }
+            let delta = (*now_ns as f64 - then_ns as f64) / then_ns as f64 * 100.0;
+            (delta > threshold).then(|| (name.clone(), delta))
+        })
+        .collect()
 }
 
 /// The bench binary's logical name: `argv[0]`'s file stem minus cargo's
@@ -715,5 +769,31 @@ mod tests {
         };
         assert!(c.matches("e7_fork_baseline/replay/4"));
         assert!(!c.matches("e1_nqueens/prolog"));
+    }
+
+    #[test]
+    fn regression_gate_flags_only_real_slowdowns() {
+        let rec = |name: &str, ns: u128| (name.to_owned(), ns);
+        let current = vec![
+            rec("g/slow", 130),   // +30% — past a 25% gate
+            rec("g/edge", 125),   // exactly +25% — NOT past
+            rec("g/fast", 70),    // improvement
+            rec("g/new", 999),    // no baseline
+            rec("g/zeroed", 999), // zero baseline
+        ];
+        let baseline = vec![
+            rec("g/slow", 100),
+            rec("g/edge", 100),
+            rec("g/fast", 100),
+            rec("g/zeroed", 0),
+            rec("g/vanished", 100), // not in current
+        ];
+        let offenders = median_regressions(&current, &baseline, 25.0);
+        assert_eq!(offenders.len(), 1);
+        assert_eq!(offenders[0].0, "g/slow");
+        assert!((offenders[0].1 - 30.0).abs() < 1e-9);
+        // A tighter gate catches the edge case too; a looser one, none.
+        assert_eq!(median_regressions(&current, &baseline, 20.0).len(), 2);
+        assert!(median_regressions(&current, &baseline, 50.0).is_empty());
     }
 }
