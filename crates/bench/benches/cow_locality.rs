@@ -82,6 +82,40 @@ fn bench_cow_locality(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Part 4: many-snapshot profile — a whole *family* of n children,
+    // each dirtying k = 8 pages of a 4096-page parent, costs n·k page
+    // copies total (plus path nodes), never n full images. This is the
+    // address-space-level shape of the snapstore_density claim.
+    let mut group = c.benchmark_group("e3_many_children_cost_deltas");
+    group.sample_size(20);
+    let parent = space_with(4096);
+    for n in [8u64, 64, 256] {
+        group.throughput(Throughput::Bytes(n * 8 * PAGE_SIZE as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let before = *parent.stats();
+                let family: Vec<_> = (0..n)
+                    .map(|i| {
+                        let mut child = parent.snapshot();
+                        for p in 0..8 {
+                            child
+                                .write_u64(BASE + (i * 8 + p) % 4096 * PAGE_SIZE as u64, i)
+                                .unwrap();
+                        }
+                        child
+                    })
+                    .collect();
+                let copied = family
+                    .iter()
+                    .map(|c| c.stats().delta(&before).cow_page_copies)
+                    .sum::<u64>();
+                assert_eq!(copied, n * 8, "each child pays exactly its k pages");
+                std::hint::black_box(family);
+            })
+        });
+    }
+    group.finish();
 }
 
 criterion_group!(benches, bench_cow_locality);

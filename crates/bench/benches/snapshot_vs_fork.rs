@@ -96,6 +96,21 @@ fn bench_snapshot_vs_fork(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Many-snapshot profile: taking snapshot N+1 must stay O(1) no
+    // matter how many earlier snapshots are still alive — the property
+    // the CoW snapshot store leans on when it keeps dozens of solver
+    // states resident under one byte budget.
+    let mut group = c.benchmark_group("e2_many_live_snapshots");
+    let asp = space_with(1024);
+    for held in [1usize, 64, 1024] {
+        let live: Vec<_> = (0..held).map(|_| asp.snapshot()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(held), &held, |b, _| {
+            b.iter(|| std::hint::black_box(asp.snapshot()))
+        });
+        drop(live);
+    }
+    group.finish();
 }
 
 criterion_group!(benches, bench_snapshot_vs_fork);

@@ -2,7 +2,8 @@
 //!
 //! ```sh
 //! lwsnapd [--addr 127.0.0.1:7557] [--shards N] [--workers M] \
-//!         [--capacity K] [--budget BYTES] [--node-id ID]
+//!         [--capacity K] [--budget BYTES] [--node-id ID] \
+//!         [--store cow|deep-clone]
 //! ```
 //!
 //! Serves the `lwsnap-service` wire protocol (legacy in-order frames
@@ -25,12 +26,12 @@
 //! each other (sessions are partitioned, snapshots never cross the
 //! wire).
 
-use lwsnap_service::{Server, ServiceConfig};
+use lwsnap_service::{Server, ServiceConfig, StoreKind};
 
 fn usage() -> ! {
     eprintln!(
         "usage: lwsnapd [--addr HOST:PORT] [--shards N] [--workers M] \
-         [--capacity K] [--budget BYTES] [--node-id ID]\n\
+         [--capacity K] [--budget BYTES] [--node-id ID] [--store KIND]\n\
          \n\
          --addr      listen address (default 127.0.0.1:7557)\n\
          --shards    independently locked problem-tree shards (default 8)\n\
@@ -38,7 +39,9 @@ fn usage() -> ! {
          --capacity  max resident snapshots per shard (default: unbounded)\n\
          --budget    max resident snapshot bytes per shard (default: unbounded)\n\
          --node-id   cluster node id stamped into problem ids (default 0);\n\
-         \u{20}           run one daemon per id and give a ClusterBackend the map"
+         \u{20}           run one daemon per id and give a ClusterBackend the map\n\
+         --store     snapshot store backend: cow (page-granular CoW deltas,\n\
+         \u{20}           the default) or deep-clone (full images, baseline)"
     );
     std::process::exit(2);
 }
@@ -50,6 +53,7 @@ fn main() {
     let mut capacity: Option<usize> = None;
     let mut budget: Option<usize> = None;
     let mut node_id: u16 = 0;
+    let mut store = StoreKind::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -68,12 +72,15 @@ fn main() {
             }
             "--budget" => budget = Some(value("--budget").parse().unwrap_or_else(|_| usage())),
             "--node-id" => node_id = value("--node-id").parse().unwrap_or_else(|_| usage()),
+            "--store" => store = StoreKind::parse(&value("--store")).unwrap_or_else(|| usage()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
 
-    let mut config = ServiceConfig::new(shards).with_node_id(node_id);
+    let mut config = ServiceConfig::new(shards)
+        .with_node_id(node_id)
+        .with_store(store);
     config.snapshot_capacity = capacity;
     config.snapshot_budget_bytes = budget;
     let server = match Server::start(&addr, config, workers) {
@@ -84,12 +91,13 @@ fn main() {
         }
     };
     println!(
-        "lwsnapd node {} listening on {} ({} shards, {} workers, capacity {})",
+        "lwsnapd node {} listening on {} ({} shards, {} workers, capacity {}, {} store)",
         node_id,
         server.local_addr(),
         shards,
         workers,
         capacity.map_or("unbounded".to_owned(), |c| c.to_string()),
+        server.service().store_name(),
     );
 
     let service = server.service().clone();
@@ -109,6 +117,13 @@ fn main() {
         total.rederive_conflicts,
         total.evictions,
         total.live_problems,
+    );
+    println!(
+        "snapshot store ({}): {} resident bytes, {} shared / {} private pages",
+        service.store_name(),
+        total.resident_bytes,
+        total.shared_pages,
+        total.private_pages,
     );
     println!(
         "replication: {replica_bytes} replica bytes held, {replica_promotions} promotions \

@@ -564,6 +564,32 @@ struct SessionState {
     root: u64,
     /// The session's path log, in derivation order.
     log: Vec<LogEntry>,
+    /// Released problems whose log entries are *retained* because a
+    /// live descendant's replay path runs through them; pruned (with
+    /// cascade) by [`prune_log`] when the descendants go too.
+    released: HashSet<u64>,
+}
+
+/// Drops released problems' log entries once no live entry replays
+/// through them (child-aware, cascading): the client-side mirror of
+/// the server's replica GC ([`crate::ReplicaStore::forget`]). Keeps
+/// the log — the source of truth for re-shipping replicas — from
+/// growing without bound under a solve/release working-set pattern.
+fn prune_log(sess: &mut SessionState) {
+    loop {
+        let live_parents: HashSet<u64> = sess.log.iter().map(|e| e.parent).collect();
+        let victim = sess
+            .released
+            .iter()
+            .copied()
+            .find(|p| !live_parents.contains(p) && sess.log.iter().any(|e| e.problem == *p));
+        let Some(victim) = victim else { break };
+        sess.log.retain(|e| e.problem != victim);
+        sess.released.remove(&victim);
+    }
+    // Tombstones for ids with no log entry at all are dead weight.
+    sess.released
+        .retain(|p| sess.log.iter().any(|e| e.problem == *p));
 }
 
 /// The mutable routing state behind a [`ClusterBackend`].
@@ -867,6 +893,11 @@ impl ClusterBackend {
                 e.problem = resolve(&st.remap, e.problem);
                 e.parent = resolve(&st.remap, e.parent);
             }
+            sess.released = sess
+                .released
+                .iter()
+                .map(|&p| resolve(&st.remap, p))
+                .collect();
             sess.replica = st.ring.ranked(session).into_iter().find(|&n| n != new_home);
         }
         let _ = leaving;
@@ -1032,6 +1063,7 @@ impl SolverBackend for ClusterBackend {
                         replica,
                         root: root.to_wire(),
                         log: Vec::new(),
+                        released: HashSet::new(),
                     });
                     st.roots.insert(root.to_wire(), session);
                     return Ok(root);
@@ -1094,7 +1126,29 @@ impl SolverBackend for ClusterBackend {
     }
 
     fn release(&self, id: ProblemId) -> io::Result<()> {
-        let (resolved, _) = self.locate(id.to_wire());
+        let (resolved, session) = self.locate(id.to_wire());
+        // A released problem will never be promoted: prune the
+        // client-side path log (child-aware — entries a live
+        // descendant still replays through are kept) and tell the
+        // session's replica to GC its copy of the dead edges
+        // (fire-and-forget, like the Replicate that shipped them).
+        if let Some(session) = session {
+            let replica = {
+                let mut st = self.state.lock().unwrap();
+                st.owner.remove(&resolved);
+                st.sessions.get_mut(&session).and_then(|sess| {
+                    sess.released.insert(resolved);
+                    prune_log(sess);
+                    sess.replica
+                })
+            };
+            if let Some(member) = replica.and_then(|r| self.node_opt(r)) {
+                let _ = member.client.submit_forgotten(&Request::Unreplicate {
+                    session,
+                    problems: vec![resolved],
+                });
+            }
+        }
         // Releasing something whose home is gone is a no-op, not an
         // error: the snapshot died with the node.
         let Some(member) = self.node_opt(ProblemId::from_wire(resolved).node()) else {

@@ -85,5 +85,5 @@ pub use pool::{PoolClient, WorkerPool};
 pub use protocol::{Request, Response, StatsSummary};
 pub use replica::ReplicaStore;
 pub use router::{NodeId, Placement, Ring};
-pub use sharded::{ProblemId, ServiceConfig, ShardedService, SolveReply};
+pub use sharded::{ProblemId, ServiceConfig, ShardedService, SolveReply, StoreKind};
 pub use stats::{ClusterStats, FleetStats, WorkerStats};

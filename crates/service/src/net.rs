@@ -624,6 +624,14 @@ impl Reactor {
                 self.replicas.record(session, problem, parent, clauses);
                 self.complete_inline(idx, slot, Response::Released);
             }
+            Request::Unreplicate { session, problems } => {
+                // Replica GC: the client released these problems on
+                // their home node; drop the dead edges (child-aware —
+                // see [`crate::ReplicaStore::forget`]). Fire-and-forget
+                // like Replicate, acked the same way.
+                self.replicas.forget(session, &problems);
+                self.complete_inline(idx, slot, Response::Released);
+            }
             Request::Promote { session, problems } => {
                 // Failover/drain replay: rare and latency-insensitive
                 // next to a node death, so it runs inline on the

@@ -140,6 +140,19 @@ pub enum Request {
         /// The home-node wire ids to materialize here, oldest first.
         problems: Vec<u64>,
     },
+    /// Drop replicated path-log edges for released problems: the
+    /// client released `problems` on the session's home node, so their
+    /// edges in this node's passive replica store are dead weight —
+    /// they will never be promoted. The replica GC counterpart of
+    /// [`Request::Replicate`], sent fire-and-forget on release; acked
+    /// with [`Response::Released`]. Edges that still have recorded
+    /// children are kept (the child's replay path runs through them).
+    Unreplicate {
+        /// The session whose replicated edges are being pruned.
+        session: u64,
+        /// Home-node wire ids of the released problems.
+        problems: Vec<u64>,
+    },
 }
 
 /// Aggregated counters carried by [`Response::Stats`].
@@ -171,6 +184,15 @@ pub struct StatsSummary {
     pub replica_promotions: u64,
     /// Payload bytes held in the passive replica store.
     pub replica_bytes: u64,
+    /// Bytes resident in the snapshot stores, shared storage counted
+    /// **once** (what the eviction byte budget compares against).
+    pub resident_bytes: u64,
+    /// Physical pages mapped by two or more resident snapshots (0 on
+    /// the deep-clone store).
+    pub shared_pages: u64,
+    /// Physical pages private to exactly one resident snapshot (0 on
+    /// the deep-clone store).
+    pub private_pages: u64,
 }
 
 impl StatsSummary {
@@ -193,6 +215,9 @@ impl StatsSummary {
         self.failovers += other.failovers;
         self.replica_promotions += other.replica_promotions;
         self.replica_bytes += other.replica_bytes;
+        self.resident_bytes += other.resident_bytes;
+        self.shared_pages += other.shared_pages;
+        self.private_pages += other.private_pages;
     }
 }
 
@@ -547,6 +572,14 @@ impl Request {
                     put_u64(&mut out, p);
                 }
             }
+            Request::Unreplicate { session, problems } => {
+                out.push(8);
+                put_u64(&mut out, *session);
+                put_u32(&mut out, problems.len() as u32);
+                for &p in problems {
+                    put_u64(&mut out, p);
+                }
+            }
         }
         out
     }
@@ -570,6 +603,13 @@ impl Request {
                 clauses: decode_clauses(&mut d)?,
             },
             7 => Request::Promote {
+                session: d.u64()?,
+                problems: {
+                    let n = d.count(8)?;
+                    (0..n).map(|_| d.u64()).collect::<Result<_, _>>()?
+                },
+            },
+            8 => Request::Unreplicate {
                 session: d.u64()?,
                 problems: {
                     let n = d.count(8)?;
@@ -623,6 +663,9 @@ impl Response {
                     s.failovers,
                     s.replica_promotions,
                     s.replica_bytes,
+                    s.resident_bytes,
+                    s.shared_pages,
+                    s.private_pages,
                 ] {
                     put_u64(&mut out, v);
                 }
@@ -671,6 +714,9 @@ impl Response {
                 failovers: d.u64()?,
                 replica_promotions: d.u64()?,
                 replica_bytes: d.u64()?,
+                resident_bytes: d.u64()?,
+                shared_pages: d.u64()?,
+                private_pages: d.u64()?,
             }),
             5 => {
                 let len = d.count(1)?;
@@ -750,6 +796,14 @@ mod tests {
             session: 0,
             problems: vec![],
         });
+        roundtrip_request(Request::Unreplicate {
+            session: 42,
+            problems: vec![1 << 48 | 7 << 32 | 3, 9],
+        });
+        roundtrip_request(Request::Unreplicate {
+            session: 1,
+            problems: vec![],
+        });
     }
 
     #[test]
@@ -786,6 +840,9 @@ mod tests {
             failovers: 2,
             replica_promotions: 9,
             replica_bytes: 4096,
+            resident_bytes: 1 << 20,
+            shared_pages: 77,
+            private_pages: 33,
         }));
         roundtrip_response(Response::Error("dead reference".into()));
         roundtrip_response(Response::Promoted {
@@ -801,6 +858,9 @@ mod tests {
             failovers: 1,
             replica_promotions: 3,
             replica_bytes: 100,
+            resident_bytes: 4096,
+            shared_pages: 5,
+            private_pages: 7,
             ..Default::default()
         };
         let b = StatsSummary {
@@ -808,6 +868,9 @@ mod tests {
             failovers: 2,
             replica_promotions: 5,
             replica_bytes: 50,
+            resident_bytes: 8192,
+            shared_pages: 1,
+            private_pages: 2,
             ..Default::default()
         };
         a.absorb(&b);
@@ -815,6 +878,9 @@ mod tests {
         assert_eq!(a.failovers, 3);
         assert_eq!(a.replica_promotions, 8);
         assert_eq!(a.replica_bytes, 150);
+        assert_eq!(a.resident_bytes, 12288);
+        assert_eq!(a.shared_pages, 6);
+        assert_eq!(a.private_pages, 9);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! **bit-identical verdicts and models** to the originals — the
 //! property `tests/replication.rs` proptests.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Mutex;
 
 use crate::protocol::clauses_to_lits;
@@ -55,6 +55,11 @@ struct StoreInner {
     /// globally unique: the node id is packed into them), so chains
     /// promoted piecemeal replay each edge once.
     promoted: HashMap<u64, u64>,
+    /// Per-session released problems whose edges are *retained* because
+    /// a live descendant's replay path still runs through them. When
+    /// the descendants are forgotten too, these edges cascade out
+    /// ([`ReplicaStore::forget`]).
+    tombstones: HashMap<u64, HashSet<u64>>,
     /// Counters surfaced through [`crate::StatsSummary`].
     bytes: u64,
     promotions: u64,
@@ -104,6 +109,49 @@ impl ReplicaStore {
             .sessions
             .get(&session)
             .map_or(0, HashMap::len)
+    }
+
+    /// Replica GC: the client released `problems` on the session's
+    /// home node, so their recorded edges will never be promoted —
+    /// drop them and reclaim their bytes. **Child-aware**: an edge
+    /// some *live* problem's replay path still runs through is kept
+    /// (tombstoned) and cascades out when its last descendant is
+    /// forgotten, so a release deep in a chain never breaks replay of
+    /// the problems derived from it. Returns the number of edges
+    /// dropped (now, including cascades from earlier tombstones).
+    pub fn forget(&self, session: u64, problems: &[u64]) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        let st = &mut *inner;
+        let Some(edges) = st.sessions.get_mut(&session) else {
+            return 0;
+        };
+        let tombs = st.tombstones.entry(session).or_default();
+        tombs.extend(problems.iter().copied());
+        let mut removed = 0usize;
+        let mut freed = 0u64;
+        loop {
+            let live_parents: HashSet<u64> = edges.values().map(|e| e.parent).collect();
+            let victim = tombs
+                .iter()
+                .copied()
+                .find(|p| edges.contains_key(p) && !live_parents.contains(p));
+            let Some(victim) = victim else { break };
+            if let Some(edge) = edges.remove(&victim) {
+                freed += edge.bytes();
+                removed += 1;
+            }
+            tombs.remove(&victim);
+        }
+        // Tombstones for ids with no recorded edge are dead weight.
+        tombs.retain(|p| edges.contains_key(p));
+        if tombs.is_empty() {
+            st.tombstones.remove(&session);
+        }
+        if edges.is_empty() {
+            st.sessions.remove(&session);
+        }
+        st.bytes -= freed;
+        removed
     }
 
     /// Current `(replica_bytes, replica_promotions, failovers)`.
@@ -223,6 +271,48 @@ mod tests {
             .solve(ProblemId::from_wire(b2), &clauses_to_lits(&[vec![2]]))
             .unwrap();
         assert_eq!(sat.result, SolveResult::Sat);
+    }
+
+    #[test]
+    fn forget_drops_released_edges_and_their_bytes() {
+        let store = ReplicaStore::new();
+        let (root, a, b) = (wire(0, 0, 0), wire(0, 0, 1), wire(0, 0, 2));
+        store.record(5, a, root, vec![vec![1, 2, 3]]);
+        store.record(5, b, root, vec![vec![-1]]);
+        let (full, ..) = store.counters();
+        assert_eq!(store.forget(5, &[a]), 1);
+        assert_eq!(store.session_edges(5), 1);
+        assert!(store.counters().0 < full);
+        assert_eq!(store.forget(5, &[b]), 1);
+        assert_eq!(store.session_edges(5), 0);
+        assert_eq!(store.counters().0, 0, "all replica bytes reclaimed");
+        // Forgetting unknown problems or sessions is a no-op.
+        assert_eq!(store.forget(5, &[a]), 0);
+        assert_eq!(store.forget(99, &[a]), 0);
+    }
+
+    #[test]
+    fn forget_keeps_edges_live_descendants_replay_through() {
+        let store = ReplicaStore::new();
+        // root → a → b → c; release a and b while c stays live.
+        let (root, a, b, c) = (wire(0, 1, 0), wire(0, 1, 1), wire(0, 1, 2), wire(0, 1, 3));
+        store.record(9, a, root, vec![vec![1]]);
+        store.record(9, b, a, vec![vec![2]]);
+        store.record(9, c, b, vec![vec![3]]);
+        assert_eq!(store.forget(9, &[a, b]), 0, "c still replays through them");
+        assert_eq!(store.session_edges(9), 3);
+        // c must still be promotable — the whole chain replays.
+        let svc = ShardedService::new(ServiceConfig::new(2).with_node_id(1));
+        let mapping = store.promote(&svc, 9, &[c]);
+        assert_eq!(mapping.len(), 1);
+        assert_eq!(
+            svc.result_of(ProblemId::from_wire(mapping[0].1)),
+            Some(SolveResult::Sat)
+        );
+        // Releasing c cascades the whole tombstoned chain out.
+        assert_eq!(store.forget(9, &[c]), 3);
+        assert_eq!(store.session_edges(9), 0);
+        assert_eq!(store.counters().0, 0);
     }
 
     #[test]

@@ -39,6 +39,8 @@ impl ClusterStats {
             total.rederive_conflicts += s.rederive_conflicts;
             total.evictions += s.evictions;
             total.resident_bytes += s.resident_bytes;
+            total.shared_pages += s.shared_pages;
+            total.private_pages += s.private_pages;
         }
         total
     }
@@ -96,6 +98,9 @@ impl From<&ClusterStats> for crate::protocol::StatsSummary {
             rederive_conflicts: t.rederive_conflicts,
             evictions: t.evictions,
             total_conflicts: t.total_conflicts,
+            resident_bytes: t.resident_bytes as u64,
+            shared_pages: t.shared_pages,
+            private_pages: t.private_pages,
             // Replication counters live in the reactor's ReplicaStore,
             // not in the shard stats; the server overlays them.
             failovers: 0,

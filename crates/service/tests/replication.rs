@@ -123,6 +123,63 @@ fn path_logs_stream_to_the_ring_successor() {
     cluster.shutdown();
 }
 
+/// Replica GC (satellite): releasing problems fans out to the
+/// session's replica, which drops the dead path-log edges and their
+/// bytes — child-aware, so releasing a whole chain leaf-first empties
+/// the replica completely, while releasing an interior problem with
+/// live descendants keeps its edge until the descendants go too.
+#[test]
+fn release_garbage_collects_the_replica() {
+    let cluster = Cluster::start_local(3, ServiceConfig::new(2), 1).unwrap();
+    let backend = cluster.connect().unwrap();
+    let session = 7u64;
+    let successor = backend.ring().successor_for(session).unwrap();
+
+    // A chain root → p1 → p2 → p3.
+    let root = backend.session_root(session).unwrap();
+    let mut chain = vec![root];
+    for v in 1..=3i64 {
+        let cur = *chain.last().unwrap();
+        chain.push(backend.solve(cur, lits(&[v])).unwrap().unwrap().problem);
+    }
+    let full = backend
+        .node_stats()
+        .unwrap()
+        .node(successor)
+        .unwrap()
+        .replica_bytes;
+    assert!(full > 0, "successor holds the chain's log");
+
+    // Releasing the interior p1 keeps its edge: p2/p3 replay through
+    // it. (Stats ride the same in-order connection as the unreplicate
+    // frames, so the counters are visible by the time they answer.)
+    backend.release(chain[1]).unwrap();
+    let after_interior = backend
+        .node_stats()
+        .unwrap()
+        .node(successor)
+        .unwrap()
+        .replica_bytes;
+    assert_eq!(after_interior, full, "interior edge retained for replay");
+
+    // Releasing the leaves cascades the whole tombstoned chain out.
+    backend.release(chain[3]).unwrap();
+    backend.release(chain[2]).unwrap();
+    let after_all = backend
+        .node_stats()
+        .unwrap()
+        .node(successor)
+        .unwrap()
+        .replica_bytes;
+    assert_eq!(
+        after_all, 0,
+        "released chain fully collected: {full} → {after_all}"
+    );
+
+    backend.shutdown();
+    cluster.shutdown();
+}
+
 /// Planned membership change: draining a node promotes its sessions
 /// onto their replicas FIRST (the rendezvous successor property makes
 /// the replica the shrunk ring's owner), then shuts the daemon down —

@@ -67,6 +67,23 @@ impl VarHeap {
         Some(top)
     }
 
+    /// Discards the current heap and re-inserts variables `0..nvars` in
+    /// ascending order. The resulting layout is a pure function of
+    /// `(nvars, activity)` — the *snapshot normal form* of the decision
+    /// order, reproduced identically by every solver that rebuilds from
+    /// the same activities (ties resolved by insertion order).
+    pub fn rebuild(&mut self, nvars: usize, activity: &[f64]) {
+        self.heap.clear();
+        self.index.clear();
+        self.index.resize(nvars, ABSENT);
+        for v in 0..nvars {
+            let var = Var(v as u32);
+            self.heap.push(var);
+            self.index[v] = self.heap.len() - 1;
+            self.sift_up(self.heap.len() - 1, activity);
+        }
+    }
+
     /// Restores the heap property after `var`'s activity increased.
     pub fn bumped(&mut self, var: Var, activity: &[f64]) {
         if let Some(&pos) = self.index.get(var.index()) {

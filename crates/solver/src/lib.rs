@@ -36,6 +36,7 @@ pub mod generators;
 pub mod heap;
 pub mod lit;
 pub mod service;
+pub mod snapshot;
 pub mod solver;
 
 pub use circuit::{Bv, CLit, Circuit};
@@ -43,4 +44,5 @@ pub use dimacs::{parse_dimacs, write_dimacs, Cnf, DimacsError};
 pub use generators::{graph_coloring, pigeonhole, random_ksat, IncrementalFamily};
 pub use lit::{Lbool, Lit, Var};
 pub use service::{ProblemRef, Reply, ServiceStats, SolverService};
+pub use snapshot::{DeepCloneStore, SnapId, SnapshotStore, StorePageStats};
 pub use solver::{luby, model_satisfies, SolveResult, Solver, SolverStats};

@@ -34,6 +34,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::lit::Lit;
+use crate::snapshot::{DeepCloneStore, SnapId, SnapshotStore, StorePageStats};
 use crate::solver::{SolveResult, Solver, SolverStats};
 
 /// Opaque reference to a previously solved problem in the service's tree.
@@ -61,8 +62,9 @@ impl ProblemRef {
 }
 
 struct ProblemNode {
-    /// The solved snapshot; `None` once evicted (re-derivable by replay).
-    solver: Option<Solver>,
+    /// Handle to the solved snapshot in the store; `None` once evicted
+    /// (re-derivable by replay).
+    snap: Option<SnapId>,
     parent: Option<ProblemRef>,
     /// The constraint edge: clauses added on top of `parent` to form
     /// this problem. Retained after eviction and release so descendants
@@ -82,9 +84,6 @@ struct ProblemNode {
     pinned: bool,
     /// LRU stamp (service-wide logical clock).
     last_use: u64,
-    /// Byte cost of the resident snapshot (clause arena + assignment
-    /// footprint, [`Solver::footprint_bytes`]); 0 while evicted.
-    cost: usize,
 }
 
 /// Counters for the service.
@@ -110,13 +109,27 @@ pub struct ServiceStats {
     pub rederive_conflicts: u64,
     /// Snapshots dropped by the LRU eviction policy.
     pub evictions: u64,
-    /// Approximate bytes held by resident solver snapshots.
+    /// Bytes actually held by the snapshot store, counting storage
+    /// shared between snapshots **once** (what the eviction budget
+    /// compares against).
     pub resident_bytes: usize,
+    /// Physical pages mapped by two or more resident snapshots (0 for
+    /// non-page-granular stores).
+    pub shared_pages: u64,
+    /// Physical pages private to exactly one resident snapshot (0 for
+    /// non-page-granular stores).
+    pub private_pages: u64,
 }
 
 /// A multi-path incremental SAT service.
 pub struct SolverService {
     nodes: Vec<Option<ProblemNode>>,
+    /// Where resident snapshots actually live: the deep-clone baseline
+    /// by default, or a page-granular CoW store
+    /// ([`SolverService::with_store`]). Residency counts and the byte
+    /// budget are the store's own accounting, so shared pages are
+    /// priced once.
+    store: Box<dyn SnapshotStore>,
     stats: ServiceStats,
     /// Maximum resident solver snapshots (`None` = unbounded).
     capacity: Option<usize>,
@@ -126,11 +139,6 @@ pub struct SolverService {
     budget: Option<usize>,
     /// Logical clock for LRU stamps.
     clock: u64,
-    /// Resident solver snapshots, maintained incrementally so capacity
-    /// enforcement never scans the node table.
-    resident: usize,
-    /// Total byte cost of resident snapshots, maintained incrementally.
-    resident_cost: usize,
     /// Lazy-deletion min-heap of `(last_use, index)` eviction
     /// candidates: every residency touch pushes a fresh entry; stale
     /// entries (stamp no longer matching the node) are discarded on
@@ -163,12 +171,18 @@ pub struct Reply {
 
 impl SolverService {
     /// Creates a service containing only the empty root problem, with no
-    /// memory bound.
+    /// memory bound, backed by the deep-clone conformance store.
     pub fn new() -> Self {
-        let root_solver = Solver::new();
-        let root_cost = root_solver.footprint_bytes();
+        Self::with_store(Box::new(DeepCloneStore::new()))
+    }
+
+    /// Creates a service over an explicit snapshot store — the
+    /// page-granular CoW store from `lwsnap-snapstore`, or anything
+    /// else implementing [`SnapshotStore`].
+    pub fn with_store(mut store: Box<dyn SnapshotStore>) -> Self {
+        let root_snap = store.put(None, &Solver::new());
         let root = ProblemNode {
-            solver: Some(root_solver),
+            snap: Some(root_snap),
             parent: None,
             constraint: Vec::new(),
             result: SolveResult::Sat,
@@ -177,16 +191,14 @@ impl SolverService {
             released: false,
             pinned: true,
             last_use: 0,
-            cost: root_cost,
         };
         SolverService {
             nodes: vec![Some(root)],
+            store,
             stats: ServiceStats::default(),
             capacity: None,
             budget: None,
             clock: 0,
-            resident: 1,
-            resident_cost: root_cost,
             lru: BinaryHeap::new(),
         }
     }
@@ -228,16 +240,28 @@ impl SolverService {
         self.budget
     }
 
-    /// Approximate bytes currently held by resident snapshots.
+    /// Bytes currently held by the snapshot store (shared storage
+    /// counted once).
     pub fn resident_bytes(&self) -> usize {
-        self.resident_cost
+        self.store.resident_bytes()
+    }
+
+    /// Name of the snapshot store backend in use.
+    pub fn store_name(&self) -> &'static str {
+        self.store.name()
+    }
+
+    /// Physical page accounting of the snapshot store (zeros for the
+    /// deep-clone baseline).
+    pub fn page_stats(&self) -> StorePageStats {
+        self.store.page_stats()
     }
 
     /// Whether the resident set exceeds either the count capacity or
     /// the byte budget.
     fn over_limits(&self) -> bool {
-        self.capacity.is_some_and(|c| self.resident > c)
-            || self.budget.is_some_and(|b| self.resident_cost > b)
+        self.capacity.is_some_and(|c| self.store.len() > c)
+            || self.budget.is_some_and(|b| self.store.resident_bytes() > b)
     }
 
     /// The root (empty, trivially SAT) problem.
@@ -249,16 +273,19 @@ impl SolverService {
     pub fn stats(&self) -> ServiceStats {
         let mut s = self.stats;
         s.live_problems = self.nodes.iter().flatten().filter(|n| !n.released).count();
-        s.resident_snapshots = self.resident;
-        s.resident_bytes = self.resident_cost;
+        s.resident_snapshots = self.store.len();
+        s.resident_bytes = self.store.resident_bytes();
+        let pages = self.store.page_stats();
+        s.shared_pages = pages.shared_pages;
+        s.private_pages = pages.private_pages;
         debug_assert_eq!(
-            self.resident,
+            self.store.len(),
             self.nodes
                 .iter()
                 .flatten()
-                .filter(|n| n.solver.is_some())
+                .filter(|n| n.snap.is_some())
                 .count(),
-            "incremental resident counter drifted from the node table"
+            "store residency drifted from the node table"
         );
         s
     }
@@ -289,7 +316,7 @@ impl SolverService {
     /// Whether the problem's solver snapshot is currently resident (not
     /// evicted). `None` if the reference is dead.
     pub fn is_resident(&self, r: ProblemRef) -> Option<bool> {
-        self.node(r).map(|n| n.solver.is_some())
+        self.node(r).map(|n| n.snap.is_some())
     }
 
     /// Pins a problem: its snapshot is never evicted. No-op on dead refs.
@@ -310,7 +337,7 @@ impl SolverService {
             node.pinned = false;
             // Pinned entries are discarded from the LRU heap on pop, so
             // a freshly unpinned resident node needs a new candidacy.
-            if node.solver.is_some() {
+            if node.snap.is_some() {
                 self.lru.push(Reverse((node.last_use, r.0)));
             }
         }
@@ -327,16 +354,18 @@ impl SolverService {
     fn materialize(&mut self, r: ProblemRef) -> Option<(Solver, bool)> {
         self.node(r)?;
         let stamp = self.next_stamp();
-        if let Some(node) = self.nodes[r.0 as usize].as_mut() {
-            if let Some(solver) = &node.solver {
-                node.last_use = stamp;
-                let cloned = solver.clone();
-                if !node.pinned {
-                    self.lru.push(Reverse((stamp, r.0)));
-                }
-                self.stats.snapshot_hits += 1;
-                return Some((cloned, false));
+        if let Some(snap) = self.nodes[r.0 as usize].as_ref().and_then(|n| n.snap) {
+            let solver = self
+                .store
+                .get(snap)
+                .expect("resident snapshot must be retrievable");
+            let node = self.nodes[r.0 as usize].as_mut().unwrap();
+            node.last_use = stamp;
+            if !node.pinned {
+                self.lru.push(Reverse((stamp, r.0)));
             }
+            self.stats.snapshot_hits += 1;
+            return Some((solver, false));
         }
         // Evicted: walk up to the nearest resident ancestor, then replay
         // the constraint edges downward. The root is always resident, so
@@ -345,23 +374,30 @@ impl SolverService {
         let mut cur = self.raw_node(r)?.parent?;
         loop {
             let node = self.raw_node(cur)?;
-            if node.solver.is_some() {
+            if node.snap.is_some() {
                 break;
             }
             chain.push(cur);
             cur = node.parent?;
         }
-        let mut solver = self.raw_node(cur).and_then(|n| n.solver.clone())?;
+        let ancestor_snap = self.raw_node(cur)?.snap?;
+        let mut solver = self.store.get(ancestor_snap)?;
         let before = solver.stats();
         let mut replayed = 0u64;
+        // One solve per edge, not one solve at the end: each original
+        // state was produced by solving at its own derivation step, and
+        // the witness model depends on that trajectory (learnt clauses,
+        // activity, saved phases). Batching the clauses would reproduce
+        // the verdicts but not the bit-identical intermediate states.
+        let mut result = SolveResult::Sat;
         for &link in chain.iter().rev() {
             let node = self.raw_node(link)?;
             for clause in &node.constraint {
                 solver.add_clause(clause);
                 replayed += 1;
             }
+            result = solver.solve();
         }
-        let result = solver.solve();
         debug_assert_eq!(
             result,
             self.raw_node(r).map(|n| n.result).unwrap(),
@@ -371,17 +407,14 @@ impl SolverService {
         self.stats.rederivations += 1;
         self.stats.replayed_clauses += replayed;
         self.stats.rederive_conflicts += after.conflicts - before.conflicts;
-        // Cache the re-derived snapshot back: the query touching it makes
-        // it the most recently used node by definition.
-        let cost = solver.footprint_bytes();
+        // Cache the re-derived snapshot back (as a delta against the
+        // ancestor it was replayed from): the query touching it makes it
+        // the most recently used node by definition.
+        let snap = self.store.put(Some(ancestor_snap), &solver);
         let node = self.nodes[r.0 as usize].as_mut()?;
-        node.solver = Some(solver.clone());
+        node.snap = Some(snap);
         node.last_use = stamp;
-        node.cost = cost;
-        let pinned = node.pinned;
-        self.resident += 1;
-        self.resident_cost += cost;
-        if !pinned {
+        if !node.pinned {
             self.lru.push(Reverse((stamp, r.0)));
         }
         self.enforce_capacity(Some(r));
@@ -410,7 +443,7 @@ impl SolverService {
                 .nodes
                 .get(index as usize)
                 .and_then(Option::as_ref)
-                .is_some_and(|n| n.solver.is_some() && !n.pinned && n.last_use == stamp);
+                .is_some_and(|n| n.snap.is_some() && !n.pinned && n.last_use == stamp);
             if !live {
                 continue; // stale heap entry
             }
@@ -420,10 +453,8 @@ impl SolverService {
                 continue;
             }
             let node = self.nodes[index as usize].as_mut().unwrap();
-            node.solver = None;
-            self.resident -= 1;
-            self.resident_cost -= node.cost;
-            node.cost = 0;
+            let snap = node.snap.take().expect("liveness checked above");
+            self.store.remove(snap);
             self.stats.evictions += 1;
         }
         if let Some(entry) = deferred {
@@ -454,9 +485,14 @@ impl SolverService {
         self.stats.total_propagations += after.propagations - before.propagations;
         let model = (result == SolveResult::Sat).then(|| solver.model());
         let stamp = self.next_stamp();
-        let cost = solver.footprint_bytes();
+        // Store the child as a delta against the parent snapshot
+        // materialize() just touched (still resident — nothing evicts
+        // between there and here), so a CoW store shares every page the
+        // child did not dirty.
+        let parent_snap = self.nodes[parent.0 as usize].as_ref().and_then(|n| n.snap);
+        let snap = self.store.put(parent_snap, &solver);
         let node = ProblemNode {
-            solver: Some(solver),
+            snap: Some(snap),
             parent: Some(parent),
             constraint: added.to_vec(),
             result,
@@ -465,15 +501,12 @@ impl SolverService {
             released: false,
             pinned: false,
             last_use: stamp,
-            cost,
         };
         self.nodes.push(Some(node));
         let problem = ProblemRef((self.nodes.len() - 1) as u32);
         if let Some(parent_node) = self.nodes[parent.0 as usize].as_mut() {
             parent_node.children += 1;
         }
-        self.resident += 1;
-        self.resident_cost += cost;
         self.lru.push(Reverse((stamp, problem.0)));
         self.enforce_capacity(Some(problem));
         Some(Reply {
@@ -496,20 +529,16 @@ impl SolverService {
         if r.0 == 0 {
             return; // the root is permanent
         }
-        let freed_cost = match self.nodes.get_mut(r.0 as usize).and_then(Option::as_mut) {
+        let freed = match self.nodes.get_mut(r.0 as usize).and_then(Option::as_mut) {
             Some(node) if !node.released => {
                 node.released = true;
                 node.pinned = false;
-                let freed = node.solver.take().is_some();
-                let cost = node.cost;
-                node.cost = 0;
-                freed.then_some(cost)
+                node.snap.take()
             }
             _ => return,
         };
-        if let Some(cost) = freed_cost {
-            self.resident -= 1;
-            self.resident_cost -= cost;
+        if let Some(snap) = freed {
+            self.store.remove(snap);
         }
         self.reap(r);
     }

@@ -1,0 +1,682 @@
+//! Snapshot storage behind the service: the [`SnapshotStore`] trait,
+//! the deep-clone conformance baseline, and the **lossless sectioned
+//! codec** page-granular stores build on.
+//!
+//! The paper's claim is that a snapshot should cost O(dirty state), not
+//! O(whole state). [`crate::service::SolverService`] therefore talks to
+//! its snapshots only through [`SnapshotStore`]: `put` a solved solver
+//! (optionally as a delta against its parent snapshot), `get` it back
+//! **bit-identical**, `remove` it when the eviction policy says so. The
+//! in-crate [`DeepCloneStore`] keeps whole cloned solvers — exactly the
+//! pre-store behaviour, retained as the conformance baseline — while
+//! `lwsnap-snapstore`'s CoW store lays the encoded state onto the
+//! persistent radix page table of `lwsnap-mem` so a child snapshot pays
+//! only for the pages it dirtied.
+//!
+//! ## The codec
+//!
+//! [`encode`] serializes a [`Solver`] into [`NUM_SECTIONS`] independent
+//! byte sections, one per field, so a page-granular store can give each
+//! section its own fixed base address: a field that did not change
+//! between parent and child produces byte-identical pages at identical
+//! offsets, and the store's compare-before-write keeps them physically
+//! shared. Three layout rules protect that stability:
+//!
+//! * **Fixed section bases** — growth of one section never shifts
+//!   another's bytes.
+//! * **Essential state only** — purely derived state (watch lists, the
+//!   decision heap, the `seen` scratch array) is not serialized at all.
+//!   Those structures record the *search path*, not the state, and are
+//!   reshuffled wholesale by every solve; [`decode`] rebuilds them with
+//!   the solver's own normalization pass instead.
+//! * **Snapshot normal form** — the solver canonicalizes its derived
+//!   state after every solve (clause literals sorted, watches picked
+//!   deterministically, stale per-variable fields zeroed), so the
+//!   sections that *are* serialized differ between parent and child only
+//!   where the state genuinely differs.
+//!
+//! The encoding is exact for quiescent solvers (decision level 0,
+//! propagation complete — the only states the service snapshots): every
+//! essential field round-trips bit-for-bit (`f64`s travel as raw bits)
+//! and the rebuilt derived state is byte-identical to the live solver's,
+//! so a decoded solver replays decisions, propagations and conflicts
+//! identically to the original — the property that keeps verdicts AND
+//! witnesses bit-identical across store backends.
+
+use crate::heap::VarHeap;
+use crate::lit::{Lbool, Lit};
+use crate::solver::{Solver, SolverStats};
+
+/// Number of sections [`encode`] produces (section 0 is the header).
+pub const NUM_SECTIONS: usize = 13;
+
+/// Exact byte length of the header section (section 0): its own length
+/// word, the per-section byte-length table, the scalar fields, and the
+/// run counters.
+pub const HEADER_LEN: usize = 8 + NUM_SECTIONS * 8 + 4 * 8 + 6 * 8 + 1;
+
+// Section indices (section 0 is the header).
+const SEC_ARENA: usize = 1;
+const SEC_CLAUSES: usize = 2;
+const SEC_LEARNTS: usize = 3;
+const SEC_LEARNT_ACT: usize = 4;
+const SEC_ASSIGNS: usize = 5;
+const SEC_LEVEL: usize = 6;
+const SEC_REASON: usize = 7;
+const SEC_TRAIL: usize = 8;
+const SEC_TRAIL_LIM: usize = 9;
+const SEC_ACTIVITY: usize = 10;
+const SEC_POLARITY: usize = 11;
+const SEC_MODEL: usize = 12;
+
+/// Generation-stamped handle to a snapshot inside a [`SnapshotStore`].
+///
+/// Slots are recycled; the generation makes a stale handle (kept across
+/// a `remove`) a detectable dead reference instead of silently aliasing
+/// whatever snapshot reused the slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SnapId {
+    idx: u32,
+    gen: u32,
+}
+
+impl SnapId {
+    /// Builds a handle from its raw parts (store implementations only).
+    #[inline]
+    pub fn new(idx: u32, gen: u32) -> SnapId {
+        SnapId { idx, gen }
+    }
+
+    /// The slot index.
+    #[inline]
+    pub fn idx(self) -> u32 {
+        self.idx
+    }
+
+    /// The slot generation the handle was minted under.
+    #[inline]
+    pub fn gen(self) -> u32 {
+        self.gen
+    }
+}
+
+/// Physical page accounting of a store, for the residency stats.
+///
+/// A page is *shared* if more than one resident snapshot maps it,
+/// *private* if exactly one does. Stores without page granularity (the
+/// deep-clone baseline) report zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorePageStats {
+    /// Distinct physical pages resident in the store.
+    pub total_pages: u64,
+    /// Distinct pages mapped by two or more snapshots.
+    pub shared_pages: u64,
+    /// Distinct pages mapped by exactly one snapshot.
+    pub private_pages: u64,
+}
+
+/// Storage backend for solver snapshots.
+///
+/// The contract the service relies on: `get(put(parent, s))` returns a
+/// solver **bit-identical** to `s` — same verdicts, same witnesses,
+/// same future behaviour — regardless of how the store represents it
+/// internally. `parent` is a sharing hint: a page-granular store lays
+/// the child over the parent's pages so only the dirtied ones cost
+/// memory; a store may ignore it entirely.
+pub trait SnapshotStore: Send {
+    /// Stores a snapshot of `solver`, optionally as a delta against the
+    /// (still-resident) `parent` snapshot.
+    fn put(&mut self, parent: Option<SnapId>, solver: &Solver) -> SnapId;
+
+    /// Reconstructs the snapshot. `None` for stale or removed handles.
+    fn get(&self, id: SnapId) -> Option<Solver>;
+
+    /// Drops the snapshot, freeing whatever storage was private to it.
+    /// Returns `false` for stale or already-removed handles.
+    fn remove(&mut self, id: SnapId) -> bool;
+
+    /// Number of snapshots currently resident.
+    fn len(&self) -> usize;
+
+    /// `true` if no snapshots are resident.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Actual bytes held by the store, counting storage shared between
+    /// snapshots **once** — the number the eviction budget compares.
+    fn resident_bytes(&self) -> usize;
+
+    /// Physical page accounting (zeros for non-page-granular stores).
+    fn page_stats(&self) -> StorePageStats {
+        StorePageStats::default()
+    }
+
+    /// Human-readable backend name (for logs and stats dumps).
+    fn name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------
+// Deep-clone baseline store.
+// ---------------------------------------------------------------------
+
+/// The conformance baseline: every snapshot is a whole cloned
+/// [`Solver`], priced at [`Solver::footprint_bytes`] — exactly what the
+/// service did before the store abstraction existed. No sharing, no
+/// deltas; `resident_bytes` is the plain sum of footprints.
+#[derive(Default)]
+pub struct DeepCloneStore {
+    slots: Vec<Option<(Solver, usize)>>,
+    gens: Vec<u32>,
+    free: Vec<u32>,
+    total: usize,
+    live: usize,
+}
+
+impl DeepCloneStore {
+    /// An empty store.
+    pub fn new() -> DeepCloneStore {
+        DeepCloneStore::default()
+    }
+}
+
+impl SnapshotStore for DeepCloneStore {
+    fn put(&mut self, _parent: Option<SnapId>, solver: &Solver) -> SnapId {
+        let cost = solver.footprint_bytes();
+        self.total += cost;
+        self.live += 1;
+        let entry = Some((solver.clone(), cost));
+        match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx as usize] = entry;
+                SnapId::new(idx, self.gens[idx as usize])
+            }
+            None => {
+                self.slots.push(entry);
+                self.gens.push(0);
+                SnapId::new((self.slots.len() - 1) as u32, 0)
+            }
+        }
+    }
+
+    fn get(&self, id: SnapId) -> Option<Solver> {
+        if *self.gens.get(id.idx() as usize)? != id.gen() {
+            return None;
+        }
+        self.slots[id.idx() as usize]
+            .as_ref()
+            .map(|(s, _)| s.clone())
+    }
+
+    fn remove(&mut self, id: SnapId) -> bool {
+        let Some(&gen) = self.gens.get(id.idx() as usize) else {
+            return false;
+        };
+        if gen != id.gen() {
+            return false;
+        }
+        match self.slots[id.idx() as usize].take() {
+            Some((_, cost)) => {
+                self.total -= cost;
+                self.live -= 1;
+                self.gens[id.idx() as usize] = gen.wrapping_add(1);
+                self.free.push(id.idx());
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.total
+    }
+
+    fn name(&self) -> &'static str {
+        "deep-clone"
+    }
+}
+
+// ---------------------------------------------------------------------
+// The sectioned codec.
+// ---------------------------------------------------------------------
+
+fn put_u32s(out: &mut Vec<u8>, vals: impl IntoIterator<Item = u32>) {
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_u64s(out: &mut Vec<u8>, vals: impl IntoIterator<Item = u64>) {
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_f64s(out: &mut Vec<u8>, vals: &[f64]) {
+    for v in vals {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+fn lbool_to_u8(b: Lbool) -> u8 {
+    match b {
+        Lbool::Undef => 0,
+        Lbool::True => 1,
+        Lbool::False => 2,
+    }
+}
+
+fn lbool_from_u8(b: u8) -> Option<Lbool> {
+    match b {
+        0 => Some(Lbool::Undef),
+        1 => Some(Lbool::True),
+        2 => Some(Lbool::False),
+        _ => None,
+    }
+}
+
+/// Serializes `solver` into [`NUM_SECTIONS`] byte sections. Section 0
+/// is the header (its own length, the per-section length table, the
+/// scalar fields); the rest are one field each, at fixed indices, so a
+/// page-granular store can assign each a fixed base address.
+///
+/// The solver must be quiescent (decision level 0, propagation
+/// complete) — the state every solve leaves behind and the only state
+/// the service snapshots. Derived state (watch lists, decision heap,
+/// `seen`) is deliberately not serialized; [`decode`] rebuilds it.
+pub fn encode(solver: &Solver) -> Vec<Vec<u8>> {
+    debug_assert!(solver.trail_lim.is_empty(), "encode mid-solve");
+    debug_assert_eq!(solver.qhead, solver.trail.len(), "encode mid-propagation");
+    let mut sections: Vec<Vec<u8>> = vec![Vec::new(); NUM_SECTIONS];
+
+    put_u32s(&mut sections[SEC_ARENA], solver.arena.iter().copied());
+    put_u32s(&mut sections[SEC_CLAUSES], solver.clauses.iter().copied());
+    put_u32s(&mut sections[SEC_LEARNTS], solver.learnts.iter().copied());
+    put_f64s(&mut sections[SEC_LEARNT_ACT], &solver.learnt_act);
+    sections[SEC_ASSIGNS].extend(solver.assigns.iter().map(|&b| lbool_to_u8(b)));
+    put_u32s(&mut sections[SEC_LEVEL], solver.level.iter().copied());
+    put_u32s(&mut sections[SEC_REASON], solver.reason.iter().copied());
+    put_u32s(&mut sections[SEC_TRAIL], solver.trail.iter().map(|l| l.0));
+    put_u64s(
+        &mut sections[SEC_TRAIL_LIM],
+        solver.trail_lim.iter().map(|&v| v as u64),
+    );
+    put_f64s(&mut sections[SEC_ACTIVITY], &solver.activity);
+    sections[SEC_POLARITY].extend(solver.polarity.iter().map(|&b| b as u8));
+    sections[SEC_MODEL].extend(solver.model.iter().map(|&b| lbool_to_u8(b)));
+
+    // Header last: it carries every section's final byte length.
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    put_u64s(&mut header, [HEADER_LEN as u64]);
+    put_u64s(&mut header, [HEADER_LEN as u64]); // lengths[0] = header itself
+    for sec in &sections[1..] {
+        put_u64s(&mut header, [sec.len() as u64]);
+    }
+    put_u64s(&mut header, [solver.qhead as u64]);
+    put_u64s(&mut header, [solver.var_inc.to_bits()]);
+    put_u64s(&mut header, [solver.cla_inc.to_bits()]);
+    put_u64s(&mut header, [solver.max_learnts.to_bits()]);
+    let st = &solver.stats;
+    put_u64s(
+        &mut header,
+        [
+            st.decisions,
+            st.propagations,
+            st.conflicts,
+            st.restarts,
+            st.learnt_clauses,
+            st.removed_clauses,
+        ],
+    );
+    header.push(solver.ok as u8);
+    debug_assert_eq!(header.len(), HEADER_LEN);
+    sections[0] = header;
+    sections
+}
+
+/// Reads the header's self-declared byte length from its first bytes
+/// (≥ 8 required). `None` if the prefix is too short or implausible.
+pub fn header_len(prefix: &[u8]) -> Option<usize> {
+    let len = u64::from_le_bytes(prefix.get(..8)?.try_into().ok()?) as usize;
+    (len == HEADER_LEN).then_some(len)
+}
+
+/// Parses the per-section byte-length table out of a full header.
+pub fn section_lengths(header: &[u8]) -> Option<[usize; NUM_SECTIONS]> {
+    if header.len() < HEADER_LEN || header_len(header).is_none() {
+        return None;
+    }
+    let mut lens = [0usize; NUM_SECTIONS];
+    for (i, len) in lens.iter_mut().enumerate() {
+        let at = 8 + i * 8;
+        *len = u64::from_le_bytes(header[at..at + 8].try_into().unwrap()) as usize;
+    }
+    (lens[0] == HEADER_LEN).then_some(lens)
+}
+
+/// Little-endian cursor over one section.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Cur<'a> {
+        Cur { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let out = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(out)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn decode_u32s(sec: &[u8]) -> Option<Vec<u32>> {
+    if !sec.len().is_multiple_of(4) {
+        return None;
+    }
+    Some(
+        sec.chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect(),
+    )
+}
+
+fn decode_f64s(sec: &[u8]) -> Option<Vec<f64>> {
+    if !sec.len().is_multiple_of(8) {
+        return None;
+    }
+    Some(
+        sec.chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+            .collect(),
+    )
+}
+
+fn decode_usizes(sec: &[u8]) -> Option<Vec<usize>> {
+    if !sec.len().is_multiple_of(8) {
+        return None;
+    }
+    Some(
+        sec.chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()) as usize)
+            .collect(),
+    )
+}
+
+/// Validates that every cref in `refs` points at a well-formed clause
+/// record inside `arena` (in-bounds, length ≥ 2, the `learnt` header
+/// bit matching the list it came from, all literals within `nvars`).
+fn validate_crefs(arena: &[u32], refs: &[u32], learnt: bool, nvars: usize) -> bool {
+    refs.iter().all(|&cref| {
+        let at = cref as usize;
+        let Some(&header) = arena.get(at) else {
+            return false;
+        };
+        if (header & 1 != 0) != learnt {
+            return false;
+        }
+        let len = (header >> 1) as usize;
+        if len < 2 || at + 1 + len > arena.len() {
+            return false;
+        }
+        arena[at + 1..at + 1 + len]
+            .iter()
+            .all(|&l| Lit(l).var().index() < nvars)
+    })
+}
+
+/// Reconstructs a [`Solver`] from sections produced by [`encode`].
+/// `None` if the sections are malformed or mutually inconsistent (a
+/// corrupted store surfaces as a dead snapshot, never a panic or a
+/// silently wrong solver).
+///
+/// Derived state — watch lists, the decision heap, the `seen` scratch
+/// array — is rebuilt by the solver's own normalization pass, which is
+/// deterministic and idempotent: a decoded solver is byte-identical to
+/// the (normalized) solver that was encoded.
+pub fn decode(sections: &[Vec<u8>]) -> Option<Solver> {
+    if sections.len() != NUM_SECTIONS {
+        return None;
+    }
+    let mut h = Cur::new(&sections[0]);
+    let declared = h.u64()? as usize;
+    if declared != HEADER_LEN || sections[0].len() != HEADER_LEN {
+        return None;
+    }
+    let mut lens = [0usize; NUM_SECTIONS];
+    for len in lens.iter_mut() {
+        *len = h.u64()? as usize;
+    }
+    for (sec, &len) in sections.iter().zip(&lens) {
+        if sec.len() != len {
+            return None;
+        }
+    }
+    let qhead = h.u64()? as usize;
+    let var_inc = h.f64()?;
+    let cla_inc = h.f64()?;
+    let max_learnts = h.f64()?;
+    let stats = SolverStats {
+        decisions: h.u64()?,
+        propagations: h.u64()?,
+        conflicts: h.u64()?,
+        restarts: h.u64()?,
+        learnt_clauses: h.u64()?,
+        removed_clauses: h.u64()?,
+    };
+    let ok = match h.take(1)?[0] {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    if !h.done() {
+        return None;
+    }
+
+    let assigns: Vec<Lbool> = sections[SEC_ASSIGNS]
+        .iter()
+        .map(|&b| lbool_from_u8(b))
+        .collect::<Option<_>>()?;
+    let nvars = assigns.len();
+
+    let mut solver = Solver {
+        arena: decode_u32s(&sections[SEC_ARENA])?,
+        clauses: decode_u32s(&sections[SEC_CLAUSES])?,
+        learnts: decode_u32s(&sections[SEC_LEARNTS])?,
+        learnt_act: decode_f64s(&sections[SEC_LEARNT_ACT])?,
+        watches: vec![Vec::new(); 2 * nvars],
+        assigns,
+        level: decode_u32s(&sections[SEC_LEVEL])?,
+        reason: decode_u32s(&sections[SEC_REASON])?,
+        trail: decode_u32s(&sections[SEC_TRAIL])?
+            .into_iter()
+            .map(Lit)
+            .collect(),
+        trail_lim: decode_usizes(&sections[SEC_TRAIL_LIM])?,
+        qhead,
+        activity: decode_f64s(&sections[SEC_ACTIVITY])?,
+        var_inc,
+        cla_inc,
+        order: VarHeap::new(),
+        polarity: sections[SEC_POLARITY].iter().map(|&b| b != 0).collect(),
+        seen: vec![false; nvars],
+        ok,
+        model: sections[SEC_MODEL]
+            .iter()
+            .map(|&b| lbool_from_u8(b))
+            .collect::<Option<_>>()?,
+        max_learnts,
+        stats,
+    };
+    // Cross-field sanity. Per-variable arrays must agree on the variable
+    // count; the trail must be a quiescent level-0 prefix (encode only
+    // accepts quiescent solvers); every clause reference must point at a
+    // well-formed arena record, since the normalization pass below walks
+    // them to rebuild the watch lists.
+    if solver.level.len() != nvars
+        || solver.reason.len() != nvars
+        || solver.activity.len() != nvars
+        || solver.polarity.len() != nvars
+        || solver.learnt_act.len() != solver.learnts.len()
+        || !solver.trail_lim.is_empty()
+        || solver.qhead != solver.trail.len()
+        || solver.trail.iter().any(|l| l.var().index() >= nvars)
+        || !validate_crefs(&solver.arena, &solver.clauses, false, nvars)
+        || !validate_crefs(&solver.arena, &solver.learnts, true, nvars)
+    {
+        return None;
+    }
+    // Rebuild the derived state (watches, decision heap, seen) into the
+    // snapshot normal form — the same pass every solve ends with.
+    solver.normalize();
+    Some(solver)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::IncrementalFamily;
+    use crate::solver::SolveResult;
+
+    fn worked_solver() -> Solver {
+        // A solver with real search history: learnt clauses, bumped
+        // activities, saved phases, a non-trivial heap.
+        let fam = IncrementalFamily::new(60, 4, 23);
+        let mut s = Solver::new();
+        for c in &fam.combined(2).clauses {
+            s.add_clause(c);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical() {
+        let s = worked_solver();
+        let enc = encode(&s);
+        let back = decode(&enc).expect("own encoding decodes");
+        // Bit-identity is checked through the codec itself: identical
+        // states must re-encode to identical bytes.
+        assert_eq!(encode(&back), enc);
+    }
+
+    #[test]
+    fn roundtrip_preserves_future_behaviour() {
+        let fam = IncrementalFamily::new(60, 4, 23);
+        let mut original = worked_solver();
+        let mut restored = decode(&encode(&original)).unwrap();
+        for i in 0..3 {
+            for c in &fam.increment(i) {
+                original.add_clause(c);
+                restored.add_clause(c);
+            }
+            let (a, b) = (original.solve(), restored.solve());
+            assert_eq!(a, b, "verdicts diverged at increment {i}");
+            assert_eq!(original.model(), restored.model(), "witness diverged");
+            assert_eq!(original.stats(), restored.stats(), "search diverged");
+        }
+        assert_eq!(encode(&original), encode(&restored));
+    }
+
+    #[test]
+    fn empty_solver_roundtrips() {
+        let s = Solver::new();
+        let enc = encode(&s);
+        assert_eq!(enc[0].len(), HEADER_LEN);
+        let back = decode(&enc).unwrap();
+        assert_eq!(encode(&back), enc);
+    }
+
+    #[test]
+    fn equal_states_encode_equal() {
+        // The point of the snapshot normal form: the same semantic state
+        // reached through clone-then-solve re-encodes identically, so a
+        // CoW child dirties only the pages of fields that truly changed.
+        let s = worked_solver();
+        let twice = {
+            let mut t = s.clone();
+            // Re-solving an already-satisfied formula at quiescence makes
+            // no decisions and learns nothing...
+            assert_eq!(t.solve(), SolveResult::Sat);
+            t
+        };
+        // ...but does bump the stats; equality must hold section by
+        // section for everything except the header.
+        let (a, b) = (encode(&s), encode(&twice));
+        for i in 1..NUM_SECTIONS {
+            assert_eq!(a[i], b[i], "section {i} diverged");
+        }
+    }
+
+    #[test]
+    fn header_tables_are_consistent() {
+        let s = worked_solver();
+        let enc = encode(&s);
+        assert_eq!(header_len(&enc[0]), Some(HEADER_LEN));
+        let lens = section_lengths(&enc[0]).unwrap();
+        for (sec, &len) in enc.iter().zip(&lens) {
+            assert_eq!(sec.len(), len);
+        }
+    }
+
+    #[test]
+    fn corrupt_sections_decode_to_none() {
+        let s = worked_solver();
+        let mut enc = encode(&s);
+        enc[SEC_ASSIGNS].push(9); // not a valid Lbool
+        assert!(decode(&enc).is_none());
+        let mut enc = encode(&s);
+        enc[SEC_LEVEL].pop(); // per-var array out of step
+        assert!(decode(&enc).is_none());
+        let mut enc = encode(&s);
+        enc[0][0] = 0xff; // implausible header length
+        assert!(decode(&enc).is_none());
+        let mut enc = encode(&s);
+        // Dangling clause reference (same section length, so only the
+        // cref validation can catch it).
+        let last = enc[SEC_CLAUSES].len() - 4;
+        enc[SEC_CLAUSES][last..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(&enc).is_none());
+        assert!(decode(&[]).is_none());
+    }
+
+    #[test]
+    fn deep_clone_store_contract() {
+        let mut store = DeepCloneStore::new();
+        assert!(store.is_empty());
+        let s = worked_solver();
+        let id = store.put(None, &s);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.resident_bytes(), s.footprint_bytes());
+        let back = store.get(id).unwrap();
+        assert_eq!(encode(&back), encode(&s));
+        assert!(store.remove(id));
+        assert!(!store.remove(id), "double remove is detected");
+        assert_eq!(store.resident_bytes(), 0);
+        // Slot reuse bumps the generation: the stale handle stays dead.
+        let id2 = store.put(None, &s);
+        assert_eq!(id2.idx(), id.idx(), "slot recycled");
+        assert_ne!(id2.gen(), id.gen());
+        assert!(store.get(id).is_none(), "stale handle is dead");
+        assert!(store.get(id2).is_some());
+    }
+}

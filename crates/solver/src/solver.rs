@@ -19,9 +19,9 @@ use crate::lit::{Lbool, Lit, Var};
 const CREF_NONE: u32 = u32::MAX;
 
 #[derive(Debug, Clone, Copy)]
-struct Watcher {
-    cref: u32,
-    blocker: Lit,
+pub(crate) struct Watcher {
+    pub(crate) cref: u32,
+    pub(crate) blocker: Lit,
 }
 
 /// Solver run counters.
@@ -59,27 +59,32 @@ pub enum SolveResult {
 #[derive(Clone)]
 pub struct Solver {
     // Clause storage: [header][lit...]* where header = len << 1 | learnt.
-    arena: Vec<u32>,
-    clauses: Vec<u32>,
-    learnts: Vec<u32>,
-    learnt_act: Vec<f64>,
-    watches: Vec<Vec<Watcher>>,
-    assigns: Vec<Lbool>,
-    level: Vec<u32>,
-    reason: Vec<u32>,
-    trail: Vec<Lit>,
-    trail_lim: Vec<usize>,
-    qhead: usize,
-    activity: Vec<f64>,
-    var_inc: f64,
-    cla_inc: f64,
-    order: VarHeap,
-    polarity: Vec<bool>,
-    seen: Vec<bool>,
-    ok: bool,
-    model: Vec<Lbool>,
-    max_learnts: f64,
-    stats: SolverStats,
+    // Fields are pub(crate) for the snapshot codec (`crate::snapshot`):
+    // essential state is serialized verbatim, while derived state
+    // (watches, decision heap, `seen`) is rebuilt by [`Solver::normalize`]
+    // — the same pass that runs after every solve — so a restored
+    // snapshot cannot diverge from the original.
+    pub(crate) arena: Vec<u32>,
+    pub(crate) clauses: Vec<u32>,
+    pub(crate) learnts: Vec<u32>,
+    pub(crate) learnt_act: Vec<f64>,
+    pub(crate) watches: Vec<Vec<Watcher>>,
+    pub(crate) assigns: Vec<Lbool>,
+    pub(crate) level: Vec<u32>,
+    pub(crate) reason: Vec<u32>,
+    pub(crate) trail: Vec<Lit>,
+    pub(crate) trail_lim: Vec<usize>,
+    pub(crate) qhead: usize,
+    pub(crate) activity: Vec<f64>,
+    pub(crate) var_inc: f64,
+    pub(crate) cla_inc: f64,
+    pub(crate) order: VarHeap,
+    pub(crate) polarity: Vec<bool>,
+    pub(crate) seen: Vec<bool>,
+    pub(crate) ok: bool,
+    pub(crate) model: Vec<Lbool>,
+    pub(crate) max_learnts: f64,
+    pub(crate) stats: SolverStats,
 }
 
 impl Default for Solver {
@@ -568,6 +573,98 @@ impl Solver {
         }
     }
 
+    // -- snapshot normal form -------------------------------------------
+
+    /// Canonicalizes the solver's derived state at quiescence (decision
+    /// level 0, propagation complete) into the *snapshot normal form*:
+    /// a layout that is a pure function of the essential state (clause
+    /// database, assignment, activities), independent of the search path
+    /// that produced it.
+    ///
+    /// Why this exists: two solvers in semantically identical states can
+    /// differ wildly in byte layout — propagation permutes clause
+    /// literals and watcher lists, `cancel_until` leaves stale `level`
+    /// values for unassigned variables, and the decision heap records an
+    /// arbitrary permutation. For the page-granular CoW snapshot store
+    /// that byte noise is pure cost: a child snapshot would dirty almost
+    /// every page even when it only added a handful of clauses. Running
+    /// this pass after every solve makes encodings of equal states
+    /// bit-equal, so a child's delta is proportional to what actually
+    /// changed.
+    ///
+    /// The snapshot codec calls the same pass on decode to rebuild the
+    /// derived state it does not serialize (watch lists, decision heap,
+    /// `seen`), which keeps restored snapshots bit-for-bit aligned with
+    /// live ones.
+    pub(crate) fn normalize(&mut self) {
+        debug_assert!(self.trail_lim.is_empty(), "normalize mid-solve");
+        debug_assert_eq!(self.qhead, self.trail.len(), "normalize mid-propagation");
+        // Stale per-variable fields: `cancel_until` resets assignment and
+        // reason but leaves `level` at its last value for unassigned vars.
+        for v in 0..self.assigns.len() {
+            if self.assigns[v] == Lbool::Undef {
+                self.level[v] = 0;
+                self.reason[v] = CREF_NONE;
+            }
+            self.seen[v] = false;
+        }
+        // Canonical literal order and watch choice per clause.
+        let crefs: Vec<u32> = self
+            .clauses
+            .iter()
+            .chain(self.learnts.iter())
+            .copied()
+            .collect();
+        for cref in crefs {
+            self.canonicalize_clause(cref);
+        }
+        // Watch lists: rebuilt from scratch in clause-database order.
+        for ws in &mut self.watches {
+            ws.clear();
+        }
+        for i in 0..self.clauses.len() {
+            let cref = self.clauses[i];
+            self.attach(cref);
+        }
+        for i in 0..self.learnts.len() {
+            let cref = self.learnts[i];
+            self.attach(cref);
+        }
+        // Decision heap: pure function of the activity array.
+        self.order.rebuild(self.assigns.len(), &self.activity);
+    }
+
+    /// Sorts a clause's literals ascending and moves the canonical watch
+    /// pair into slots 0 and 1: the two smallest literals not false at
+    /// level 0. Sound at quiescence because level-0 propagation is
+    /// complete — if exactly one literal is non-false it is necessarily
+    /// true (the clause is satisfied and the second watch is inert), and
+    /// if none is, the solver is in a conflicting state (`ok == false`)
+    /// where watches are never consulted again.
+    fn canonicalize_clause(&mut self, cref: u32) {
+        let len = self.clause_len(cref);
+        let base = cref as usize + 1;
+        self.arena[base..base + len].sort_unstable();
+        let (mut w0, mut w1) = (None, None);
+        for i in 0..len {
+            if self.value(Lit(self.arena[base + i])) != Lbool::False {
+                if w0.is_none() {
+                    w0 = Some(i);
+                } else {
+                    w1 = Some(i);
+                    break;
+                }
+            }
+        }
+        if let Some(i) = w0 {
+            self.arena.swap(base, base + i);
+            if let Some(j) = w1 {
+                // j > i always, so the first swap cannot move slot j.
+                self.arena.swap(base + 1, base + j);
+            }
+        }
+    }
+
     // -- search ---------------------------------------------------------
 
     fn pick_branch(&mut self) -> Option<Lit> {
@@ -676,6 +773,7 @@ impl Solver {
             match self.search(budget, assumptions) {
                 Some(result) => {
                     self.cancel_until(0);
+                    self.normalize();
                     return result;
                 }
                 None => {

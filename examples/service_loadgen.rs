@@ -39,8 +39,13 @@
 //! ```sh
 //! cargo run --release --example service_loadgen -- \
 //!     [--sessions M] [--queries Q] [--vars V] [--shards S] [--workers W] \
-//!     [--nodes N] [--smoke]
+//!     [--nodes N] [--budget BYTES] [--smoke]
 //! ```
+//!
+//! `--budget` bounds resident snapshot bytes per shard in every remote
+//! phase (TCP, cluster, chaos), so the daemons churn through byte-budget
+//! eviction and constraint-path replay while the verdict streams are
+//! cross-checked — eviction under chaos, not just under calm.
 
 use lwsnap_bench::service_workload::{RunOutcome, Workload};
 use lwsnap_service::{Cluster, PipelinedClient, Server, ServiceConfig, SolverBackend, TcpClient};
@@ -78,11 +83,24 @@ fn main() {
         std::thread::available_parallelism().map_or(4, |n| n.get()),
     );
     let nodes = parse_flag(&args, "--nodes", 3);
+    let budget: Option<usize> = args
+        .iter()
+        .position(|a| a == "--budget")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
     assert!(sessions >= 1 && queries >= 1 && nodes >= 1);
+    // All remote phases share one daemon configuration; the byte budget
+    // (when set) makes them run under continuous snapshot eviction.
+    let remote_config = || {
+        let mut config = ServiceConfig::new(shards);
+        config.snapshot_budget_bytes = budget;
+        config
+    };
 
     println!(
         "workload: {sessions} sessions × {queries} queries, 3-SAT base over {vars} vars, \
-         {shards} shards, {workers} workers\n"
+         {shards} shards, {workers} workers{}\n",
+        budget.map_or(String::new(), |b| format!(", {b}-byte budget/shard")),
     );
     let workload = Workload::build(sessions, queries, vars, 0x10ad);
 
@@ -131,8 +149,7 @@ fn main() {
     // Phases 4 & 5: the same closed loop over loopback TCP against the
     // epoll front end — blocking one-connection-per-session vs all
     // sessions pipelined on one connection.
-    let server =
-        Server::start("127.0.0.1:0", ServiceConfig::new(shards), workers).expect("bind loopback");
+    let server = Server::start("127.0.0.1:0", remote_config(), workers).expect("bind loopback");
     let addr = server.local_addr();
 
     let blocking = {
@@ -171,8 +188,7 @@ fn main() {
     // Phase 6: the same closed loop over an in-process CLUSTER — one
     // lwsnapd-equivalent node per node id, sessions partitioned by the
     // consistent-hash ring, one pipelined connection per node.
-    let cluster =
-        Cluster::start_local(nodes, ServiceConfig::new(shards), workers).expect("start cluster");
+    let cluster = Cluster::start_local(nodes, remote_config(), workers).expect("start cluster");
     let cluster_backend = cluster.connect().expect("connect cluster");
     let clustered = lwsnap_bench::service_workload::run_remote(&workload, &cluster_backend);
     report(&format!("cluster ({nodes} nodes, 1 ring)"), &clustered);
@@ -195,7 +211,7 @@ fn main() {
     // and join a brand-new node; the resumed sessions discover the
     // change on their next solves and fail over transparently.
     let mut chaos_cluster =
-        Cluster::start_local(nodes, ServiceConfig::new(shards), workers).expect("start cluster");
+        Cluster::start_local(nodes, remote_config(), workers).expect("start cluster");
     let chaos_backend = chaos_cluster.connect().expect("connect cluster");
     let victim = chaos_backend
         .ring()
@@ -211,7 +227,7 @@ fn main() {
             move || {
                 cluster.kill_node(victim);
                 let (id, addr) = cluster
-                    .add_node(ServiceConfig::new(shards), workers)
+                    .add_node(remote_config(), workers)
                     .expect("join node");
                 backend.add_node(id, addr).expect("connect joined node");
             },
