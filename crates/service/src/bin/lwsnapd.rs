@@ -3,7 +3,8 @@
 //! ```sh
 //! lwsnapd [--addr 127.0.0.1:7557] [--shards N] [--workers M] \
 //!         [--capacity K] [--budget BYTES] [--node-id ID] \
-//!         [--store cow|deep-clone]
+//!         [--store cow|deep-clone] [--peer ID=HOST:PORT ...] \
+//!         [--ring-seed SEED] [--replica-budget BYTES]
 //! ```
 //!
 //! Serves the `lwsnap-service` wire protocol (legacy in-order frames
@@ -22,16 +23,27 @@
 //! `WrongNode` error instead of aliasing into a dead reference. Stand
 //! up one daemon per node (distinct `--node-id`s, any addresses) and
 //! point a `ClusterBackend` at the full `(id, addr)` map — the
-//! client-side consistent-hash ring does the rest; nodes never talk to
-//! each other (sessions are partitioned, snapshots never cross the
-//! wire).
+//! client-side consistent-hash ring routes sessions.
+//!
+//! With `--peer` flags (one per other node) the daemons also talk to
+//! *each other*: every tracked session's derivation edges are forwarded
+//! by the home node to the session's ring successor (redundant with the
+//! clients' own replication fan-out — a session stays replicated even
+//! when no single client sees its whole solve stream), and a heartbeat
+//! thread probes the peers, promoting a dead node's sessions from their
+//! replicas before clients notice. `--ring-seed` must match the
+//! clients' seed; `--replica-budget` bounds the replica store, above
+//! which linear path-log chains are compacted in place.
 
-use lwsnap_service::{Server, ServiceConfig, StoreKind};
+use lwsnap_service::{NodeId, Server, ServiceConfig, StoreKind};
+
+use std::net::SocketAddr;
 
 fn usage() -> ! {
     eprintln!(
         "usage: lwsnapd [--addr HOST:PORT] [--shards N] [--workers M] \
-         [--capacity K] [--budget BYTES] [--node-id ID] [--store KIND]\n\
+         [--capacity K] [--budget BYTES] [--node-id ID] [--store KIND] \
+         [--peer ID=HOST:PORT ...] [--ring-seed SEED] [--replica-budget BYTES]\n\
          \n\
          --addr      listen address (default 127.0.0.1:7557)\n\
          --shards    independently locked problem-tree shards (default 8)\n\
@@ -41,9 +53,21 @@ fn usage() -> ! {
          --node-id   cluster node id stamped into problem ids (default 0);\n\
          \u{20}           run one daemon per id and give a ClusterBackend the map\n\
          --store     snapshot store backend: cow (page-granular CoW deltas,\n\
-         \u{20}           the default) or deep-clone (full images, baseline)"
+         \u{20}           the default) or deep-clone (full images, baseline)\n\
+         --peer      another node of the cluster, as ID=HOST:PORT (repeat per\n\
+         \u{20}           peer); turns on server-side edge forwarding + heartbeats\n\
+         --ring-seed consistent-hash ring seed (default 0) — must match every\n\
+         \u{20}           client and peer of this cluster\n\
+         --replica-budget  replica-store byte budget; past it, linear path-log\n\
+         \u{20}           chains are compacted (default: unbounded)"
     );
     std::process::exit(2);
+}
+
+/// Parses one `--peer` value: `ID=HOST:PORT`.
+fn parse_peer(value: &str) -> Option<(NodeId, SocketAddr)> {
+    let (id, addr) = value.split_once('=')?;
+    Some((id.trim().parse().ok()?, addr.trim().parse().ok()?))
 }
 
 fn main() {
@@ -54,6 +78,9 @@ fn main() {
     let mut budget: Option<usize> = None;
     let mut node_id: u16 = 0;
     let mut store = StoreKind::default();
+    let mut peers: Vec<(NodeId, SocketAddr)> = Vec::new();
+    let mut ring_seed: u64 = 0;
+    let mut replica_budget: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -73,6 +100,15 @@ fn main() {
             "--budget" => budget = Some(value("--budget").parse().unwrap_or_else(|_| usage())),
             "--node-id" => node_id = value("--node-id").parse().unwrap_or_else(|_| usage()),
             "--store" => store = StoreKind::parse(&value("--store")).unwrap_or_else(|| usage()),
+            "--peer" => peers.push(parse_peer(&value("--peer")).unwrap_or_else(|| usage())),
+            "--ring-seed" => ring_seed = value("--ring-seed").parse().unwrap_or_else(|_| usage()),
+            "--replica-budget" => {
+                replica_budget = Some(
+                    value("--replica-budget")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -83,6 +119,7 @@ fn main() {
         .with_store(store);
     config.snapshot_capacity = capacity;
     config.snapshot_budget_bytes = budget;
+    config.replica_budget_bytes = replica_budget;
     let server = match Server::start(&addr, config, workers) {
         Ok(server) => server,
         Err(e) => {
@@ -90,6 +127,13 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if !peers.is_empty() {
+        server.set_peers(&peers, ring_seed);
+        println!(
+            "lwsnapd node {node_id}: forwarding + heartbeats to {} peer(s), ring seed {ring_seed}",
+            peers.len(),
+        );
+    }
     println!(
         "lwsnapd node {} listening on {} ({} shards, {} workers, capacity {}, {} store)",
         node_id,
@@ -102,6 +146,7 @@ fn main() {
 
     let service = server.service().clone();
     let replicas = server.replicas().clone();
+    let heartbeat_misses = server.heartbeat_miss_handle();
     let worker_stats = server.wait();
     let (replica_bytes, replica_promotions, failovers) = replicas.counters();
 
@@ -127,7 +172,9 @@ fn main() {
     );
     println!(
         "replication: {replica_bytes} replica bytes held, {replica_promotions} promotions \
-         across {failovers} failovers served",
+         across {failovers} failovers served, {} compactions, {} heartbeat misses",
+        replicas.compactions(),
+        heartbeat_misses.load(std::sync::atomic::Ordering::Relaxed),
     );
     for (i, w) in worker_stats.iter().enumerate() {
         println!("worker {i}: {} jobs, {:.3?} busy", w.jobs, w.busy);

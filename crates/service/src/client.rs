@@ -13,19 +13,20 @@
 
 use std::collections::{HashMap, HashSet};
 use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock, TryLockError};
 use std::time::Duration;
 
 use lwsnap_solver::{Lit, SolveResult};
 
 use crate::backend::{foreign_ticket, SolverBackend, Ticket, TicketInner};
+use crate::chaos::{ChaosAction, ChaosPolicy, PLANE_CLIENT};
 use crate::protocol::{
     lits_to_clauses, put_tagged_frame, read_any_frame, read_frame, write_frame, write_tagged_frame,
     ProtoError, Request, Response, StatsSummary,
 };
-use crate::router::{NodeId, Ring};
+use crate::router::{mix64, NodeId, Ring};
 use crate::sharded::{ProblemId, SolveReply};
 use crate::stats::FleetStats;
 
@@ -155,6 +156,7 @@ fn unexpected(response: Response) -> io::Error {
             Response::Stats(_) => 4,
             Response::Error(_) => 5,
             Response::Promoted { .. } => 6,
+            Response::Pong { .. } => 7,
         }),
     )
 }
@@ -278,8 +280,9 @@ impl PipelinedClient {
     }
 
     /// Submits a request whose response should be discarded on arrival
-    /// (fire-and-forget).
-    fn submit_forgotten(&self, request: &Request) -> io::Result<()> {
+    /// (fire-and-forget). Crate-visible: the server's own forwarding
+    /// plane ([`crate::net`]) ships `Forward` frames through it too.
+    pub(crate) fn submit_forgotten(&self, request: &Request) -> io::Result<()> {
         let tag = self.submit_request(request)?;
         let mut st = self.state.lock().unwrap();
         // The response may have raced in already.
@@ -488,11 +491,19 @@ pub struct NodeError {
     pub node: NodeId,
     /// The underlying failure, rendered (io::Error is not Clone).
     pub message: String,
+    /// How many attempts (initial try + failover retries, each against
+    /// a different surviving home) the operation burned before giving
+    /// up. `1` means the very first try failed unrecoverably.
+    pub attempts: u32,
 }
 
 impl std::fmt::Display for NodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "cluster node {}: {}", self.node, self.message)
+        write!(f, "cluster node {}: {}", self.node, self.message)?;
+        if self.attempts > 1 {
+            write!(f, " (after {} attempts)", self.attempts)?;
+        }
+        Ok(())
     }
 }
 
@@ -500,11 +511,17 @@ impl std::error::Error for NodeError {}
 
 /// Wraps a node-local failure, preserving its `ErrorKind`.
 fn node_error(node: NodeId, e: io::Error) -> io::Error {
+    node_error_after(node, e, 1)
+}
+
+/// [`node_error`] carrying the retry-loop attempt count.
+fn node_error_after(node: NodeId, e: io::Error, attempts: u32) -> io::Error {
     io::Error::new(
         e.kind(),
         NodeError {
             node,
             message: e.to_string(),
+            attempts,
         },
     )
 }
@@ -516,14 +533,70 @@ fn unknown_node(node: NodeId) -> io::Error {
         NodeError {
             node,
             message: "not a member of this cluster".into(),
+            attempts: 1,
         },
     )
 }
 
-/// One member node: its id and the pipelined connection to it.
+/// One member node: its id, address (the heartbeat thread probes it on
+/// a dedicated connection) and the pipelined connection to it.
 struct ClusterNode {
     id: NodeId,
+    addr: SocketAddr,
     client: PipelinedClient,
+}
+
+/// Bounded exponential backoff between failover retries: 1 ms doubling
+/// to a 32 ms cap, plus up to +50% seeded jitter ([`mix64`] of the
+/// attempt and the node it just buried) so a herd of clients that
+/// watched the same node die does not stampede the successor in
+/// lockstep.
+fn failover_backoff(attempt: usize, buried: NodeId) {
+    let base_ms = 1u64 << (attempt.saturating_sub(1)).min(5);
+    let jitter_us = mix64(0xb0ff ^ ((buried as u64) << 32) ^ attempt as u64) % (base_ms * 500 + 1);
+    std::thread::sleep(Duration::from_millis(base_ms) + Duration::from_micros(jitter_us));
+}
+
+/// Consecutive-miss failure accrual with ack-reset hysteresis: a node
+/// is condemned only after `threshold` misses *in a row* — any
+/// successful probe zeroes its counter, so a flapping node (slow, but
+/// alive) never trips a spurious failover, while a truly dead one is
+/// condemned in exactly `threshold` probe intervals.
+pub(crate) struct SuspicionTable {
+    threshold: u32,
+    counts: HashMap<NodeId, u32>,
+}
+
+impl SuspicionTable {
+    pub(crate) fn new(threshold: u32) -> SuspicionTable {
+        SuspicionTable {
+            threshold: threshold.max(1),
+            counts: HashMap::new(),
+        }
+    }
+
+    /// A successful probe: resets the node's consecutive-miss count.
+    pub(crate) fn ack(&mut self, node: NodeId) {
+        self.counts.insert(node, 0);
+    }
+
+    /// A missed probe; `true` when the node just crossed the threshold
+    /// and should be condemned.
+    pub(crate) fn miss(&mut self, node: NodeId) -> bool {
+        let count = self.counts.entry(node).or_insert(0);
+        *count += 1;
+        *count >= self.threshold
+    }
+
+    /// Whether the node has at least one un-acked miss.
+    pub(crate) fn suspected(&self, node: NodeId) -> bool {
+        self.counts.get(&node).copied().unwrap_or(0) > 0
+    }
+
+    /// Drops a condemned (or departed) node's counter.
+    pub(crate) fn forget(&mut self, node: NodeId) {
+        self.counts.remove(&node);
+    }
 }
 
 /// Whether an error means the node itself is gone (dead, partitioned,
@@ -609,6 +682,12 @@ struct ClusterState {
     /// Read timeout applied to every connection (including ones added
     /// later by [`ClusterBackend::add_node`]).
     timeout: Option<Duration>,
+    /// This client's membership-epoch view: bumped on every failover
+    /// and planned membership change, raised to any higher epoch a
+    /// `Pong` carries. A higher epoch on the wire means some *other*
+    /// router already buried a node this client still believes in —
+    /// the heartbeat thread reacts by fast-tracking its own probes.
+    epoch: u64,
 }
 
 /// Chases `id` through the failover remap (bounded — chains are as
@@ -638,16 +717,29 @@ fn resolve(remap: &HashMap<u64, u64>, mut id: u64) -> u64 {
 /// * **Replication** — after every successful solve of a tracked
 ///   session, the derivation edge is shipped fire-and-forget to the
 ///   session's ring successor ([`Ring::successor_for`]), which records
-///   it passively ([`crate::ReplicaStore`]). Nodes never talk to each
-///   other; the client, as the only holder of the session's solve
-///   stream, is the replication fan-out point.
+///   it passively ([`crate::ReplicaStore`]). The home node forwards
+///   the same edges itself (the server's `Forward` plane, idempotent
+///   by sequence number), so a session stays fully replicated even
+///   when several clients drive it and each sees only a slice of the
+///   solve stream.
 /// * **Failover** — when a node dies mid-session, the backend promotes
 ///   each affected session on its replica (the successor replays the
 ///   path log — bit-identical verdicts and models, because the solver
 ///   is deterministic in the clause path), installs an id remap, picks
 ///   a fresh replica, re-ships the log, and **transparently retries**
-///   the interrupted solve. Only sessions with no replica (1-node
-///   clusters, double failures) still surface the typed [`NodeError`].
+///   the interrupted solve, backing off exponentially (with seeded
+///   jitter) between attempts. Only sessions with no replica (1-node
+///   clusters, double failures) still surface the typed [`NodeError`],
+///   which carries the attempt count.
+/// * **Heartbeats** — opt-in ([`ClusterBackend::start_heartbeat`]): a
+///   probe thread pings every node on dedicated connections (so a
+///   half-dead node that still answers pings while its solves stall is
+///   NOT condemned here — the per-request read timeout catches that)
+///   and fails over any node that misses enough consecutive probes,
+///   promoting its sessions *before* a request trips over the corpse.
+///   `Pong`s carry the membership epoch; seeing a higher one than our
+///   own fast-tracks suspicion, so routers learn of deaths from their
+///   peers' failovers instead of waiting out their own thresholds.
 /// * **Membership** — [`ClusterBackend::add_node`] joins a node
 ///   mid-run; [`ClusterBackend::remove_node`] drains one gracefully
 ///   (sessions promoted onto their replicas — which the rendezvous
@@ -657,11 +749,42 @@ fn resolve(remap: &HashMap<u64, u64>, mut id: u64) -> u64 {
 ///   [`SolverBackend::node_stats`] keeps the per-node split, including
 ///   the `failovers` / `replica_promotions` / `replica_bytes` counters.
 pub struct ClusterBackend {
+    /// The shared guts; the heartbeat thread holds its own `Arc`.
+    core: Arc<ClusterCore>,
+}
+
+impl Drop for ClusterBackend {
+    fn drop(&mut self) {
+        // The heartbeat thread (if started) holds its own Arc to the
+        // core; this flag is how it learns the user-facing handle died.
+        self.core.hb_stop.store(true, Ordering::Release);
+    }
+}
+
+/// Everything behind a [`ClusterBackend`], shareable with the
+/// heartbeat thread: the member table, the routing state, the chaos
+/// policy and the failure-detection counters.
+struct ClusterCore {
     /// Member nodes, sorted by id (binary-searchable). `Arc` so a
     /// connection can be used after the lock is dropped — waits must
     /// not serialize behind membership changes.
     nodes: RwLock<Vec<Arc<ClusterNode>>>,
     state: Mutex<ClusterState>,
+    /// Fault-injection policy for this client's replication plane
+    /// (`Replicate`/`Unreplicate` fire-and-forget frames only; the
+    /// re-shipping done at failover is a healing path and is exempt).
+    chaos: Mutex<Option<Arc<ChaosPolicy>>>,
+    /// Heartbeat probes that went unanswered.
+    hb_misses: AtomicU64,
+    /// Failovers the heartbeat thread triggered (vs. a request path
+    /// tripping over the dead node first).
+    hb_failovers: AtomicU64,
+    /// Failover retries burned by request paths.
+    retries: AtomicU64,
+    /// Single-spawn guard for the heartbeat thread.
+    hb_started: AtomicBool,
+    /// Tells the heartbeat thread to exit.
+    hb_stop: AtomicBool,
 }
 
 impl ClusterBackend {
@@ -680,8 +803,22 @@ impl ClusterBackend {
     ) -> io::Result<ClusterBackend> {
         let mut nodes = Vec::with_capacity(addrs.len());
         for (id, addr) in addrs {
+            let addr = addr
+                .to_socket_addrs()
+                .map_err(|e| node_error(*id, e))?
+                .next()
+                .ok_or_else(|| {
+                    node_error(
+                        *id,
+                        io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"),
+                    )
+                })?;
             let client = PipelinedClient::connect(addr).map_err(|e| node_error(*id, e))?;
-            nodes.push(Arc::new(ClusterNode { id: *id, client }));
+            nodes.push(Arc::new(ClusterNode {
+                id: *id,
+                addr,
+                client,
+            }));
         }
         nodes.sort_by_key(|n| n.id);
         if nodes.windows(2).any(|w| w[0].id == w[1].id) {
@@ -692,33 +829,48 @@ impl ClusterBackend {
         }
         let ring = Ring::new(nodes.iter().map(|n| n.id), seed);
         Ok(ClusterBackend {
-            nodes: RwLock::new(nodes),
-            state: Mutex::new(ClusterState {
-                ring,
-                sessions: HashMap::new(),
-                owner: HashMap::new(),
-                roots: HashMap::new(),
-                remap: HashMap::new(),
-                timeout: None,
+            core: Arc::new(ClusterCore {
+                nodes: RwLock::new(nodes),
+                state: Mutex::new(ClusterState {
+                    ring,
+                    sessions: HashMap::new(),
+                    owner: HashMap::new(),
+                    roots: HashMap::new(),
+                    remap: HashMap::new(),
+                    timeout: None,
+                    epoch: 0,
+                }),
+                chaos: Mutex::new(None),
+                hb_misses: AtomicU64::new(0),
+                hb_failovers: AtomicU64::new(0),
+                retries: AtomicU64::new(0),
+                hb_started: AtomicBool::new(false),
+                hb_stop: AtomicBool::new(false),
             }),
         })
     }
 
     /// Number of member nodes.
     pub fn num_nodes(&self) -> usize {
-        self.nodes.read().unwrap().len()
+        self.core.num_nodes()
     }
 
     /// The member node ids, sorted.
     pub fn node_ids(&self) -> Vec<NodeId> {
-        self.nodes.read().unwrap().iter().map(|n| n.id).collect()
+        self.core
+            .nodes
+            .read()
+            .unwrap()
+            .iter()
+            .map(|n| n.id)
+            .collect()
     }
 
     /// A snapshot of the routing ring (e.g. to predict placements in
     /// tests). A *copy* — the live ring shrinks and grows with
     /// failovers and membership changes.
     pub fn ring(&self) -> Ring {
-        self.state.lock().unwrap().ring.clone()
+        self.core.state.lock().unwrap().ring.clone()
     }
 
     /// Bounds how long any wait on any node connection may block
@@ -726,11 +878,149 @@ impl ClusterBackend {
     /// exceeds it is treated as DEAD — its sessions fail over — so set
     /// it comfortably above the slowest expected solve.
     pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
-        self.state.lock().unwrap().timeout = timeout;
-        for n in self.nodes.read().unwrap().iter() {
+        self.core.state.lock().unwrap().timeout = timeout;
+        for n in self.core.nodes.read().unwrap().iter() {
             n.client.set_read_timeout(timeout)?;
         }
         Ok(())
+    }
+
+    /// Installs (or clears) the fault-injection policy for this
+    /// client's outgoing replication-plane frames.
+    pub fn set_chaos(&self, chaos: Option<Arc<ChaosPolicy>>) {
+        *self.core.chaos.lock().unwrap() = chaos;
+    }
+
+    /// Starts the heartbeat thread (idempotent): every `interval` (plus
+    /// seeded jitter) it pings each member on a short-lived dedicated
+    /// connection and fails over any node that misses `threshold`
+    /// consecutive probes — promoting its sessions onto their replicas
+    /// *before* a request path trips over the dead node. The thread
+    /// exits when the backend is dropped.
+    pub fn start_heartbeat(&self, interval: Duration, threshold: u32) {
+        if self.core.hb_started.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let core = Arc::clone(&self.core);
+        std::thread::spawn(move || heartbeat_loop(core, interval, threshold.max(1)));
+    }
+
+    /// Heartbeat probes that went unanswered so far.
+    pub fn heartbeat_misses(&self) -> u64 {
+        self.core.hb_misses.load(Ordering::Relaxed)
+    }
+
+    /// Failovers triggered by the heartbeat thread (not by a request
+    /// path hitting the dead node).
+    pub fn heartbeat_failovers(&self) -> u64 {
+        self.core.hb_failovers.load(Ordering::Relaxed)
+    }
+
+    /// Failover retries burned by request paths so far (each one is a
+    /// solve or root call re-issued against a surviving node).
+    pub fn failover_retries(&self) -> u64 {
+        self.core.retries.load(Ordering::Relaxed)
+    }
+
+    /// This client's membership-epoch view.
+    pub fn epoch(&self) -> u64 {
+        self.core.state.lock().unwrap().epoch
+    }
+
+    /// Joins a NEW node to the cluster map and the ring mid-run.
+    /// Existing sessions stay where they are (rendezvous addition only
+    /// *steals* keys, and tracked sessions route by their recorded
+    /// home); new sessions and future replica picks may land on it.
+    pub fn add_node<A: ToSocketAddrs>(&self, id: NodeId, addr: A) -> io::Result<()> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| node_error(id, e))?
+            .next()
+            .ok_or_else(|| {
+                node_error(
+                    id,
+                    io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"),
+                )
+            })?;
+        let client = PipelinedClient::connect(addr).map_err(|e| node_error(id, e))?;
+        let mut st = self.core.state.lock().unwrap();
+        client
+            .set_read_timeout(st.timeout)
+            .map_err(|e| node_error(id, e))?;
+        let mut nodes = self.core.nodes.write().unwrap();
+        match nodes.binary_search_by_key(&id, |n| n.id) {
+            Ok(_) => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "duplicate node id in cluster map",
+            )),
+            Err(at) => {
+                nodes.insert(at, Arc::new(ClusterNode { id, addr, client }));
+                st.ring.add_node(id);
+                st.epoch += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Planned membership change: drains `node` out of the cluster.
+    /// Its sessions are promoted onto their replicas first (path-log
+    /// replay — and the rendezvous successor property means the replica
+    /// IS the shrunk ring's owner for each key), then the daemon is
+    /// sent a graceful `Shutdown` and its final stats are returned.
+    /// Callers should quiesce their own in-flight solves on the node
+    /// first; later requests against old ids are remapped transparently.
+    pub fn remove_node(&self, node: NodeId) -> io::Result<StatsSummary> {
+        let member = self.core.node(node)?;
+        {
+            let mut st = self.core.state.lock().unwrap();
+            if st.ring.remove_node(node) {
+                st.epoch += 1;
+                self.core.migrate_locked(&mut st, node);
+            }
+        }
+        let stats = member
+            .client
+            .shutdown_server()
+            .map_err(|e| node_error(node, e))?;
+        let mut nodes = self.core.nodes.write().unwrap();
+        if let Ok(at) = nodes.binary_search_by_key(&node, |n| n.id) {
+            nodes.remove(at);
+        }
+        Ok(stats)
+    }
+
+    /// Gracefully drains the whole cluster: each node is sent a
+    /// `Shutdown` (the daemon finishes in-flight solves and flushes
+    /// every reply before exiting) and its final stats snapshot is
+    /// collected. Per-node results, so one dead node never masks the
+    /// survivors' clean drain. Nodes already failed over are not
+    /// listed — they are no longer members.
+    pub fn shutdown(&self) -> Vec<(NodeId, io::Result<StatsSummary>)> {
+        let nodes: Vec<Arc<ClusterNode>> = self.core.nodes.read().unwrap().to_vec();
+        nodes
+            .iter()
+            .map(|n| {
+                let result = n.client.shutdown_server().map_err(|e| node_error(n.id, e));
+                (n.id, result)
+            })
+            .collect()
+    }
+}
+
+impl ClusterCore {
+    fn num_nodes(&self) -> usize {
+        self.nodes.read().unwrap().len()
+    }
+
+    /// The members' `(id, address)` pairs — what the heartbeat thread
+    /// probes.
+    fn members(&self) -> Vec<(NodeId, SocketAddr)> {
+        self.nodes
+            .read()
+            .unwrap()
+            .iter()
+            .map(|n| (n.id, n.addr))
+            .collect()
     }
 
     /// The connection that owns `node`, or the typed unknown-node error.
@@ -746,65 +1036,17 @@ impl ClusterBackend {
             .map(|at| Arc::clone(&nodes[at]))
     }
 
-    /// Joins a NEW node to the cluster map and the ring mid-run.
-    /// Existing sessions stay where they are (rendezvous addition only
-    /// *steals* keys, and tracked sessions route by their recorded
-    /// home); new sessions and future replica picks may land on it.
-    pub fn add_node<A: ToSocketAddrs>(&self, id: NodeId, addr: A) -> io::Result<()> {
-        let client = PipelinedClient::connect(addr).map_err(|e| node_error(id, e))?;
-        let mut st = self.state.lock().unwrap();
-        client
-            .set_read_timeout(st.timeout)
-            .map_err(|e| node_error(id, e))?;
-        let mut nodes = self.nodes.write().unwrap();
-        match nodes.binary_search_by_key(&id, |n| n.id) {
-            Ok(_) => Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                "duplicate node id in cluster map",
-            )),
-            Err(at) => {
-                nodes.insert(at, Arc::new(ClusterNode { id, client }));
-                st.ring.add_node(id);
-                Ok(())
-            }
-        }
-    }
-
-    /// Planned membership change: drains `node` out of the cluster.
-    /// Its sessions are promoted onto their replicas first (path-log
-    /// replay — and the rendezvous successor property means the replica
-    /// IS the shrunk ring's owner for each key), then the daemon is
-    /// sent a graceful `Shutdown` and its final stats are returned.
-    /// Callers should quiesce their own in-flight solves on the node
-    /// first; later requests against old ids are remapped transparently.
-    pub fn remove_node(&self, node: NodeId) -> io::Result<StatsSummary> {
-        let member = self.node(node)?;
-        {
-            let mut st = self.state.lock().unwrap();
-            if st.ring.remove_node(node) {
-                self.migrate_locked(&mut st, node);
-            }
-        }
-        let stats = member
-            .client
-            .shutdown_server()
-            .map_err(|e| node_error(node, e))?;
-        let mut nodes = self.nodes.write().unwrap();
-        if let Ok(at) = nodes.binary_search_by_key(&node, |n| n.id) {
-            nodes.remove(at);
-        }
-        Ok(stats)
-    }
-
     /// Unplanned membership change: `dead` stopped answering. Removes
     /// it from the map and the ring, then migrates its sessions onto
     /// their replicas. Idempotent — concurrent failures of the same
-    /// node collapse into one migration.
-    fn failover(&self, dead: NodeId) {
+    /// node collapse into one migration; `true` only for the call that
+    /// actually buried it.
+    fn failover(&self, dead: NodeId) -> bool {
         let mut st = self.state.lock().unwrap();
         if !st.ring.remove_node(dead) {
-            return; // already handled (or never a member)
+            return false; // already handled (or never a member)
         }
+        st.epoch += 1;
         {
             let mut nodes = self.nodes.write().unwrap();
             if let Ok(at) = nodes.binary_search_by_key(&dead, |n| n.id) {
@@ -812,6 +1054,7 @@ impl ClusterBackend {
             }
         }
         self.migrate_locked(&mut st, dead);
+        true
     }
 
     /// Moves every session touching `leaving` (as home: promote on the
@@ -857,17 +1100,25 @@ impl ClusterBackend {
             return;
         };
         let new_home = member.id;
-        let mapping = if problems.is_empty() {
-            Vec::new()
-        } else {
-            match member.client.call(&Request::Promote { session, problems }) {
-                Ok(Response::Promoted { mapping }) => mapping,
-                _ => {
-                    // The replica died mid-promotion (or answered
-                    // garbage): the session is unrecoverable.
-                    st.sessions.get_mut(&session).unwrap().replica = None;
-                    return;
-                }
+        // Heal before promoting: re-ship this client's whole log to the
+        // replica first (fire-and-forget, chaos-exempt, on the SAME
+        // connection as the `Promote` call — the frames land in order).
+        // A lossy network may have eaten an edge on both replication
+        // planes; the local log is the copy of last resort, and the
+        // store dedupes re-sends by problem id.
+        self.ship_log(st, session);
+        // Always ask — even with an empty local log. The server may
+        // hold edges this client never saw (another client drove the
+        // session, or the home node's own Forward plane outran us);
+        // `Promote` returns the FULL session mapping, so those edges'
+        // promoted ids land in our remap too.
+        let mapping = match member.client.call(&Request::Promote { session, problems }) {
+            Ok(Response::Promoted { mapping }) => mapping,
+            _ => {
+                // The replica died mid-promotion (or answered
+                // garbage): the session is unrecoverable.
+                st.sessions.get_mut(&session).unwrap().replica = None;
+                return;
             }
         };
         for &(old, new) in &mapping {
@@ -951,10 +1202,32 @@ impl ClusterBackend {
                 parent,
                 clauses: clauses.to_vec(),
             };
-            if member.client.submit_forgotten(&request).is_err() {
+            if self.chaos_forgotten(&member, problem, &request).is_err() {
                 // The replica's connection is dead: migrate everything
                 // that depends on it now rather than at the next read.
                 self.failover(member.id);
+            }
+        }
+    }
+
+    /// Sends one fire-and-forget replication frame through the chaos
+    /// policy (if any): drops swallow it, duplicates send it twice (the
+    /// replica store dedupes by problem id), delays sleep briefly
+    /// first. Keyed by the problem's wire id — the same content key the
+    /// server plane uses for the same edge, decorrelated there by the
+    /// plane salt.
+    fn chaos_forgotten(&self, member: &ClusterNode, key: u64, request: &Request) -> io::Result<()> {
+        let chaos = self.chaos.lock().unwrap().clone();
+        match chaos.map_or(ChaosAction::Deliver, |p| p.decide(PLANE_CLIENT, key)) {
+            ChaosAction::Drop => Ok(()),
+            ChaosAction::Deliver => member.client.submit_forgotten(request),
+            ChaosAction::Duplicate => {
+                member.client.submit_forgotten(request)?;
+                member.client.submit_forgotten(request)
+            }
+            ChaosAction::Delay(pause) => {
+                std::thread::sleep(pause);
+                member.client.submit_forgotten(request)
             }
         }
     }
@@ -976,9 +1249,11 @@ impl ClusterBackend {
     }
 
     /// Submits `parent ∧ clauses` to the parent's current home,
-    /// failing over (and re-resolving) if that home is dead.
+    /// failing over (and re-resolving) if that home is dead; retries
+    /// are bounded and separated by [`failover_backoff`].
     fn cluster_submit(&self, parent: u64, clauses: Vec<Vec<i64>>) -> io::Result<Ticket> {
-        let mut attempts = self.num_nodes() + 2;
+        let budget = self.num_nodes() + 2;
+        let mut attempt = 0usize;
         loop {
             let (resolved, session) = self.locate(parent);
             let home = ProblemId::from_wire(resolved).node();
@@ -997,30 +1272,101 @@ impl ClusterBackend {
                         clauses,
                     }))
                 }
-                Err(e) if is_node_death(&e) && session.is_some() && attempts > 0 => {
-                    attempts -= 1;
+                Err(e) if is_node_death(&e) && session.is_some() && attempt < budget => {
+                    attempt += 1;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
                     self.failover(home);
+                    failover_backoff(attempt, home);
                 }
-                Err(e) => return Err(node_error(home, e)),
+                Err(e) => return Err(node_error_after(home, e, attempt as u32 + 1)),
             }
         }
     }
+}
 
-    /// Gracefully drains the whole cluster: each node is sent a
-    /// `Shutdown` (the daemon finishes in-flight solves and flushes
-    /// every reply before exiting) and its final stats snapshot is
-    /// collected. Per-node results, so one dead node never masks the
-    /// survivors' clean drain. Nodes already failed over are not
-    /// listed — they are no longer members.
-    pub fn shutdown(&self) -> Vec<(NodeId, io::Result<StatsSummary>)> {
-        let nodes: Vec<Arc<ClusterNode>> = self.nodes.read().unwrap().to_vec();
-        nodes
-            .iter()
-            .map(|n| {
-                let result = n.client.shutdown_server().map_err(|e| node_error(n.id, e));
-                (n.id, result)
-            })
-            .collect()
+/// One heartbeat probe on a dedicated, short-lived connection: never
+/// the pipelined data connection, whose queue a stalled solve could
+/// block. Returns the peer's epoch, or `None` for any kind of miss.
+fn probe(addr: SocketAddr, epoch: u64, timeout: Duration) -> Option<u64> {
+    let mut client = TcpClient::connect(addr).ok()?;
+    client.set_read_timeout(Some(timeout)).ok()?;
+    match client.call(&Request::Ping {
+        sender: u64::MAX,
+        epoch,
+    }) {
+        Ok(Response::Pong { epoch, .. }) => Some(epoch),
+        _ => None,
+    }
+}
+
+/// The client-side failure detector (see
+/// [`ClusterBackend::start_heartbeat`]). Probe timeouts are a few
+/// intervals long, clamped to [100 ms, 1 s] — long enough that a busy
+/// node is a *suspicion*, not a verdict; the [`SuspicionTable`]'s
+/// consecutive-miss hysteresis does the rest.
+fn heartbeat_loop(core: Arc<ClusterCore>, interval: Duration, threshold: u32) {
+    let timeout = (interval * 4)
+        .max(Duration::from_millis(100))
+        .min(Duration::from_secs(1));
+    let mut suspicion = SuspicionTable::new(threshold);
+    let mut tick = 0u64;
+    while !core.hb_stop.load(Ordering::Acquire) {
+        // Jittered nap (seeded — no wall-clock randomness), chunked so
+        // a dropped backend is noticed within ~10 ms.
+        let half = (interval.as_micros() as u64 / 2).max(1);
+        let nap = interval + Duration::from_micros(mix64(0xbea7 ^ tick) % half);
+        let mut slept = Duration::ZERO;
+        while slept < nap {
+            if core.hb_stop.load(Ordering::Acquire) {
+                return;
+            }
+            let chunk = Duration::from_millis(10).min(nap - slept);
+            std::thread::sleep(chunk);
+            slept += chunk;
+        }
+        tick += 1;
+        let members = core.members();
+        if members.is_empty() {
+            continue;
+        }
+        let my_epoch = core.state.lock().unwrap().epoch;
+        let mut max_seen = my_epoch;
+        let mut condemned: Vec<NodeId> = Vec::new();
+        for &(id, addr) in &members {
+            match probe(addr, my_epoch, timeout) {
+                Some(epoch) => {
+                    suspicion.ack(id);
+                    max_seen = max_seen.max(epoch);
+                }
+                None => {
+                    core.hb_misses.fetch_add(1, Ordering::Relaxed);
+                    if suspicion.miss(id) {
+                        condemned.push(id);
+                    }
+                }
+            }
+        }
+        if max_seen > my_epoch {
+            // Gossip: some router already buried a node we may still
+            // believe in. Adopt the epoch and fast-track — one more
+            // probe, and any *already-suspected* node that misses it
+            // is condemned without waiting out the full threshold.
+            core.state.lock().unwrap().epoch = max_seen;
+            for &(id, addr) in &members {
+                if !condemned.contains(&id)
+                    && suspicion.suspected(id)
+                    && probe(addr, max_seen, timeout).is_none()
+                {
+                    condemned.push(id);
+                }
+            }
+        }
+        for id in condemned {
+            if core.failover(id) {
+                core.hb_failovers.fetch_add(1, Ordering::Relaxed);
+            }
+            suspicion.forget(id);
+        }
     }
 }
 
@@ -1032,10 +1378,11 @@ impl SolverBackend for ClusterBackend {
     /// a session's tree has landed on the wrong node. The session's
     /// replica target (its ring successor) is fixed here too.
     fn session_root(&self, session: u64) -> io::Result<ProblemId> {
-        let mut attempts = self.num_nodes() + 2;
+        let budget = self.num_nodes() + 2;
+        let mut attempt = 0usize;
         loop {
             let home = {
-                let st = self.state.lock().unwrap();
+                let st = self.core.state.lock().unwrap();
                 match st.sessions.get(&session) {
                     Some(s) => s.home,
                     None => st.ring.node_for(session).ok_or_else(|| {
@@ -1043,7 +1390,7 @@ impl SolverBackend for ClusterBackend {
                     })?,
                 }
             };
-            let member = self.node(home)?;
+            let member = self.core.node(home)?;
             match member.client.session_root(session) {
                 Ok(root) => {
                     if root.node() != home {
@@ -1056,7 +1403,7 @@ impl SolverBackend for ClusterBackend {
                             .into(),
                         ));
                     }
-                    let mut st = self.state.lock().unwrap();
+                    let mut st = self.core.state.lock().unwrap();
                     let replica = st.ring.ranked(session).into_iter().find(|&n| n != home);
                     st.sessions.entry(session).or_insert(SessionState {
                         home,
@@ -1068,17 +1415,20 @@ impl SolverBackend for ClusterBackend {
                     st.roots.insert(root.to_wire(), session);
                     return Ok(root);
                 }
-                Err(e) if is_node_death(&e) && attempts > 0 => {
-                    attempts -= 1;
-                    self.failover(home);
+                Err(e) if is_node_death(&e) && attempt < budget => {
+                    attempt += 1;
+                    self.core.retries.fetch_add(1, Ordering::Relaxed);
+                    self.core.failover(home);
+                    failover_backoff(attempt, home);
                 }
-                Err(e) => return Err(node_error(home, e)),
+                Err(e) => return Err(node_error_after(home, e, attempt as u32 + 1)),
             }
         }
     }
 
     fn submit(&self, parent: ProblemId, clauses: Vec<Vec<Lit>>) -> io::Result<Ticket> {
-        self.cluster_submit(parent.to_wire(), lits_to_clauses(&clauses))
+        self.core
+            .cluster_submit(parent.to_wire(), lits_to_clauses(&clauses))
     }
 
     /// Redeems a cluster ticket. If the ticket's node died before
@@ -1097,7 +1447,7 @@ impl SolverBackend for ClusterBackend {
         else {
             return Err(foreign_ticket());
         };
-        let outcome = match self.node_opt(node) {
+        let outcome = match self.core.node_opt(node) {
             Some(member) => member.client.wait_response(tag),
             // A concurrent failover already removed the node; treat the
             // ticket as lost in the crash and go straight to the retry.
@@ -1110,15 +1460,16 @@ impl SolverBackend for ClusterBackend {
             Ok(response) => {
                 let reply = solved_reply(response).map_err(|e| node_error(node, e))?;
                 if let (Some(session), Some(r)) = (session, reply.as_ref()) {
-                    self.record(session, r.problem.to_wire(), parent, &clauses);
+                    self.core
+                        .record(session, r.problem.to_wire(), parent, &clauses);
                 }
                 Ok(reply)
             }
             Err(e) if is_node_death(&e) => {
-                self.failover(node);
+                self.core.failover(node);
                 // The remap now covers the parent iff the session was
                 // recoverable; an unrecoverable one fails typed below.
-                let retry = self.cluster_submit(parent, clauses)?;
+                let retry = self.core.cluster_submit(parent, clauses)?;
                 self.wait(retry)
             }
             Err(e) => Err(node_error(node, e)),
@@ -1126,7 +1477,7 @@ impl SolverBackend for ClusterBackend {
     }
 
     fn release(&self, id: ProblemId) -> io::Result<()> {
-        let (resolved, session) = self.locate(id.to_wire());
+        let (resolved, session) = self.core.locate(id.to_wire());
         // A released problem will never be promoted: prune the
         // client-side path log (child-aware — entries a live
         // descendant still replays through are kept) and tell the
@@ -1134,7 +1485,7 @@ impl SolverBackend for ClusterBackend {
         // (fire-and-forget, like the Replicate that shipped them).
         if let Some(session) = session {
             let replica = {
-                let mut st = self.state.lock().unwrap();
+                let mut st = self.core.state.lock().unwrap();
                 st.owner.remove(&resolved);
                 st.sessions.get_mut(&session).and_then(|sess| {
                     sess.released.insert(resolved);
@@ -1142,21 +1493,25 @@ impl SolverBackend for ClusterBackend {
                     sess.replica
                 })
             };
-            if let Some(member) = replica.and_then(|r| self.node_opt(r)) {
-                let _ = member.client.submit_forgotten(&Request::Unreplicate {
-                    session,
-                    problems: vec![resolved],
-                });
+            if let Some(member) = replica.and_then(|r| self.core.node_opt(r)) {
+                let _ = self.core.chaos_forgotten(
+                    &member,
+                    resolved,
+                    &Request::Unreplicate {
+                        session,
+                        problems: vec![resolved],
+                    },
+                );
             }
         }
         // Releasing something whose home is gone is a no-op, not an
         // error: the snapshot died with the node.
-        let Some(member) = self.node_opt(ProblemId::from_wire(resolved).node()) else {
+        let Some(member) = self.core.node_opt(ProblemId::from_wire(resolved).node()) else {
             return Ok(());
         };
         match member.client.release(ProblemId::from_wire(resolved)) {
             Err(e) if is_node_death(&e) => {
-                self.failover(member.id);
+                self.core.failover(member.id);
                 Ok(())
             }
             other => other.map_err(|e| node_error(member.id, e)),
@@ -1168,7 +1523,7 @@ impl SolverBackend for ClusterBackend {
     }
 
     fn node_stats(&self) -> io::Result<FleetStats> {
-        let members: Vec<Arc<ClusterNode>> = self.nodes.read().unwrap().to_vec();
+        let members: Vec<Arc<ClusterNode>> = self.core.nodes.read().unwrap().to_vec();
         let nodes = members
             .iter()
             .map(|n| {
@@ -1194,14 +1549,14 @@ impl SolverBackend for ClusterBackend {
         let resolved: Vec<(u64, Option<u64>, Vec<Vec<i64>>)> = requests
             .iter()
             .map(|(parent, clauses)| {
-                let (wire, session) = self.locate(parent.to_wire());
+                let (wire, session) = self.core.locate(parent.to_wire());
                 (wire, session, lits_to_clauses(clauses))
             })
             .collect();
         let mut windows: Vec<(NodeId, Vec<usize>, Vec<Request>)> = Vec::new();
         for (pos, (wire, _, clauses)) in resolved.iter().enumerate() {
             let node = ProblemId::from_wire(*wire).node();
-            self.node(node)?; // unknown nodes fail before any write
+            self.core.node(node)?; // unknown nodes fail before any write
             let request = Request::Solve {
                 parent: *wire,
                 clauses: clauses.clone(),
@@ -1218,7 +1573,7 @@ impl SolverBackend for ClusterBackend {
         let mut tickets: Vec<Option<Ticket>> = Vec::with_capacity(resolved.len());
         tickets.resize_with(resolved.len(), || None);
         for (node, positions, window) in windows {
-            let member = self.node(node)?;
+            let member = self.core.node(node)?;
             match member.client.submit_batch(&window) {
                 Ok(tags) => {
                     for (&pos, tag) in positions.iter().zip(tags) {
@@ -1235,10 +1590,10 @@ impl SolverBackend for ClusterBackend {
                 Err(e) if is_node_death(&e) => {
                     // The whole window is lost; re-route each request
                     // individually through the failover machinery.
-                    self.failover(node);
+                    self.core.failover(node);
                     for &pos in &positions {
                         let (wire, _, clauses) = &resolved[pos];
-                        tickets[pos] = Some(self.cluster_submit(*wire, clauses.clone())?);
+                        tickets[pos] = Some(self.core.cluster_submit(*wire, clauses.clone())?);
                     }
                 }
                 Err(e) => return Err(node_error(node, e)),
@@ -1248,5 +1603,65 @@ impl SolverBackend for ClusterBackend {
             .into_iter()
             .map(|slot| self.wait(slot.expect("every request was submitted")))
             .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suspicion_trips_after_consecutive_misses_only() {
+        let mut table = SuspicionTable::new(3);
+        assert!(!table.miss(7));
+        assert!(!table.miss(7));
+        assert!(table.miss(7), "third consecutive miss condemns");
+    }
+
+    #[test]
+    fn a_flapping_node_never_trips() {
+        // Miss, ack, miss, ack ... — the ack-reset hysteresis means a
+        // node that answers at least one probe per window is never
+        // condemned, no matter how long the flapping goes on.
+        let mut table = SuspicionTable::new(3);
+        for _ in 0..100 {
+            assert!(!table.miss(7));
+            assert!(!table.miss(7));
+            table.ack(7);
+        }
+        assert!(!table.suspected(7));
+    }
+
+    #[test]
+    fn suspicion_is_per_node() {
+        let mut table = SuspicionTable::new(2);
+        assert!(!table.miss(1));
+        assert!(!table.miss(2));
+        assert!(table.miss(1), "node 1 is condemned on ITS second miss");
+        assert!(table.suspected(2));
+        table.forget(1);
+        assert!(!table.suspected(1));
+    }
+
+    #[test]
+    fn a_zero_threshold_is_clamped_to_one() {
+        let mut table = SuspicionTable::new(0);
+        assert!(table.miss(3), "threshold 0 would condemn nobody ever");
+    }
+
+    #[test]
+    fn node_errors_surface_the_attempt_count() {
+        let e = node_error_after(2, io::Error::new(io::ErrorKind::TimedOut, "slow"), 4);
+        let inner = e.get_ref().unwrap().downcast_ref::<NodeError>().unwrap();
+        assert_eq!(inner.attempts, 4);
+        assert!(inner.to_string().contains("after 4 attempts"));
+        let first = node_error(2, io::Error::new(io::ErrorKind::TimedOut, "slow"));
+        let inner = first
+            .get_ref()
+            .unwrap()
+            .downcast_ref::<NodeError>()
+            .unwrap();
+        assert_eq!(inner.attempts, 1);
+        assert!(!inner.to_string().contains("attempts"));
     }
 }

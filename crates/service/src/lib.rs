@@ -35,12 +35,17 @@
 //!   tags let one connection pipeline many in-flight solves with
 //!   out-of-order completions.
 //! * [`replica`] — the passive replica store: path logs shipped to a
-//!   session's ring successor, promoted by bit-identical replay when
-//!   the home node dies or drains out.
+//!   session's ring successor (by the client AND by the home node's own
+//!   `Forward` plane), compacted under a byte budget, promoted by
+//!   bit-identical replay when the home node dies or drains out.
 //! * [`net`] — the non-blocking front end: one epoll reactor thread
 //!   (vendored [`polling`] shim) multiplexing every connection, with
-//!   per-connection write backpressure and graceful shutdown; the
-//!   `lwsnapd` binary serves it.
+//!   per-connection write backpressure, graceful shutdown, server-side
+//!   edge forwarding and a peer heartbeat thread; the `lwsnapd` binary
+//!   serves it.
+//! * [`chaos`] — deterministic fault injection at the protocol
+//!   boundary: seeded, content-keyed drops/duplications/delays of
+//!   replication-plane frames, plus the loadgen kill schedule.
 //! * [`client`] — [`TcpClient`] (blocking, v1), [`PipelinedClient`]
 //!   (send-many/await-many, v2) and [`ClusterBackend`] (N pipelined
 //!   connections behind the ring) — the latter two are the remote
@@ -69,6 +74,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod chaos;
 pub mod client;
 pub mod net;
 pub mod pool;
@@ -79,6 +85,7 @@ pub mod sharded;
 pub mod stats;
 
 pub use backend::{SolverBackend, Ticket};
+pub use chaos::{ChaosAction, ChaosPlan, ChaosPolicy};
 pub use client::{ClusterBackend, Disconnected, NodeError, PipelinedClient, TcpClient};
 pub use net::{Cluster, Server};
 pub use pool::{PoolClient, WorkerPool};

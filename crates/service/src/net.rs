@@ -31,19 +31,42 @@
 //!   stop accepting, stop reading, finish in-flight solves, flush every
 //!   output buffer, then exit. Host-initiated shutdown (`Server::drop`)
 //!   exits promptly without the flush guarantee.
+//!
+//! ## The server-to-server plane
+//!
+//! When [`Server::set_peers`] gives a node its cluster map, two things
+//! start happening beside the client traffic:
+//!
+//! * **Edge forwarding** — every successful solve of a tracked session
+//!   is forwarded by the home node itself ([`Request::Forward`]) to the
+//!   session's ring successor, idempotent by per-session sequence
+//!   number. The client's own `Replicate` fan-out still runs; the two
+//!   planes are redundant, so a session stays replicated even when only
+//!   one of its clients (or none) logs edges.
+//! * **Heartbeats** — a detached thread pings every peer on a jittered
+//!   timer ([`Request::Ping`]/[`Response::Pong`], carrying the
+//!   membership epoch). Three consecutive misses declare a peer dead:
+//!   the survivor promotes every session whose home was the dead node
+//!   and whose replica it holds — *before* any client request trips
+//!   over the corpse — and bumps the epoch so stale routers learn of
+//!   the change from the next `Pong` they see.
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use polling::{Event, Poller};
 
+use crate::chaos::{ChaosAction, ChaosPolicy, PLANE_SERVER};
+use crate::client::PipelinedClient;
 use crate::pool::{PoolClient, WorkerPool};
 use crate::protocol::{self, clauses_to_lits, Request, Response, StatsSummary, TAGGED};
 use crate::replica::ReplicaStore;
+use crate::router::{mix64, NodeId, Ring};
 use crate::sharded::{ProblemId, ServiceConfig, ShardedService, SolveReply};
 use crate::stats::WorkerStats;
 
@@ -61,12 +84,349 @@ const KEY_LISTENER: usize = 0;
 /// How long a graceful drain waits for peers to read their last
 /// responses before giving up and exiting anyway.
 const DRAIN_GRACE: std::time::Duration = std::time::Duration::from_secs(5);
+/// Base interval between server-side heartbeat rounds (each round adds
+/// seeded jitter so a fleet's probes do not synchronize).
+const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(50);
+/// Read timeout on server-to-server connections: a peer that cannot
+/// answer a `Ping` within this is counted as a miss.
+const HEARTBEAT_TIMEOUT: Duration = Duration::from_secs(1);
+/// Consecutive heartbeat misses before a peer is declared dead. The
+/// hysteresis: a flapping peer that answers at least one ping in every
+/// window of three never trips a failover.
+const SUSPICION_THRESHOLD: u32 = 3;
+
+// ---------------------------------------------------------------------
+// The server-to-server replication/heartbeat plane.
+// ---------------------------------------------------------------------
+
+/// Peer-facing state of one node: the cluster map, lazy pipelined
+/// connections to each peer, the session registry that attributes this
+/// node's problems to their sessions, and the suspicion counters the
+/// heartbeat thread maintains. Owned by [`Server`], shared with the
+/// reactor (dispatch hooks) and the heartbeat thread.
+pub(crate) struct Forwarder {
+    node: NodeId,
+    inner: Mutex<ForwardInner>,
+    /// Total heartbeat probes that went unanswered (exported as
+    /// [`StatsSummary::heartbeat_misses`]). Shared out through
+    /// [`Server::heartbeat_miss_handle`] so the count stays readable
+    /// after [`Server::wait`] has consumed the server.
+    misses: Arc<AtomicU64>,
+    /// Highest membership epoch seen anywhere: bumped locally when this
+    /// node declares a peer dead, raised to the max carried by any
+    /// `Ping` it receives, echoed in every `Pong`. A router holding a
+    /// lower epoch knows its membership view is stale.
+    epoch: AtomicU64,
+    /// Whether the heartbeat thread has been spawned.
+    hb_started: AtomicBool,
+}
+
+struct ForwardInner {
+    /// The same seeded rendezvous ring every client uses, including
+    /// this node — successor targets must agree across the fleet.
+    ring: Ring,
+    /// Peer id → address (this node excluded).
+    peers: HashMap<NodeId, SocketAddr>,
+    /// Lazily opened server-to-server connections.
+    conns: HashMap<NodeId, Arc<PipelinedClient>>,
+    /// Problem wire id (minted here) → owning session. Roots register
+    /// at `Root` dispatch, children at solve completion.
+    sessions: HashMap<u64, u64>,
+    /// Per-session `Forward` sequence counters (the receiver dedupes
+    /// by these, so the chaos harness may duplicate frames freely).
+    seqs: HashMap<u64, u64>,
+    /// Consecutive missed heartbeats per peer; reset by any `Pong`.
+    suspicion: HashMap<NodeId, u32>,
+    /// Fault-injection policy for the server replication plane.
+    chaos: Option<Arc<ChaosPolicy>>,
+}
+
+/// Opens (or reuses) the pipelined connection to `peer`.
+fn peer_conn(inner: &mut ForwardInner, peer: NodeId) -> Option<Arc<PipelinedClient>> {
+    if let Some(conn) = inner.conns.get(&peer) {
+        return Some(Arc::clone(conn));
+    }
+    let addr = *inner.peers.get(&peer)?;
+    let client = PipelinedClient::connect(addr).ok()?;
+    let _ = client.set_read_timeout(Some(HEARTBEAT_TIMEOUT));
+    let client = Arc::new(client);
+    inner.conns.insert(peer, Arc::clone(&client));
+    Some(client)
+}
+
+/// Sends one fire-and-forget replication frame through the chaos
+/// policy: drops swallow it, duplicates send it twice (the receiver
+/// dedupes), delays sleep briefly first. `key` must identify the frame
+/// by *content* (the problem wire id) so the decision is replayable.
+fn chaos_send(
+    conn: &PipelinedClient,
+    chaos: Option<&ChaosPolicy>,
+    key: u64,
+    request: &Request,
+) -> io::Result<()> {
+    match chaos.map_or(ChaosAction::Deliver, |p| p.decide(PLANE_SERVER, key)) {
+        ChaosAction::Drop => Ok(()),
+        ChaosAction::Deliver => conn.submit_forgotten(request),
+        ChaosAction::Duplicate => {
+            conn.submit_forgotten(request)?;
+            conn.submit_forgotten(request)
+        }
+        ChaosAction::Delay(pause) => {
+            std::thread::sleep(pause);
+            conn.submit_forgotten(request)
+        }
+    }
+}
+
+impl Forwarder {
+    fn new(node: NodeId) -> Forwarder {
+        Forwarder {
+            node,
+            inner: Mutex::new(ForwardInner {
+                ring: Ring::new([node], 0),
+                peers: HashMap::new(),
+                conns: HashMap::new(),
+                sessions: HashMap::new(),
+                seqs: HashMap::new(),
+                suspicion: HashMap::new(),
+                chaos: None,
+            }),
+            misses: Arc::new(AtomicU64::new(0)),
+            epoch: AtomicU64::new(0),
+            hb_started: AtomicBool::new(false),
+        }
+    }
+
+    /// Installs the cluster map (this node may or may not be listed;
+    /// the ring always includes it). Safe to call again on membership
+    /// changes — connections to vanished peers are dropped.
+    fn set_peers(&self, peers: &[(NodeId, SocketAddr)], seed: u64) {
+        let mut ids: Vec<NodeId> = peers.iter().map(|&(id, _)| id).collect();
+        if !ids.contains(&self.node) {
+            ids.push(self.node);
+        }
+        let peer_map: HashMap<NodeId, SocketAddr> = peers
+            .iter()
+            .filter(|&&(id, _)| id != self.node)
+            .map(|&(id, addr)| (id, addr))
+            .collect();
+        let mut inner = self.inner.lock().unwrap();
+        inner.ring = Ring::new(ids, seed);
+        inner.conns.retain(|id, _| peer_map.contains_key(id));
+        inner.suspicion.retain(|id, _| peer_map.contains_key(id));
+        inner.peers = peer_map;
+    }
+
+    fn set_chaos(&self, chaos: Option<Arc<ChaosPolicy>>) {
+        self.inner.lock().unwrap().chaos = chaos;
+    }
+
+    fn has_peers(&self) -> bool {
+        !self.inner.lock().unwrap().peers.is_empty()
+    }
+
+    /// Attributes a freshly minted session root to its session.
+    fn register_root(&self, problem: u64, session: u64) {
+        self.inner.lock().unwrap().sessions.insert(problem, session);
+    }
+
+    /// Forwards one derivation edge to the session's ring successor
+    /// (and registers the child for future attribution). No-op for
+    /// untracked parents and single-node rings.
+    fn forward_edge(&self, parent: u64, problem: u64, clauses: Vec<Vec<i64>>) {
+        let (conn, chaos, successor, session, seq) = {
+            let mut inner = self.inner.lock().unwrap();
+            let Some(&session) = inner.sessions.get(&parent) else {
+                return;
+            };
+            inner.sessions.insert(problem, session);
+            let Some(successor) = inner.ring.successor_for(session) else {
+                return;
+            };
+            if successor == self.node {
+                return;
+            }
+            let seq = {
+                let counter = inner.seqs.entry(session).or_insert(0);
+                let seq = *counter;
+                *counter += 1;
+                seq
+            };
+            let Some(conn) = peer_conn(&mut inner, successor) else {
+                return;
+            };
+            (conn, inner.chaos.clone(), successor, session, seq)
+        };
+        let request = Request::Forward {
+            session,
+            seq,
+            problem,
+            parent,
+            clauses,
+        };
+        if chaos_send(&conn, chaos.as_deref(), problem, &request).is_err() {
+            // The successor's connection died; drop it so the next
+            // forward reconnects (its liveness is the heartbeat's job).
+            self.inner.lock().unwrap().conns.remove(&successor);
+        }
+    }
+
+    /// Mirrors a client `Release` onto the replication plane: drops the
+    /// problem from the session registry and tells the session's
+    /// successor to GC its copy of the edge.
+    fn forget(&self, problem: u64) {
+        let (conn, chaos, successor, session) = {
+            let mut inner = self.inner.lock().unwrap();
+            let Some(session) = inner.sessions.remove(&problem) else {
+                return;
+            };
+            let Some(successor) = inner.ring.successor_for(session) else {
+                return;
+            };
+            if successor == self.node {
+                return;
+            }
+            let Some(conn) = peer_conn(&mut inner, successor) else {
+                return;
+            };
+            (conn, inner.chaos.clone(), successor, session)
+        };
+        let request = Request::Unreplicate {
+            session,
+            problems: vec![problem],
+        };
+        if chaos_send(&conn, chaos.as_deref(), problem, &request).is_err() {
+            self.inner.lock().unwrap().conns.remove(&successor);
+        }
+    }
+
+    /// Folds an epoch seen on the wire into the local max; returns the
+    /// (possibly raised) current value.
+    fn observe_epoch(&self, seen: u64) -> u64 {
+        self.epoch.fetch_max(seen, Ordering::AcqRel);
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn heartbeat_misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// One heartbeat round: ping every peer, track suspicion, and
+    /// declare dead any peer that missed [`SUSPICION_THRESHOLD`]
+    /// consecutive probes.
+    fn heartbeat_round(&self, service: &Arc<ShardedService>, replicas: &Arc<ReplicaStore>) {
+        let peers: Vec<NodeId> = {
+            let inner = self.inner.lock().unwrap();
+            let mut ids: Vec<NodeId> = inner.peers.keys().copied().collect();
+            ids.sort_unstable();
+            ids
+        };
+        let my_epoch = self.epoch.load(Ordering::Acquire);
+        for peer in peers {
+            let conn = {
+                let mut inner = self.inner.lock().unwrap();
+                peer_conn(&mut inner, peer)
+            };
+            let pong = conn.and_then(|c| {
+                c.call(&Request::Ping {
+                    sender: self.node as u64,
+                    epoch: my_epoch,
+                })
+                .ok()
+            });
+            match pong {
+                Some(Response::Pong { epoch, .. }) => {
+                    self.observe_epoch(epoch);
+                    self.inner.lock().unwrap().suspicion.insert(peer, 0);
+                }
+                _ => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let dead = {
+                        let mut inner = self.inner.lock().unwrap();
+                        inner.conns.remove(&peer);
+                        let count = inner.suspicion.entry(peer).or_insert(0);
+                        *count += 1;
+                        *count >= SUSPICION_THRESHOLD
+                    };
+                    if dead {
+                        self.declare_dead(peer, service, replicas);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes a dead peer from the membership and promotes, by path
+    /// replay, every session that was homed on it and replicated here.
+    /// The victims are computed against the PRE-removal ring (only it
+    /// can still say which sessions the dead node owned); the
+    /// rendezvous successor property guarantees each one's post-removal
+    /// owner is exactly the node holding its replica — this node.
+    fn declare_dead(
+        &self,
+        dead: NodeId,
+        service: &Arc<ShardedService>,
+        replicas: &Arc<ReplicaStore>,
+    ) {
+        let victims: Vec<u64> = {
+            let mut inner = self.inner.lock().unwrap();
+            let victims = replicas
+                .sessions()
+                .into_iter()
+                .filter(|&s| inner.ring.node_for(s) == Some(dead))
+                .collect();
+            if !inner.ring.remove_node(dead) {
+                return; // already handled
+            }
+            inner.peers.remove(&dead);
+            inner.conns.remove(&dead);
+            inner.suspicion.remove(&dead);
+            victims
+        };
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        for session in victims {
+            let problems = replicas.session_problems(session);
+            let _ = replicas.promote(service, session, &problems);
+        }
+    }
+}
+
+/// The detached heartbeat loop: jittered sleeps (seeded by node id and
+/// tick, so a fleet never phase-locks) punctuated by
+/// [`Forwarder::heartbeat_round`]s. Exits when `hard_stop` is set; the
+/// sleep is chunked so shutdown stays prompt.
+fn heartbeat_loop(
+    forwarder: Arc<Forwarder>,
+    service: Arc<ShardedService>,
+    replicas: Arc<ReplicaStore>,
+    hard_stop: Arc<AtomicBool>,
+) {
+    let node = forwarder.node as u64;
+    let mut tick = 0u64;
+    while !hard_stop.load(Ordering::Acquire) {
+        let half = (HEARTBEAT_INTERVAL.as_micros() as u64 / 2).max(1);
+        let jitter = Duration::from_micros(mix64(node << 32 ^ tick) % half);
+        let nap = HEARTBEAT_INTERVAL + jitter;
+        let mut slept = Duration::ZERO;
+        while slept < nap {
+            if hard_stop.load(Ordering::Acquire) {
+                return;
+            }
+            let chunk = Duration::from_millis(10).min(nap - slept);
+            std::thread::sleep(chunk);
+            slept += chunk;
+        }
+        tick += 1;
+        forwarder.heartbeat_round(&service, &replicas);
+    }
+}
 
 /// A running `lwsnapd` server: reactor thread + worker pool.
 pub struct Server {
     addr: SocketAddr,
     service: Arc<ShardedService>,
     replicas: Arc<ReplicaStore>,
+    forwarder: Arc<Forwarder>,
     poller: Arc<Poller>,
     hard_stop: Arc<AtomicBool>,
     reactor: Option<JoinHandle<()>>,
@@ -76,14 +436,27 @@ pub struct Server {
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
     /// starts serving a fresh [`ShardedService`] built from `config`
-    /// with a `workers`-thread pool.
+    /// with a `workers`-thread pool. The config's
+    /// [`ServiceConfig::replica_budget_bytes`] becomes the replica
+    /// store's compaction budget.
     pub fn start(addr: &str, config: ServiceConfig, workers: usize) -> io::Result<Server> {
+        let budget = config.replica_budget_bytes.map(|b| b as u64);
         let service = Arc::new(ShardedService::new(config));
-        Server::serve(addr, service, workers)
+        Server::serve_inner(addr, service, workers, budget)
     }
 
-    /// Like [`Server::start`] but over an existing service instance.
+    /// Like [`Server::start`] but over an existing service instance
+    /// (no replica budget — the config already went into the service).
     pub fn serve(addr: &str, service: Arc<ShardedService>, workers: usize) -> io::Result<Server> {
+        Server::serve_inner(addr, service, workers, None)
+    }
+
+    fn serve_inner(
+        addr: &str,
+        service: Arc<ShardedService>,
+        workers: usize,
+        replica_budget: Option<u64>,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -91,13 +464,15 @@ impl Server {
         poller.add(&listener, Event::readable(KEY_LISTENER))?;
         let pool = WorkerPool::new(Arc::clone(&service), workers);
         let hard_stop = Arc::new(AtomicBool::new(false));
-        let replicas = Arc::new(ReplicaStore::new());
+        let replicas = Arc::new(ReplicaStore::with_budget(replica_budget));
+        let forwarder = Arc::new(Forwarder::new(service.node_id()));
         let reactor = {
             let mut reactor = Reactor {
                 listener,
                 poller: Arc::clone(&poller),
                 service: Arc::clone(&service),
                 replicas: Arc::clone(&replicas),
+                forwarder: Arc::clone(&forwarder),
                 pool: pool.client(),
                 completions: Arc::new(Mutex::new(Vec::new())),
                 hard_stop: Arc::clone(&hard_stop),
@@ -114,11 +489,53 @@ impl Server {
             addr,
             service,
             replicas,
+            forwarder,
             poller,
             hard_stop,
             reactor: Some(reactor),
             pool: Some(pool),
         })
+    }
+
+    /// Gives this node its cluster map — `(node id, address)` pairs,
+    /// this node included or not — and the shared ring seed. Turns on
+    /// the server-to-server plane: derivation edges of sessions homed
+    /// here start streaming to their ring successors, and (once there
+    /// is at least one peer) the heartbeat thread starts probing.
+    /// Callable again on membership changes.
+    pub fn set_peers(&self, peers: &[(NodeId, SocketAddr)], seed: u64) {
+        self.forwarder.set_peers(peers, seed);
+        if self.forwarder.has_peers() && !self.forwarder.hb_started.swap(true, Ordering::AcqRel) {
+            let forwarder = Arc::clone(&self.forwarder);
+            let service = Arc::clone(&self.service);
+            let replicas = Arc::clone(&self.replicas);
+            let hard_stop = Arc::clone(&self.hard_stop);
+            // Detached on purpose: joining it would make kill_node wait
+            // out an in-flight probe. It exits on hard_stop.
+            std::thread::spawn(move || heartbeat_loop(forwarder, service, replicas, hard_stop));
+        }
+    }
+
+    /// Installs (or clears) the fault-injection policy for this node's
+    /// outgoing replication-plane frames.
+    pub fn set_chaos(&self, chaos: Option<Arc<ChaosPolicy>>) {
+        self.forwarder.set_chaos(chaos);
+    }
+
+    /// This node's current view of the membership epoch.
+    pub fn epoch(&self) -> u64 {
+        self.forwarder.epoch.load(Ordering::Acquire)
+    }
+
+    /// Heartbeat probes this node has seen go unanswered.
+    pub fn heartbeat_misses(&self) -> u64 {
+        self.forwarder.heartbeat_misses()
+    }
+
+    /// A clonable handle onto the heartbeat-miss counter, still
+    /// readable after [`Server::wait`] has consumed the server.
+    pub fn heartbeat_miss_handle(&self) -> Arc<AtomicU64> {
+        self.forwarder.misses.clone()
     }
 
     /// The bound address (with the resolved port).
@@ -258,6 +675,7 @@ struct Reactor {
     poller: Arc<Poller>,
     service: Arc<ShardedService>,
     replicas: Arc<ReplicaStore>,
+    forwarder: Arc<Forwarder>,
     pool: PoolClient,
     completions: Arc<Mutex<Vec<Completion>>>,
     hard_stop: Arc<AtomicBool>,
@@ -590,12 +1008,18 @@ impl Reactor {
         match request {
             Request::Root { session } => {
                 let problem = self.service.session_root(session).to_wire();
+                // The home node is its own replication fan-out point:
+                // attributing the root here is what lets solve
+                // completions forward their edges without the client's
+                // help (the two-client under-replication fix).
+                self.forwarder.register_root(problem, session);
                 self.complete_inline(idx, slot, Response::Root { problem });
             }
             Request::Release { problem } => {
                 let response = match ProblemId::from_wire_checked(problem, node, num_shards) {
                     Ok(id) => {
                         self.service.release(id);
+                        self.forwarder.forget(problem);
                         Response::Released
                     }
                     Err(e) => Response::Error(e.to_string()),
@@ -637,9 +1061,40 @@ impl Reactor {
                 // next to a node death, so it runs inline on the
                 // reactor rather than complicating the pool path.
                 let mapping = self.replicas.promote(&self.service, session, &problems);
+                // The promoted problems live HERE now: attribute them
+                // so their future derivations forward to the session's
+                // new successor.
+                for &(_, new) in &mapping {
+                    self.forwarder.register_root(new, session);
+                }
                 self.complete_inline(idx, slot, Response::Promoted { mapping });
             }
+            Request::Forward {
+                session,
+                seq,
+                problem,
+                parent,
+                clauses,
+            } => {
+                // The server-fanned twin of `Replicate`: the session's
+                // home node streams its edges here. Idempotent by the
+                // per-session sequence number (chaos may duplicate) AND
+                // by problem id (the client plane ships the same edge).
+                self.replicas
+                    .record_seq(session, seq, problem, parent, clauses);
+                self.complete_inline(idx, slot, Response::Released);
+            }
+            Request::Ping { sender, epoch } => {
+                let _ = sender; // diagnostic only; clients send u64::MAX
+                let epoch = self.forwarder.observe_epoch(epoch);
+                let response = Response::Pong {
+                    node: node as u64,
+                    epoch,
+                };
+                self.complete_inline(idx, slot, response);
+            }
             Request::Solve { parent, clauses } => {
+                let parent_wire = parent;
                 let parent = match ProblemId::from_wire_checked(parent, node, num_shards) {
                     Ok(id) => id,
                     Err(e) => {
@@ -654,17 +1109,25 @@ impl Reactor {
                 self.total_inflight += 1;
                 let completions = Arc::clone(&self.completions);
                 let poller = Arc::clone(&self.poller);
+                let forwarder = Arc::clone(&self.forwarder);
+                let lits = clauses_to_lits(&clauses);
                 let gen = self.gens[idx];
-                self.pool
-                    .submit_with(parent, clauses_to_lits(&clauses), move |reply| {
-                        completions.lock().unwrap().push(Completion {
-                            idx,
-                            gen,
-                            slot,
-                            response: solve_response(reply),
-                        });
-                        let _ = poller.notify();
+                self.pool.submit_with(parent, lits, move |reply| {
+                    // Forward the freshly derived edge BEFORE the reply
+                    // is released to the client: by the time a caller
+                    // can act on the new id, its replica copy is at
+                    // least in flight to the successor.
+                    if let Some(r) = &reply {
+                        forwarder.forward_edge(parent_wire, r.problem.to_wire(), clauses);
+                    }
+                    completions.lock().unwrap().push(Completion {
+                        idx,
+                        gen,
+                        slot,
+                        response: solve_response(reply),
                     });
+                    let _ = poller.notify();
+                });
             }
         }
     }
@@ -678,6 +1141,8 @@ impl Reactor {
         summary.replica_bytes = bytes;
         summary.replica_promotions = promotions;
         summary.failovers = failovers;
+        summary.compactions = self.replicas.compactions();
+        summary.heartbeat_misses = self.forwarder.heartbeat_misses();
         summary
     }
 
@@ -755,7 +1220,19 @@ impl Cluster {
                 Server::start("127.0.0.1:0", config, workers).map(Some)
             })
             .collect::<io::Result<_>>()?;
-        Ok(Cluster { servers })
+        let cluster = Cluster { servers };
+        cluster.wire_peers();
+        Ok(cluster)
+    }
+
+    /// (Re)installs the cluster map on every live node — ring seed 0,
+    /// matching [`crate::ClusterBackend::connect`] — which turns on
+    /// server-side edge forwarding and the peer heartbeat threads.
+    fn wire_peers(&self) {
+        let addrs = self.addrs();
+        for server in self.servers.iter().flatten() {
+            server.set_peers(&addrs, 0);
+        }
     }
 
     /// The live nodes' `(node id, address)` pairs — the cluster map a
@@ -791,6 +1268,7 @@ impl Cluster {
         let server = Server::start("127.0.0.1:0", config.with_node_id(node), workers)?;
         let addr = server.local_addr();
         self.servers.push(Some(server));
+        self.wire_peers();
         Ok((node, addr))
     }
 
@@ -800,6 +1278,20 @@ impl Cluster {
             .get(node as usize)?
             .as_ref()
             .map(Server::service)
+    }
+
+    /// The [`Server`] behind node `node` (replica counters, epoch and
+    /// heartbeat introspection for tests and the chaos harness).
+    pub fn server(&self, node: u16) -> Option<&Server> {
+        self.servers.get(node as usize)?.as_ref()
+    }
+
+    /// Installs one fault-injection policy on every live node's
+    /// outgoing replication plane.
+    pub fn set_chaos(&self, chaos: Option<Arc<ChaosPolicy>>) {
+        for server in self.servers.iter().flatten() {
+            server.set_chaos(chaos.clone());
+        }
     }
 
     /// Number of live (unkilled) nodes.

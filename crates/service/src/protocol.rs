@@ -153,6 +153,43 @@ pub enum Request {
         /// Home-node wire ids of the released problems.
         problems: Vec<u64>,
     },
+    /// Server-to-server path-log replication: the session's HOME node
+    /// forwards the derivation edge to the ring successor itself, so a
+    /// session is replicated correctly no matter how many clients drive
+    /// it. Identical in effect to [`Request::Replicate`] but carries a
+    /// per-session sequence number assigned by the home node, making
+    /// the frame idempotent — the client-fanned and server-fanned paths
+    /// can coexist during a rollout without double-recording, and a
+    /// chaos-duplicated frame is a no-op. Acked with
+    /// [`Response::Released`].
+    Forward {
+        /// The session whose path log this edge extends.
+        session: u64,
+        /// Home-node-assigned edge sequence number (dedup key).
+        seq: u64,
+        /// Wire id of the derived problem (on its HOME node).
+        problem: u64,
+        /// Wire id of the parent it was derived from.
+        parent: u64,
+        /// The incremental constraint, DIMACS literals.
+        clauses: Vec<Vec<i64>>,
+    },
+    /// Liveness probe for the heartbeat/gossip layer. Sent on a
+    /// jittered timer by peers (server-to-server) and routers
+    /// (client-to-server) over dedicated lightweight connections, so a
+    /// stalled solve pipeline never masks — or fakes — liveness.
+    /// Carries the sender's membership epoch; the receiver remembers
+    /// the highest epoch it has seen and echoes it in
+    /// [`Response::Pong`], which is how a stale router learns the
+    /// membership moved on without it.
+    Ping {
+        /// Sender identity: a node id for server peers, `u64::MAX` for
+        /// client routers.
+        sender: u64,
+        /// The sender's membership epoch (bumped on every add, remove
+        /// or failover the sender has locally applied).
+        epoch: u64,
+    },
 }
 
 /// Aggregated counters carried by [`Response::Stats`].
@@ -193,6 +230,12 @@ pub struct StatsSummary {
     /// Physical pages private to exactly one resident snapshot (0 on
     /// the deep-clone store).
     pub private_pages: u64,
+    /// Heartbeat probes to peers that went unanswered (server-to-server
+    /// gossip layer; 0 on nodes with no peers configured).
+    pub heartbeat_misses: u64,
+    /// Linear path-log chains collapsed into composite edges by the
+    /// replica store's byte-budget compaction policy.
+    pub compactions: u64,
 }
 
 impl StatsSummary {
@@ -218,6 +261,8 @@ impl StatsSummary {
         self.resident_bytes += other.resident_bytes;
         self.shared_pages += other.shared_pages;
         self.private_pages += other.private_pages;
+        self.heartbeat_misses += other.heartbeat_misses;
+        self.compactions += other.compactions;
     }
 }
 
@@ -254,6 +299,16 @@ pub enum Response {
     Promoted {
         /// Old-to-new wire id pairs, in the request's problem order.
         mapping: Vec<(u64, u64)>,
+    },
+    /// Reply to [`Request::Ping`]: the responder is alive. `epoch` is
+    /// the highest membership epoch the responder has observed from any
+    /// pinger — a router seeing an epoch above its own knows its
+    /// membership view is stale and must re-verify every member.
+    Pong {
+        /// Responder identity (its cluster node id).
+        node: u64,
+        /// Highest membership epoch the responder has observed.
+        epoch: u64,
     },
 }
 
@@ -580,6 +635,25 @@ impl Request {
                     put_u64(&mut out, p);
                 }
             }
+            Request::Forward {
+                session,
+                seq,
+                problem,
+                parent,
+                clauses,
+            } => {
+                out.push(9);
+                put_u64(&mut out, *session);
+                put_u64(&mut out, *seq);
+                put_u64(&mut out, *problem);
+                put_u64(&mut out, *parent);
+                encode_clauses(&mut out, clauses);
+            }
+            Request::Ping { sender, epoch } => {
+                out.push(10);
+                put_u64(&mut out, *sender);
+                put_u64(&mut out, *epoch);
+            }
         }
         out
     }
@@ -615,6 +689,17 @@ impl Request {
                     let n = d.count(8)?;
                     (0..n).map(|_| d.u64()).collect::<Result<_, _>>()?
                 },
+            },
+            9 => Request::Forward {
+                session: d.u64()?,
+                seq: d.u64()?,
+                problem: d.u64()?,
+                parent: d.u64()?,
+                clauses: decode_clauses(&mut d)?,
+            },
+            10 => Request::Ping {
+                sender: d.u64()?,
+                epoch: d.u64()?,
             },
             t => return Err(ProtoError::BadTag(t)),
         };
@@ -666,6 +751,8 @@ impl Response {
                     s.resident_bytes,
                     s.shared_pages,
                     s.private_pages,
+                    s.heartbeat_misses,
+                    s.compactions,
                 ] {
                     put_u64(&mut out, v);
                 }
@@ -682,6 +769,11 @@ impl Response {
                     put_u64(&mut out, old);
                     put_u64(&mut out, new);
                 }
+            }
+            Response::Pong { node, epoch } => {
+                out.push(7);
+                put_u64(&mut out, *node);
+                put_u64(&mut out, *epoch);
             }
         }
         out
@@ -717,6 +809,8 @@ impl Response {
                 resident_bytes: d.u64()?,
                 shared_pages: d.u64()?,
                 private_pages: d.u64()?,
+                heartbeat_misses: d.u64()?,
+                compactions: d.u64()?,
             }),
             5 => {
                 let len = d.count(1)?;
@@ -734,6 +828,10 @@ impl Response {
                         .map(|_| Ok((d.u64()?, d.u64()?)))
                         .collect::<Result<_, ProtoError>>()?
                 },
+            },
+            7 => Response::Pong {
+                node: d.u64()?,
+                epoch: d.u64()?,
             },
             t => return Err(ProtoError::BadTag(t)),
         };
@@ -804,6 +902,28 @@ mod tests {
             session: 1,
             problems: vec![],
         });
+        roundtrip_request(Request::Forward {
+            session: 42,
+            seq: 17,
+            problem: 1 << 48 | 7 << 32 | 3,
+            parent: 1 << 48 | 7 << 32,
+            clauses: vec![vec![1, -2], vec![3]],
+        });
+        roundtrip_request(Request::Forward {
+            session: 0,
+            seq: u64::MAX,
+            problem: 0,
+            parent: 0,
+            clauses: vec![],
+        });
+        roundtrip_request(Request::Ping {
+            sender: 3,
+            epoch: 12,
+        });
+        roundtrip_request(Request::Ping {
+            sender: u64::MAX,
+            epoch: 0,
+        });
     }
 
     #[test]
@@ -843,12 +963,15 @@ mod tests {
             resident_bytes: 1 << 20,
             shared_pages: 77,
             private_pages: 33,
+            heartbeat_misses: 6,
+            compactions: 11,
         }));
         roundtrip_response(Response::Error("dead reference".into()));
         roundtrip_response(Response::Promoted {
             mapping: vec![(1 << 48 | 3, 2 << 48 | 11), (7, 8)],
         });
         roundtrip_response(Response::Promoted { mapping: vec![] });
+        roundtrip_response(Response::Pong { node: 2, epoch: 9 });
     }
 
     #[test]
@@ -861,6 +984,8 @@ mod tests {
             resident_bytes: 4096,
             shared_pages: 5,
             private_pages: 7,
+            heartbeat_misses: 4,
+            compactions: 2,
             ..Default::default()
         };
         let b = StatsSummary {
@@ -871,6 +996,8 @@ mod tests {
             resident_bytes: 8192,
             shared_pages: 1,
             private_pages: 2,
+            heartbeat_misses: 1,
+            compactions: 3,
             ..Default::default()
         };
         a.absorb(&b);
@@ -881,6 +1008,8 @@ mod tests {
         assert_eq!(a.resident_bytes, 12288);
         assert_eq!(a.shared_pages, 6);
         assert_eq!(a.private_pages, 9);
+        assert_eq!(a.heartbeat_misses, 5);
+        assert_eq!(a.compactions, 5);
     }
 
     #[test]

@@ -40,8 +40,11 @@ pub struct Placement {
 }
 
 /// SplitMix64: a full-avalanche 64-bit mixer (public-domain constants).
+/// Public because every seeded decision in the cluster derives from it:
+/// ring scoring here, retry jitter in the client, and the deterministic
+/// fault-injection policy in [`crate::chaos`].
 #[inline]
-fn mix64(mut x: u64) -> u64 {
+pub fn mix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

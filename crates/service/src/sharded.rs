@@ -93,6 +93,12 @@ pub struct ServiceConfig {
     /// [`StoreKind::Cow`] — page-granular CoW deltas; the deep-clone
     /// baseline remains available for conformance comparison).
     pub store: StoreKind,
+    /// Byte budget for this node's passive [`crate::ReplicaStore`]
+    /// (`None` = unbounded): exceeding it collapses linear path-log
+    /// chains into composite edges (replay-equivalent compaction; see
+    /// the replica module docs). Only meaningful for servers — the
+    /// in-process service never holds replicas.
+    pub replica_budget_bytes: Option<usize>,
 }
 
 impl ServiceConfig {
@@ -105,6 +111,7 @@ impl ServiceConfig {
             snapshot_budget_bytes: None,
             node_id: 0,
             store: StoreKind::default(),
+            replica_budget_bytes: None,
         }
     }
 
@@ -129,6 +136,12 @@ impl ServiceConfig {
     /// Sets the per-shard resident-snapshot byte budget.
     pub fn with_snapshot_budget(mut self, bytes: usize) -> Self {
         self.snapshot_budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the per-node replica-store byte budget (compaction bound).
+    pub fn with_replica_budget(mut self, bytes: usize) -> Self {
+        self.replica_budget_bytes = Some(bytes);
         self
     }
 }

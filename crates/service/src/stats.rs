@@ -101,11 +101,14 @@ impl From<&ClusterStats> for crate::protocol::StatsSummary {
             resident_bytes: t.resident_bytes as u64,
             shared_pages: t.shared_pages,
             private_pages: t.private_pages,
-            // Replication counters live in the reactor's ReplicaStore,
-            // not in the shard stats; the server overlays them.
+            // Replication and heartbeat counters live in the reactor's
+            // ReplicaStore and Forwarder, not in the shard stats; the
+            // server overlays them.
             failovers: 0,
             replica_promotions: 0,
             replica_bytes: 0,
+            heartbeat_misses: 0,
+            compactions: 0,
         }
     }
 }

@@ -43,10 +43,16 @@ proptest! {
     ) {
         let origin = ShardedService::new(ServiceConfig::new(2));
         let replica = ShardedService::new(ServiceConfig::new(2).with_node_id(1));
+        let compacted = ShardedService::new(ServiceConfig::new(2).with_node_id(2));
         let store = ReplicaStore::new();
+        // The same log under MAXIMUM compaction pressure: a 1-byte
+        // budget forces every record to collapse whatever linear chain
+        // it can — promotion from composite edges must be exactly as
+        // lossless as from pristine ones.
+        let tight = ReplicaStore::with_budget(Some(1));
 
         // Grow an arbitrary derivation tree on the origin, recording
-        // every edge into the replica store — exactly what the cluster
+        // every edge into the replica stores — exactly what the cluster
         // backend streams to the ring successor.
         let root = origin.session_root(session);
         let mut problems = vec![root];
@@ -55,39 +61,104 @@ proptest! {
             let reply = origin
                 .solve(parent, &clauses_to_lits(clauses))
                 .expect("origin chain stays live");
-            store.record(
-                session,
-                reply.problem.to_wire(),
-                parent.to_wire(),
-                clauses.clone(),
-            );
+            for s in [&store, &tight] {
+                s.record(
+                    session,
+                    reply.problem.to_wire(),
+                    parent.to_wire(),
+                    clauses.clone(),
+                );
+            }
             problems.push(reply.problem);
         }
 
-        // Promote EVERY derived problem onto the replica node.
+        // Promote EVERY derived problem onto both replica nodes.
         let wires: Vec<u64> = problems[1..].iter().map(|p| p.to_wire()).collect();
         let mapping = store.promote(&replica, session, &wires);
         prop_assert_eq!(mapping.len(), wires.len(), "complete logs promote completely");
+        let tight_mapping = tight.promote(&compacted, session, &wires);
+        prop_assert_eq!(
+            tight_mapping.len(),
+            wires.len(),
+            "compacted logs promote completely"
+        );
 
-        for &(old, new) in &mapping {
+        for (&(old, new), &(t_old, t_new)) in mapping.iter().zip(&tight_mapping) {
+            prop_assert_eq!(old, t_old, "both stores promote the same problems in order");
             let old_id = ProblemId::from_wire(old);
             let new_id = ProblemId::from_wire(new);
+            let tight_id = ProblemId::from_wire(t_new);
             prop_assert_eq!(new_id.node(), 1, "promoted ids live on the replica");
             prop_assert_eq!(
                 origin.result_of(old_id),
                 replica.result_of(new_id),
                 "verdicts split after promotion"
             );
-            // Witnesses: probe both sides with the same extension; the
+            prop_assert_eq!(
+                origin.result_of(old_id),
+                compacted.result_of(tight_id),
+                "verdicts split after compacted promotion"
+            );
+            // Witnesses: probe all sides with the same extension; the
             // solver is deterministic in the clause path, so models
             // must agree bit for bit.
             let probe = lits(&[7, -7]);
             let lhs = origin.solve(old_id, &probe).expect("origin probe");
             let rhs = replica.solve(new_id, &probe).expect("replica probe");
+            let via_tight = compacted.solve(tight_id, &probe).expect("compacted probe");
             prop_assert_eq!(lhs.result, rhs.result, "probe verdicts split");
-            prop_assert_eq!(lhs.model, rhs.model, "probe witnesses split");
+            prop_assert_eq!(&lhs.model, &rhs.model, "probe witnesses split");
+            prop_assert_eq!(via_tight.result, lhs.result, "compacted probe verdicts split");
+            prop_assert_eq!(&via_tight.model, &lhs.model, "compacted probe witnesses split");
         }
     }
+}
+
+/// The two-client under-replication regression (satellite a): a session
+/// driven by two `ClusterBackend`s in alternation leaves each client
+/// holding only HALF the path log (a client does not track edges it
+/// did not drive), so client-fanned replication alone cannot replay the
+/// whole session. The home node's own `Forward` plane carries every
+/// edge regardless of who drove it: kill the home, and BOTH clients
+/// fail over to bit-identical verdicts and witnesses — through ids the
+/// other client minted.
+#[test]
+fn two_clients_driving_one_session_survive_the_home_nodes_death() {
+    let mut cluster = Cluster::start_local(3, ServiceConfig::new(2), 1).unwrap();
+    let a = cluster.connect().unwrap();
+    let b = cluster.connect().unwrap();
+    let mirror = ShardedService::new(ServiceConfig::new(2));
+
+    let session = 11u64;
+    let home = a.ring().node_for(session).unwrap();
+    let root_a = a.session_root(session).unwrap();
+    let root_b = b.session_root(session).unwrap();
+    assert_eq!(root_a, root_b, "one session, one root, two clients");
+
+    let mut cur = root_a;
+    let mut l = mirror.session_root(session);
+    for step in 0..6i64 {
+        let v = step % 5 + 1;
+        let driver: &lwsnap_service::ClusterBackend = if step % 2 == 0 { &a } else { &b };
+        cur = driver.solve(cur, lits(&[v])).unwrap().unwrap().problem;
+        l = mirror.solve(l, &lits(&[v])).unwrap().problem;
+    }
+
+    cluster.kill_node(home);
+
+    // Both clients continue from the SAME tip — minted by client B, so
+    // client A never logged it — and each fails over independently.
+    for (client, name) in [(&a, "a"), (&b, "b")] {
+        let r = client.solve(cur, lits(&[-2])).unwrap().unwrap();
+        let e = mirror.solve(l, &lits(&[-2])).unwrap();
+        assert_eq!(r.result, e.result, "client {name} verdict split after kill");
+        assert_eq!(r.model, e.model, "client {name} witness split after kill");
+        assert_ne!(r.problem.node(), home, "client {name} left the dead home");
+    }
+
+    drop(b);
+    a.shutdown();
+    cluster.shutdown();
 }
 
 /// Every successful solve of a tracked session streams its derivation

@@ -27,7 +27,20 @@
 //!    and a fresh node joins, then the sessions resume — the killed
 //!    node's sessions fail over onto their ring-successor replicas by
 //!    path-log replay, and the verdict/witness streams must still be
-//!    bit-identical to the sequential baseline.
+//!    bit-identical to the sequential baseline;
+//! 8. the seeded **fault-injection harness**: a fresh 3-node cluster
+//!    with a replica-store byte budget and client heartbeats, running a
+//!    fixed compaction-heavy workload (many small incremental steps, so
+//!    the byte bound sits in a wide deterministic band) under a
+//!    [`ChaosPlan`] (`--chaos-seed` × `--chaos-mode`) — replication
+//!    frames are dropped/duplicated/delayed content-keyed on both
+//!    planes, and in `kill` mode the seeded victim dies at the midpoint
+//!    barrier with **no request in flight**, so the failover that
+//!    follows can only come from the heartbeat detector. The phase
+//!    asserts verdict bit-identity against its own sequential baseline,
+//!    per-node `replica_bytes` ≤ the configured bound, and — under
+//!    kill — `failovers > 0`, at least one heartbeat-triggered
+//!    failover, and `compactions > 0`.
 //!
 //! Every SAT model returned in any phase is re-checked against the full
 //! constraint path of its problem, and the SAT/UNSAT verdict streams of
@@ -39,7 +52,9 @@
 //! ```sh
 //! cargo run --release --example service_loadgen -- \
 //!     [--sessions M] [--queries Q] [--vars V] [--shards S] [--workers W] \
-//!     [--nodes N] [--budget BYTES] [--smoke]
+//!     [--nodes N] [--budget BYTES] [--smoke] \
+//!     [--chaos-seed SEED] [--chaos-mode kill,drop,duplicate,delay] \
+//!     [--replica-budget BYTES]
 //! ```
 //!
 //! `--budget` bounds resident snapshot bytes per shard in every remote
@@ -47,8 +62,13 @@
 //! eviction and constraint-path replay while the verdict streams are
 //! cross-checked — eviction under chaos, not just under calm.
 
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
 use lwsnap_bench::service_workload::{RunOutcome, Workload};
-use lwsnap_service::{Cluster, PipelinedClient, Server, ServiceConfig, SolverBackend, TcpClient};
+use lwsnap_service::{
+    ChaosPlan, Cluster, PipelinedClient, Server, ServiceConfig, SolverBackend, TcpClient,
+};
 
 fn parse_flag(args: &[String], name: &str, default: usize) -> usize {
     args.iter()
@@ -56,6 +76,13 @@ fn parse_flag(args: &[String], name: &str, default: usize) -> usize {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+fn parse_str_flag<'a>(args: &'a [String], name: &str, default: &'a str) -> &'a str {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map_or(default, String::as_str)
 }
 
 fn report(label: &str, outcome: &RunOutcome) {
@@ -88,6 +115,13 @@ fn main() {
         .position(|a| a == "--budget")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok());
+    let chaos_seed = parse_flag(&args, "--chaos-seed", 0xc4a0) as u64;
+    let chaos_mode = parse_str_flag(&args, "--chaos-mode", "kill,drop,duplicate");
+    // Default sits in the measured deterministic band for the fixed
+    // harness workload: above the worst node's fully-compacted floor
+    // (~72 KiB under a midpoint kill) and below its uncompacted peak
+    // (~87 KiB), so compaction MUST both trigger and suffice.
+    let replica_budget = parse_flag(&args, "--replica-budget", 80 * 1024);
     assert!(sessions >= 1 && queries >= 1 && nodes >= 1);
     // All remote phases share one daemon configuration; the byte budget
     // (when set) makes them run under continuous snapshot eviction.
@@ -251,6 +285,149 @@ fn main() {
     }
     chaos_cluster.shutdown();
 
+    // Phase 8: the seeded fault-injection harness. A fresh 3-node
+    // cluster runs a FIXED workload shape (many small incremental
+    // steps over a small base, so path logs are compaction-heavy and
+    // the replica byte bound sits in a wide deterministic band) with a
+    // replica-store byte budget and the chaos plan derived from
+    // --chaos-seed × --chaos-mode: replication-plane frames are
+    // dropped / duplicated / delayed content-keyed on BOTH fan-out
+    // planes, and in `kill` mode the seeded victim dies at the midpoint
+    // barrier while every session is parked — no request is in flight,
+    // so the failover that rescues its sessions can only have been
+    // triggered by the heartbeat detector, never by a client tripping
+    // over the corpse. Verdicts and witnesses are checked against this
+    // workload's own in-process sequential baseline.
+    let plan = ChaosPlan::parse(chaos_seed, chaos_mode).unwrap_or_else(|| {
+        eprintln!("unknown --chaos-mode in {chaos_mode:?} (kill, drop, duplicate, delay)");
+        std::process::exit(2);
+    });
+    let harness_workload = Workload::build(8, 48, 24, 0x5eed);
+    let harness_baseline = lwsnap_bench::service_workload::run_sequential(&harness_workload);
+    let harness_config = || {
+        let mut config = remote_config();
+        config.replica_budget_bytes = Some(replica_budget);
+        config
+    };
+    let mut harness_cluster = Cluster::start_local(3, harness_config(), workers).expect("start");
+    let harness_backend = harness_cluster.connect().expect("connect cluster");
+    let policy = plan.policy();
+    if policy.is_active() {
+        let policy = Arc::new(policy);
+        harness_cluster.set_chaos(Some(policy.clone()));
+        harness_backend.set_chaos(Some(policy));
+    }
+    harness_backend.start_heartbeat(Duration::from_millis(25), 3);
+    let victim = harness_backend
+        .ring()
+        .node_for(harness_workload.sessions[plan.victim_index(8)].session)
+        .expect("ring places the victim session");
+    let harness = {
+        let cluster = &mut harness_cluster;
+        let backend = &harness_backend;
+        lwsnap_bench::service_workload::run_remote_with_midpoint(
+            &harness_workload,
+            &harness_backend,
+            24,
+            move || {
+                if !plan.kill {
+                    return;
+                }
+                cluster.kill_node(victim);
+                // Wait for the DETECTOR, not for a request error: the
+                // sessions are all parked at the barrier, so the only
+                // thing that can notice the kill is the heartbeat
+                // thread. Resumed sessions then find the ring already
+                // healed.
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while backend.heartbeat_failovers() == 0 {
+                    assert!(
+                        Instant::now() < deadline,
+                        "heartbeat never detected the killed node {victim}"
+                    );
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            },
+        )
+    };
+    report(&format!("chaos harness (seed {chaos_seed:#x})"), &harness);
+    let fleet = harness_backend.node_stats().expect("node stats");
+    let harness_total = fleet.total();
+    for (node, s) in &fleet.nodes {
+        println!(
+            "    node {node}: {} queries, {} failovers, {} promotions, {} replica bytes, \
+             {} compactions, {} heartbeat misses",
+            s.queries,
+            s.failovers,
+            s.replica_promotions,
+            s.replica_bytes,
+            s.compactions,
+            s.heartbeat_misses,
+        );
+    }
+    println!(
+        "    plan [{}{}{}{}] · victim node {victim} · {} client hb misses, \
+         {} hb-triggered failovers, {} failover retries",
+        if plan.kill { "kill " } else { "" },
+        if plan.drop { "drop " } else { "" },
+        if plan.duplicate { "duplicate " } else { "" },
+        if plan.delay { "delay" } else { "" },
+        harness_backend.heartbeat_misses(),
+        harness_backend.heartbeat_failovers(),
+        harness_backend.failover_retries(),
+    );
+    // The harness assertions from the acceptance bar: bit-identical
+    // verdicts against this workload's own in-process baseline, the
+    // replica store never ending above its bound (and, under kill
+    // pressure, compacting to get there), and the kill detected by
+    // heartbeats — not by a client request error.
+    let mut harness_mismatches = 0usize;
+    for (s, base_session) in harness_baseline.verdicts.iter().enumerate() {
+        if harness.verdicts[s] != *base_session {
+            eprintln!("VERDICT MISMATCH: harness session {s} vs its sequential baseline");
+            harness_mismatches += 1;
+        }
+    }
+    assert!(
+        harness_mismatches == 0,
+        "{harness_mismatches} chaos-harness verdict mismatches — the service is WRONG"
+    );
+    for (node, s) in &fleet.nodes {
+        assert!(
+            s.replica_bytes <= replica_budget as u64,
+            "node {node} replica store ({} bytes) exceeds the {replica_budget}-byte bound",
+            s.replica_bytes,
+        );
+    }
+    // Compaction pressure depends on HOW MUCH the kill redistributes
+    // (a victim homing one session never pushes a survivor over the
+    // bound), so `compactions > 0` is asserted for the calibrated
+    // default configuration — the acceptance run, and what CI's kill
+    // leg uses. Exotic seeds/bounds still get the invariant that
+    // matters (`replica_bytes` ≤ bound, asserted above), just not a
+    // guarantee that the bound was stressed.
+    let calibrated = chaos_seed == 0xc4a0 && replica_budget == 80 * 1024;
+    if plan.kill && calibrated {
+        assert!(
+            harness_total.compactions > 0,
+            "the replica budget never forced a compaction — bound too loose for this workload"
+        );
+    }
+    if plan.kill {
+        assert!(
+            harness_total.failovers > 0,
+            "kill mode must exercise failover (victim {victim} homed no session?)"
+        );
+        assert!(
+            harness_backend.heartbeat_failovers() >= 1,
+            "the failover must be heartbeat-triggered, not client-request-triggered"
+        );
+    }
+    for (node, result) in harness_backend.shutdown() {
+        result.unwrap_or_else(|e| panic!("node {node} failed to drain: {e}"));
+    }
+    harness_cluster.shutdown();
+
     // Cross-phase verification: identical verdict streams everywhere.
     let mut mismatches = 0usize;
     for (s, seq_session) in sequential.verdicts.iter().enumerate() {
@@ -275,7 +452,8 @@ fn main() {
     let speedup = evicting.throughput().max(sharded.throughput()) / sequential.throughput();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "\nall {} queries × 7 phases verified: identical verdicts (failover included), \
+        "\nall {} queries × 7 phases verified (+ the seeded chaos harness against \
+         its own baseline): identical verdicts (failover included), \
          every model re-checked \
          against its constraint path ({:.2}× best sharded speedup over sequential on \
          {cores} core{})",
