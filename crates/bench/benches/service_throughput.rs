@@ -36,6 +36,19 @@ fn bench_service_throughput(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("sharded_cap2", 4), &4, |b, &workers| {
         b.iter(|| std::hint::black_box(run_sharded(&workload, 8, workers, Some(2)).0.verdicts))
     });
+    // Tracing overhead at fixed parallelism: the identical workload
+    // with the event recorder on vs off (metrics histograms stay live
+    // either way — that is the deal the hot paths make). CI's ≤5% gate
+    // runs `examples/trace_overhead.rs`; this pair is the Criterion
+    // view of the same question.
+    for (label, on) in [("sharded4_traced", true), ("sharded4_untraced", false)] {
+        group.bench_function(label, |b| {
+            lwsnap_trace::set_enabled(on);
+            b.iter(|| std::hint::black_box(run_sharded(&workload, 8, 4, None).0.verdicts));
+            lwsnap_trace::set_enabled(true);
+            lwsnap_trace::drain();
+        });
+    }
     group.finish();
 }
 

@@ -24,6 +24,7 @@ pub mod service_workload {
 
     use lwsnap_service::{ProblemId, ServiceConfig, ShardedService, SolverBackend, WorkerPool};
     use lwsnap_solver::{model_satisfies, IncrementalFamily, Lit, SolveResult, SolverService};
+    use lwsnap_trace::{Histogram, HistogramSnapshot};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -117,10 +118,26 @@ pub mod service_workload {
         pub verdicts: Vec<Vec<SolveResult>>,
         /// Wall-clock time for the whole run.
         pub wall: Duration,
-        /// Per-query latencies (unordered).
+        /// Per-query latencies (unordered; the histogram below is the
+        /// summarised view — this keeps the raw samples for anyone who
+        /// wants exact order statistics).
         pub latencies: Vec<Duration>,
+        /// Per-query latency distribution, in the same mergeable
+        /// log-linear buckets the service's own `solve_ns` histogram
+        /// uses — so a loadgen report and a `/metrics` scrape of the
+        /// same run quantise identically.
+        pub latency_hist: HistogramSnapshot,
         /// SAT models verified against their constraint path.
         pub verified_models: u64,
+    }
+
+    /// Folds raw latency samples into the shared log-linear histogram.
+    fn latency_histogram(latencies: &[Duration]) -> HistogramSnapshot {
+        let hist = Histogram::new();
+        for d in latencies {
+            hist.record_duration(*d);
+        }
+        hist.snapshot()
     }
 
     impl RunOutcome {
@@ -129,15 +146,15 @@ pub mod service_workload {
             self.latencies.len() as f64 / self.wall.as_secs_f64().max(1e-9)
         }
 
-        /// The `q`-quantile latency (e.g. 0.5, 0.99).
+        /// The `q`-quantile latency (e.g. 0.5, 0.99), read from the
+        /// log-linear histogram (bucket upper bound, ≤ ~25% high).
         pub fn latency_quantile(&self, q: f64) -> Duration {
-            let mut sorted = self.latencies.clone();
-            sorted.sort_unstable();
-            if sorted.is_empty() {
-                return Duration::ZERO;
-            }
-            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-            sorted[idx]
+            Duration::from_nanos(self.latency_hist.quantile(q))
+        }
+
+        /// Mean latency, from the histogram's exact count and sum.
+        pub fn latency_mean(&self) -> Duration {
+            Duration::from_nanos(self.latency_hist.mean() as u64)
         }
     }
 
@@ -183,6 +200,7 @@ pub mod service_workload {
         RunOutcome {
             verdicts,
             wall: started.elapsed(),
+            latency_hist: latency_histogram(&latencies),
             latencies,
             verified_models: verified,
         }
@@ -305,6 +323,7 @@ pub mod service_workload {
         RunOutcome {
             verdicts,
             wall,
+            latency_hist: latency_histogram(&latencies),
             latencies,
             verified_models: verified,
         }
@@ -453,6 +472,7 @@ pub mod service_workload {
         RunOutcome {
             verdicts,
             wall,
+            latency_hist: latency_histogram(&latencies),
             latencies,
             verified_models: verified,
         }

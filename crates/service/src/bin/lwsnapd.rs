@@ -4,7 +4,8 @@
 //! lwsnapd [--addr 127.0.0.1:7557] [--shards N] [--workers M] \
 //!         [--capacity K] [--budget BYTES] [--node-id ID] \
 //!         [--store cow|deep-clone] [--peer ID=HOST:PORT ...] \
-//!         [--ring-seed SEED] [--replica-budget BYTES]
+//!         [--ring-seed SEED] [--replica-budget BYTES] \
+//!         [--metrics-addr HOST:PORT]
 //! ```
 //!
 //! Serves the `lwsnap-service` wire protocol (legacy in-order frames
@@ -34,6 +35,15 @@
 //! replicas before clients notice. `--ring-seed` must match the
 //! clients' seed; `--replica-budget` bounds the replica store, above
 //! which linear path-log chains are compacted in place.
+//!
+//! ## Observability
+//!
+//! `--metrics-addr HOST:PORT` starts the scrape exporter: `GET
+//! /metrics` serves the plaintext counter/gauge/histogram snapshot and
+//! `GET /trace` drains the event rings as chrome://tracing JSON. The
+//! same data is available in-band via the `Stats2` and `TraceDump`
+//! wire requests, so clusters can be scraped through a
+//! `ClusterBackend` without any HTTP exposure.
 
 use lwsnap_service::{NodeId, Server, ServiceConfig, StoreKind};
 
@@ -43,7 +53,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: lwsnapd [--addr HOST:PORT] [--shards N] [--workers M] \
          [--capacity K] [--budget BYTES] [--node-id ID] [--store KIND] \
-         [--peer ID=HOST:PORT ...] [--ring-seed SEED] [--replica-budget BYTES]\n\
+         [--peer ID=HOST:PORT ...] [--ring-seed SEED] [--replica-budget BYTES] \
+         [--metrics-addr HOST:PORT]\n\
          \n\
          --addr      listen address (default 127.0.0.1:7557)\n\
          --shards    independently locked problem-tree shards (default 8)\n\
@@ -59,7 +70,9 @@ fn usage() -> ! {
          --ring-seed consistent-hash ring seed (default 0) — must match every\n\
          \u{20}           client and peer of this cluster\n\
          --replica-budget  replica-store byte budget; past it, linear path-log\n\
-         \u{20}           chains are compacted (default: unbounded)"
+         \u{20}           chains are compacted (default: unbounded)\n\
+         --metrics-addr  serve GET /metrics (plaintext scrape) and GET /trace\n\
+         \u{20}           (chrome://tracing JSON) on this address (default: off)"
     );
     std::process::exit(2);
 }
@@ -81,6 +94,7 @@ fn main() {
     let mut peers: Vec<(NodeId, SocketAddr)> = Vec::new();
     let mut ring_seed: u64 = 0;
     let mut replica_budget: Option<usize> = None;
+    let mut metrics_addr: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -109,6 +123,7 @@ fn main() {
                         .unwrap_or_else(|_| usage()),
                 )
             }
+            "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -127,6 +142,15 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if let Some(scrape) = &metrics_addr {
+        match lwsnap_trace::export::serve(scrape) {
+            Ok(bound) => println!("lwsnapd node {node_id}: metrics on http://{bound}/metrics"),
+            Err(e) => {
+                eprintln!("lwsnapd: cannot bind metrics exporter {scrape}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     if !peers.is_empty() {
         server.set_peers(&peers, ring_seed);
         println!(

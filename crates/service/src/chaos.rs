@@ -38,6 +38,32 @@ pub const PLANE_CLIENT: u64 = 1;
 /// Plane salt for server-fanned (`Forward`) replication frames.
 pub const PLANE_SERVER: u64 = 2;
 
+/// Content-stable chaos key of a session root. Wire problem ids are
+/// allocation-order artifacts — two runs (or the two replication
+/// planes) can mint different ids for the same logical problem — so
+/// chaos decisions key on a hash of what the problem *is* instead:
+/// the session for a root, and the clause path for every derivation
+/// ([`stable_key`]).
+pub fn root_key(session: u64) -> u64 {
+    mix64(session ^ 0x726f_6f74) // "root"
+}
+
+/// Folds one derivation edge's content into its parent's stable key:
+/// the child's key hashes the parent's key with the added clauses, so
+/// the same logical edge gets the same fate on every run and on both
+/// replication planes (modulo the plane salt), no matter what wire ids
+/// were allocated for it.
+pub fn stable_key(parent_key: u64, clauses: &[Vec<i64>]) -> u64 {
+    let mut h = mix64(parent_key ^ 0x6564_6765); // "edge"
+    for clause in clauses {
+        h = mix64(h ^ clause.len() as u64);
+        for &lit in clause {
+            h = mix64(h ^ lit as u64);
+        }
+    }
+    h
+}
+
 /// What to do with one replication-plane frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChaosAction {
@@ -249,6 +275,22 @@ mod tests {
                 assert!(*pause <= Duration::from_millis(2));
             }
         }
+    }
+
+    #[test]
+    fn stable_keys_depend_on_content_not_allocation_order() {
+        let root = root_key(42);
+        assert_eq!(root, root_key(42), "pure in the session");
+        assert_ne!(root, root_key(43));
+        let a = stable_key(root, &[vec![1, -2]]);
+        // Recomputing the same edge from the same parent is stable —
+        // no wire id, counter, or ordering feeds the key.
+        assert_eq!(a, stable_key(root, &[vec![1, -2]]));
+        // Content matters: different clauses, different key.
+        assert_ne!(a, stable_key(root, &[vec![1, 2]]));
+        assert_ne!(a, stable_key(root, &[vec![1], vec![-2]]));
+        // Lineage matters: the same clauses under another parent.
+        assert_ne!(a, stable_key(stable_key(root, &[vec![3]]), &[vec![1, -2]]));
     }
 
     #[test]

@@ -19,9 +19,10 @@ use std::sync::{Arc, Condvar, Mutex, RwLock, TryLockError};
 use std::time::Duration;
 
 use lwsnap_solver::{Lit, SolveResult};
+use lwsnap_trace::{self as trace, Event, MetricsSnapshot};
 
 use crate::backend::{foreign_ticket, SolverBackend, Ticket, TicketInner};
-use crate::chaos::{ChaosAction, ChaosPolicy, PLANE_CLIENT};
+use crate::chaos::{root_key, stable_key, ChaosAction, ChaosPolicy, PLANE_CLIENT};
 use crate::protocol::{
     lits_to_clauses, put_tagged_frame, read_any_frame, read_frame, write_frame, write_tagged_frame,
     ProtoError, Request, Response, StatsSummary,
@@ -157,6 +158,8 @@ fn unexpected(response: Response) -> io::Error {
             Response::Error(_) => 5,
             Response::Promoted { .. } => 6,
             Response::Pong { .. } => 7,
+            Response::Metrics(_) => 8,
+            Response::Trace(_) => 9,
         }),
     )
 }
@@ -369,6 +372,25 @@ impl PipelinedClient {
     pub fn shutdown_server(&self) -> io::Result<StatsSummary> {
         match self.call(&Request::Shutdown)? {
             Response::Stats(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the node's full metrics snapshot (named counters, gauges
+    /// and latency histograms) — the mergeable scrape-plane view.
+    pub fn metrics(&self) -> io::Result<MetricsSnapshot> {
+        match self.call(&Request::Stats2)? {
+            Response::Metrics(m) => Ok(m),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Drains the node's trace rings and returns the merged,
+    /// time-ordered event stream. Consuming: each event is exported to
+    /// exactly one caller.
+    pub fn trace_dump(&self) -> io::Result<Vec<Event>> {
+        match self.call(&Request::TraceDump)? {
+            Response::Trace(events) => Ok(events),
             other => Err(unexpected(other)),
         }
     }
@@ -641,6 +663,11 @@ struct SessionState {
     /// live descendant's replay path runs through them; pruned (with
     /// cascade) by [`prune_log`] when the descendants go too.
     released: HashSet<u64>,
+    /// Problem wire id → content-stable chaos key ([`stable_key`] over
+    /// the clause lineage). Wire ids are rewritten by failover remaps;
+    /// the keys survive unchanged, so chaos decisions stay replayable
+    /// across promotions and runs.
+    keys: HashMap<u64, u64>,
 }
 
 /// Drops released problems' log entries once no live entry replays
@@ -1005,6 +1032,38 @@ impl ClusterBackend {
             })
             .collect()
     }
+
+    /// One merged metrics snapshot for the whole fleet: every member's
+    /// `Stats2` snapshot absorbed by name (counters/histograms sum,
+    /// gauges add — a fleet gauge is a fleet total). Caveat: in an
+    /// *in-process* test cluster every node shares one process-global
+    /// registry, so each node reports the same numbers and the merge
+    /// overcounts N×; across real daemon processes each node owns its
+    /// registry and the merge is exact.
+    pub fn fleet_metrics(&self) -> io::Result<lwsnap_trace::MetricsSnapshot> {
+        let members: Vec<Arc<ClusterNode>> = self.core.nodes.read().unwrap().to_vec();
+        let mut fleet = MetricsSnapshot::default();
+        for n in &members {
+            fleet.absorb(&n.client.metrics().map_err(|e| node_error(n.id, e))?);
+        }
+        Ok(fleet)
+    }
+
+    /// Drains every member's trace ring and merges the events into one
+    /// globally ordered stream (by timestamp, ties broken by recording
+    /// thread) — the single timeline a failover reconstruction reads.
+    /// Draining consumes: a second dump returns only newer events. The
+    /// in-process-cluster caveat of [`ClusterBackend::fleet_metrics`]
+    /// applies here too — shared rings mean the first node drains all.
+    pub fn fleet_trace(&self) -> io::Result<Vec<Event>> {
+        let members: Vec<Arc<ClusterNode>> = self.core.nodes.read().unwrap().to_vec();
+        let mut events: Vec<Event> = Vec::new();
+        for n in &members {
+            events.extend(n.client.trace_dump().map_err(|e| node_error(n.id, e))?);
+        }
+        events.sort_by_key(|e| (e.ts_ns, e.tid));
+        Ok(events)
+    }
 }
 
 impl ClusterCore {
@@ -1047,6 +1106,7 @@ impl ClusterCore {
             return false; // already handled (or never a member)
         }
         st.epoch += 1;
+        trace::instant(trace::Kind::Failover, dead as u64, st.epoch);
         {
             let mut nodes = self.nodes.write().unwrap();
             if let Ok(at) = nodes.binary_search_by_key(&dead, |n| n.id) {
@@ -1149,6 +1209,11 @@ impl ClusterCore {
                 .iter()
                 .map(|&p| resolve(&st.remap, p))
                 .collect();
+            sess.keys = sess
+                .keys
+                .iter()
+                .map(|(&p, &k)| (resolve(&st.remap, p), k))
+                .collect();
             sess.replica = st.ring.ranked(session).into_iter().find(|&n| n != new_home);
         }
         let _ = leaving;
@@ -1176,7 +1241,7 @@ impl ClusterCore {
     /// Records a successful solve of a tracked session into the path
     /// log and streams the edge to the session's replica.
     fn record(&self, session: u64, problem: u64, parent: u64, clauses: &[Vec<i64>]) {
-        let replica = {
+        let (replica, key) = {
             let mut st = self.state.lock().unwrap();
             let Some(sess) = st.sessions.get_mut(&session) else {
                 return;
@@ -1191,9 +1256,19 @@ impl ClusterCore {
                 parent,
                 clauses: clauses.to_vec(),
             });
+            let parent_key = if parent == sess.root {
+                root_key(session)
+            } else {
+                sess.keys
+                    .get(&parent)
+                    .copied()
+                    .unwrap_or_else(|| root_key(session))
+            };
+            let key = stable_key(parent_key, clauses);
+            sess.keys.insert(problem, key);
             let replica = sess.replica;
             st.owner.insert(problem, session);
-            replica
+            (replica, key)
         };
         if let Some(member) = replica.and_then(|r| self.node_opt(r)) {
             let request = Request::Replicate {
@@ -1202,7 +1277,7 @@ impl ClusterCore {
                 parent,
                 clauses: clauses.to_vec(),
             };
-            if self.chaos_forgotten(&member, problem, &request).is_err() {
+            if self.chaos_forgotten(&member, key, &request).is_err() {
                 // The replica's connection is dead: migrate everything
                 // that depends on it now rather than at the next read.
                 self.failover(member.id);
@@ -1213,12 +1288,17 @@ impl ClusterCore {
     /// Sends one fire-and-forget replication frame through the chaos
     /// policy (if any): drops swallow it, duplicates send it twice (the
     /// replica store dedupes by problem id), delays sleep briefly
-    /// first. Keyed by the problem's wire id — the same content key the
-    /// server plane uses for the same edge, decorrelated there by the
-    /// plane salt.
+    /// first. Keyed by the edge's content-stable key ([`stable_key`]) —
+    /// the same key the server plane computes for the same edge,
+    /// decorrelated there by the plane salt.
     fn chaos_forgotten(&self, member: &ClusterNode, key: u64, request: &Request) -> io::Result<()> {
         let chaos = self.chaos.lock().unwrap().clone();
-        match chaos.map_or(ChaosAction::Deliver, |p| p.decide(PLANE_CLIENT, key)) {
+        let action = chaos.map_or(ChaosAction::Deliver, |p| p.decide(PLANE_CLIENT, key));
+        if action != ChaosAction::Deliver {
+            trace::instant(trace::Kind::ChaosInject, key, PLANE_CLIENT);
+            trace::Registry::global().chaos_injections.inc();
+        }
+        match action {
             ChaosAction::Drop => Ok(()),
             ChaosAction::Deliver => member.client.submit_forgotten(request),
             ChaosAction::Duplicate => {
@@ -1411,6 +1491,7 @@ impl SolverBackend for ClusterBackend {
                         root: root.to_wire(),
                         log: Vec::new(),
                         released: HashSet::new(),
+                        keys: HashMap::new(),
                     });
                     st.roots.insert(root.to_wire(), session);
                     return Ok(root);
@@ -1470,6 +1551,9 @@ impl SolverBackend for ClusterBackend {
                 // The remap now covers the parent iff the session was
                 // recoverable; an unrecoverable one fails typed below.
                 let retry = self.core.cluster_submit(parent, clauses)?;
+                if let TicketInner::Cluster { node: new_node, .. } = &retry.0 {
+                    trace::instant(trace::Kind::Rerouted, node as u64, *new_node as u64);
+                }
                 self.wait(retry)
             }
             Err(e) => Err(node_error(node, e)),
@@ -1484,19 +1568,26 @@ impl SolverBackend for ClusterBackend {
         // session's replica to GC its copy of the dead edges
         // (fire-and-forget, like the Replicate that shipped them).
         if let Some(session) = session {
-            let replica = {
+            let (replica, key) = {
                 let mut st = self.core.state.lock().unwrap();
                 st.owner.remove(&resolved);
-                st.sessions.get_mut(&session).and_then(|sess| {
-                    sess.released.insert(resolved);
-                    prune_log(sess);
-                    sess.replica
-                })
+                match st.sessions.get_mut(&session) {
+                    Some(sess) => {
+                        sess.released.insert(resolved);
+                        prune_log(sess);
+                        let key = sess
+                            .keys
+                            .remove(&resolved)
+                            .unwrap_or_else(|| root_key(session));
+                        (sess.replica, key)
+                    }
+                    None => (None, root_key(session)),
+                }
             };
             if let Some(member) = replica.and_then(|r| self.core.node_opt(r)) {
                 let _ = self.core.chaos_forgotten(
                     &member,
-                    resolved,
+                    key,
                     &Request::Unreplicate {
                         session,
                         problems: vec![resolved],

@@ -59,9 +59,10 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use lwsnap_trace as trace;
 use polling::{Event, Poller};
 
-use crate::chaos::{ChaosAction, ChaosPolicy, PLANE_SERVER};
+use crate::chaos::{root_key, stable_key, ChaosAction, ChaosPolicy, PLANE_SERVER};
 use crate::client::PipelinedClient;
 use crate::pool::{PoolClient, WorkerPool};
 use crate::protocol::{self, clauses_to_lits, Request, Response, StatsSummary, TAGGED};
@@ -129,9 +130,12 @@ struct ForwardInner {
     peers: HashMap<NodeId, SocketAddr>,
     /// Lazily opened server-to-server connections.
     conns: HashMap<NodeId, Arc<PipelinedClient>>,
-    /// Problem wire id (minted here) → owning session. Roots register
-    /// at `Root` dispatch, children at solve completion.
-    sessions: HashMap<u64, u64>,
+    /// Problem wire id (minted here) → `(owning session, content-stable
+    /// chaos key)`. Roots register at `Root` dispatch, children at
+    /// solve completion. The stable key hashes the problem's clause
+    /// lineage ([`stable_key`]) so chaos decisions replay identically
+    /// regardless of wire-id allocation order.
+    sessions: HashMap<u64, (u64, u64)>,
     /// Per-session `Forward` sequence counters (the receiver dedupes
     /// by these, so the chaos harness may duplicate frames freely).
     seqs: HashMap<u64, u64>,
@@ -157,14 +161,20 @@ fn peer_conn(inner: &mut ForwardInner, peer: NodeId) -> Option<Arc<PipelinedClie
 /// Sends one fire-and-forget replication frame through the chaos
 /// policy: drops swallow it, duplicates send it twice (the receiver
 /// dedupes), delays sleep briefly first. `key` must identify the frame
-/// by *content* (the problem wire id) so the decision is replayable.
+/// by *content* (the [`stable_key`] of its clause lineage) so the
+/// decision is replayable across runs and identical on both planes.
 fn chaos_send(
     conn: &PipelinedClient,
     chaos: Option<&ChaosPolicy>,
     key: u64,
     request: &Request,
 ) -> io::Result<()> {
-    match chaos.map_or(ChaosAction::Deliver, |p| p.decide(PLANE_SERVER, key)) {
+    let action = chaos.map_or(ChaosAction::Deliver, |p| p.decide(PLANE_SERVER, key));
+    if action != ChaosAction::Deliver {
+        trace::instant(trace::Kind::ChaosInject, key, PLANE_SERVER);
+        trace::Registry::global().chaos_injections.inc();
+    }
+    match action {
         ChaosAction::Drop => Ok(()),
         ChaosAction::Deliver => conn.submit_forgotten(request),
         ChaosAction::Duplicate => {
@@ -227,19 +237,24 @@ impl Forwarder {
 
     /// Attributes a freshly minted session root to its session.
     fn register_root(&self, problem: u64, session: u64) {
-        self.inner.lock().unwrap().sessions.insert(problem, session);
+        self.inner
+            .lock()
+            .unwrap()
+            .sessions
+            .insert(problem, (session, root_key(session)));
     }
 
     /// Forwards one derivation edge to the session's ring successor
     /// (and registers the child for future attribution). No-op for
     /// untracked parents and single-node rings.
     fn forward_edge(&self, parent: u64, problem: u64, clauses: Vec<Vec<i64>>) {
-        let (conn, chaos, successor, session, seq) = {
+        let (conn, chaos, successor, session, seq, key) = {
             let mut inner = self.inner.lock().unwrap();
-            let Some(&session) = inner.sessions.get(&parent) else {
+            let Some(&(session, parent_key)) = inner.sessions.get(&parent) else {
                 return;
             };
-            inner.sessions.insert(problem, session);
+            let key = stable_key(parent_key, &clauses);
+            inner.sessions.insert(problem, (session, key));
             let Some(successor) = inner.ring.successor_for(session) else {
                 return;
             };
@@ -255,8 +270,10 @@ impl Forwarder {
             let Some(conn) = peer_conn(&mut inner, successor) else {
                 return;
             };
-            (conn, inner.chaos.clone(), successor, session, seq)
+            (conn, inner.chaos.clone(), successor, session, seq, key)
         };
+        trace::instant(trace::Kind::ReplForward, session, seq);
+        trace::Registry::global().forwards.inc();
         let request = Request::Forward {
             session,
             seq,
@@ -264,7 +281,7 @@ impl Forwarder {
             parent,
             clauses,
         };
-        if chaos_send(&conn, chaos.as_deref(), problem, &request).is_err() {
+        if chaos_send(&conn, chaos.as_deref(), key, &request).is_err() {
             // The successor's connection died; drop it so the next
             // forward reconnects (its liveness is the heartbeat's job).
             self.inner.lock().unwrap().conns.remove(&successor);
@@ -275,9 +292,9 @@ impl Forwarder {
     /// problem from the session registry and tells the session's
     /// successor to GC its copy of the edge.
     fn forget(&self, problem: u64) {
-        let (conn, chaos, successor, session) = {
+        let (conn, chaos, successor, session, key) = {
             let mut inner = self.inner.lock().unwrap();
-            let Some(session) = inner.sessions.remove(&problem) else {
+            let Some((session, key)) = inner.sessions.remove(&problem) else {
                 return;
             };
             let Some(successor) = inner.ring.successor_for(session) else {
@@ -289,13 +306,13 @@ impl Forwarder {
             let Some(conn) = peer_conn(&mut inner, successor) else {
                 return;
             };
-            (conn, inner.chaos.clone(), successor, session)
+            (conn, inner.chaos.clone(), successor, session, key)
         };
         let request = Request::Unreplicate {
             session,
             problems: vec![problem],
         };
-        if chaos_send(&conn, chaos.as_deref(), problem, &request).is_err() {
+        if chaos_send(&conn, chaos.as_deref(), key, &request).is_err() {
             self.inner.lock().unwrap().conns.remove(&successor);
         }
     }
@@ -336,18 +353,21 @@ impl Forwarder {
             });
             match pong {
                 Some(Response::Pong { epoch, .. }) => {
+                    trace::instant(trace::Kind::HbPong, peer as u64, epoch);
                     self.observe_epoch(epoch);
                     self.inner.lock().unwrap().suspicion.insert(peer, 0);
                 }
                 _ => {
                     self.misses.fetch_add(1, Ordering::Relaxed);
-                    let dead = {
+                    trace::Registry::global().heartbeat_misses.inc();
+                    let (dead, count) = {
                         let mut inner = self.inner.lock().unwrap();
                         inner.conns.remove(&peer);
                         let count = inner.suspicion.entry(peer).or_insert(0);
                         *count += 1;
-                        *count >= SUSPICION_THRESHOLD
+                        (*count >= SUSPICION_THRESHOLD, *count)
                     };
+                    trace::instant(trace::Kind::HbMiss, peer as u64, count as u64);
                     if dead {
                         self.declare_dead(peer, service, replicas);
                     }
@@ -383,6 +403,8 @@ impl Forwarder {
             inner.suspicion.remove(&dead);
             victims
         };
+        trace::instant(trace::Kind::NodeDead, dead as u64, victims.len() as u64);
+        trace::Registry::global().failovers.inc();
         self.epoch.fetch_add(1, Ordering::AcqRel);
         for session in victims {
             let problems = replicas.session_problems(session);
@@ -1030,6 +1052,18 @@ impl Reactor {
                 let response = Response::Stats(self.stats_summary());
                 self.complete_inline(idx, slot, response);
             }
+            Request::Stats2 => {
+                // Refresh the point-in-time gauges so the snapshot's
+                // counters and gauges describe the same instant.
+                let stats = self.service.stats().total();
+                let reg = trace::Registry::global();
+                reg.resident_bytes.set(stats.resident_bytes as i64);
+                reg.live_problems.set(stats.live_problems as i64);
+                self.complete_inline(idx, slot, Response::Metrics(reg.snapshot()));
+            }
+            Request::TraceDump => {
+                self.complete_inline(idx, slot, Response::Trace(trace::drain()));
+            }
             Request::Shutdown => {
                 // Ack with the final stats, then drain gracefully.
                 let response = Response::Stats(self.stats_summary());
@@ -1112,6 +1146,7 @@ impl Reactor {
                 let forwarder = Arc::clone(&self.forwarder);
                 let lits = clauses_to_lits(&clauses);
                 let gen = self.gens[idx];
+                let req_t0 = trace::now_ns();
                 self.pool.submit_with(parent, lits, move |reply| {
                     // Forward the freshly derived edge BEFORE the reply
                     // is released to the client: by the time a caller
@@ -1120,6 +1155,12 @@ impl Reactor {
                     if let Some(r) = &reply {
                         forwarder.forward_edge(parent_wire, r.problem.to_wire(), clauses);
                     }
+                    let child = reply.as_ref().map_or(0, |r| r.problem.to_wire());
+                    trace::span(trace::Kind::ReqSolve, req_t0, parent_wire, child);
+                    let reg = trace::Registry::global();
+                    reg.requests.inc();
+                    reg.request_ns
+                        .record(trace::now_ns().saturating_sub(req_t0));
                     completions.lock().unwrap().push(Completion {
                         idx,
                         gen,

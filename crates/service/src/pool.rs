@@ -15,6 +15,7 @@ use std::time::Instant;
 
 use lwsnap_core::workqueue::Injector;
 use lwsnap_solver::Lit;
+use lwsnap_trace as trace;
 
 use crate::sharded::{ProblemId, ShardedService, SolveReply};
 use crate::stats::WorkerStats;
@@ -30,6 +31,8 @@ enum Job {
         parent: ProblemId,
         clauses: Vec<Vec<Lit>>,
         complete: Complete,
+        /// Submission instant (trace clock) — queue-wait attribution.
+        queued_at: u64,
     },
     Release {
         id: ProblemId,
@@ -48,10 +51,10 @@ impl WorkerPool {
     pub fn new(service: Arc<ShardedService>, workers: usize) -> Self {
         let injector: Arc<Injector<Job>> = Arc::new(Injector::new());
         let handles = (0..workers.max(1))
-            .map(|_| {
+            .map(|index| {
                 let service = Arc::clone(&service);
                 let injector = Arc::clone(&injector);
-                std::thread::spawn(move || worker_loop(&service, &injector))
+                std::thread::spawn(move || worker_loop(&service, &injector, index))
             })
             .collect();
         WorkerPool {
@@ -107,7 +110,7 @@ impl WorkerPool {
     }
 }
 
-fn worker_loop(service: &ShardedService, injector: &Injector<Job>) -> WorkerStats {
+fn worker_loop(service: &ShardedService, injector: &Injector<Job>, index: usize) -> WorkerStats {
     let mut stats = WorkerStats::default();
     while let Some(job) = injector.pop() {
         let started = Instant::now();
@@ -116,7 +119,14 @@ fn worker_loop(service: &ShardedService, injector: &Injector<Job>) -> WorkerStat
                 parent,
                 clauses,
                 complete,
-            } => complete(service.solve(parent, &clauses)),
+                queued_at,
+            } => {
+                trace::span(trace::Kind::QueueWait, queued_at, index as u64, 0);
+                trace::Registry::global()
+                    .queue_wait_ns
+                    .record(trace::now_ns().saturating_sub(queued_at));
+                complete(service.solve(parent, &clauses))
+            }
             Job::Release { id } => service.release(id),
         }
         stats.jobs += 1;
@@ -155,6 +165,7 @@ impl PoolClient {
             parent,
             clauses,
             complete: Box::new(complete),
+            queued_at: trace::now_ns(),
         });
     }
 
@@ -197,6 +208,7 @@ impl PoolClient {
                     complete: Box::new(move |reply| {
                         let _ = tx.send(reply);
                     }),
+                    queued_at: trace::now_ns(),
                 }
             })
             .collect();

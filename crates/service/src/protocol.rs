@@ -28,6 +28,7 @@
 use std::io::{self, Read, Write};
 
 use lwsnap_solver::Lit;
+use lwsnap_trace::{Event, HistogramSnapshot, Kind, MetricsSnapshot};
 
 /// Upper bound on a frame payload (guards against hostile or corrupt
 /// length prefixes before any allocation happens).
@@ -190,6 +191,16 @@ pub enum Request {
         /// or failover the sender has locally applied).
         epoch: u64,
     },
+    /// Fetch the node's full metrics snapshot (named counters, gauges
+    /// and latency histograms with their buckets) — the scrape plane's
+    /// wire form, answered with [`Response::Metrics`]. Unlike
+    /// [`Request::Stats`], histograms survive aggregation: a client
+    /// absorbs per-node snapshots into fleet quantiles.
+    Stats2,
+    /// Drain the node's trace rings and ship the merged event stream,
+    /// answered with [`Response::Trace`]. Draining is consuming: each
+    /// event is exported once, to one caller.
+    TraceDump,
 }
 
 /// Aggregated counters carried by [`Response::Stats`].
@@ -236,6 +247,15 @@ pub struct StatsSummary {
     /// Linear path-log chains collapsed into composite edges by the
     /// replica store's byte-budget compaction policy.
     pub compactions: u64,
+    /// Shared pages copied on first divergent write by snapshot puts
+    /// (0 on the deep-clone store).
+    pub cow_page_copies: u64,
+    /// Fresh pages materialized from the zero page by snapshot puts
+    /// (0 on the deep-clone store).
+    pub zero_fills: u64,
+    /// Bytes written into page frames by snapshot puts (0 on the
+    /// deep-clone store).
+    pub bytes_written: u64,
 }
 
 impl StatsSummary {
@@ -263,6 +283,9 @@ impl StatsSummary {
         self.private_pages += other.private_pages;
         self.heartbeat_misses += other.heartbeat_misses;
         self.compactions += other.compactions;
+        self.cow_page_copies += other.cow_page_copies;
+        self.zero_fills += other.zero_fills;
+        self.bytes_written += other.bytes_written;
     }
 }
 
@@ -310,6 +333,12 @@ pub enum Response {
         /// Highest membership epoch the responder has observed.
         epoch: u64,
     },
+    /// Reply to [`Request::Stats2`]: the node's named metrics with
+    /// full histogram buckets (mergeable across nodes).
+    Metrics(MetricsSnapshot),
+    /// Reply to [`Request::TraceDump`]: the node's merged,
+    /// time-ordered trace events drained so far.
+    Trace(Vec<Event>),
 }
 
 // ---------------------------------------------------------------------
@@ -654,6 +683,8 @@ impl Request {
                 put_u64(&mut out, *sender);
                 put_u64(&mut out, *epoch);
             }
+            Request::Stats2 => out.push(11),
+            Request::TraceDump => out.push(12),
         }
         out
     }
@@ -701,6 +732,8 @@ impl Request {
                 sender: d.u64()?,
                 epoch: d.u64()?,
             },
+            11 => Request::Stats2,
+            12 => Request::TraceDump,
             t => return Err(ProtoError::BadTag(t)),
         };
         d.finish()?;
@@ -753,6 +786,9 @@ impl Response {
                     s.private_pages,
                     s.heartbeat_misses,
                     s.compactions,
+                    s.cow_page_copies,
+                    s.zero_fills,
+                    s.bytes_written,
                 ] {
                     put_u64(&mut out, v);
                 }
@@ -774,6 +810,14 @@ impl Response {
                 out.push(7);
                 put_u64(&mut out, *node);
                 put_u64(&mut out, *epoch);
+            }
+            Response::Metrics(m) => {
+                out.push(8);
+                encode_metrics(&mut out, m);
+            }
+            Response::Trace(events) => {
+                out.push(9);
+                encode_events(&mut out, events);
             }
         }
         out
@@ -811,6 +855,9 @@ impl Response {
                 private_pages: d.u64()?,
                 heartbeat_misses: d.u64()?,
                 compactions: d.u64()?,
+                cow_page_copies: d.u64()?,
+                zero_fills: d.u64()?,
+                bytes_written: d.u64()?,
             }),
             5 => {
                 let len = d.count(1)?;
@@ -833,11 +880,122 @@ impl Response {
                 node: d.u64()?,
                 epoch: d.u64()?,
             },
+            8 => Response::Metrics(decode_metrics(&mut d)?),
+            9 => Response::Trace(decode_events(&mut d)?),
             t => return Err(ProtoError::BadTag(t)),
         };
         d.finish()?;
         Ok(resp)
     }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn decode_str(d: &mut Decoder<'_>) -> Result<String, ProtoError> {
+    let len = d.count(1)?;
+    let bytes = d.bytes(len)?;
+    Ok(std::str::from_utf8(bytes)
+        .map_err(|_| ProtoError::BadUtf8)?
+        .to_owned())
+}
+
+fn encode_metrics(out: &mut Vec<u8>, m: &MetricsSnapshot) {
+    put_u32(out, m.counters.len() as u32);
+    for (name, v) in &m.counters {
+        put_str(out, name);
+        put_u64(out, *v);
+    }
+    put_u32(out, m.gauges.len() as u32);
+    for (name, v) in &m.gauges {
+        put_str(out, name);
+        put_u64(out, *v as u64);
+    }
+    put_u32(out, m.histograms.len() as u32);
+    for (name, h) in &m.histograms {
+        put_str(out, name);
+        put_u64(out, h.count);
+        put_u64(out, h.sum);
+        put_u32(out, h.buckets.len() as u32);
+        for &(idx, n) in &h.buckets {
+            out.push(idx);
+            put_u64(out, n);
+        }
+    }
+}
+
+fn decode_metrics(d: &mut Decoder<'_>) -> Result<MetricsSnapshot, ProtoError> {
+    // Every entry carries at least a name length (4) plus a value (8).
+    let ncounters = d.count(12)?;
+    let counters = (0..ncounters)
+        .map(|_| Ok((decode_str(d)?, d.u64()?)))
+        .collect::<Result<_, ProtoError>>()?;
+    let ngauges = d.count(12)?;
+    let gauges = (0..ngauges)
+        .map(|_| Ok((decode_str(d)?, d.u64()? as i64)))
+        .collect::<Result<_, ProtoError>>()?;
+    let nhists = d.count(24)?;
+    let histograms = (0..nhists)
+        .map(|_| {
+            let name = decode_str(d)?;
+            let count = d.u64()?;
+            let sum = d.u64()?;
+            let nbuckets = d.count(9)?;
+            let buckets = (0..nbuckets)
+                .map(|_| Ok((d.u8()?, d.u64()?)))
+                .collect::<Result<_, ProtoError>>()?;
+            Ok((
+                name,
+                HistogramSnapshot {
+                    count,
+                    sum,
+                    buckets,
+                },
+            ))
+        })
+        .collect::<Result<_, ProtoError>>()?;
+    Ok(MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
+/// Fixed wire size of one trace event: ts + dur + kind + tid + a + b.
+const EVENT_WIRE_SIZE: usize = 8 + 8 + 2 + 4 + 8 + 8;
+
+fn encode_events(out: &mut Vec<u8>, events: &[Event]) {
+    put_u32(out, events.len() as u32);
+    for e in events {
+        put_u64(out, e.ts_ns);
+        put_u64(out, e.dur_ns);
+        out.extend_from_slice(&e.kind.code().to_le_bytes());
+        put_u32(out, e.tid);
+        put_u64(out, e.a);
+        put_u64(out, e.b);
+    }
+}
+
+fn decode_events(d: &mut Decoder<'_>) -> Result<Vec<Event>, ProtoError> {
+    let n = d.count(EVENT_WIRE_SIZE)?;
+    (0..n)
+        .map(|_| {
+            let ts_ns = d.u64()?;
+            let dur_ns = d.u64()?;
+            let code = u16::from_le_bytes(d.bytes(2)?.try_into().unwrap());
+            let kind = Kind::from_code(code).ok_or(ProtoError::BadTag(code as u8))?;
+            Ok(Event {
+                ts_ns,
+                dur_ns,
+                kind,
+                tid: d.u32()?,
+                a: d.u64()?,
+                b: d.u64()?,
+            })
+        })
+        .collect()
 }
 
 /// Converts wire clauses (DIMACS `i64`) to solver literals.
@@ -924,6 +1082,8 @@ mod tests {
             sender: u64::MAX,
             epoch: 0,
         });
+        roundtrip_request(Request::Stats2);
+        roundtrip_request(Request::TraceDump);
     }
 
     #[test]
@@ -965,6 +1125,9 @@ mod tests {
             private_pages: 33,
             heartbeat_misses: 6,
             compactions: 11,
+            cow_page_copies: 44,
+            zero_fills: 55,
+            bytes_written: 1 << 18,
         }));
         roundtrip_response(Response::Error("dead reference".into()));
         roundtrip_response(Response::Promoted {
@@ -972,6 +1135,51 @@ mod tests {
         });
         roundtrip_response(Response::Promoted { mapping: vec![] });
         roundtrip_response(Response::Pong { node: 2, epoch: 9 });
+        roundtrip_response(Response::Metrics(MetricsSnapshot {
+            counters: vec![("requests_total".into(), 7), ("evictions_total".into(), 0)],
+            gauges: vec![("resident_bytes".into(), -3)],
+            histograms: vec![(
+                "solve_ns".into(),
+                HistogramSnapshot {
+                    count: 4,
+                    sum: 900,
+                    buckets: vec![(0, 1), (17, 3)],
+                },
+            )],
+        }));
+        roundtrip_response(Response::Metrics(MetricsSnapshot::default()));
+        roundtrip_response(Response::Trace(vec![
+            Event {
+                ts_ns: 1_000,
+                dur_ns: 250,
+                kind: Kind::ReqSolve,
+                tid: 3,
+                a: 42,
+                b: 0,
+            },
+            Event {
+                ts_ns: 2_000,
+                dur_ns: 0,
+                kind: Kind::ChaosInject,
+                tid: 1,
+                a: u64::MAX,
+                b: 7,
+            },
+        ]));
+        roundtrip_response(Response::Trace(vec![]));
+    }
+
+    #[test]
+    fn trace_events_with_unknown_kinds_are_rejected() {
+        let mut payload = vec![9u8];
+        put_u32(&mut payload, 1);
+        put_u64(&mut payload, 1); // ts
+        put_u64(&mut payload, 0); // dur
+        payload.extend_from_slice(&999u16.to_le_bytes()); // bad kind
+        put_u32(&mut payload, 0); // tid
+        put_u64(&mut payload, 0); // a
+        put_u64(&mut payload, 0); // b
+        assert!(Response::decode(&payload).is_err());
     }
 
     #[test]
@@ -1010,6 +1218,26 @@ mod tests {
         assert_eq!(a.private_pages, 9);
         assert_eq!(a.heartbeat_misses, 5);
         assert_eq!(a.compactions, 5);
+    }
+
+    #[test]
+    fn stats_absorb_sums_mem_counters() {
+        let mut a = StatsSummary {
+            cow_page_copies: 10,
+            zero_fills: 3,
+            bytes_written: 4096,
+            ..Default::default()
+        };
+        let b = StatsSummary {
+            cow_page_copies: 5,
+            zero_fills: 1,
+            bytes_written: 512,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.cow_page_copies, 15);
+        assert_eq!(a.zero_fills, 4);
+        assert_eq!(a.bytes_written, 4608);
     }
 
     #[test]

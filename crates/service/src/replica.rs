@@ -44,6 +44,8 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Mutex;
 
+use lwsnap_trace as trace;
+
 use crate::protocol::clauses_to_lits;
 use crate::sharded::{ProblemId, ShardedService};
 
@@ -312,6 +314,7 @@ impl ReplicaStore {
         session: u64,
         problems: &[u64],
     ) -> Vec<(u64, u64)> {
+        let promote_t0 = trace::now_ns();
         let mut inner = self.inner.lock().unwrap();
         inner.failovers += 1;
         let mut requested: Vec<u64> = problems.to_vec();
@@ -332,6 +335,15 @@ impl ReplicaStore {
                 mapping.push((problem, new));
             }
         }
+        trace::span(
+            trace::Kind::ReplPromote,
+            promote_t0,
+            session,
+            mapping.len() as u64,
+        );
+        trace::Registry::global()
+            .promotions
+            .add(mapping.len() as u64);
         mapping
     }
 }

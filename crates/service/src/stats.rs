@@ -41,6 +41,9 @@ impl ClusterStats {
             total.resident_bytes += s.resident_bytes;
             total.shared_pages += s.shared_pages;
             total.private_pages += s.private_pages;
+            total.cow_page_copies += s.cow_page_copies;
+            total.zero_fills += s.zero_fills;
+            total.bytes_written += s.bytes_written;
         }
         total
     }
@@ -101,6 +104,9 @@ impl From<&ClusterStats> for crate::protocol::StatsSummary {
             resident_bytes: t.resident_bytes as u64,
             shared_pages: t.shared_pages,
             private_pages: t.private_pages,
+            cow_page_copies: t.cow_page_copies,
+            zero_fills: t.zero_fills,
+            bytes_written: t.bytes_written,
             // Replication and heartbeat counters live in the reactor's
             // ReplicaStore and Forwarder, not in the shard stats; the
             // server overlays them.

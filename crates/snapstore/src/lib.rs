@@ -45,7 +45,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use lwsnap_mem::{MemStats, PageBuf, PageTable, PAGE_SIZE};
-use lwsnap_solver::snapshot::{self, SnapId, SnapshotStore, StorePageStats, NUM_SECTIONS};
+use lwsnap_solver::snapshot::{
+    self, SnapId, SnapshotStore, StoreMemStats, StorePageStats, NUM_SECTIONS,
+};
 use lwsnap_solver::Solver;
 
 /// Pages reserved per codec section: 1 Mi pages = 4 GiB of virtual
@@ -253,6 +255,14 @@ impl SnapshotStore for CowStore {
 
     fn page_stats(&self) -> StorePageStats {
         self.cached().1
+    }
+
+    fn mem_stats(&self) -> StoreMemStats {
+        StoreMemStats {
+            cow_page_copies: self.stats.cow_page_copies,
+            zero_fills: self.stats.zero_fills,
+            bytes_written: self.stats.bytes_written,
+        }
     }
 
     fn name(&self) -> &'static str {

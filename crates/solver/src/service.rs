@@ -33,6 +33,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use lwsnap_trace as trace;
+
 use crate::lit::Lit;
 use crate::snapshot::{DeepCloneStore, SnapId, SnapshotStore, StorePageStats};
 use crate::solver::{SolveResult, Solver, SolverStats};
@@ -119,6 +121,15 @@ pub struct ServiceStats {
     /// Physical pages private to exactly one resident snapshot (0 for
     /// non-page-granular stores).
     pub private_pages: u64,
+    /// Shared pages copied on first divergent write by snapshot puts
+    /// (0 for non-page-granular stores).
+    pub cow_page_copies: u64,
+    /// Fresh pages materialized from the zero page by snapshot puts
+    /// (0 for non-page-granular stores).
+    pub zero_fills: u64,
+    /// Bytes written into page frames by snapshot puts (0 for
+    /// non-page-granular stores).
+    pub bytes_written: u64,
 }
 
 /// A multi-path incremental SAT service.
@@ -278,6 +289,10 @@ impl SolverService {
         let pages = self.store.page_stats();
         s.shared_pages = pages.shared_pages;
         s.private_pages = pages.private_pages;
+        let mem = self.store.mem_stats();
+        s.cow_page_copies = mem.cow_page_copies;
+        s.zero_fills = mem.zero_fills;
+        s.bytes_written = mem.bytes_written;
         debug_assert_eq!(
             self.store.len(),
             self.nodes
@@ -348,6 +363,25 @@ impl SolverService {
         self.clock
     }
 
+    /// A store put wrapped in its observability: a `SnapPut` span whose
+    /// payload is the pages this put dirtied, plus the put-latency
+    /// histogram and dirty-rate counters.
+    fn put_traced(&mut self, parent: Option<SnapId>, solver: &Solver, problem: u32) -> SnapId {
+        let t0 = trace::now_ns();
+        let before = self.store.mem_stats();
+        let snap = self.store.put(parent, solver);
+        let after = self.store.mem_stats();
+        let dirtied = (after.cow_page_copies - before.cow_page_copies)
+            + (after.zero_fills - before.zero_fills);
+        trace::span(trace::Kind::SnapPut, t0, problem as u64, dirtied);
+        let reg = trace::Registry::global();
+        reg.snap_put_ns.record(trace::now_ns().saturating_sub(t0));
+        reg.pages_dirtied.add(dirtied);
+        reg.bytes_written
+            .add(after.bytes_written - before.bytes_written);
+        snap
+    }
+
     /// A solved solver for `r`, cloned from the resident snapshot or
     /// re-derived by replaying constraint edges from the nearest resident
     /// ancestor. Returns `None` for dead references.
@@ -365,8 +399,13 @@ impl SolverService {
                 self.lru.push(Reverse((stamp, r.0)));
             }
             self.stats.snapshot_hits += 1;
+            trace::instant(trace::Kind::SnapHit, r.0 as u64, 0);
+            trace::Registry::global().snapshot_hits.inc();
             return Some((solver, false));
         }
+        // Metrics stay live even when the trace recorder is switched
+        // off, so time with the raw clock (span() self-gates).
+        let rederive_t0 = trace::now_ns();
         // Evicted: walk up to the nearest resident ancestor, then replay
         // the constraint edges downward. The root is always resident, so
         // the walk terminates even through released tombstones.
@@ -407,10 +446,19 @@ impl SolverService {
         self.stats.rederivations += 1;
         self.stats.replayed_clauses += replayed;
         self.stats.rederive_conflicts += after.conflicts - before.conflicts;
+        trace::span(
+            trace::Kind::SnapRederive,
+            rederive_t0,
+            r.0 as u64,
+            chain.len() as u64,
+        );
+        trace::Registry::global()
+            .rederive_ns
+            .record(trace::now_ns().saturating_sub(rederive_t0));
         // Cache the re-derived snapshot back (as a delta against the
         // ancestor it was replayed from): the query touching it makes it
         // the most recently used node by definition.
-        let snap = self.store.put(Some(ancestor_snap), &solver);
+        let snap = self.put_traced(Some(ancestor_snap), &solver, r.0);
         let node = self.nodes[r.0 as usize].as_mut()?;
         node.snap = Some(snap);
         node.last_use = stamp;
@@ -454,8 +502,15 @@ impl SolverService {
             }
             let node = self.nodes[index as usize].as_mut().unwrap();
             let snap = node.snap.take().expect("liveness checked above");
+            let before = self.store.resident_bytes();
             self.store.remove(snap);
             self.stats.evictions += 1;
+            trace::instant(
+                trace::Kind::SnapEvict,
+                index as u64,
+                (before - self.store.resident_bytes()) as u64,
+            );
+            trace::Registry::global().evictions.inc();
         }
         if let Some(entry) = deferred {
             self.lru.push(entry);
@@ -477,10 +532,21 @@ impl SolverService {
         for clause in added {
             solver.add_clause(clause);
         }
+        let solve_t0 = trace::now_ns();
         let result = solver.solve();
         let after = solver.stats();
         let conflicts = after.conflicts - before.conflicts;
         self.stats.queries += 1;
+        // The child problem will occupy the next node slot.
+        trace::span(
+            trace::Kind::SolverRun,
+            solve_t0,
+            self.nodes.len() as u64,
+            conflicts,
+        );
+        trace::Registry::global()
+            .solve_ns
+            .record(trace::now_ns().saturating_sub(solve_t0));
         self.stats.total_conflicts += conflicts;
         self.stats.total_propagations += after.propagations - before.propagations;
         let model = (result == SolveResult::Sat).then(|| solver.model());
@@ -490,7 +556,7 @@ impl SolverService {
         // between there and here), so a CoW store shares every page the
         // child did not dirty.
         let parent_snap = self.nodes[parent.0 as usize].as_ref().and_then(|n| n.snap);
-        let snap = self.store.put(parent_snap, &solver);
+        let snap = self.put_traced(parent_snap, &solver, self.nodes.len() as u32);
         let node = ProblemNode {
             snap: Some(snap),
             parent: Some(parent),

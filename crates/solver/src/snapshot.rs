@@ -115,6 +115,19 @@ pub struct StorePageStats {
     pub private_pages: u64,
 }
 
+/// Cumulative write-path accounting of a store: how much actual page
+/// dirtying the snapshots cost. Counters only grow; stores without
+/// page granularity report zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreMemStats {
+    /// Shared pages copied on first divergent write (CoW breaks).
+    pub cow_page_copies: u64,
+    /// Fresh pages materialized from the zero page.
+    pub zero_fills: u64,
+    /// Bytes written into page frames by snapshot puts.
+    pub bytes_written: u64,
+}
+
 /// Storage backend for solver snapshots.
 ///
 /// The contract the service relies on: `get(put(parent, s))` returns a
@@ -150,6 +163,12 @@ pub trait SnapshotStore: Send {
     /// Physical page accounting (zeros for non-page-granular stores).
     fn page_stats(&self) -> StorePageStats {
         StorePageStats::default()
+    }
+
+    /// Cumulative write-path accounting (zeros for stores that don't
+    /// track page dirtying).
+    fn mem_stats(&self) -> StoreMemStats {
+        StoreMemStats::default()
     }
 
     /// Human-readable backend name (for logs and stats dumps).

@@ -54,13 +54,23 @@
 //!     [--sessions M] [--queries Q] [--vars V] [--shards S] [--workers W] \
 //!     [--nodes N] [--budget BYTES] [--smoke] \
 //!     [--chaos-seed SEED] [--chaos-mode kill,drop,duplicate,delay] \
-//!     [--replica-budget BYTES]
+//!     [--replica-budget BYTES] [--metrics-addr HOST:PORT] [--trace-out PATH]
 //! ```
 //!
 //! `--budget` bounds resident snapshot bytes per shard in every remote
 //! phase (TCP, cluster, chaos), so the daemons churn through byte-budget
 //! eviction and constraint-path replay while the verdict streams are
 //! cross-checked — eviction under chaos, not just under calm.
+//!
+//! Observability hooks: `--metrics-addr` serves the plaintext scrape
+//! for the run's lifetime and self-scrapes it at the end, asserting the
+//! solve histogram actually counted (the CI smoke leg); `--trace-out`
+//! writes every event drained from the cluster phases as
+//! chrome://tracing JSON. Under `kill` mode the phase-8 merged trace is
+//! additionally reduced to a printed **failover timeline** — last
+//! heartbeat pong, missed probes, the death verdict, replica
+//! promotions, reroutes — and the phase asserts the timeline is
+//! reconstructable (a death verdict and a promotion are present).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -69,6 +79,7 @@ use lwsnap_bench::service_workload::{RunOutcome, Workload};
 use lwsnap_service::{
     ChaosPlan, Cluster, PipelinedClient, Server, ServiceConfig, SolverBackend, TcpClient,
 };
+use lwsnap_trace::{export, Event, Kind};
 
 fn parse_flag(args: &[String], name: &str, default: usize) -> usize {
     args.iter()
@@ -83,6 +94,92 @@ fn parse_str_flag<'a>(args: &'a [String], name: &str, default: &'a str) -> &'a s
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .map_or(default, String::as_str)
+}
+
+/// Prints the phase-8 failover story read back out of one merged trace
+/// stream: the victim's last acknowledged probe, the missed-probe
+/// build-up, the death verdict, every replica promotion, and the first
+/// rerouted request. Returns `(saw_death, promotions)` so the caller
+/// can assert the timeline was actually reconstructable.
+fn print_failover_timeline(events: &[Event], victim: u16) -> (bool, usize) {
+    let v = victim as u64;
+    let ms = |from: u64, to: u64| (to.saturating_sub(from)) as f64 / 1e6;
+    let first_miss = events
+        .iter()
+        .find(|e| e.kind == Kind::HbMiss && e.a == v)
+        .map(|e| e.ts_ns);
+    let last_pong = events
+        .iter()
+        .filter(|e| e.kind == Kind::HbPong && e.a == v)
+        .filter(|e| first_miss.is_none_or(|t| e.ts_ns < t))
+        .map(|e| e.ts_ns)
+        .next_back();
+    let t0 = last_pong
+        .or(first_miss)
+        .or_else(|| events.first().map(|e| e.ts_ns))
+        .unwrap_or(0);
+    println!(
+        "    failover timeline (victim node {victim}, {} events merged):",
+        events.len()
+    );
+    if let Some(t) = last_pong {
+        println!(
+            "      +{:>8.2}ms last heartbeat pong from node {victim}",
+            ms(t0, t)
+        );
+    }
+    let misses = events
+        .iter()
+        .filter(|e| e.kind == Kind::HbMiss && e.a == v)
+        .count();
+    if let Some(t) = first_miss {
+        println!(
+            "      +{:>8.2}ms first missed probe ({misses} misses total)",
+            ms(t0, t)
+        );
+    }
+    let mut saw_death = false;
+    for e in events {
+        match e.kind {
+            Kind::NodeDead if e.a == v => {
+                saw_death = true;
+                println!(
+                    "      +{:>8.2}ms peers declared node {victim} dead ({} sessions to promote)",
+                    ms(t0, e.ts_ns),
+                    e.b,
+                );
+            }
+            Kind::Failover if e.a == v => {
+                saw_death = true;
+                println!(
+                    "      +{:>8.2}ms client buried node {victim} (epoch {})",
+                    ms(t0, e.ts_ns),
+                    e.b,
+                );
+            }
+            _ => {}
+        }
+    }
+    let promotions: Vec<&Event> = events
+        .iter()
+        .filter(|e| e.kind == Kind::ReplPromote)
+        .collect();
+    for e in &promotions {
+        println!(
+            "      +{:>8.2}ms replica promoted session {:#x} ({} edges replayed)",
+            ms(t0, e.ts_ns),
+            e.a,
+            e.b,
+        );
+    }
+    if let Some(e) = events.iter().find(|e| e.kind == Kind::Rerouted && e.a == v) {
+        println!(
+            "      +{:>8.2}ms first request rerouted {victim} -> node {}",
+            ms(t0, e.ts_ns),
+            e.b,
+        );
+    }
+    (saw_death, promotions.len())
 }
 
 fn report(label: &str, outcome: &RunOutcome) {
@@ -122,7 +219,25 @@ fn main() {
     // (~72 KiB under a midpoint kill) and below its uncompacted peak
     // (~87 KiB), so compaction MUST both trigger and suffice.
     let replica_budget = parse_flag(&args, "--replica-budget", 80 * 1024);
+    let metrics_addr = args
+        .iter()
+        .position(|a| a == "--metrics-addr")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     assert!(sessions >= 1 && queries >= 1 && nodes >= 1);
+    let scrape_addr = metrics_addr.map(|addr| {
+        let bound = export::serve(&addr).expect("bind metrics exporter");
+        println!("metrics exporter on http://{bound}/metrics\n");
+        bound
+    });
+    // Every cluster phase drains its nodes' event rings into this one
+    // stream; `--trace-out` writes it as chrome://tracing JSON at exit.
+    let mut trace_events: Vec<Event> = Vec::new();
     // All remote phases share one daemon configuration; the byte budget
     // (when set) makes them run under continuous snapshot eviction.
     let remote_config = || {
@@ -234,7 +349,12 @@ fn main() {
              {} live problems over {} shards",
             s.queries, s.snapshot_hits, s.rederivations, s.evictions, s.live_problems, s.shards,
         );
+        println!(
+            "    node {node} mem: {} CoW page copies, {} zero fills, {} bytes written",
+            s.cow_page_copies, s.zero_fills, s.bytes_written,
+        );
     }
+    trace_events.extend(cluster_backend.fleet_trace().expect("trace dump"));
     for (node, result) in cluster_backend.shutdown() {
         result.unwrap_or_else(|e| panic!("node {node} failed to drain: {e}"));
     }
@@ -280,6 +400,9 @@ fn main() {
         chaos_total.failovers > 0,
         "chaos phase must actually exercise failover (victim {victim} homed no session?)"
     );
+    // Drain phase 7's events so the phase-8 timeline below starts from
+    // a clean stream (one kill per reconstruction).
+    trace_events.extend(chaos_backend.fleet_trace().expect("trace dump"));
     for (node, result) in chaos_backend.shutdown() {
         result.unwrap_or_else(|e| panic!("node {node} failed to drain: {e}"));
     }
@@ -423,6 +546,21 @@ fn main() {
             "the failover must be heartbeat-triggered, not client-request-triggered"
         );
     }
+    // One merged trace export of the whole phase; under kill, the
+    // failover timeline must be reconstructable from it alone.
+    let harness_events = harness_backend.fleet_trace().expect("trace dump");
+    if plan.kill {
+        let (saw_death, promotions) = print_failover_timeline(&harness_events, victim);
+        assert!(
+            saw_death,
+            "no death verdict for victim {victim} in the merged trace"
+        );
+        assert!(
+            promotions > 0,
+            "no replica promotion in the merged trace despite a kill"
+        );
+    }
+    trace_events.extend(harness_events);
     for (node, result) in harness_backend.shutdown() {
         result.unwrap_or_else(|e| panic!("node {node} failed to drain: {e}"));
     }
@@ -448,6 +586,29 @@ fn main() {
     if mismatches > 0 {
         eprintln!("\n{mismatches} verdict mismatches — the service is WRONG");
         std::process::exit(1);
+    }
+    if let Some(path) = &trace_out {
+        trace_events.sort_by_key(|e| (e.ts_ns, e.tid));
+        std::fs::write(path, export::chrome_trace_json(&trace_events)).expect("write trace");
+        println!(
+            "wrote {} trace events to {path} (load at chrome://tracing or ui.perfetto.dev)",
+            trace_events.len(),
+        );
+    }
+    if let Some(bound) = scrape_addr {
+        // The smoke contract CI relies on: the exporter answers, and
+        // this process's solve histogram actually counted the run.
+        let body = export::fetch(bound, "/metrics").expect("self-scrape");
+        let solve_count: u64 = body
+            .lines()
+            .find_map(|l| l.strip_prefix("lwsnap_solve_ns_count "))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("scrape lists lwsnap_solve_ns_count");
+        assert!(
+            solve_count > 0,
+            "metrics scrape shows an empty solve histogram:\n{body}"
+        );
+        println!("metrics self-scrape OK: lwsnap_solve_ns_count = {solve_count}");
     }
     let speedup = evicting.throughput().max(sharded.throughput()) / sequential.throughput();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());

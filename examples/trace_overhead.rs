@@ -1,0 +1,67 @@
+//! Measures the event recorder's throughput cost — the ≤5% promise.
+//!
+//! Runs the shared closed-loop workload (the same one
+//! `service_loadgen` and the `service_throughput` bench drive) on the
+//! sharded worker-pool service, alternating the runtime tracing switch
+//! off and on between iterations, and compares best-of-N throughput.
+//! Alternating (instead of N-off-then-N-on) keeps thermal and cache
+//! drift from masquerading as tracing overhead; best-of-N discards
+//! scheduler noise. Metrics histograms stay live in BOTH flavours —
+//! that is the contract the hot paths are written against — so the
+//! number reported here is the cost of the ring recorder alone.
+//!
+//! ```sh
+//! cargo run --release --example trace_overhead -- [--iters N] [--queries Q]
+//! ```
+//!
+//! Prints both throughputs and the relative overhead. With the
+//! `TRACE_GATE` environment variable set (CI's bench-gate leg), exits
+//! non-zero if traced throughput regresses more than 5% — on a shared
+//! runner, gate runs should use `--iters` high enough to quiet noise.
+
+use lwsnap_bench::service_workload::{run_sharded, Workload};
+
+fn parse_flag(args: &[String], name: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let iters = parse_flag(&args, "--iters", 7).max(1);
+    let queries = parse_flag(&args, "--queries", 12);
+    let workload = Workload::build(8, queries, 50, 0xbe9c);
+
+    // Warm up: fault in code paths, spin up allocator arenas, mint the
+    // per-thread rings, before either timed flavour runs.
+    run_sharded(&workload, 8, 4, None);
+
+    let mut best_off = 0.0f64;
+    let mut best_on = 0.0f64;
+    for _ in 0..iters {
+        lwsnap_trace::set_enabled(false);
+        best_off = best_off.max(run_sharded(&workload, 8, 4, None).0.throughput());
+        lwsnap_trace::set_enabled(true);
+        best_on = best_on.max(run_sharded(&workload, 8, 4, None).0.throughput());
+    }
+    lwsnap_trace::drain(); // leave the process-global rings empty
+
+    let overhead = 1.0 - best_on / best_off;
+    println!(
+        "traced off: {best_off:>9.0} q/s (best of {iters})\n\
+         traced on:  {best_on:>9.0} q/s (best of {iters})\n\
+         recorder overhead: {:+.2}%",
+        overhead * 100.0,
+    );
+    if std::env::var_os("TRACE_GATE").is_some() {
+        assert!(
+            best_on >= best_off * 0.95,
+            "tracing overhead {:.2}% exceeds the 5% budget",
+            overhead * 100.0,
+        );
+        println!("TRACE_GATE: within the 5% budget");
+    }
+}
