@@ -11,10 +11,16 @@
 //! treat the 1-node run as the baseline and the 3-node delta as the
 //! cost of distribution. The per-session serial `PipelinedClient` run
 //! against a single plain server is included as the no-ring reference.
+//!
+//! The `many_conns_reactors/{1,2}` legs swap the workload for a wide
+//! one — 64 sessions, each on its OWN pipelined connection, driven
+//! concurrently — against a single server bound with one vs two
+//! `SO_REUSEPORT` reactors, and `cluster_2reactors/3` reruns the
+//! 3-node cluster with every node fanned out across two reactors.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use lwsnap_bench::service_workload::{run_remote, Workload};
-use lwsnap_service::{Cluster, PipelinedClient, Server, ServiceConfig};
+use lwsnap_bench::service_workload::{run_backend, run_remote, Workload};
+use lwsnap_service::{Cluster, PipelinedClient, Server, ServiceConfig, SolverBackend};
 
 fn bench_cluster_throughput(c: &mut Criterion) {
     let sessions = 8;
@@ -43,6 +49,51 @@ fn bench_cluster_throughput(c: &mut Criterion) {
             b.iter(|| std::hint::black_box(run_remote(&workload, &backend).verdicts))
         });
         cluster.shutdown();
+    }
+
+    // The 3-node cluster again with every node running two reactors:
+    // same ring, same per-node connection, kernel-sharded accepts.
+    let cluster =
+        Cluster::start_local_with(3, ServiceConfig::new(8), workers, 2).expect("start cluster");
+    group.bench_with_input(BenchmarkId::new("cluster_2reactors", 3), &3, |b, _| {
+        let backend = cluster.connect().expect("connect cluster");
+        b.iter(|| std::hint::black_box(run_remote(&workload, &backend).verdicts))
+    });
+    cluster.shutdown();
+
+    // Many-connection profile: a wide workload (64 sessions × 2
+    // queries), each session on its own pipelined connection, all
+    // driven concurrently, against one server bound with one vs two
+    // SO_REUSEPORT reactors.
+    let wide = Workload::build(64, 2, 40, 0xfa17);
+    group.throughput(Throughput::Elements(wide.total_queries() as u64));
+    for reactors in [1usize, 2] {
+        let server = Server::start_with("127.0.0.1:0", ServiceConfig::new(8), workers, reactors)
+            .expect("bind");
+        let addr = server.local_addr();
+        group.bench_with_input(
+            BenchmarkId::new("many_conns_reactors", reactors),
+            &reactors,
+            |b, _| {
+                b.iter(|| {
+                    let clients: Vec<PipelinedClient> = (0..64)
+                        .map(|_| PipelinedClient::connect(addr).expect("connect"))
+                        .collect();
+                    let out = run_backend(&wide, |i, plan| {
+                        let backend: &dyn SolverBackend = &clients[i];
+                        let root = backend.session_root(plan.session).expect("transport");
+                        let base = backend
+                            .solve(root, wide.base.clone())
+                            .expect("transport")
+                            .expect("root is live")
+                            .problem;
+                        (backend, base)
+                    });
+                    std::hint::black_box(out.verdicts)
+                })
+            },
+        );
+        drop(server);
     }
     group.finish();
 }

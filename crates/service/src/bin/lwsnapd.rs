@@ -2,15 +2,17 @@
 //!
 //! ```sh
 //! lwsnapd [--addr 127.0.0.1:7557] [--shards N] [--workers M] \
-//!         [--capacity K] [--budget BYTES] [--node-id ID] \
-//!         [--store cow|deep-clone] [--peer ID=HOST:PORT ...] \
-//!         [--ring-seed SEED] [--replica-budget BYTES] \
-//!         [--metrics-addr HOST:PORT]
+//!         [--reactors R] [--capacity K] [--budget BYTES] \
+//!         [--node-id ID] [--store cow|deep-clone] \
+//!         [--peer ID=HOST:PORT ...] [--ring-seed SEED] \
+//!         [--replica-budget BYTES] [--metrics-addr HOST:PORT]
 //! ```
 //!
 //! Serves the `lwsnap-service` wire protocol (legacy in-order frames
-//! and pipelined tagged frames on the same port, multiplexed by one
-//! epoll reactor thread) until a client sends a `Shutdown` request,
+//! and pipelined tagged frames on the same port, multiplexed by
+//! `--reactors` epoll reactor threads — one per core by default, each
+//! with its own `SO_REUSEPORT` listener so the kernel shards accepted
+//! connections across them) until a client sends a `Shutdown` request,
 //! then prints the final service and worker statistics. `--capacity`
 //! bounds the resident solver snapshots *per shard* by count,
 //! `--budget` by byte cost (clause + assignment footprint); evicted
@@ -52,13 +54,16 @@ use std::net::SocketAddr;
 fn usage() -> ! {
     eprintln!(
         "usage: lwsnapd [--addr HOST:PORT] [--shards N] [--workers M] \
-         [--capacity K] [--budget BYTES] [--node-id ID] [--store KIND] \
+         [--reactors R] [--capacity K] [--budget BYTES] [--node-id ID] [--store KIND] \
          [--peer ID=HOST:PORT ...] [--ring-seed SEED] [--replica-budget BYTES] \
          [--metrics-addr HOST:PORT]\n\
          \n\
          --addr      listen address (default 127.0.0.1:7557)\n\
          --shards    independently locked problem-tree shards (default 8)\n\
          --workers   solver worker threads (default: available parallelism)\n\
+         --reactors  epoll reactor threads, each with its own SO_REUSEPORT\n\
+         \u{20}           listener (default: available parallelism; falls back\n\
+         \u{20}           to 1 where SO_REUSEPORT is unavailable)\n\
          --capacity  max resident snapshots per shard (default: unbounded)\n\
          --budget    max resident snapshot bytes per shard (default: unbounded)\n\
          --node-id   cluster node id stamped into problem ids (default 0);\n\
@@ -87,6 +92,7 @@ fn main() {
     let mut addr = "127.0.0.1:7557".to_owned();
     let mut shards = 8usize;
     let mut workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut reactors = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut capacity: Option<usize> = None;
     let mut budget: Option<usize> = None;
     let mut node_id: u16 = 0;
@@ -108,6 +114,7 @@ fn main() {
             "--addr" => addr = value("--addr"),
             "--shards" => shards = value("--shards").parse().unwrap_or_else(|_| usage()),
             "--workers" => workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--reactors" => reactors = value("--reactors").parse().unwrap_or_else(|_| usage()),
             "--capacity" => {
                 capacity = Some(value("--capacity").parse().unwrap_or_else(|_| usage()))
             }
@@ -135,7 +142,7 @@ fn main() {
     config.snapshot_capacity = capacity;
     config.snapshot_budget_bytes = budget;
     config.replica_budget_bytes = replica_budget;
-    let server = match Server::start(&addr, config, workers) {
+    let server = match Server::start_with(&addr, config, workers, reactors) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("lwsnapd: cannot bind {addr}: {e}");
@@ -159,11 +166,13 @@ fn main() {
         );
     }
     println!(
-        "lwsnapd node {} listening on {} ({} shards, {} workers, capacity {}, {} store)",
+        "lwsnapd node {} listening on {} ({} shards, {} workers, {} reactor(s), \
+         capacity {}, {} store)",
         node_id,
         server.local_addr(),
         shards,
         workers,
+        server.reactors(),
         capacity.map_or("unbounded".to_owned(), |c| c.to_string()),
         server.service().store_name(),
     );

@@ -247,9 +247,13 @@ impl PipelinedClient {
 
     /// Writes one tagged request and returns its correlation tag.
     pub fn submit_request(&self, request: &Request) -> io::Result<u64> {
+        // Encode before taking the writer lock: threads sharing this
+        // client serialize only on the socket write, not on each
+        // other's request serialization.
+        let payload = request.encode();
         let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
         let mut writer = self.writer.lock().unwrap();
-        write_tagged_frame(&mut *writer, tag, &request.encode())?;
+        write_tagged_frame(&mut *writer, tag, &payload)?;
         Ok(tag)
     }
 
@@ -264,13 +268,15 @@ impl PipelinedClient {
     /// connection cost one syscall per window: submitting k requests
     /// uncorked is k `write(2)`s; corked it is ⌈bytes / high-water⌉.
     pub fn submit_batch(&self, requests: &[Request]) -> io::Result<Vec<u64>> {
+        // Encode the whole window before taking the writer lock, so a
+        // concurrent submitter waits on socket writes only.
+        let payloads: Vec<Vec<u8>> = requests.iter().map(Request::encode).collect();
         let mut writer = self.writer.lock().unwrap();
         let mut tags = Vec::with_capacity(requests.len());
         let mut since_flush = 0usize;
-        for request in requests {
+        for payload in &payloads {
             let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
-            let payload = request.encode();
-            put_tagged_frame(&mut *writer, tag, &payload)?;
+            put_tagged_frame(&mut *writer, tag, payload)?;
             tags.push(tag);
             since_flush += payload.len() + 12;
             if since_flush >= crate::net::HIGH_WATER {

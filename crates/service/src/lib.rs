@@ -38,11 +38,16 @@
 //!   session's ring successor (by the client AND by the home node's own
 //!   `Forward` plane), compacted under a byte budget, promoted by
 //!   bit-identical replay when the home node dies or drains out.
-//! * [`net`] — the non-blocking front end: one epoll reactor thread
-//!   (vendored [`polling`] shim) multiplexing every connection, with
-//!   per-connection write backpressure, graceful shutdown, server-side
-//!   edge forwarding and a peer heartbeat thread; the `lwsnapd` binary
-//!   serves it.
+//! * [`bufpool`] — pooled 64 KiB receive blocks and the zero-copy
+//!   [`bufpool::FrameAssembler`] that parses frames in place, spilling
+//!   (and counting) only the rare block-boundary bytes.
+//! * [`net`] — the non-blocking front end: one epoll reactor **per
+//!   core** (vendored [`polling`] shim), each with its own
+//!   `SO_REUSEPORT` listener, connection table, buffer pool and
+//!   completion queue, with per-connection write backpressure,
+//!   scatter-gather (`writev`) response flushing, graceful shutdown,
+//!   server-side edge forwarding and a peer heartbeat thread; the
+//!   `lwsnapd` binary serves it.
 //! * [`chaos`] — deterministic fault injection at the protocol
 //!   boundary: seeded, content-keyed drops/duplications/delays of
 //!   replication-plane frames, plus the loadgen kill schedule.
@@ -74,6 +79,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod bufpool;
 pub mod chaos;
 pub mod client;
 pub mod net;
@@ -85,9 +91,10 @@ pub mod sharded;
 pub mod stats;
 
 pub use backend::{SolverBackend, Ticket};
+pub use bufpool::{BufferPool, FrameAssembler, Lease};
 pub use chaos::{ChaosAction, ChaosPlan, ChaosPolicy};
 pub use client::{ClusterBackend, Disconnected, NodeError, PipelinedClient, TcpClient};
-pub use net::{Cluster, Server};
+pub use net::{Cluster, ReactorStatsView, Server};
 pub use pool::{PoolClient, WorkerPool};
 pub use protocol::{Request, Response, StatsSummary};
 pub use replica::ReplicaStore;

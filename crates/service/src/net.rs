@@ -1,36 +1,52 @@
-//! The non-blocking TCP front end: one reactor thread multiplexing
-//! every connection over an epoll readiness loop (the vendored
-//! [`polling`] shim), dispatching solve work into the shared
-//! [`WorkerPool`].
+//! The non-blocking TCP front end: **one reactor per core**, each an
+//! independent epoll readiness loop (the vendored [`polling`] shim)
+//! over its own `SO_REUSEPORT` listener, dispatching solve work into
+//! the shared [`WorkerPool`].
 //!
-//! This replaces the old thread-per-connection server. The reactor
-//! thread does all framed reads and writes on nonblocking sockets; the
-//! only other threads are the pool workers, so the thread count is
-//! `1 + workers` no matter how many thousand connections are open.
+//! ## The reactor fan-out
 //!
-//! ## Data flow
+//! [`Server::start`] binds N listeners on one port with `SO_REUSEPORT`
+//! set before bind ([`polling::bind_reuseport`]) and spawns N reactor
+//! threads, each owning its own [`polling::Poller`] (epoll instance),
+//! its own connection table, its own [`BufferPool`] of receive
+//! blocks and its own [`CompletionQueue`]. The kernel shards incoming
+//! connections across the accept queues by 4-tuple hash; a connection
+//! is **pinned for life** to the reactor that accepted it, so no
+//! cross-reactor locking ever touches per-connection state. The worker
+//! pool stays shared — completions route back through the owning
+//! reactor's queue and wake exactly that reactor's poller. (When
+//! `SO_REUSEPORT` is unavailable — IPv6, exotic kernels — the front
+//! end falls back to one reactor on a plain listener.)
 //!
-//! * **Readable socket** → bytes accumulate in the connection's input
-//!   buffer → complete frames are parsed ([`protocol::parse_frame`])
-//!   and dispatched: cheap requests (root/release/stats/shutdown)
-//!   execute inline on the reactor; solves are submitted to the pool
-//!   with a completion callback.
-//! * **Worker completion** → the callback pushes the reply onto the
-//!   reactor's completion queue and wakes it ([`polling::Poller::notify`]);
-//!   the reactor encodes the response into the connection's output
-//!   buffer and flushes opportunistically.
+//! ## The zero-copy wire path
+//!
+//! * **Read side** — socket bytes land directly in a pooled 64 KiB
+//!   block leased by the connection; frames are parsed **in place**
+//!   ([`crate::protocol::parse_frame_ref`]) and the request is decoded
+//!   straight out of the block — the old `inbuf` staging copy is gone.
+//!   Only a frame that straddles a block boundary is copied (into a
+//!   spill buffer), and those bytes are counted by the
+//!   `net.rx_copy_bytes` trace counter so the benches can assert the
+//!   copies stayed gone. Blocks recycle to the reactor's freelist when
+//!   a connection closes (`net.pool_recycle`).
+//! * **Write side** — responses queue as (header, payload) pairs and go
+//!   out through corked scatter-gather writes
+//!   ([`std::io::Write::write_vectored`], i.e. `writev`): the encoded
+//!   payload `Vec` is handed to the kernel where it lies instead of
+//!   being restaged through a flat `outbuf`.
 //! * **Ordering** — v2 tagged requests complete out of order, written
 //!   the moment they finish. Legacy v1 requests are answered strictly
 //!   in request order per connection (a per-connection reorder map
 //!   holds early completions), so old clients keep working unchanged.
-//! * **Backpressure** — a connection whose output buffer or in-flight
-//!   count crosses the high-water mark stops being read (its read
-//!   interest is not re-armed) until it drains, so one slow client can
-//!   neither balloon server memory nor starve the pool.
-//! * **Shutdown** — a client `Shutdown` request drains gracefully:
-//!   stop accepting, stop reading, finish in-flight solves, flush every
-//!   output buffer, then exit. Host-initiated shutdown (`Server::drop`)
-//!   exits promptly without the flush guarantee.
+//! * **Backpressure** — a connection whose unflushed output or
+//!   in-flight count crosses the high-water mark stops being read (its
+//!   read interest is not re-armed) until it drains, so one slow
+//!   client can neither balloon server memory nor starve the pool.
+//! * **Shutdown** — a client `Shutdown` request drains gracefully on
+//!   every reactor: stop accepting, stop reading, finish in-flight
+//!   solves, flush every output queue, then exit. Host-initiated
+//!   shutdown (`Server::drop`) exits promptly without the flush
+//!   guarantee.
 //!
 //! ## The server-to-server plane
 //!
@@ -51,8 +67,8 @@
 //!   over the corpse — and bumps the epoch so stale routers learn of
 //!   the change from the next `Pong` they see.
 
-use std::collections::HashMap;
-use std::io::{self, Read, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, IoSlice, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -62,10 +78,11 @@ use std::time::Duration;
 use lwsnap_trace as trace;
 use polling::{Event, Poller};
 
+use crate::bufpool::{BufferPool, FrameAssembler};
 use crate::chaos::{root_key, stable_key, ChaosAction, ChaosPolicy, PLANE_SERVER};
 use crate::client::PipelinedClient;
-use crate::pool::{PoolClient, WorkerPool};
-use crate::protocol::{self, clauses_to_lits, Request, Response, StatsSummary, TAGGED};
+use crate::pool::{CompletionQueue, PoolClient, WorkerPool};
+use crate::protocol::{clauses_to_lits, Request, Response, StatsSummary, TAGGED};
 use crate::replica::ReplicaStore;
 use crate::router::{mix64, NodeId, Ring};
 use crate::sharded::{ProblemId, ServiceConfig, ShardedService, SolveReply};
@@ -80,7 +97,11 @@ pub(crate) const HIGH_WATER: usize = 1 << 20;
 const LOW_WATER: usize = HIGH_WATER / 4;
 /// Stop reading a connection with this many unanswered solves.
 const MAX_INFLIGHT: usize = 1024;
-/// Poller key of the listening socket; connections use `idx + 1`.
+/// Cork at most this many response frames into one `writev` (two
+/// iovecs per frame — comfortably under every libc's `IOV_MAX`).
+const MAX_WRITE_FRAMES: usize = 32;
+/// Poller key of a reactor's listening socket; connections use
+/// `idx + 1` (keys are per-poller, so every reactor reuses the range).
 const KEY_LISTENER: usize = 0;
 /// How long a graceful drain waits for peers to read their last
 /// responses before giving up and exiting anyway.
@@ -103,8 +124,15 @@ const SUSPICION_THRESHOLD: u32 = 3;
 /// Peer-facing state of one node: the cluster map, lazy pipelined
 /// connections to each peer, the session registry that attributes this
 /// node's problems to their sessions, and the suspicion counters the
-/// heartbeat thread maintains. Owned by [`Server`], shared with the
+/// heartbeat thread maintains. Owned by [`Server`], shared with every
 /// reactor (dispatch hooks) and the heartbeat thread.
+///
+/// Reactor-affinity note: this node keeps exactly ONE pipelined
+/// connection per peer (`conns`), shared by the forward plane (worker
+/// threads) and the heartbeat thread. On the receiving node that
+/// connection is pinned to whichever reactor accepted it, so all
+/// `Forward`/`Ping` traffic from one peer rides one reactor — the
+/// peer plane never straddles the front-end fan-out.
 pub(crate) struct Forwarder {
     node: NodeId,
     inner: Mutex<ForwardInner>,
@@ -443,34 +471,131 @@ fn heartbeat_loop(
     }
 }
 
-/// A running `lwsnapd` server: reactor thread + worker pool.
+/// Default reactor count: one per core, capped so test harnesses that
+/// stand up many in-process servers on big machines stay reasonable.
+fn default_reactors() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+}
+
+/// Binds the front end's listener(s). With `reactors > 1` on an IPv4
+/// address this is N `SO_REUSEPORT` sockets sharing one port (the
+/// first resolves an ephemeral port, the rest bind it); anywhere that
+/// cannot work — IPv6, kernels without the option — it degrades to a
+/// single plain listener, i.e. a one-reactor front end.
+fn bind_front_end(addr: &str, reactors: usize) -> io::Result<(SocketAddr, Vec<TcpListener>)> {
+    use std::net::ToSocketAddrs;
+    let mut last_err = None;
+    for sa in addr.to_socket_addrs()? {
+        if reactors > 1 && sa.is_ipv4() {
+            if let Ok(first) = polling::bind_reuseport(sa) {
+                let bound = first.local_addr()?;
+                let mut listeners = vec![first];
+                while listeners.len() < reactors {
+                    match polling::bind_reuseport(bound) {
+                        Ok(l) => listeners.push(l),
+                        Err(_) => break,
+                    }
+                }
+                if listeners.len() == reactors {
+                    return Ok((bound, listeners));
+                }
+                // Partial success is a config smell; drop the sockets
+                // (freeing the port) and fall back to one listener.
+                drop(listeners);
+            }
+        }
+        match TcpListener::bind(sa) {
+            Ok(l) => {
+                let bound = l.local_addr()?;
+                return Ok((bound, vec![l]));
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err
+        .unwrap_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no usable address")))
+}
+
+/// Counters one reactor maintains about itself, shared with the
+/// [`Server`] handle for scraping.
+#[derive(Default)]
+struct ReactorStats {
+    accepted: AtomicU64,
+    completions: AtomicU64,
+}
+
+/// A point-in-time snapshot of one reactor's front-end counters
+/// ([`Server::reactor_stats`]).
+#[derive(Debug, Clone, Default)]
+pub struct ReactorStatsView {
+    /// Connections this reactor has accepted since start.
+    pub accepted: u64,
+    /// Solve completions routed through this reactor's queue.
+    pub completions: u64,
+    /// Deepest the completion queue has ever been (batching depth).
+    pub queue_peak: usize,
+    /// Receive bytes this reactor copied (block-spanning frames only;
+    /// ~0 per request on the zero-copy fast path).
+    pub rx_copy_bytes: u64,
+    /// Read blocks recycled through this reactor's freelist.
+    pub pool_recycled: u64,
+    /// Read blocks currently leased out to connections (zero once
+    /// every connection has closed — the leak-audit number).
+    pub pool_outstanding: usize,
+    /// Read blocks parked on the freelist.
+    pub pool_free: usize,
+}
+
+/// The server-side handle onto one running reactor: its waker plus the
+/// shared pieces its stats snapshot reads from.
+struct ReactorHandle {
+    poller: Arc<Poller>,
+    stats: Arc<ReactorStats>,
+    bufpool: Arc<BufferPool>,
+    completions: Arc<CompletionQueue<Completion>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// A running `lwsnapd` server: reactor threads + worker pool.
 pub struct Server {
     addr: SocketAddr,
     service: Arc<ShardedService>,
     replicas: Arc<ReplicaStore>,
     forwarder: Arc<Forwarder>,
-    poller: Arc<Poller>,
     hard_stop: Arc<AtomicBool>,
-    reactor: Option<JoinHandle<()>>,
+    reactors: Vec<ReactorHandle>,
     pool: Option<WorkerPool>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
     /// starts serving a fresh [`ShardedService`] built from `config`
-    /// with a `workers`-thread pool. The config's
-    /// [`ServiceConfig::replica_budget_bytes`] becomes the replica
-    /// store's compaction budget.
+    /// with a `workers`-thread pool and one reactor per core. The
+    /// config's [`ServiceConfig::replica_budget_bytes`] becomes the
+    /// replica store's compaction budget.
     pub fn start(addr: &str, config: ServiceConfig, workers: usize) -> io::Result<Server> {
+        Server::start_with(addr, config, workers, default_reactors())
+    }
+
+    /// Like [`Server::start`] with an explicit reactor count.
+    /// `reactors > 1` needs `SO_REUSEPORT` on an IPv4 address;
+    /// anywhere that cannot work, the front end falls back to one
+    /// reactor on a plain listener.
+    pub fn start_with(
+        addr: &str,
+        config: ServiceConfig,
+        workers: usize,
+        reactors: usize,
+    ) -> io::Result<Server> {
         let budget = config.replica_budget_bytes.map(|b| b as u64);
         let service = Arc::new(ShardedService::new(config));
-        Server::serve_inner(addr, service, workers, budget)
+        Server::serve_inner(addr, service, workers, budget, reactors)
     }
 
     /// Like [`Server::start`] but over an existing service instance
     /// (no replica budget — the config already went into the service).
     pub fn serve(addr: &str, service: Arc<ShardedService>, workers: usize) -> io::Result<Server> {
-        Server::serve_inner(addr, service, workers, None)
+        Server::serve_inner(addr, service, workers, None, default_reactors())
     }
 
     fn serve_inner(
@@ -478,43 +603,67 @@ impl Server {
         service: Arc<ShardedService>,
         workers: usize,
         replica_budget: Option<u64>,
+        reactors: usize,
     ) -> io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let addr = listener.local_addr()?;
-        let poller = Arc::new(Poller::new()?);
-        poller.add(&listener, Event::readable(KEY_LISTENER))?;
+        let (addr, listeners) = bind_front_end(addr, reactors.max(1))?;
         let pool = WorkerPool::new(Arc::clone(&service), workers);
         let hard_stop = Arc::new(AtomicBool::new(false));
+        let draining = Arc::new(AtomicBool::new(false));
         let replicas = Arc::new(ReplicaStore::with_budget(replica_budget));
         let forwarder = Arc::new(Forwarder::new(service.node_id()));
-        let reactor = {
+        // Pollers come first so every reactor can wake all its siblings
+        // on a drain.
+        let mut armed = Vec::with_capacity(listeners.len());
+        for listener in listeners {
+            listener.set_nonblocking(true)?;
+            let poller = Arc::new(Poller::new()?);
+            poller.add(&listener, Event::readable(KEY_LISTENER))?;
+            armed.push((listener, poller));
+        }
+        let all_pollers: Arc<Vec<Arc<Poller>>> =
+            Arc::new(armed.iter().map(|(_, p)| Arc::clone(p)).collect());
+        let mut handles = Vec::with_capacity(armed.len());
+        for (index, (listener, poller)) in armed.into_iter().enumerate() {
+            let stats = Arc::new(ReactorStats::default());
+            let bufpool = BufferPool::new();
+            let completions = Arc::new(CompletionQueue::new());
             let mut reactor = Reactor {
                 listener,
                 poller: Arc::clone(&poller),
+                all_pollers: Arc::clone(&all_pollers),
                 service: Arc::clone(&service),
                 replicas: Arc::clone(&replicas),
                 forwarder: Arc::clone(&forwarder),
                 pool: pool.client(),
-                completions: Arc::new(Mutex::new(Vec::new())),
+                completions: Arc::clone(&completions),
                 hard_stop: Arc::clone(&hard_stop),
+                draining: Arc::clone(&draining),
+                bufpool: Arc::clone(&bufpool),
+                stats: Arc::clone(&stats),
                 conns: Vec::new(),
                 free: Vec::new(),
                 gens: Vec::new(),
                 total_inflight: 0,
-                draining: false,
                 drain_deadline: None,
             };
-            std::thread::spawn(move || reactor.run())
-        };
+            let thread = std::thread::Builder::new()
+                .name(format!("lwsnap-reactor-{index}"))
+                .spawn(move || reactor.run())?;
+            handles.push(ReactorHandle {
+                poller,
+                stats,
+                bufpool,
+                completions,
+                thread: Some(thread),
+            });
+        }
         Ok(Server {
             addr,
             service,
             replicas,
             forwarder,
-            poller,
             hard_stop,
-            reactor: Some(reactor),
+            reactors: handles,
             pool: Some(pool),
         })
     }
@@ -576,11 +725,42 @@ impl Server {
         &self.replicas
     }
 
+    /// Number of reactor threads serving this node's front end.
+    pub fn reactors(&self) -> usize {
+        self.reactors.len()
+    }
+
+    /// Per-reactor front-end counters, index-aligned with the reactor
+    /// threads (`accepted` summed across entries is the node total).
+    pub fn reactor_stats(&self) -> Vec<ReactorStatsView> {
+        self.reactors
+            .iter()
+            .map(|r| ReactorStatsView {
+                accepted: r.stats.accepted.load(Ordering::Relaxed),
+                completions: r.stats.completions.load(Ordering::Relaxed),
+                queue_peak: r.completions.peak_depth(),
+                rx_copy_bytes: r.bufpool.copied_bytes(),
+                pool_recycled: r.bufpool.recycled(),
+                pool_outstanding: r.bufpool.outstanding(),
+                pool_free: r.bufpool.free_blocks(),
+            })
+            .collect()
+    }
+
+    fn notify_all(&self) {
+        for r in &self.reactors {
+            let _ = r.poller.notify();
+        }
+    }
+
     /// Blocks until a client sends [`Request::Shutdown`] and the
-    /// graceful drain completes, then returns the worker counters.
+    /// graceful drain completes on every reactor, then returns the
+    /// worker counters.
     pub fn wait(mut self) -> Vec<WorkerStats> {
-        if let Some(reactor) = self.reactor.take() {
-            let _ = reactor.join();
+        for r in &mut self.reactors {
+            if let Some(thread) = r.thread.take() {
+                let _ = thread.join();
+            }
         }
         match self.pool.take() {
             Some(pool) => pool.shutdown(),
@@ -592,7 +772,7 @@ impl Server {
     /// it (in-flight solves finish; unflushed responses may be lost).
     pub fn shutdown(self) -> Vec<WorkerStats> {
         self.hard_stop.store(true, Ordering::Release);
-        let _ = self.poller.notify();
+        self.notify_all();
         self.wait()
     }
 }
@@ -600,9 +780,11 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.hard_stop.store(true, Ordering::Release);
-        let _ = self.poller.notify();
-        if let Some(reactor) = self.reactor.take() {
-            let _ = reactor.join();
+        self.notify_all();
+        for r in &mut self.reactors {
+            if let Some(thread) = r.thread.take() {
+                let _ = thread.join();
+            }
         }
         if let Some(pool) = self.pool.take() {
             pool.shutdown();
@@ -626,14 +808,54 @@ struct Completion {
     response: Response,
 }
 
+/// One encoded response frame awaiting the socket: the 4- or 12-byte
+/// length/tag header and the payload it frames, written as separate
+/// [`IoSlice`]s so the encoded payload is handed to the kernel where
+/// it lies instead of being restaged through a flat output buffer.
+struct OutFrame {
+    header: [u8; 12],
+    hlen: u8,
+    payload: Vec<u8>,
+}
+
+impl OutFrame {
+    fn new(slot: &Slot, payload: Vec<u8>) -> OutFrame {
+        let mut header = [0u8; 12];
+        let hlen = match slot {
+            Slot::Tagged(tag) => {
+                let len = (payload.len() + 8) as u32 | TAGGED;
+                header[..4].copy_from_slice(&len.to_le_bytes());
+                header[4..12].copy_from_slice(&tag.to_le_bytes());
+                12u8
+            }
+            Slot::Seq(_) => {
+                header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+                4u8
+            }
+        };
+        OutFrame {
+            header,
+            hlen,
+            payload,
+        }
+    }
+
+    fn total_len(&self) -> usize {
+        self.hlen as usize + self.payload.len()
+    }
+}
+
 /// Per-connection state.
 struct Conn {
     stream: TcpStream,
-    /// Bytes read but not yet parsed into frames.
-    inbuf: Vec<u8>,
-    /// Encoded frames awaiting the socket, from `outpos`.
-    outbuf: Vec<u8>,
-    outpos: usize,
+    /// In-place frame assembly over pooled read blocks.
+    rx: FrameAssembler,
+    /// Encoded frames awaiting the socket.
+    out: VecDeque<OutFrame>,
+    /// Bytes of the front frame already written.
+    out_written: usize,
+    /// Total unwritten bytes across the queue.
+    out_bytes: usize,
     /// Sequence assigned to the next untagged request.
     v1_next_seq: u64,
     /// Sequence whose response must be written next.
@@ -655,24 +877,28 @@ struct Conn {
 
 impl Conn {
     fn pending_out(&self) -> usize {
-        self.outbuf.len() - self.outpos
+        self.out_bytes
     }
 
-    /// Appends one encoded response frame to the output buffer.
+    /// Queues one encoded response frame for scatter-gather writeout.
     fn enqueue_frame(&mut self, slot: &Slot, response: &Response) {
-        let payload = response.encode();
-        match slot {
-            Slot::Tagged(tag) => {
-                let len = (payload.len() + 8) as u32 | TAGGED;
-                self.outbuf.extend_from_slice(&len.to_le_bytes());
-                self.outbuf.extend_from_slice(&tag.to_le_bytes());
+        let frame = OutFrame::new(slot, response.encode());
+        self.out_bytes += frame.total_len();
+        self.out.push_back(frame);
+    }
+
+    /// Consumes `n` freshly written bytes off the front of the queue.
+    fn advance_out(&mut self, n: usize) {
+        self.out_bytes -= n;
+        self.out_written += n;
+        while let Some(front) = self.out.front() {
+            let total = front.total_len();
+            if self.out_written < total {
+                break;
             }
-            Slot::Seq(_) => {
-                self.outbuf
-                    .extend_from_slice(&(payload.len() as u32).to_le_bytes());
-            }
+            self.out_written -= total;
+            self.out.pop_front();
         }
-        self.outbuf.extend_from_slice(&payload);
     }
 
     /// Routes a completed response: tagged frames are written
@@ -695,32 +921,45 @@ impl Conn {
 struct Reactor {
     listener: TcpListener,
     poller: Arc<Poller>,
+    /// Every reactor's poller, for fanning a drain wakeup out to the
+    /// siblings (a client `Shutdown` lands on exactly one reactor).
+    all_pollers: Arc<Vec<Arc<Poller>>>,
     service: Arc<ShardedService>,
     replicas: Arc<ReplicaStore>,
     forwarder: Arc<Forwarder>,
     pool: PoolClient,
-    completions: Arc<Mutex<Vec<Completion>>>,
+    completions: Arc<CompletionQueue<Completion>>,
     hard_stop: Arc<AtomicBool>,
+    /// Shared graceful-drain flag; any reactor's client `Shutdown`
+    /// sets it for all of them.
+    draining: Arc<AtomicBool>,
+    /// This reactor's receive-block pool.
+    bufpool: Arc<BufferPool>,
+    stats: Arc<ReactorStats>,
     conns: Vec<Option<Conn>>,
     free: Vec<usize>,
     /// Generation per slot: completions for a recycled slot are
     /// discarded instead of answering the wrong connection.
     gens: Vec<u64>,
     total_inflight: usize,
-    draining: bool,
     /// Set when draining starts: after this instant the reactor exits
     /// even if some peer never drains its output buffer.
     drain_deadline: Option<std::time::Instant>,
 }
 
 impl Reactor {
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
     fn run(&mut self) {
         let mut events: Vec<Event> = Vec::new();
         loop {
-            events.clear();
             // Infinite wait normally; during a drain, tick so the
             // deadline fires even if no peer produces another event.
-            let timeout = self.draining.then(|| std::time::Duration::from_millis(100));
+            let timeout = self
+                .is_draining()
+                .then(|| std::time::Duration::from_millis(100));
             if self.poller.wait(&mut events, timeout).is_err() {
                 break;
             }
@@ -732,9 +971,8 @@ impl Reactor {
             // per-wakeup syscall cost proportional to the batch, not to
             // the total connection count.
             let mut touched: Vec<usize> = self.drain_completions();
-            let ready: Vec<Event> = events.clone();
             let mut accept_ready = false;
-            for ev in ready {
+            for ev in events.drain(..) {
                 if ev.key == KEY_LISTENER {
                     accept_ready = true;
                     self.accept_burst();
@@ -744,12 +982,12 @@ impl Reactor {
                 }
             }
             // Backpressure release: a connection throttled mid-burst may
-            // hold parsed-but-undispatched bytes in its input buffer;
+            // hold parsed-but-undispatched bytes in its receive block;
             // once completions freed capacity, resume from there (no
             // readable event will fire for bytes already in userspace).
             for idx in 0..self.conns.len() {
                 let resume = self.conns[idx].as_ref().is_some_and(|c| {
-                    !c.inbuf.is_empty() && !c.close_after_flush && !Self::at_capacity(c)
+                    c.rx.pending() > 0 && !c.close_after_flush && !Self::at_capacity(c)
                 });
                 if resume {
                     self.parse_and_dispatch(idx);
@@ -757,12 +995,12 @@ impl Reactor {
                 }
             }
             self.rearm(&touched);
-            if accept_ready && !self.draining {
+            if accept_ready && !self.is_draining() {
                 let _ = self
                     .poller
                     .modify(&self.listener, Event::readable(KEY_LISTENER));
             }
-            if self.draining {
+            if self.is_draining() {
                 let deadline = *self
                     .drain_deadline
                     .get_or_insert_with(|| std::time::Instant::now() + DRAIN_GRACE);
@@ -791,17 +1029,19 @@ impl Reactor {
         loop {
             match self.listener.accept() {
                 Ok((stream, _)) => {
-                    if self.draining {
+                    if self.is_draining() {
                         continue; // accept+drop: no new sessions
                     }
                     if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
                         continue;
                     }
+                    self.stats.accepted.fetch_add(1, Ordering::Relaxed);
                     let conn = Conn {
                         stream,
-                        inbuf: Vec::new(),
-                        outbuf: Vec::new(),
-                        outpos: 0,
+                        rx: FrameAssembler::new(Arc::clone(&self.bufpool)),
+                        out: VecDeque::new(),
+                        out_written: 0,
+                        out_bytes: 0,
                         v1_next_seq: 0,
                         v1_next_flush: 0,
                         v1_ready: HashMap::new(),
@@ -835,7 +1075,10 @@ impl Reactor {
     }
 
     fn drain_completions(&mut self) -> Vec<usize> {
-        let batch: Vec<Completion> = std::mem::take(&mut *self.completions.lock().unwrap());
+        let batch: Vec<Completion> = self.completions.drain();
+        self.stats
+            .completions
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
         let mut touched = Vec::with_capacity(batch.len());
         for c in batch {
             self.total_inflight -= 1;
@@ -898,15 +1141,33 @@ impl Reactor {
         }
     }
 
-    /// Writes the output buffer until done or the socket fills.
+    /// Writes the output queue until done or the socket fills: up to
+    /// [`MAX_WRITE_FRAMES`] frames are corked into one `writev`
+    /// ([`Write::write_vectored`]), header and payload as separate
+    /// slices — the scatter-gather path that replaced `outbuf` staging.
     fn flush_conn(conn: &mut Conn) {
-        while conn.outpos < conn.outbuf.len() {
-            match conn.stream.write(&conn.outbuf[conn.outpos..]) {
+        while !conn.out.is_empty() {
+            let mut slices: Vec<IoSlice<'_>> =
+                Vec::with_capacity(2 * conn.out.len().min(MAX_WRITE_FRAMES));
+            let mut skip = conn.out_written;
+            for frame in conn.out.iter().take(MAX_WRITE_FRAMES) {
+                let header = &frame.header[..frame.hlen as usize];
+                if skip < header.len() {
+                    slices.push(IoSlice::new(&header[skip..]));
+                    if !frame.payload.is_empty() {
+                        slices.push(IoSlice::new(&frame.payload));
+                    }
+                } else if skip - header.len() < frame.payload.len() {
+                    slices.push(IoSlice::new(&frame.payload[skip - header.len()..]));
+                }
+                skip = 0; // only the front frame can be partially sent
+            }
+            match conn.stream.write_vectored(&slices) {
                 Ok(0) => {
                     conn.broken = true;
                     break;
                 }
-                Ok(n) => conn.outpos += n,
+                Ok(n) => conn.advance_out(n),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(_) => {
@@ -915,33 +1176,27 @@ impl Reactor {
                 }
             }
         }
-        if conn.outpos == conn.outbuf.len() {
-            conn.outbuf.clear();
-            conn.outpos = 0;
-        } else if conn.outpos > HIGH_WATER {
-            conn.outbuf.drain(..conn.outpos);
-            conn.outpos = 0;
-        }
     }
 
-    /// Reads until the socket would block, then parses and dispatches
-    /// every complete frame.
+    /// Reads until the socket would block — bytes land directly in the
+    /// connection's pooled receive block — then parses and dispatches
+    /// every complete frame in place.
     fn read_conn(&mut self, idx: usize) {
-        let mut buf = [0u8; 64 * 1024];
         loop {
-            let got = {
+            {
                 let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
                     return;
                 };
-                match conn.stream.read(&mut buf) {
+                let filled = {
+                    let Conn { rx, stream, .. } = &mut *conn;
+                    rx.fill(stream)
+                };
+                match filled {
                     Ok(0) => {
                         conn.peer_closed = true;
                         break;
                     }
-                    Ok(n) => {
-                        conn.inbuf.extend_from_slice(&buf[..n]);
-                        n
-                    }
+                    Ok(_) => {}
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                     Err(_) => {
@@ -949,12 +1204,11 @@ impl Reactor {
                         break;
                     }
                 }
-            };
-            let _ = got;
+            }
             self.parse_and_dispatch(idx);
             // Stop the burst once backpressure bites or framing died;
-            // unread bytes stay in the kernel buffer (or in inbuf) and
-            // resume when capacity frees.
+            // unread bytes stay in the kernel buffer (or in the block)
+            // and resume when capacity frees.
             let stop = self
                 .conns
                 .get(idx)
@@ -970,7 +1224,6 @@ impl Reactor {
     }
 
     fn parse_and_dispatch(&mut self, idx: usize) {
-        let mut pos = 0usize;
         loop {
             let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
                 return;
@@ -981,50 +1234,49 @@ impl Reactor {
             if conn.close_after_flush || Self::at_capacity(conn) {
                 break;
             }
-            match protocol::parse_frame(&conn.inbuf[pos..]) {
-                Ok(Some((frame, used))) => {
-                    pos += used;
+            // Decode while the frame still borrows the pool block — the
+            // payload bytes never leave it on the fast path.
+            let step = {
+                let Conn {
+                    rx, v1_next_seq, ..
+                } = &mut *conn;
+                rx.next(|frame| {
                     let slot = match frame.tag {
                         Some(tag) => Slot::Tagged(tag),
                         None => {
-                            let seq = conn.v1_next_seq;
-                            conn.v1_next_seq += 1;
+                            let seq = *v1_next_seq;
+                            *v1_next_seq += 1;
                             Slot::Seq(seq)
                         }
                     };
-                    self.dispatch(idx, slot, &frame.payload);
+                    (slot, Request::decode(frame.payload))
+                })
+            };
+            match step {
+                Ok(Some((slot, Ok(request)))) => self.dispatch(idx, slot, request),
+                Ok(Some((slot, Err(e)))) => {
+                    self.complete_inline(idx, slot, Response::Error(e.to_string()));
                 }
                 Ok(None) => break,
                 Err(e) => {
                     // Framing is unrecoverable: answer, then close once
                     // the error frame (and anything before it) flushes.
+                    let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                        return;
+                    };
                     let seq = conn.v1_next_seq;
                     conn.v1_next_seq += 1;
                     conn.complete(Slot::Seq(seq), Response::Error(e.to_string()));
                     conn.close_after_flush = true;
-                    conn.inbuf.clear();
-                    pos = 0;
                     break;
                 }
             }
         }
-        if let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) {
-            if pos > 0 {
-                conn.inbuf.drain(..pos);
-            }
-        }
     }
 
-    /// Executes one decoded frame: cheap requests inline, solves via
+    /// Executes one decoded request: cheap ones inline, solves via
     /// the pool with a reactor-bound completion callback.
-    fn dispatch(&mut self, idx: usize, slot: Slot, payload: &[u8]) {
-        let request = match Request::decode(payload) {
-            Ok(request) => request,
-            Err(e) => {
-                self.complete_inline(idx, slot, Response::Error(e.to_string()));
-                return;
-            }
-        };
+    fn dispatch(&mut self, idx: usize, slot: Slot, request: Request) {
         let num_shards = self.service.num_shards();
         let node = self.service.node_id();
         match request {
@@ -1065,10 +1317,15 @@ impl Reactor {
                 self.complete_inline(idx, slot, Response::Trace(trace::drain()));
             }
             Request::Shutdown => {
-                // Ack with the final stats, then drain gracefully.
+                // Ack with the final stats, then drain gracefully. The
+                // flag is shared: wake every sibling reactor so each
+                // starts its own drain tick.
                 let response = Response::Stats(self.stats_summary());
                 self.complete_inline(idx, slot, response);
-                self.draining = true;
+                self.draining.store(true, Ordering::Release);
+                for poller in self.all_pollers.iter() {
+                    let _ = poller.notify();
+                }
             }
             Request::Replicate {
                 session,
@@ -1161,13 +1418,18 @@ impl Reactor {
                     reg.requests.inc();
                     reg.request_ns
                         .record(trace::now_ns().saturating_sub(req_t0));
-                    completions.lock().unwrap().push(Completion {
+                    let depth = completions.push(Completion {
                         idx,
                         gen,
                         slot,
                         response: solve_response(reply),
                     });
-                    let _ = poller.notify();
+                    // Wake coalescing: a deeper queue means an earlier
+                    // push already notified and the reactor has not
+                    // drained yet — its eventfd read will see both.
+                    if depth == 1 {
+                        let _ = poller.notify();
+                    }
                 });
             }
         }
@@ -1210,8 +1472,10 @@ impl Reactor {
             } else {
                 conn.pending_out() > HIGH_WATER || conn.inflight >= MAX_INFLIGHT
             };
-            let readable =
-                !conn.paused && !conn.peer_closed && !conn.close_after_flush && !self.draining;
+            let readable = !conn.paused
+                && !conn.peer_closed
+                && !conn.close_after_flush
+                && !self.draining.load(Ordering::Acquire);
             let writable = conn.pending_out() > 0;
             let interest = Event {
                 key: idx + 1,
@@ -1255,10 +1519,21 @@ impl Cluster {
     /// `config` (the `node_id` field is overwritten per node) with a
     /// `workers`-thread pool.
     pub fn start_local(nodes: usize, config: ServiceConfig, workers: usize) -> io::Result<Cluster> {
+        Cluster::start_local_with(nodes, config, workers, default_reactors())
+    }
+
+    /// Like [`Cluster::start_local`] with an explicit per-node reactor
+    /// count (benches pin 1 vs N to measure the front-end fan-out).
+    pub fn start_local_with(
+        nodes: usize,
+        config: ServiceConfig,
+        workers: usize,
+        reactors: usize,
+    ) -> io::Result<Cluster> {
         let servers = (0..nodes.max(1) as u16)
             .map(|node| {
                 let config = config.clone().with_node_id(node);
-                Server::start("127.0.0.1:0", config, workers).map(Some)
+                Server::start_with("127.0.0.1:0", config, workers, reactors).map(Some)
             })
             .collect::<io::Result<_>>()?;
         let cluster = Cluster { servers };

@@ -9,7 +9,8 @@
 //! concurrently; two jobs on the same shard serialise on that shard's
 //! lock (and nothing else).
 
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -133,6 +134,59 @@ fn worker_loop(service: &ShardedService, injector: &Injector<Job>, index: usize)
         stats.busy += started.elapsed();
     }
     stats
+}
+
+/// A reactor-owned completion mailbox: workers [`push`] finished
+/// results from their threads, the reactor [`drain`]s the whole batch
+/// under one lock acquisition per wakeup. Each reactor of the
+/// multi-reactor front end owns exactly one, so completions never
+/// funnel through a shared queue — the worker→reactor path scales
+/// with the reactor count.
+///
+/// [`push`]: CompletionQueue::push
+/// [`drain`]: CompletionQueue::drain
+pub struct CompletionQueue<T> {
+    items: Mutex<Vec<T>>,
+    /// Deepest batch ever drained — the queue-depth stat the loadgen
+    /// prints per reactor.
+    peak: AtomicUsize,
+}
+
+impl<T> Default for CompletionQueue<T> {
+    fn default() -> Self {
+        CompletionQueue {
+            items: Mutex::new(Vec::new()),
+            peak: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<T> CompletionQueue<T> {
+    /// An empty queue.
+    pub fn new() -> CompletionQueue<T> {
+        CompletionQueue::default()
+    }
+
+    /// Enqueues one completion; returns the queue depth after the push
+    /// (callers typically follow with a poller notify).
+    pub fn push(&self, item: T) -> usize {
+        let mut items = self.items.lock().unwrap();
+        items.push(item);
+        let depth = items.len();
+        drop(items);
+        self.peak.fetch_max(depth, AtomicOrdering::Relaxed);
+        depth
+    }
+
+    /// Takes the whole pending batch (oldest first).
+    pub fn drain(&self) -> Vec<T> {
+        std::mem::take(&mut *self.items.lock().unwrap())
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn peak_depth(&self) -> usize {
+        self.peak.load(AtomicOrdering::Relaxed)
+    }
 }
 
 /// Client handle onto a [`WorkerPool`]'s injector. Cloneable and
@@ -275,6 +329,18 @@ mod tests {
         }
         assert!(replies[4].is_none(), "dead reference answers None");
         pool.shutdown();
+    }
+
+    #[test]
+    fn completion_queue_batches_and_tracks_peak() {
+        let q = CompletionQueue::new();
+        assert_eq!(q.push(1), 1);
+        assert_eq!(q.push(2), 2);
+        assert_eq!(q.push(3), 3);
+        assert_eq!(q.drain(), vec![1, 2, 3]);
+        assert!(q.drain().is_empty());
+        assert_eq!(q.push(4), 1, "depth resets after a drain");
+        assert_eq!(q.peak_depth(), 3, "peak survives the drain");
     }
 
     #[test]

@@ -449,12 +449,34 @@ pub fn read_any_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
     Ok(Some(Frame { tag, payload }))
 }
 
-/// Incremental (non-blocking) frame extraction for readiness-loop
-/// servers: examines the front of `buf` and returns the first complete
-/// frame plus the number of bytes it consumed, `Ok(None)` if more bytes
-/// are needed, or a [`ProtoError`] for a malformed header. Never blocks
-/// and never consumes a partial frame.
-pub fn parse_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, ProtoError> {
+/// One decoded frame whose payload **borrows** the receive buffer it
+/// was parsed from — the zero-copy twin of [`Frame`]. The reactor's
+/// pooled read path parses frames in place off its block and decodes
+/// the [`Request`] straight out of the borrow, so payload bytes are
+/// never staged through an intermediate `Vec`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameRef<'a> {
+    /// The correlation tag (`None` for legacy v1 frames).
+    pub tag: Option<u64>,
+    /// The message payload, borrowed from the receive buffer.
+    pub payload: &'a [u8],
+}
+
+impl FrameRef<'_> {
+    /// An owning copy (the compatibility bridge to [`Frame`]).
+    pub fn to_owned(self) -> Frame {
+        Frame {
+            tag: self.tag,
+            payload: self.payload.to_vec(),
+        }
+    }
+}
+
+/// Total size (header + body) of the frame starting at the front of
+/// `buf`, or `Ok(None)` if fewer than 4 header bytes are present yet.
+/// The spill path of the pooled reader uses this to copy *exactly* the
+/// bytes a block-spanning frame still needs, and not one more.
+pub fn frame_len(buf: &[u8]) -> Result<Option<usize>, ProtoError> {
     if buf.len() < 4 {
         return Ok(None);
     }
@@ -464,20 +486,39 @@ pub fn parse_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, ProtoError> {
     if len > MAX_FRAME as usize || (tagged && len < 8) {
         return Err(ProtoError::BadLength(len as u64));
     }
-    let total = 4 + len;
+    Ok(Some(4 + len))
+}
+
+/// Incremental (non-blocking) frame extraction for readiness-loop
+/// servers: examines the front of `buf` and returns the first complete
+/// frame plus the number of bytes it consumed, `Ok(None)` if more bytes
+/// are needed, or a [`ProtoError`] for a malformed header. Never blocks
+/// and never consumes a partial frame. The payload borrows `buf`; see
+/// [`parse_frame`] for the owning form.
+pub fn parse_frame_ref(buf: &[u8]) -> Result<Option<(FrameRef<'_>, usize)>, ProtoError> {
+    let Some(total) = frame_len(buf)? else {
+        return Ok(None);
+    };
     if buf.len() < total {
         return Ok(None);
     }
     let body = &buf[4..total];
+    let tagged = u32::from_le_bytes(buf[..4].try_into().unwrap()) & TAGGED != 0;
     let (tag, payload) = if tagged {
         (
             Some(u64::from_le_bytes(body[..8].try_into().unwrap())),
-            body[8..].to_vec(),
+            &body[8..],
         )
     } else {
-        (None, body.to_vec())
+        (None, body)
     };
-    Ok(Some((Frame { tag, payload }, total)))
+    Ok(Some((FrameRef { tag, payload }, total)))
+}
+
+/// [`parse_frame_ref`] with an owning payload, for callers that keep
+/// the frame past the buffer's lifetime.
+pub fn parse_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, ProtoError> {
+    Ok(parse_frame_ref(buf)?.map(|(f, used)| (f.to_owned(), used)))
 }
 
 // ---------------------------------------------------------------------

@@ -138,6 +138,54 @@ fn client_heartbeats_fail_over_before_any_request() {
     cluster.shutdown();
 }
 
+/// Reactor-affinity regression (satellite): with two reactors per
+/// node, each peer's pipelined connection — shared by the forward
+/// plane and the heartbeat prober — is accepted by exactly one reactor
+/// and stays there, so peer `Ping`/`Forward` frames never interleave
+/// across event loops. Steady-state traffic on a healthy 2-reactor
+/// cluster must therefore record zero heartbeat misses and zero epoch
+/// movement, while answers stay bit-identical to a local mirror.
+#[test]
+fn peer_traffic_rides_one_reactor_without_heartbeat_misses() {
+    use std::sync::atomic::Ordering;
+
+    let cluster = Cluster::start_local_with(3, ServiceConfig::new(2), 1, 2).unwrap();
+    let backend = cluster.connect().unwrap();
+    let mirror = ShardedService::new(ServiceConfig::new(2));
+
+    for s in 0..6u64 {
+        let mut r = backend.session_root(s).unwrap();
+        let mut l = mirror.session_root(s);
+        for step in 0..4i64 {
+            let v = (s as i64 + step) % 5 + 1;
+            let reply = backend.solve(r, lits(&[v])).unwrap().unwrap();
+            let expect = mirror.solve(l, &lits(&[v])).unwrap();
+            assert_eq!(reply.result, expect.result, "session {s} verdict split");
+            assert_eq!(reply.model, expect.model, "session {s} witness split");
+            r = reply.problem;
+            l = expect.problem;
+        }
+    }
+
+    // Long enough for many 50ms-interval heartbeat rounds to land on
+    // whichever reactor owns each peer connection.
+    std::thread::sleep(Duration::from_millis(400));
+    for n in 0..3u16 {
+        let server = cluster.server(n).expect("node is running");
+        assert_eq!(server.reactors(), 2, "node {n} runs two reactors");
+        assert_eq!(
+            server.heartbeat_miss_handle().load(Ordering::Relaxed),
+            0,
+            "node {n} missed heartbeats under multi-reactor peering"
+        );
+        assert_eq!(server.epoch(), 0, "node {n} saw a spurious failure");
+        let accepted: u64 = server.reactor_stats().iter().map(|s| s.accepted).sum();
+        assert!(accepted >= 1, "node {n} accepted its peer connections");
+    }
+    backend.shutdown();
+    cluster.shutdown();
+}
+
 /// A half-dead node answers every `Ping` (on both frame dialects) but
 /// sits on everything else forever.
 fn spawn_half_dead_node() -> std::net::SocketAddr {

@@ -1,12 +1,94 @@
 //! Protocol robustness: property-based round-trips for both frame
-//! versions (legacy v1 and tagged v2) and decode hardening against
-//! truncated, oversized and garbage payloads.
+//! versions (legacy v1 and tagged v2), decode hardening against
+//! truncated, oversized and garbage payloads, and the zero-copy
+//! borrowed-payload assembler: arbitrarily split reads — mid-header,
+//! mid-payload, across pool-block boundaries — must reassemble
+//! bit-identically to a whole-buffer parse, and every pooled block
+//! must return to the freelist once connections drain.
 
+use std::io::Read;
+
+use lwsnap_service::bufpool::{BufferPool, FrameAssembler, BLOCK_SIZE};
 use lwsnap_service::protocol::{
     parse_frame, read_any_frame, read_frame, write_frame, write_tagged_frame, Frame, Request,
     Response, StatsSummary, MAX_FRAME, TAGGED,
 };
 use proptest::prelude::*;
+
+// -------------------------------------------------------------------
+// The zero-copy assembler under adversarial read splits.
+// -------------------------------------------------------------------
+
+/// A reader that hands out the wire bytes in a caller-chosen cycle of
+/// chunk sizes — the socket-fragmentation simulator.
+struct ChunkedReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    chunks: &'a [usize],
+    next: usize,
+}
+
+impl Read for ChunkedReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos == self.data.len() {
+            return Ok(0);
+        }
+        let chunk = self.chunks.get(self.next).copied().unwrap_or(97).max(1);
+        self.next = (self.next + 1) % self.chunks.len().max(1);
+        let n = chunk.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// A decoded frame: its tag (v2 only) and an owned copy of its payload.
+type DecodedFrame = (Option<u64>, Vec<u8>);
+
+/// Runs `wire` through a [`FrameAssembler`] fed by chunked reads;
+/// returns the decoded frames and the byte count the assembler copied.
+fn assemble_chunked(wire: &[u8], chunks: &[usize]) -> (Vec<DecodedFrame>, u64) {
+    let pool = BufferPool::new();
+    let mut asm = FrameAssembler::new(pool);
+    let mut reader = ChunkedReader {
+        data: wire,
+        pos: 0,
+        chunks,
+        next: 0,
+    };
+    let mut out = Vec::new();
+    loop {
+        while let Some(frame) = asm
+            .next(|f| (f.tag, f.payload.to_vec()))
+            .expect("well-formed stream")
+        {
+            out.push(frame);
+        }
+        if asm.fill(&mut reader).expect("in-memory read") == 0 {
+            break;
+        }
+    }
+    while let Some(frame) = asm
+        .next(|f| (f.tag, f.payload.to_vec()))
+        .expect("well-formed stream")
+    {
+        out.push(frame);
+    }
+    assert_eq!(asm.pending(), 0, "no bytes left behind");
+    (out, asm.copied_bytes())
+}
+
+/// The whole-buffer reference parse the assembler must match.
+fn parse_whole(wire: &[u8]) -> Vec<DecodedFrame> {
+    let mut expect = Vec::new();
+    let mut pos = 0usize;
+    while let Some((frame, used)) = parse_frame(&wire[pos..]).unwrap() {
+        expect.push((frame.tag, frame.payload));
+        pos += used;
+    }
+    assert_eq!(pos, wire.len());
+    expect
+}
 
 // -------------------------------------------------------------------
 // Strategies for random protocol values.
@@ -180,4 +262,123 @@ proptest! {
             prop_assert_eq!(resp.encode(), payload);
         }
     }
+
+    /// Any chunking of a mixed v1/v2 stream — cuts mid-header,
+    /// mid-payload, wherever the cycle lands — reassembles through the
+    /// pooled assembler bit-identically to a whole-buffer parse.
+    #[test]
+    fn split_reads_reassemble_bit_identically(
+        frames in proptest::collection::vec((request_strategy(), any::<u64>(), any::<bool>()), 1..8),
+        chunks in proptest::collection::vec(1usize..4096, 1..12),
+    ) {
+        let mut wire = Vec::new();
+        for (req, tag, tagged) in &frames {
+            if *tagged {
+                write_tagged_frame(&mut wire, *tag, &req.encode()).unwrap();
+            } else {
+                write_frame(&mut wire, &req.encode()).unwrap();
+            }
+        }
+        let expect = parse_whole(&wire);
+        let (got, _copied) = assemble_chunked(&wire, &chunks);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// A stream that fits in one pool block is parsed fully in place:
+    /// zero bytes copied, regardless of how the reads were split.
+    #[test]
+    fn single_block_streams_copy_nothing(
+        frames in proptest::collection::vec((request_strategy(), any::<u64>()), 1..6),
+        chunks in proptest::collection::vec(1usize..512, 1..8),
+    ) {
+        let mut wire = Vec::new();
+        for (req, tag) in &frames {
+            write_tagged_frame(&mut wire, *tag, &req.encode()).unwrap();
+        }
+        prop_assert!(wire.len() <= BLOCK_SIZE, "strategy stays well under a block");
+        let (got, copied) = assemble_chunked(&wire, &chunks);
+        prop_assert_eq!(got.len(), frames.len());
+        prop_assert_eq!(copied, 0, "in-block frames must not copy");
+    }
+
+    /// Frames sized around the 64 KiB pool-block boundary force the
+    /// spill path — the header itself can straddle two blocks — and
+    /// the payload still comes back byte-exact, with every copied byte
+    /// accounted (each wire byte spills at most once).
+    #[test]
+    fn block_boundary_frames_reassemble(
+        delta in -32i64..32,
+        tag in any::<u64>(),
+        chunk in 512usize..8192,
+        lead in 0usize..64,
+    ) {
+        let len = (BLOCK_SIZE as i64 + delta).max(1) as usize;
+        let payload: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        let mut wire = Vec::new();
+        // A small leading frame shifts the big frame's header off the
+        // block origin, so the length word itself can straddle blocks.
+        write_frame(&mut wire, &vec![0xab; lead]).unwrap();
+        write_tagged_frame(&mut wire, tag, &payload).unwrap();
+        let (got, copied) = assemble_chunked(&wire, &[chunk]);
+        prop_assert_eq!(got.len(), 2);
+        prop_assert_eq!(got[0].1.len(), lead);
+        prop_assert_eq!(got[1].0, Some(tag));
+        prop_assert_eq!(&got[1].1, &payload);
+        if wire.len() > BLOCK_SIZE {
+            prop_assert!(copied > 0, "a block-spanning frame must spill");
+        } else {
+            prop_assert_eq!(copied, 0, "an in-block wire must not spill");
+        }
+        prop_assert!(copied as usize <= wire.len(), "each byte copies at most once");
+    }
+}
+
+// -------------------------------------------------------------------
+// Buffer-pool leak audit through a live server.
+// -------------------------------------------------------------------
+
+/// Every pooled block returns to the freelist once connections drain:
+/// the reactor leak audit behind `ReactorStatsView::pool_outstanding`.
+#[test]
+fn buffer_pool_blocks_all_return_after_drain() {
+    use lwsnap_service::{PipelinedClient, Server, ServiceConfig, SolverBackend};
+    use lwsnap_solver::Lit;
+
+    let server = Server::start_with("127.0.0.1:0", ServiceConfig::new(2), 2, 2).unwrap();
+    let addr = server.local_addr();
+    let clients: Vec<PipelinedClient> = (0..8)
+        .map(|_| PipelinedClient::connect(addr).unwrap())
+        .collect();
+    for (i, client) in clients.iter().enumerate() {
+        let root = client.session_root(i as u64).unwrap();
+        let ticket = client
+            .submit(root, vec![vec![Lit::from_dimacs(1)]])
+            .unwrap();
+        client.wait(ticket).unwrap().expect("live root");
+    }
+
+    let stats = server.reactor_stats();
+    assert_eq!(stats.iter().map(|s| s.accepted).sum::<u64>(), 8);
+    assert!(
+        stats.iter().map(|s| s.pool_outstanding).sum::<usize>() >= 1,
+        "live connections hold leased blocks"
+    );
+
+    drop(clients);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let stats = server.reactor_stats();
+        let outstanding: usize = stats.iter().map(|s| s.pool_outstanding).sum();
+        if outstanding == 0 {
+            let recycled: u64 = stats.iter().map(|s| s.pool_recycled).sum();
+            assert!(recycled >= 1, "drained blocks land on the freelist");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "leaked {outstanding} pool blocks after client drain"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    server.shutdown();
 }

@@ -279,6 +279,13 @@ pub struct Registry {
     pub failovers: Counter,
     /// Chaos faults injected (drop + duplicate + delay).
     pub chaos_injections: Counter,
+    /// Received payload bytes the front end had to copy out of a pooled
+    /// read block (frames spanning a block boundary). The zero-copy
+    /// path parses in place, so this stays near zero per request —
+    /// the observable proof the `inbuf` staging copy is gone.
+    pub rx_copy_bytes: Counter,
+    /// Pooled read blocks returned to their reactor's freelist.
+    pub pool_recycles: Counter,
     /// Resident snapshot bytes (latest observation).
     pub resident_bytes: Gauge,
     /// Live problems (latest observation).
@@ -304,6 +311,8 @@ impl Registry {
             heartbeat_misses: Counter::new(),
             failovers: Counter::new(),
             chaos_injections: Counter::new(),
+            rx_copy_bytes: Counter::new(),
+            pool_recycles: Counter::new(),
             resident_bytes: Gauge::new(),
             live_problems: Gauge::new(),
         }
@@ -336,6 +345,8 @@ impl Registry {
                     "chaos_injections_total".into(),
                     self.chaos_injections.value(),
                 ),
+                ("net_rx_copy_bytes_total".into(), self.rx_copy_bytes.value()),
+                ("net_pool_recycle_total".into(), self.pool_recycles.value()),
             ],
             gauges: vec![
                 ("resident_bytes".into(), self.resident_bytes.value()),
@@ -583,6 +594,8 @@ lwsnap_promotions_total 0
 lwsnap_heartbeat_misses_total 0
 lwsnap_failovers_total 0
 lwsnap_chaos_injections_total 0
+lwsnap_net_rx_copy_bytes_total 0
+lwsnap_net_pool_recycle_total 0
 lwsnap_resident_bytes 4096
 lwsnap_live_problems 0
 lwsnap_request_ns_count 0

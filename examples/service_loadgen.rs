@@ -52,10 +52,18 @@
 //! ```sh
 //! cargo run --release --example service_loadgen -- \
 //!     [--sessions M] [--queries Q] [--vars V] [--shards S] [--workers W] \
-//!     [--nodes N] [--budget BYTES] [--smoke] \
+//!     [--reactors R] [--connections C] [--nodes N] [--budget BYTES] [--smoke] \
 //!     [--chaos-seed SEED] [--chaos-mode kill,drop,duplicate,delay] \
 //!     [--replica-budget BYTES] [--metrics-addr HOST:PORT] [--trace-out PATH]
 //! ```
+//!
+//! `--reactors` fans every in-process daemon (the single server of
+//! phases 4–5 and every cluster node) across R `SO_REUSEPORT` epoll
+//! reactors; `--connections` sizes the fan-out sub-phase — C pipelined
+//! connections sharing the session load — after which the single
+//! server's per-reactor accept/completion/queue-depth/copy counters
+//! are printed, the observable proof that the kernel actually sharded
+//! the connection load.
 //!
 //! `--budget` bounds resident snapshot bytes per shard in every remote
 //! phase (TCP, cluster, chaos), so the daemons churn through byte-budget
@@ -206,6 +214,12 @@ fn main() {
         "--workers",
         std::thread::available_parallelism().map_or(4, |n| n.get()),
     );
+    let reactors = parse_flag(
+        &args,
+        "--reactors",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+    let connections = parse_flag(&args, "--connections", if smoke { 16 } else { 64 });
     let nodes = parse_flag(&args, "--nodes", 3);
     let budget: Option<usize> = args
         .iter()
@@ -229,7 +243,7 @@ fn main() {
         .position(|a| a == "--trace-out")
         .and_then(|i| args.get(i + 1))
         .cloned();
-    assert!(sessions >= 1 && queries >= 1 && nodes >= 1);
+    assert!(sessions >= 1 && queries >= 1 && nodes >= 1 && reactors >= 1 && connections >= 1);
     let scrape_addr = metrics_addr.map(|addr| {
         let bound = export::serve(&addr).expect("bind metrics exporter");
         println!("metrics exporter on http://{bound}/metrics\n");
@@ -248,7 +262,7 @@ fn main() {
 
     println!(
         "workload: {sessions} sessions × {queries} queries, 3-SAT base over {vars} vars, \
-         {shards} shards, {workers} workers{}\n",
+         {shards} shards, {workers} workers, {reactors} reactor(s){}\n",
         budget.map_or(String::new(), |b| format!(", {b}-byte budget/shard")),
     );
     let workload = Workload::build(sessions, queries, vars, 0x10ad);
@@ -298,7 +312,8 @@ fn main() {
     // Phases 4 & 5: the same closed loop over loopback TCP against the
     // epoll front end — blocking one-connection-per-session vs all
     // sessions pipelined on one connection.
-    let server = Server::start("127.0.0.1:0", remote_config(), workers).expect("bind loopback");
+    let server =
+        Server::start_with("127.0.0.1:0", remote_config(), workers, reactors).expect("bind");
     let addr = server.local_addr();
 
     let blocking = {
@@ -329,6 +344,44 @@ fn main() {
         "    pipelining gain over serial TCP: {:.2}×",
         pipelined.throughput() / blocking.throughput().max(1e-9),
     );
+
+    // Phase 5b: the many-connection fan-out — C pipelined connections
+    // (sessions round-robined across them when C < M, extra idle
+    // connections when C > M) so the kernel's SO_REUSEPORT sharding
+    // has a real load to spread over the reactors.
+    let fanout = {
+        let clients: Vec<PipelinedClient> = (0..connections)
+            .map(|_| PipelinedClient::connect(addr).expect("connect"))
+            .collect();
+        lwsnap_bench::service_workload::run_backend(&workload, |i, plan| {
+            let backend: &dyn SolverBackend = &clients[i % clients.len()];
+            let root = backend.session_root(plan.session).expect("transport");
+            let base = backend
+                .solve(root, workload.base.clone())
+                .expect("transport")
+                .expect("root is live")
+                .problem;
+            (backend, base)
+        })
+    };
+    report(&format!("TCP fan-out ({connections} conns)"), &fanout);
+    // The accept/queue-depth distribution the reactor rework is about:
+    // nonzero accepts on more than one reactor means the kernel really
+    // sharded the connections; rx-copied bytes staying ~0 means the
+    // pooled parse really was in place.
+    for (i, r) in server.reactor_stats().iter().enumerate() {
+        println!(
+            "    reactor {i}: {} conns accepted, {} completions (queue peak {}), \
+             {} rx bytes copied, {} pool blocks recycled ({} leased, {} free)",
+            r.accepted,
+            r.completions,
+            r.queue_peak,
+            r.rx_copy_bytes,
+            r.pool_recycled,
+            r.pool_outstanding,
+            r.pool_free,
+        );
+    }
     TcpClient::connect(addr)
         .and_then(|mut c| c.shutdown_server())
         .expect("shutdown");
@@ -337,7 +390,8 @@ fn main() {
     // Phase 6: the same closed loop over an in-process CLUSTER — one
     // lwsnapd-equivalent node per node id, sessions partitioned by the
     // consistent-hash ring, one pipelined connection per node.
-    let cluster = Cluster::start_local(nodes, remote_config(), workers).expect("start cluster");
+    let cluster = Cluster::start_local_with(nodes, remote_config(), workers, reactors)
+        .expect("start cluster");
     let cluster_backend = cluster.connect().expect("connect cluster");
     let clustered = lwsnap_bench::service_workload::run_remote(&workload, &cluster_backend);
     report(&format!("cluster ({nodes} nodes, 1 ring)"), &clustered);
@@ -364,8 +418,8 @@ fn main() {
     // barrier (no request in flight), kill the node homing session 0
     // and join a brand-new node; the resumed sessions discover the
     // change on their next solves and fail over transparently.
-    let mut chaos_cluster =
-        Cluster::start_local(nodes, remote_config(), workers).expect("start cluster");
+    let mut chaos_cluster = Cluster::start_local_with(nodes, remote_config(), workers, reactors)
+        .expect("start cluster");
     let chaos_backend = chaos_cluster.connect().expect("connect cluster");
     let victim = chaos_backend
         .ring()
@@ -432,7 +486,8 @@ fn main() {
         config.replica_budget_bytes = Some(replica_budget);
         config
     };
-    let mut harness_cluster = Cluster::start_local(3, harness_config(), workers).expect("start");
+    let mut harness_cluster =
+        Cluster::start_local_with(3, harness_config(), workers, reactors).expect("start");
     let harness_backend = harness_cluster.connect().expect("connect cluster");
     let policy = plan.policy();
     if policy.is_active() {
@@ -574,6 +629,7 @@ fn main() {
             ("evicting", &evicting),
             ("tcp-serial", &blocking),
             ("tcp-pipelined", &pipelined),
+            ("tcp-fanout", &fanout),
             ("cluster", &clustered),
             ("cluster-chaos", &chaos),
         ] {
@@ -613,7 +669,7 @@ fn main() {
     let speedup = evicting.throughput().max(sharded.throughput()) / sequential.throughput();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "\nall {} queries × 7 phases verified (+ the seeded chaos harness against \
+        "\nall {} queries × 8 phases verified (+ the seeded chaos harness against \
          its own baseline): identical verdicts (failover included), \
          every model re-checked \
          against its constraint path ({:.2}× best sharded speedup over sequential on \

@@ -1,8 +1,10 @@
 //! Vendored offline shim for the `libc` crate.
 //!
 //! The build environment for this workspace has no access to crates.io,
-//! so this crate declares exactly the FFI surface `lwsnap-osnative`
-//! uses, with struct layouts matching glibc on 64-bit Linux. It is NOT a
+//! so this crate declares exactly the FFI surface the workspace uses
+//! (`lwsnap-osnative`'s mmap/signal/fork syscalls plus the socket
+//! surface the `polling` shim's `SO_REUSEPORT` listener helper needs),
+//! with struct layouts matching glibc on 64-bit Linux. It is NOT a
 //! general-purpose libc binding — do not grow it beyond what the
 //! workspace needs (see vendor/README.md).
 
@@ -30,6 +32,48 @@ pub const MAP_FAILED: *mut c_void = !0 as *mut c_void;
 pub const SIGSEGV: c_int = 11;
 pub const SA_SIGINFO: c_int = 0x0000_0004;
 pub const SIG_DFL: sighandler_t = 0;
+
+// Socket surface (x86-64 Linux values) for the reactor-per-core front
+// end: enough to open an `AF_INET` listener with `SO_REUSEPORT` set
+// before bind, so N reactors can share one port and the kernel shards
+// incoming connections across their accept queues.
+pub type socklen_t = u32;
+pub type sa_family_t = u16;
+pub type in_port_t = u16;
+pub type in_addr_t = u32;
+
+pub const AF_INET: c_int = 2;
+pub const SOCK_STREAM: c_int = 1;
+pub const SOCK_CLOEXEC: c_int = 0o2000000;
+pub const SOL_SOCKET: c_int = 1;
+pub const SO_REUSEADDR: c_int = 2;
+pub const SO_REUSEPORT: c_int = 15;
+
+/// `struct in_addr`: the IPv4 address in network byte order.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct in_addr {
+    pub s_addr: in_addr_t,
+}
+
+/// `struct sockaddr_in` (16 bytes on Linux).
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sockaddr_in {
+    pub sin_family: sa_family_t,
+    /// Port in network byte order.
+    pub sin_port: in_port_t,
+    pub sin_addr: in_addr,
+    pub sin_zero: [u8; 8],
+}
+
+/// Opaque `struct sockaddr` for the generic bind signature.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sockaddr {
+    pub sa_family: sa_family_t,
+    pub sa_data: [u8; 14],
+}
 
 /// glibc `sigset_t`: 1024 bits.
 #[repr(C)]
@@ -93,6 +137,16 @@ extern "C" {
     pub fn pipe(fds: *mut c_int) -> c_int;
     pub fn close(fd: c_int) -> c_int;
     pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
+    pub fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    pub fn setsockopt(
+        socket: c_int,
+        level: c_int,
+        name: c_int,
+        value: *const c_void,
+        option_len: socklen_t,
+    ) -> c_int;
+    pub fn bind(socket: c_int, address: *const sockaddr, address_len: socklen_t) -> c_int;
+    pub fn listen(socket: c_int, backlog: c_int) -> c_int;
 }
 
 #[cfg(test)]
@@ -114,6 +168,82 @@ mod tests {
         let mut si: siginfo_t = unsafe { std::mem::zeroed() };
         si._sifields[0] = 0xdead_beef;
         assert_eq!(unsafe { si.si_addr() } as usize, 0xdead_beef);
+    }
+
+    #[test]
+    fn sockaddr_in_layout_matches_glibc() {
+        // Linux: family (2) + port (2) + addr (4) + zero pad (8) = 16
+        // bytes, same size as the generic sockaddr. Getting this wrong
+        // makes bind() reject (or worse, misparse) the address.
+        assert_eq!(std::mem::size_of::<sockaddr_in>(), 16);
+        assert_eq!(std::mem::size_of::<sockaddr>(), 16);
+        assert_eq!(std::mem::offset_of!(sockaddr_in, sin_port), 2);
+        assert_eq!(std::mem::offset_of!(sockaddr_in, sin_addr), 4);
+    }
+
+    #[test]
+    fn reuseport_socket_binds_twice() {
+        // Two SO_REUSEPORT sockets may share one ephemeral port — the
+        // kernel contract the reactor-per-core listener fan-out needs.
+        unsafe {
+            let s1 = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+            assert!(s1 >= 0);
+            let one: c_int = 1;
+            assert_eq!(
+                setsockopt(
+                    s1,
+                    SOL_SOCKET,
+                    SO_REUSEPORT,
+                    &one as *const c_int as *const c_void,
+                    std::mem::size_of::<c_int>() as socklen_t,
+                ),
+                0
+            );
+            let mut addr: sockaddr_in = std::mem::zeroed();
+            addr.sin_family = AF_INET as sa_family_t;
+            addr.sin_port = 0;
+            addr.sin_addr.s_addr = u32::from_be_bytes([127, 0, 0, 1]).to_be();
+            assert_eq!(
+                bind(
+                    s1,
+                    &addr as *const sockaddr_in as *const sockaddr,
+                    std::mem::size_of::<sockaddr_in>() as socklen_t,
+                ),
+                0
+            );
+            assert_eq!(listen(s1, 16), 0);
+            // Recover the kernel-chosen port via std (same process).
+            let l1 = {
+                use std::os::unix::io::FromRawFd;
+                std::net::TcpListener::from_raw_fd(s1)
+            };
+            let port = l1.local_addr().unwrap().port();
+
+            let s2 = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+            assert!(s2 >= 0);
+            assert_eq!(
+                setsockopt(
+                    s2,
+                    SOL_SOCKET,
+                    SO_REUSEPORT,
+                    &one as *const c_int as *const c_void,
+                    std::mem::size_of::<c_int>() as socklen_t,
+                ),
+                0
+            );
+            addr.sin_port = port.to_be();
+            assert_eq!(
+                bind(
+                    s2,
+                    &addr as *const sockaddr_in as *const sockaddr,
+                    std::mem::size_of::<sockaddr_in>() as socklen_t,
+                ),
+                0,
+                "second SO_REUSEPORT bind to port {port} failed"
+            );
+            assert_eq!(listen(s2, 16), 0);
+            close(s2);
+        }
     }
 
     #[test]

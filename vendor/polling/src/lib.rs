@@ -17,10 +17,15 @@
 //! * Error/hangup conditions are surfaced as both `readable` and
 //!   `writable` so the caller observes them through its next I/O call,
 //!   exactly like the real crate.
+//! * **Multi-instance**: every [`Poller::new`] is an independent epoll
+//!   instance with its own notify channel — a process may run one
+//!   poller per reactor thread, each watching a disjoint set of
+//!   sources, and a `notify` wakes exactly its own `wait` (tested
+//!   below). Nothing is process-global.
 //!
-//! The FFI declarations live here (not in the vendored `libc` shim,
-//! which is scoped to `lwsnap-osnative`'s syscalls); layout tests below
-//! pin the packed `epoll_event` ABI that x86-64 Linux requires.
+//! The epoll/eventfd FFI declarations live here; the socket calls for
+//! [`bind_reuseport`] come from the vendored `libc` shim. Layout tests
+//! below pin the packed `epoll_event` ABI that x86-64 Linux requires.
 
 #![cfg(all(target_os = "linux", target_pointer_width = "64"))]
 #![allow(non_camel_case_types)]
@@ -288,6 +293,77 @@ impl Drop for Poller {
     }
 }
 
+// ---------------------------------------------------------------------
+// SO_REUSEPORT listener fan-out.
+// ---------------------------------------------------------------------
+
+/// Binds an IPv4 TCP listener with `SO_REUSEPORT` set before `bind`,
+/// so several listeners (one per reactor) can share one port and the
+/// kernel shards incoming connections across their accept queues by
+/// 4-tuple hash. Safe wrapper over the `libc` shim's socket calls —
+/// exposed here because the service crate forbids `unsafe`.
+///
+/// IPv6 addresses are rejected with `Unsupported` (the shim only
+/// declares `sockaddr_in`); callers fall back to a single listener.
+pub fn bind_reuseport(addr: std::net::SocketAddr) -> io::Result<std::net::TcpListener> {
+    use std::net::TcpListener;
+    use std::os::unix::io::FromRawFd;
+
+    let std::net::SocketAddr::V4(v4) = addr else {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "bind_reuseport: IPv4 only",
+        ));
+    };
+    // SAFETY: plain syscalls on an fd we own; on any failure the fd is
+    // closed before returning, on success its ownership moves into the
+    // returned TcpListener via from_raw_fd.
+    unsafe {
+        let fd = libc::socket(libc::AF_INET, libc::SOCK_STREAM | libc::SOCK_CLOEXEC, 0);
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let fail = |fd: i32| -> io::Error {
+            let e = io::Error::last_os_error();
+            libc::close(fd);
+            e
+        };
+        let one: libc::c_int = 1;
+        for opt in [libc::SO_REUSEADDR, libc::SO_REUSEPORT] {
+            if libc::setsockopt(
+                fd,
+                libc::SOL_SOCKET,
+                opt,
+                &one as *const libc::c_int as *const libc::c_void,
+                std::mem::size_of::<libc::c_int>() as libc::socklen_t,
+            ) != 0
+            {
+                return Err(fail(fd));
+            }
+        }
+        let sa = libc::sockaddr_in {
+            sin_family: libc::AF_INET as libc::sa_family_t,
+            sin_port: v4.port().to_be(),
+            sin_addr: libc::in_addr {
+                s_addr: u32::from(*v4.ip()).to_be(),
+            },
+            sin_zero: [0; 8],
+        };
+        if libc::bind(
+            fd,
+            &sa as *const libc::sockaddr_in as *const libc::sockaddr,
+            std::mem::size_of::<libc::sockaddr_in>() as libc::socklen_t,
+        ) != 0
+        {
+            return Err(fail(fd));
+        }
+        if libc::listen(fd, 1024) != 0 {
+            return Err(fail(fd));
+        }
+        Ok(TcpListener::from_raw_fd(fd))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,6 +446,78 @@ mod tests {
             .unwrap();
         assert_eq!(events.len(), 1);
         poller.delete(&server).unwrap();
+    }
+
+    #[test]
+    fn pollers_are_independent_instances() {
+        // Two pollers in one process: each sees only its own sources,
+        // and a notify wakes only its own wait — the contract the
+        // reactor-per-core front end leans on.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut c1 = TcpStream::connect(addr).unwrap();
+        let mut c2 = TcpStream::connect(addr).unwrap();
+        let (s1, _) = listener.accept().unwrap();
+        let (s2, _) = listener.accept().unwrap();
+        s1.set_nonblocking(true).unwrap();
+        s2.set_nonblocking(true).unwrap();
+
+        let pa = Poller::new().unwrap();
+        let pb = Poller::new().unwrap();
+        pa.add(&s1, Event::readable(1)).unwrap();
+        pb.add(&s2, Event::readable(1)).unwrap();
+
+        // Same key on both pollers, but only B's source speaks: A stays
+        // silent, B fires.
+        c2.write_all(b"hi").unwrap();
+        let mut events = Vec::new();
+        pa.wait(&mut events, Some(Duration::from_millis(25)))
+            .unwrap();
+        assert!(events.is_empty(), "poller A saw poller B's source");
+        pb.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].key, 1);
+
+        // notify() is per-instance: B's pending notify must not wake A.
+        pb.notify().unwrap();
+        events.clear();
+        c1.write_all(b"yo").unwrap();
+        pa.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(events.len(), 1, "A wakes for its own source only");
+        events.clear();
+        pb.wait(&mut events, Some(Duration::from_millis(25)))
+            .unwrap();
+        assert!(events.is_empty(), "B's wakeup was its own notify");
+    }
+
+    #[test]
+    fn reuseport_listeners_share_a_port() {
+        let l1 = bind_reuseport("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = l1.local_addr().unwrap();
+        let l2 = bind_reuseport(addr).unwrap();
+        assert_eq!(l2.local_addr().unwrap(), addr);
+        // Connections land on exactly one of the two accept queues.
+        l1.set_nonblocking(true).unwrap();
+        l2.set_nonblocking(true).unwrap();
+        let mut conns = Vec::new();
+        for _ in 0..8 {
+            conns.push(TcpStream::connect(addr).unwrap());
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        let mut accepted = 0;
+        for l in [&l1, &l2] {
+            loop {
+                match l.accept() {
+                    Ok(_) => accepted += 1,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) => panic!("accept failed: {e}"),
+                }
+            }
+        }
+        assert_eq!(accepted, 8, "every connection reaches some listener");
+        // IPv6 is explicitly unsupported, not silently wrong.
+        let v6 = bind_reuseport("[::1]:0".parse().unwrap());
+        assert_eq!(v6.unwrap_err().kind(), io::ErrorKind::Unsupported);
     }
 
     #[test]
